@@ -1,0 +1,43 @@
+"""Ablations of HLO's design choices (DESIGN.md's ablation candidates).
+
+Not a table in the paper, but the design decisions its Section 2
+defends: multiple passes over a single pass, the colder-than-entry
+penalty, clone groups, the cross-pass clone database, re-optimizing
+transformed routines between passes, and profile feedback over static
+heuristics.  Each row disables one choice and reports run time and
+transform counts on two workloads.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ablation_rows, format_table
+
+
+def test_hlo_design_ablations(benchmark, archive):
+    headers, rows = benchmark.pedantic(
+        ablation_rows, kwargs={"workloads": ("m88ksim", "li")}, rounds=1, iterations=1
+    )
+    text = format_table(headers, rows, "Ablations (cp scope, budget 400)")
+    archive("ablation", text)
+
+    table = {(r[0], r[1]): dict(zip(headers, r)) for r in rows}
+    for name in ("m88ksim", "li"):
+        default = table[(name, "default")]
+        # Multi-pass matters: a single pass performs fewer transforms
+        # and never beats the default meaningfully.
+        single = table[(name, "single-pass")]
+        assert (
+            single["inlines"] + single["clone_repls"]
+            <= default["inlines"] + default["clone_repls"]
+        )
+        assert single["run_cycles"] >= default["run_cycles"] * 0.98
+        # Re-optimizing between passes matters (Figures 3/4's
+        # "optimize ... and recalibrate").
+        assert table[(name, "no-reoptimize")]["run_cycles"] >= default["run_cycles"] * 0.98
+    # Profile feedback pays on the dispatch-heavy simulator.
+    assert (
+        table[("m88ksim", "static-heuristics")]["run_cycles"]
+        > table[("m88ksim", "default")]["run_cycles"]
+    )
+
+    benchmark.extra_info["rows"] = [list(map(str, r)) for r in rows]

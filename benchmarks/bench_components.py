@@ -1,0 +1,68 @@
+"""Substrate micro-benchmarks: compiler and simulator throughput.
+
+Not a paper table — these track the toolchain's own performance so
+regressions in the IR, front end, optimizer, HLO, or interpreter show
+up in benchmark history.  Multi-round timing is meaningful here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HLOConfig, run_hlo
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.ir import parse_module, print_module
+from repro.opt import optimize_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def li_sources():
+    return list(get_workload("li").sources)
+
+
+def test_frontend_throughput(benchmark, li_sources):
+    program = benchmark(compile_program, li_sources)
+    assert program.proc("main") is not None
+
+
+def test_isom_roundtrip_throughput(benchmark, li_sources):
+    program = compile_program(li_sources)
+    module = next(iter(program.modules.values()))
+    text = print_module(module)
+
+    def roundtrip():
+        return print_module(parse_module(text))
+
+    assert benchmark(roundtrip) == text
+
+
+def test_optimizer_throughput(benchmark, li_sources):
+    def build_and_optimize():
+        program = compile_program(li_sources)
+        optimize_program(program)
+        return program
+
+    program = benchmark(build_and_optimize)
+    assert program.size() > 0
+
+
+def test_hlo_throughput(benchmark, li_sources):
+    def build_and_hlo():
+        program = compile_program(li_sources)
+        return run_hlo(program, HLOConfig(budget_percent=400))
+
+    report = benchmark(build_and_hlo)
+    assert report.inlines > 0
+
+
+def test_interpreter_throughput(benchmark, li_sources):
+    program = compile_program(li_sources)
+    inputs = get_workload("li").train_inputs[0]
+
+    def run():
+        return run_program(program, inputs)
+
+    result = benchmark(run)
+    assert result.exit_code == result.exit_code  # deterministic completion

@@ -1,0 +1,44 @@
+"""Table 1: inline and clone counts across the four scope configurations.
+
+Paper: for selected SPECint benchmarks, each scope row (base, c, p, cp)
+reports inlines, clones, clone replacements (sites modified), routine
+deletions, compile time, and run time.  Headline claims the table
+supports:
+
+- widening scope (c) and adding profiles (p) both change which — and
+  how many — transforms are chosen;
+- cross-module scopes delete far more routines (clonees/inlinees become
+  unreachable at link time, which module-at-a-time builds must keep);
+- profile builds pay compile-time overhead (instrumenting compile plus
+  training run) yet usually win on run time;
+- run time improves broadly from base to cp ("by and large, this
+  monotonic improvement property holds").
+"""
+
+from __future__ import annotations
+
+from repro.bench import TABLE1_WORKLOADS, format_table, table1_transforms
+
+
+def test_table1_transform_counts(benchmark, lab, archive):
+    headers, rows = benchmark.pedantic(
+        table1_transforms, args=(lab,), rounds=1, iterations=1
+    )
+    text = format_table(headers, rows, "Table 1: transforms by scope")
+    archive("table1_transforms", text)
+
+    by_key = {(r[0], r[1]): dict(zip(headers, r)) for r in rows}
+    for name in TABLE1_WORKLOADS:
+        base = by_key[(name, "base")]
+        cp = by_key[(name, "cp")]
+        c = by_key[(name, "c")]
+        p = by_key[(name, "p")]
+        # Link-time scope can delete; module-at-a-time mostly cannot.
+        assert c["deletions"] >= base["deletions"], name
+        # The profile pipeline costs extra compile units.
+        assert p["compile_units"] > base["compile_units"], name
+        assert cp["compile_units"] > c["compile_units"], name
+        # The paper's headline: full scope beats the base compile.
+        assert cp["run_cycles"] < base["run_cycles"] * 1.02, name
+
+    benchmark.extra_info["rows"] = [list(map(str, r)) for r in rows]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*`` file regenerates one table/figure from the paper.  The
+printed tables are also archived under ``benchmarks/results/`` so a
+benchmark run leaves the full experiment record on disk, and the row
+data is attached to pytest-benchmark's ``extra_info`` for JSON export.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import Lab
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    """One shared Lab so builds/runs are reused across benchmarks."""
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Writer that archives a rendered table under benchmarks/results/."""
+
+    def write(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + text)
+        return path
+
+    return write

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Figure 8 in miniature: sweep the inliner's budget and watch run time.
+
+The paper validates its heuristics by varying the budget from 25 to
+1000 and artificially stopping the inliner after N transforms: run time
+falls almost monotonically and flattens once the budget is "sufficiently
+large".  This example reproduces the sweep for one workload and prints
+the curve per budget level.
+
+Run:  python examples/budget_explorer.py [workload]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import HLOConfig
+from repro.bench import Lab, format_table
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "li"
+    if name not in workload_names():
+        raise SystemExit("unknown workload {!r}; try one of {}".format(
+            name, ", ".join(workload_names())))
+    workload = get_workload(name)
+    lab = Lab()
+    toolchain = lab.toolchain(name)
+
+    rows = []
+    for budget in (25.0, 100.0, 400.0, 1000.0):
+        cfg = HLOConfig(budget_percent=budget)
+        full = toolchain.build("cp", cfg)
+        total = full.report.transform_count
+        # Sample a few stop-after points along the curve.
+        stops = sorted({0, total // 4, total // 2, (3 * total) // 4, total})
+        curve = []
+        for stop in stops:
+            build = toolchain.build("cp", replace(cfg, stop_after=stop))
+            metrics, _run = build.run(workload.ref_input, machine=lab.machine)
+            curve.append((build.report.transform_count, metrics.cycles))
+        first = curve[0][1]
+        last = curve[-1][1]
+        rows.append([
+            int(budget),
+            total,
+            "{:.0f}".format(first),
+            "{:.0f}".format(last),
+            "{:.2f}x".format(first / last if last else 0.0),
+            " -> ".join("{}:{:.0f}k".format(n, c / 1000) for n, c in curve),
+        ])
+
+    print(format_table(
+        ["budget%", "transforms", "cycles@0", "cycles@full", "gain", "curve (N:cycles)"],
+        rows,
+        title="Budget sweep for {!r} (Figure 8 shape)".format(name),
+    ))
+    print("\nExpected shape: each curve falls as transforms are allowed, and")
+    print("beyond some budget the endpoint stops improving (the asymptote).")
+
+
+if __name__ == "__main__":
+    main()

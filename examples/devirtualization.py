@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Staged devirtualization: cloning + inlining turn indirect calls direct.
+
+Section 3.1 of the paper: "HLO will aggressively clone at sites where
+the caller passes a pointer to a procedure and the callee uses the
+value of a formal variable in an indirect call.  Subsequent constant
+propagation of this code pointer to the call site will then provide
+the information needed to turn the indirect call into a direct call,
+which can then be inlined or cloned in a later pass.  This sort of
+staged optimization would be much more difficult to accomplish in a
+single inlining pass."
+
+This example builds exactly that shape — an event loop dispatching
+through a handler-table accessor — and shows the indirect-call count
+falling across HLO passes while behaviour stays fixed.
+
+Run:  python examples/devirtualization.py
+"""
+
+from repro import HLOConfig, compile_program, run_hlo, run_program
+from repro.ir import ICall
+
+HANDLERS = """
+// Handlers are file statics: devirtualizing across modules also forces
+// promotion to global scope (Section 2.3's promotion machinery).
+static int on_add(int v) { return v + 10; }
+static int on_mul(int v) { return v * 3; }
+static int on_neg(int v) { return -v; }
+
+int handler_for(int event) {
+  if (event == 0) return &on_add;
+  if (event == 1) return &on_mul;
+  return &on_neg;
+}
+"""
+
+LOOP = """
+extern int handler_for(int event);
+
+int dispatch(int event, int value) {
+  int h = handler_for(event);
+  return h(value);
+}
+
+int main() {
+  int acc = 1;
+  for (int i = 0; i < 50; i++) {
+    acc = dispatch(0, acc) % 1000;
+    acc = dispatch(1, acc) % 1000;
+  }
+  print_int(acc);
+  return 0;
+}
+"""
+
+
+def count_icalls(program) -> int:
+    return sum(
+        isinstance(instr, ICall)
+        for proc in program.all_procs()
+        for instr in proc.instructions()
+    )
+
+
+def main() -> None:
+    sources = [("handlers", HANDLERS), ("loop", LOOP)]
+
+    raw = compile_program(sources)
+    reference = run_program(raw)
+    print("raw program:  {} indirect call sites, output {}".format(
+        count_icalls(raw), list(reference.output)))
+
+    for passes in (1, 2, 4):
+        program = compile_program(sources)
+        report = run_hlo(program, HLOConfig(budget_percent=1000, pass_limit=passes))
+        result = run_program(program)
+        assert result.behavior() == reference.behavior()
+        print(
+            "pass_limit={}: {} indirect sites remain | inlines={} clones={} "
+            "devirtualized={} promotions={}".format(
+                passes,
+                count_icalls(program),
+                report.inlines,
+                report.clones,
+                report.devirtualized,
+                report.promotions,
+            )
+        )
+
+    print("\nWith enough passes the dispatch chain collapses: the accessor")
+    print("inlines, the code-pointer constant reaches the indirect site,")
+    print("constant propagation rewrites it to a direct call, and the")
+    print("handler itself becomes an inline candidate for the next pass.")
+
+
+if __name__ == "__main__":
+    main()

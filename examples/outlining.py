@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Aggressive outlining: the paper's Section 5 future work, implemented.
+
+"We are also contemplating using aggressive outlining as a complement
+to aggressive inlining, to help further focus the global optimizer on
+the truly important stretches of code."
+
+The mechanism: extract *cold* blocks (error paths, rare modes) into
+fresh procedures.  Under HLO's quadratic compile budget this is a
+complement to inlining — splitting a routine strictly reduces
+Σ size(R)², so the same budget can fund more hot-path inlining.
+
+The effect is budget-sensitive, so this example measures it on a real
+suite workload (vortex, the accessor-heavy record store) across budget
+levels: at tight budgets outlining buys extra inlining headroom; at
+generous budgets the extra call overhead on not-perfectly-cold paths
+can cost instead.  Both outcomes are printed — this is an honest
+evaluation of a feature the paper only contemplated.
+
+Run:  python examples/outlining.py [workload]
+"""
+
+import sys
+
+from repro import HLOConfig, Toolchain
+from repro.bench import format_table
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    if name not in workload_names():
+        raise SystemExit("unknown workload {!r}; try one of {}".format(
+            name, ", ".join(workload_names())))
+    workload = get_workload(name)
+    toolchain = Toolchain(
+        list(workload.sources),
+        train_inputs=[list(t) for t in workload.train_inputs],
+    )
+
+    rows = []
+    baseline = None
+    for budget in (100.0, 400.0):
+        for outlining in (False, True):
+            cfg = HLOConfig(budget_percent=budget, enable_outlining=outlining)
+            build = toolchain.build("cp", cfg)
+            metrics, run = build.run(workload.ref_input)
+            if baseline is None:
+                baseline = run.behavior()
+            assert run.behavior() == baseline, "behaviour must not change"
+            rows.append(
+                [
+                    int(budget),
+                    "on" if outlining else "off",
+                    "{:.0f}".format(metrics.cycles),
+                    build.report.outlines,
+                    build.report.inlines,
+                    build.stats.code_size_instrs,
+                    "{:.0f}".format(build.report.final_cost),
+                ]
+            )
+
+    print(format_table(
+        ["budget%", "outlining", "run_cycles", "outlines", "inlines",
+         "code_size", "final Σ size²"],
+        rows,
+        title="Outlining as a complement to inlining ({})".format(name),
+    ))
+    print("\nReading the table: at the tight budget, outlined cold blocks")
+    print("lower the quadratic cost base, changing which hot-path inlines")
+    print("fit; at generous budgets the effect can invert.  Behaviour is")
+    print("identical in every configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: compile a two-module program, run HLO, watch it improve.
+
+This walks the whole pipeline on a tiny program:
+
+1. compile minic sources to IR,
+2. run the program on the interpreter (the "workstation"),
+3. run HLO (the paper's aggressive inliner/cloner),
+4. run again and compare machine-level metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HLOConfig, compile_program, run_hlo, simulate
+
+MATH_MODULE = """
+// A library module: small helpers a caller would love to inline.
+static int square(int x) { return x * x; }
+
+int poly(int x) { return square(x) + 3 * x + 1; }
+
+int smooth(int a, int b, int mode) {
+  // mode selects the blend; callers pass a constant -> clone bait.
+  if (mode == 0) return (a + b) / 2;
+  if (mode == 1) return a + (b - a) / 4;
+  return b;
+}
+"""
+
+MAIN_MODULE = """
+extern int poly(int x);
+extern int smooth(int a, int b, int mode);
+
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 200; i++) {
+    acc = smooth(acc, poly(i), 0);
+  }
+  print_int(acc);
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    sources = [("mathlib", MATH_MODULE), ("app", MAIN_MODULE)]
+
+    # --- Before HLO -----------------------------------------------------
+    program = compile_program(sources)
+    before_metrics, before_run = simulate(program)
+    print("before HLO: output={} cycles={:.0f} instructions={}".format(
+        list(before_run.output), before_metrics.cycles, before_metrics.instructions))
+
+    # --- HLO ------------------------------------------------------------
+    program = compile_program(sources)  # fresh IR
+    report = run_hlo(program, HLOConfig(budget_percent=400))
+    print("\nHLO report:")
+    print("  inlines            ", report.inlines)
+    print("  clones             ", report.clones)
+    print("  clone replacements ", report.clone_replacements)
+    print("  routines deleted   ", report.deletions)
+    print("  compile cost       {:.0f} -> {:.0f} (limit {:.0f})".format(
+        report.initial_cost, report.final_cost, report.budget_limit))
+
+    # --- After HLO ------------------------------------------------------
+    after_metrics, after_run = simulate(program)
+    assert after_run.behavior() == before_run.behavior(), "behaviour changed!"
+    print("\nafter HLO:  output={} cycles={:.0f} instructions={}".format(
+        list(after_run.output), after_metrics.cycles, after_metrics.instructions))
+    print("\nspeedup: {:.2f}x cycles, {:.2f}x instructions retired".format(
+        before_metrics.cycles / after_metrics.cycles,
+        before_metrics.instructions / after_metrics.instructions))
+
+    print("\nremaining procedures:", [p.name for p in program.all_procs()])
+
+
+if __name__ == "__main__":
+    main()

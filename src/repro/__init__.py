@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Aggressive Inlining" (PLDI 1997).
+
+The package rebuilds the paper's HLO system and everything it stands
+on: a ucode-like IR, a C-subset front end, a scalar optimizer, profile
+feedback, a link-time (isom) pipeline, the budget-driven multi-pass
+inliner/cloner, and a PA8000-style machine model for evaluation.
+
+Quick start::
+
+    from repro import Toolchain
+
+    tc = Toolchain({"main": "int main(){ print_int(42); return 0; }"})
+    result = tc.build("c")
+    metrics, run = result.run()
+
+See ``examples/quickstart.py`` for the guided tour and DESIGN.md for
+the full system inventory.
+"""
+
+from .core.config import HLOConfig
+from .core.hlo import run_hlo
+from .core.report import HLOReport
+from .frontend.driver import compile_module, compile_program
+from .frontend.errors import CompileError
+from .interp.interpreter import Interpreter, Result, run_program
+from .ir.program import Program
+from .linker.toolchain import SCOPES, BuildResult, Toolchain
+from .machine.pa8000 import MachineConfig, simulate
+from .profile.database import ProfileDatabase
+from .profile.pgo import train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "CompileError",
+    "HLOConfig",
+    "HLOReport",
+    "Interpreter",
+    "MachineConfig",
+    "Program",
+    "ProfileDatabase",
+    "Result",
+    "SCOPES",
+    "Toolchain",
+    "__version__",
+    "compile_module",
+    "compile_program",
+    "run_hlo",
+    "run_program",
+    "simulate",
+    "train",
+]

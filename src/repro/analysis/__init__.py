@@ -1,0 +1,47 @@
+"""Program analyses: call graph, dominators, loops, frequency, side effects."""
+
+from .callgraph import (
+    CATEGORIES,
+    CROSS_MODULE,
+    EXTERNAL,
+    INDIRECT,
+    RECURSIVE,
+    WITHIN_MODULE,
+    CallGraph,
+    CallSite,
+)
+from .dominators import dominates, dominator_tree_children, immediate_dominators
+from .freq import (
+    block_freqs,
+    entry_counts,
+    profile_block_freqs,
+    site_weight,
+    static_block_freqs,
+)
+from .loops import Loop, find_loops, loop_depths, loop_stats
+from .sideeffects import PURE_BUILTINS, side_effect_free_procs
+
+__all__ = [
+    "CATEGORIES",
+    "CROSS_MODULE",
+    "CallGraph",
+    "CallSite",
+    "EXTERNAL",
+    "INDIRECT",
+    "Loop",
+    "PURE_BUILTINS",
+    "RECURSIVE",
+    "WITHIN_MODULE",
+    "block_freqs",
+    "dominates",
+    "dominator_tree_children",
+    "entry_counts",
+    "find_loops",
+    "immediate_dominators",
+    "loop_depths",
+    "loop_stats",
+    "profile_block_freqs",
+    "side_effect_free_procs",
+    "site_weight",
+    "static_block_freqs",
+]

@@ -1,0 +1,72 @@
+"""Dominator computation (iterative Cooper–Harvey–Kennedy).
+
+Used by the loop finder, which in turn feeds the static frequency
+heuristics the inliner falls back to when no profile is present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.procedure import Procedure
+
+
+def immediate_dominators(proc: Procedure) -> Dict[str, Optional[str]]:
+    """Map each reachable block label to its immediate dominator.
+
+    The entry maps to ``None``.  Unreachable blocks are absent.
+    """
+    rpo = proc.rpo_labels()
+    if not rpo:
+        return {}
+    order_index = {label: i for i, label in enumerate(rpo)}
+    preds = proc.predecessors()
+    idom: Dict[str, Optional[str]] = {rpo[0]: rpo[0]}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order_index[b] > order_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo[1:]:
+            candidates = [p for p in preds[label] if p in idom and p in order_index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: Dict[str, Optional[str]] = {}
+    for label in rpo:
+        if label == rpo[0]:
+            result[label] = None
+        elif label in idom:
+            result[label] = idom[label]
+    return result
+
+
+def dominates(idom: Dict[str, Optional[str]], a: str, b: str) -> bool:
+    """True when block ``a`` dominates block ``b`` (reflexive)."""
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+def dominator_tree_children(idom: Dict[str, Optional[str]]) -> Dict[str, List[str]]:
+    children: Dict[str, List[str]] = {label: [] for label in idom}
+    for label, parent in idom.items():
+        if parent is not None:
+            children[parent].append(label)
+    return children

@@ -1,0 +1,155 @@
+"""Execution frequency estimation.
+
+The inline/clone heuristics consume two frequency notions (Section 2.4):
+
+- **relative** block frequency within a procedure — the count of a block
+  relative to the routine entry.  "Sites that occur in blocks executed
+  less frequently than the routine entry block are assigned a penalty."
+  With PBO data this is the measured ratio; without it, the loop-depth
+  heuristic guesses (10x per nesting level, halved per dominating
+  conditional is approximated simply by branch fan-out splitting).
+- **absolute** call-site weight across the program — used to rank inline
+  candidates program-wide.  With PBO data these are measured call-site
+  counts; without, we propagate an entry count of 1 from ``main``
+  through the call graph to a damped fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+from .callgraph import CallGraph
+from .loops import loop_depths
+
+LOOP_MULTIPLIER = 10.0
+MAX_PROPAGATION_ROUNDS = 10
+RECURSION_DAMPING = 0.5
+
+
+def static_block_freqs(proc: Procedure) -> Dict[str, float]:
+    """Heuristic per-block frequency relative to entry (entry = 1.0).
+
+    freq(b) = LOOP_MULTIPLIER ** depth(b) * branch_factor(b), where the
+    branch factor splits flow evenly at conditionals and propagates only
+    between blocks at the *same* loop depth.  Crossing a depth boundary
+    (entering or leaving a loop) resets the factor to 1, so code after a
+    loop is estimated at entry frequency again rather than inheriting
+    the loop's amplification.  This is intentionally a heuristic in the
+    paper's spirit ("without such data it uses heuristics to guess at
+    the relative importance").
+    """
+    depths = loop_depths(proc)
+    factors: Dict[str, float] = {}
+    preds = proc.predecessors()
+    rpo = proc.rpo_labels()
+    for label in rpo:
+        if label == proc.entry:
+            factors[label] = 1.0
+            continue
+        flow = 0.0
+        seen_forward_same_depth = False
+        for pred in preds[label]:
+            if depths.get(pred) != depths[label]:
+                continue  # depth boundary: contributes a reset, not flow
+            if pred not in factors:
+                continue  # back edge: handled by the loop multiplier
+            seen_forward_same_depth = True
+            succs = proc.blocks[pred].successors()
+            flow += factors[pred] / max(len(set(succs)), 1)
+        if not seen_forward_same_depth:
+            flow = 1.0  # entered a new depth region (loop header or exit)
+        factors[label] = min(max(flow, 1e-6), 1.0)
+    return {
+        label: (LOOP_MULTIPLIER ** depths[label]) * factor
+        for label, factor in factors.items()
+    }
+
+
+def profile_block_freqs(proc: Procedure) -> Optional[Dict[str, float]]:
+    """Measured per-block frequency relative to entry, if annotated."""
+    entry_block = proc.blocks.get(proc.entry) if proc.entry else None
+    if entry_block is None or entry_block.profile_count is None:
+        return None
+    entry_count = max(entry_block.profile_count, 1)
+    freqs: Dict[str, float] = {}
+    for label, block in proc.blocks.items():
+        count = block.profile_count
+        freqs[label] = (count / entry_count) if count is not None else 0.0
+    return freqs
+
+
+def block_freqs(proc: Procedure, use_profile: bool = True) -> Dict[str, float]:
+    """Relative block frequencies, preferring profile data when present."""
+    if use_profile:
+        measured = profile_block_freqs(proc)
+        if measured is not None:
+            return measured
+    return static_block_freqs(proc)
+
+
+def entry_counts(
+    program: Program,
+    graph: CallGraph,
+    site_counts: Optional[Dict[Tuple[str, int], int]] = None,
+) -> Dict[str, float]:
+    """Absolute entry count per procedure.
+
+    With measured ``site_counts`` (keyed by ``(module, site_id)``) the
+    entry count is simply the sum of counts of incoming sites (plus 1
+    for ``main``).  Without, propagate static estimates from ``main``
+    through the call graph, damping recursive edges so the fixed point
+    converges.
+    """
+    counts: Dict[str, float] = {p.name: 0.0 for p in program.all_procs()}
+    if "main" in counts:
+        counts["main"] = 1.0
+
+    if site_counts is not None:
+        for name in counts:
+            incoming = graph.callers_of(name)
+            total = sum(site_counts.get(site.key, 0) for site in incoming)
+            if name == "main":
+                total = max(total, 1)
+            counts[name] = float(total)
+        return counts
+
+    rel_cache: Dict[str, Dict[str, float]] = {}
+
+    def rel(proc: Procedure, label: str) -> float:
+        if proc.name not in rel_cache:
+            rel_cache[proc.name] = static_block_freqs(proc)
+        return rel_cache[proc.name].get(label, 0.0)
+
+    for _ in range(MAX_PROPAGATION_ROUNDS):
+        new_counts = {name: 0.0 for name in counts}
+        if "main" in new_counts:
+            new_counts["main"] = 1.0
+        for site in graph.sites:
+            if site.callee is None:
+                continue
+            weight = counts[site.caller.name] * rel(site.caller, site.block.label)
+            if site.category == "recursive":
+                weight *= RECURSION_DAMPING
+            new_counts[site.callee.name] += weight
+        delta = max(
+            abs(new_counts[n] - counts[n]) for n in counts
+        ) if counts else 0.0
+        counts = new_counts
+        if delta < 1e-9:
+            break
+    return counts
+
+
+def site_weight(
+    site,
+    entry: Dict[str, float],
+    site_counts: Optional[Dict[Tuple[str, int], int]] = None,
+    use_profile: bool = True,
+) -> float:
+    """Absolute execution weight of one call site."""
+    if use_profile and site_counts is not None and site.key in site_counts:
+        return float(site_counts[site.key])
+    rel = block_freqs(site.caller, use_profile=use_profile).get(site.block.label, 0.0)
+    return entry.get(site.caller.name, 0.0) * rel

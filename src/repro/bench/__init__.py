@@ -1,0 +1,33 @@
+"""Benchmark harness support: cached lab, experiment runners, tables."""
+
+from .lab import SUITE_BUDGET_PERCENT, VARIANTS, Lab, variant_config
+from .runner import (
+    FIG7_WORKLOADS,
+    TABLE1_WORKLOADS,
+    ablation_rows,
+    fig5_callsites,
+    fig6_speedups,
+    fig7_simulation,
+    fig8_budget_curves,
+    scope_anecdote,
+    table1_transforms,
+)
+from .tables import format_table, geometric_mean
+
+__all__ = [
+    "FIG7_WORKLOADS",
+    "Lab",
+    "SUITE_BUDGET_PERCENT",
+    "TABLE1_WORKLOADS",
+    "VARIANTS",
+    "ablation_rows",
+    "fig5_callsites",
+    "fig6_speedups",
+    "fig7_simulation",
+    "fig8_budget_curves",
+    "format_table",
+    "geometric_mean",
+    "scope_anecdote",
+    "table1_transforms",
+    "variant_config",
+]

@@ -1,0 +1,66 @@
+"""Minimal ASCII charts for the archived experiment outputs.
+
+The archived tables gain a visual: Figure 8's budget curves render as a
+scatter of one glyph per budget level, which is close to how the paper
+prints them (run time vs number of transforms, one line per budget).
+Pure text, deterministic, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+Series = Dict[float, List[Tuple[int, float]]]  # budget -> [(x, y)]
+
+GLYPHS = "abcdefghijklmnop"
+
+
+def ascii_curves(
+    series: Series,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "transforms performed",
+    y_label: str = "run cycles",
+) -> str:
+    """Render one glyph-per-budget scatter plot of the Figure 8 curves."""
+    points = [(x, y, b) for b, curve in sorted(series.items()) for x, y in curve]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = max(x_max - x_min, 1)
+    y_span = max(y_max - y_min, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    budget_glyph = {
+        budget: GLYPHS[i % len(GLYPHS)]
+        for i, budget in enumerate(sorted(series))
+    }
+    for x, y, budget in points:
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y_max - y) / y_span * (height - 1)))
+        grid[row][col] = budget_glyph[budget]
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = "{:>9.0f} |".format(y_max)
+        elif i == height - 1:
+            prefix = "{:>9.0f} |".format(y_min)
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + " {}={} ... {}={}  ({}, y={})".format(
+            x_label, x_min, x_label, x_max, x_label, y_label
+        )
+    )
+    legend = "  ".join(
+        "{}=budget {:.0f}%".format(glyph, budget)
+        for budget, glyph in sorted(budget_glyph.items())
+    )
+    lines.append(" " * 10 + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Experiment runners: one function per paper table/figure.
+
+Each returns (headers, rows) ready for :func:`format_table`, plus any
+series data.  The benchmarks in ``benchmarks/`` are thin wrappers that
+time these and archive the printed tables; the functions are equally
+usable from a REPL or the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.callgraph import CATEGORIES, CallGraph
+from ..core.config import HLOConfig
+from ..linker.toolchain import SCOPES
+from ..machine.pa8000 import simulate
+from ..workloads.suite import all_workloads, get_workload
+from .lab import VARIANTS, Lab
+from .tables import geometric_mean
+
+Rows = List[List]
+Table = Tuple[List[str], Rows]
+
+# The paper's Figure 7 simulates a subset of SPEC95; ours picks the four
+# workloads with the most distinct machine-level behaviour.
+FIG7_WORKLOADS = ("go", "li", "m88ksim", "vortex")
+TABLE1_WORKLOADS = ("compress", "espresso", "go", "li", "m88ksim", "sc", "vortex")
+
+
+def fig5_callsites() -> Table:
+    """Figure 5: static call-site category mix per workload."""
+    headers = ["benchmark"] + list(CATEGORIES) + ["total"]
+    rows: Rows = []
+    for w in all_workloads():
+        program = w.compile()
+        counts = CallGraph(program).category_counts()
+        total = sum(counts.values())
+        rows.append([w.name] + [counts[c] for c in CATEGORIES] + [total])
+    return headers, rows
+
+
+def table1_transforms(lab: Lab, workloads: Sequence[str] = TABLE1_WORKLOADS) -> Table:
+    """Table 1: transform counts, compile cost, run time across scopes."""
+    headers = [
+        "benchmark", "scope", "inlines", "clones", "clone_repls",
+        "deletions", "compile_units", "run_cycles",
+    ]
+    rows: Rows = []
+    for name in workloads:
+        for scope in SCOPES:
+            build = lab.build(name, scope)
+            metrics, _result = lab.measure(name, scope)
+            rows.append(
+                [
+                    name,
+                    scope,
+                    build.report.inlines,
+                    build.report.clones,
+                    build.report.clone_replacements,
+                    build.report.deletions,
+                    build.stats.compile_units,
+                    metrics.cycles,
+                ]
+            )
+    return headers, rows
+
+
+def fig6_speedups(lab: Lab, workloads: Optional[Sequence[str]] = None) -> Table:
+    """Figure 6: speedup of inline / clone / both over neither, plus the
+    paper's two suite geometric-mean rows (its SPECint92 and SPECint95
+    summaries) and an overall row (baseline: cross-module + profile)."""
+    if workloads:
+        pool = [get_workload(n) for n in workloads]
+    else:
+        pool = all_workloads()
+    headers = ["benchmark", "inline", "clone", "both"]
+    rows: Rows = []
+    by_suite: Dict[str, Dict[str, List[float]]] = {
+        "92": {v: [] for v in VARIANTS if v != "neither"},
+        "95": {v: [] for v in VARIANTS if v != "neither"},
+        "all": {v: [] for v in VARIANTS if v != "neither"},
+    }
+    for w in pool:
+        base_metrics, _ = lab.measure_variant(w.name, "neither")
+        row: List = [w.name]
+        for variant in ("inline", "clone", "both"):
+            metrics, _ = lab.measure_variant(w.name, variant)
+            speedup = base_metrics.cycles / metrics.cycles if metrics.cycles else 0.0
+            row.append(speedup)
+            by_suite["all"][variant].append(speedup)
+            for suite in w.suites:
+                if suite in by_suite:
+                    by_suite[suite][variant].append(speedup)
+        rows.append(row)
+    for label, key in (("geomean-92", "92"), ("geomean-95", "95"), ("geomean", "all")):
+        data = by_suite[key]
+        if data["inline"]:
+            rows.append(
+                [label]
+                + [geometric_mean(data[v]) for v in ("inline", "clone", "both")]
+            )
+    return headers, rows
+
+
+def fig7_simulation(lab: Lab, workloads: Sequence[str] = FIG7_WORKLOADS) -> Table:
+    """Figure 7: machine metrics for each variant, relative to neither."""
+    headers = [
+        "benchmark", "variant", "rel_cycles", "cpi", "rel_icache_acc",
+        "icache_miss_rate", "rel_dcache_acc", "dcache_miss_rate",
+        "rel_branches", "branch_miss_rate",
+    ]
+    rows: Rows = []
+    for name in workloads:
+        base_metrics, _ = lab.measure_variant(name, "neither")
+        for variant in VARIANTS:
+            metrics, _ = lab.measure_variant(name, variant)
+            rel = metrics.relative_to(base_metrics)
+            rows.append(
+                [
+                    name,
+                    variant,
+                    rel["relative_cycles"],
+                    rel["cpi"],
+                    rel["relative_icache_accesses"],
+                    rel["icache_miss_rate"],
+                    rel["relative_dcache_accesses"],
+                    rel["dcache_miss_rate"],
+                    rel["relative_branches"],
+                    rel["branch_miss_rate"],
+                ]
+            )
+    return headers, rows
+
+
+def fig8_budget_curves(
+    workload: str = "li",
+    budgets: Sequence[float] = (25, 100, 200, 400, 1000),
+    max_points: int = 14,
+) -> Tuple[List[str], Rows, Dict[float, List[Tuple[int, float]]]]:
+    """Figure 8: incremental benefit of successive transforms per budget.
+
+    For each budget level, the HLO run is artificially stopped after N
+    inlines/clone-replacements for increasing N; run time is measured
+    at each stop.  Returns (headers, rows, series) where ``series``
+    maps budget -> [(transforms performed, run cycles)].
+    """
+    w = get_workload(workload)
+    lab = Lab()
+    tc = lab.toolchain(workload)
+
+    series: Dict[float, List[Tuple[int, float]]] = {}
+    rows: Rows = []
+    for budget in budgets:
+        full_cfg = HLOConfig(budget_percent=budget)
+        full = tc.build("cp", full_cfg)
+        total = full.report.transform_count
+        stops = _stop_points(total, max_points)
+        curve: List[Tuple[int, float]] = []
+        for stop in stops:
+            cfg = replace(full_cfg, stop_after=stop)
+            build = tc.build("cp", cfg)
+            metrics, _ = build.run(w.ref_input, machine=lab.machine)
+            performed = build.report.transform_count
+            curve.append((performed, metrics.cycles))
+            rows.append([budget, stop, performed, metrics.cycles])
+        series[budget] = curve
+    headers = ["budget", "stop_after", "performed", "run_cycles"]
+    return headers, rows, series
+
+
+def _stop_points(total: int, max_points: int) -> List[int]:
+    if total <= 0:
+        return [0]
+    count = min(max_points, total + 1)
+    points = sorted({round(i * total / (count - 1)) for i in range(count)})
+    return [int(p) for p in points]
+
+
+def ablation_rows(workloads: Sequence[str] = ("m88ksim", "li")) -> Table:
+    """Design-choice ablations from DESIGN.md, one row per knob.
+
+    ``static-heuristics`` is expressed as the ``c`` scope (profile off)
+    rather than a config override, because ``Toolchain.build`` derives
+    the profile flag from the scope name.
+    """
+    lab = Lab()
+    base_cfg = lab.default_config()
+
+    variants = [
+        ("default", "cp", base_cfg),
+        ("single-pass", "cp", replace(base_cfg, pass_limit=1)),
+        ("no-cold-penalty", "cp", replace(base_cfg, cold_penalty=1.0)),
+        ("no-clone-groups", "cp", replace(base_cfg, clone_groups=False)),
+        ("no-clone-db", "cp", replace(base_cfg, clone_database=False)),
+        ("no-reoptimize", "cp", replace(base_cfg, reoptimize=False)),
+        ("static-heuristics", "c", base_cfg),
+        # Section 5's contemplated extension; helps most at tight budgets
+        # (freed quadratic headroom), can cost at generous ones.
+        ("outlining", "cp", replace(base_cfg, enable_outlining=True)),
+    ]
+    headers = [
+        "benchmark", "variant", "run_cycles", "inlines", "clones",
+        "clone_repls", "compile_units", "code_size",
+    ]
+    rows: Rows = []
+    for name in workloads:
+        w = get_workload(name)
+        tc = lab.toolchain(name)
+        for label, scope, cfg in variants:
+            build = tc.build(scope, cfg)
+            metrics, _ = build.run(w.ref_input, machine=lab.machine)
+            rows.append(
+                [
+                    name,
+                    label,
+                    metrics.cycles,
+                    build.report.inlines,
+                    build.report.clones,
+                    build.report.clone_replacements,
+                    build.stats.compile_units,
+                    build.stats.code_size_instrs,
+                ]
+            )
+    return headers, rows
+
+
+def scope_anecdote(workload: str = "sc") -> Table:
+    """Section 3.2's monotonic-improvement walk for one workload."""
+    lab = Lab()
+    headers = ["scope", "run_cycles", "speedup_vs_base"]
+    rows: Rows = []
+    base_cycles = None
+    for scope in SCOPES:
+        metrics, _ = lab.measure(workload, scope)
+        if base_cycles is None:
+            base_cycles = metrics.cycles
+        rows.append([scope, metrics.cycles, base_cycles / metrics.cycles])
+    return headers, rows

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def fmt_cell(value: Cell) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "{:.0f}".format(value)
+        if abs(value) >= 10:
+            return "{:.1f}".format(value)
+        return "{:.3f}".format(value)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = "") -> str:
+    """Render an aligned ASCII table (right-aligned numeric columns)."""
+    str_rows = [[fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's overall SPEC ratio aggregation)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,276 @@
+"""Command-line driver: the ``cc``-like front door to the toolchain.
+
+Subcommands:
+
+``compile``
+    Compile minic source files; print the optimized IR or write isom
+    files (the intermediate-code object files of Section 2.1).
+``run``
+    Compile and execute, optionally on the PA8000 machine model.
+``train``
+    The instrumenting compile + training run; writes a profile database.
+``report``
+    Run HLO at a chosen scope and print the transform report.
+``bench``
+    Compare the four Table 1 scope configurations on a suite workload.
+
+Module names come from file stems; inputs are comma-separated integers.
+
+    python -m repro run prog.mc --inputs 5,10 --simulate
+    python -m repro train prog.mc --inputs 5 -o prog.profdb
+    python -m repro report prog.mc --scope cp --profile prog.profdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .core.config import HLOConfig
+from .core.hlo import run_hlo
+from .frontend.driver import compile_program
+from .interp.interpreter import run_program
+from .ir.printer import print_program
+from .linker.isom import write_isom
+from .linker.toolchain import SCOPES, Toolchain, scope_flags
+from .machine.pa8000 import simulate
+from .profile.annotate import annotate_program
+from .profile.database import ProfileDatabase
+from .profile.pgo import train
+
+
+def _read_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    sources = []
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path) as handle:
+            sources.append((name, handle.read()))
+    return sources
+
+
+def _parse_inputs(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _config_from_args(args: argparse.Namespace) -> HLOConfig:
+    config = HLOConfig(
+        budget_percent=args.budget,
+        pass_limit=args.passes,
+        enable_outlining=getattr(args, "outline", False),
+    )
+    if getattr(args, "no_inline", False):
+        config = config.clone_only()
+    if getattr(args, "no_clone", False):
+        config = config.inline_only() if not getattr(args, "no_inline", False) else config.neither()
+    return config
+
+
+def _hlo_for_scope(program, args: argparse.Namespace, profile: Optional[ProfileDatabase]):
+    cross, use_profile = scope_flags(args.scope)
+    config = _config_from_args(args).with_scope(cross, use_profile)
+    site_counts = None
+    if use_profile:
+        if profile is None:
+            raise SystemExit(
+                "scope {!r} needs --profile <db> (run `train` first)".format(args.scope)
+            )
+        annotate_program(program, profile)
+        site_counts = profile.site_counts
+    return run_hlo(program, config, site_counts=site_counts)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    program = compile_program(sources)
+    profile = ProfileDatabase.load(args.profile) if args.profile else None
+    if not args.no_hlo:
+        _hlo_for_scope(program, args, profile)
+    if args.isom_dir:
+        for module in program.modules.values():
+            path = write_isom(module, args.isom_dir)
+            print("wrote", path)
+    else:
+        print(print_program(program))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    program = compile_program(sources)
+    profile = ProfileDatabase.load(args.profile) if args.profile else None
+    if not args.no_hlo:
+        _hlo_for_scope(program, args, profile)
+    inputs = _parse_inputs(args.inputs)
+    if args.simulate:
+        metrics, result = simulate(program, inputs)
+    else:
+        metrics, result = None, run_program(program, inputs)
+    for value in result.output:
+        print(value)
+    if metrics is not None:
+        print(
+            "# cycles={:.0f} instructions={} cpi={:.3f} "
+            "icache_mr={:.4f} dcache_mr={:.4f} branch_mr={:.4f}".format(
+                metrics.cycles,
+                metrics.instructions,
+                metrics.cpi,
+                metrics.icache_miss_rate,
+                metrics.dcache_miss_rate,
+                metrics.branch_miss_rate,
+            ),
+            file=sys.stderr,
+        )
+    return result.exit_code & 0x7F
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    runs = [
+        _parse_inputs(chunk) for chunk in (args.inputs.split(";") if args.inputs else [""])
+    ]
+    db = train(sources, runs)
+    db.save(args.output)
+    print(
+        "trained {} run(s), {} steps; wrote {}".format(
+            db.training_runs, db.training_steps, args.output
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    program = compile_program(sources)
+    profile = ProfileDatabase.load(args.profile) if args.profile else None
+    report = _hlo_for_scope(program, args, profile)
+    print(report)
+    print("transform events:")
+    for event in report.events:
+        print(
+            "  pass {} {:14s} @{} -> @{} (site {})".format(
+                event.pass_number, event.kind, event.caller, event.callee, event.site_id
+            )
+        )
+    if report.deleted_procs:
+        print("deleted:", ", ".join(report.deleted_procs))
+    if report.promoted_symbols:
+        print("promoted:", ", ".join(report.promoted_symbols))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.tables import format_table
+    from .workloads.suite import get_workload, workload_names
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        raise SystemExit(
+            "unknown workload {!r}; available: {}".format(
+                args.workload, ", ".join(workload_names())
+            )
+        )
+    toolchain = Toolchain(
+        list(workload.sources),
+        train_inputs=[list(t) for t in workload.train_inputs],
+    )
+    config = _config_from_args(args)
+    rows = []
+    for scope in SCOPES:
+        build = toolchain.build(scope, config)
+        metrics, _run = build.run(workload.ref_input)
+        rows.append(
+            [
+                scope,
+                build.report.inlines,
+                build.report.clones,
+                build.report.clone_replacements,
+                build.report.deletions,
+                build.stats.compile_units,
+                metrics.cycles,
+            ]
+        )
+    print(
+        format_table(
+            ["scope", "inlines", "clones", "repls", "deletions",
+             "compile_units", "run_cycles"],
+            rows,
+            title="{} ({})".format(workload.name, workload.spec_analog),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HLO-style aggressive inlining/cloning toolchain "
+        "(reproduction of PLDI '97).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_files=True):
+        if needs_files:
+            p.add_argument("files", nargs="+", help="minic source files")
+        p.add_argument("--scope", choices=SCOPES, default="c",
+                       help="optimization scope (Table 1 rows); default c")
+        p.add_argument("--budget", type=float, default=100.0,
+                       help="compile-time budget percent (default 100)")
+        p.add_argument("--passes", type=int, default=4,
+                       help="HLO pass limit (default 4)")
+        p.add_argument("--profile", help="profile database from `train`")
+        p.add_argument("--no-inline", action="store_true")
+        p.add_argument("--no-clone", action="store_true")
+        p.add_argument("--outline", action="store_true",
+                       help="enable aggressive outlining (Section 5)")
+
+    p_compile = sub.add_parser("compile", help="compile to IR or isoms")
+    common(p_compile)
+    p_compile.add_argument("--isom-dir", help="write one .isom per module here")
+    p_compile.add_argument("--no-hlo", action="store_true",
+                           help="front end only, skip HLO")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    common(p_run)
+    p_run.add_argument("--inputs", help="comma-separated integer input vector")
+    p_run.add_argument("--simulate", action="store_true",
+                       help="run on the PA8000 machine model")
+    p_run.add_argument("--no-hlo", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_train = sub.add_parser("train", help="instrument, run, write profile db")
+    p_train.add_argument("files", nargs="+")
+    p_train.add_argument("--inputs",
+                         help="training inputs; ';' separates runs, ',' elements")
+    p_train.add_argument("-o", "--output", default="repro.profdb")
+    p_train.set_defaults(func=cmd_train)
+
+    p_report = sub.add_parser("report", help="print the HLO transform report")
+    common(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_bench = sub.add_parser("bench", help="Table 1 walk on a suite workload")
+    p_bench.add_argument("workload")
+    p_bench.add_argument("--scope", choices=SCOPES, default="cp")
+    p_bench.add_argument("--budget", type=float, default=400.0)
+    p_bench.add_argument("--passes", type=int, default=4)
+    p_bench.add_argument("--no-inline", action="store_true")
+    p_bench.add_argument("--no-clone", action="store_true")
+    p_bench.add_argument("--outline", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""HLO: the paper's aggressive inliner and cloner."""
+
+from .benefit import RankedSite, rank_site
+from .budget import Budget, program_cost, routine_cost
+from .cloner import (
+    CloneDatabase,
+    CloneGroup,
+    build_clone_groups,
+    calling_context,
+    clone_pass,
+    context_matches,
+    make_clone_spec,
+    param_usage_weights,
+    spec_key,
+)
+from .config import HLOConfig
+from .hlo import run_hlo
+from .inliner import inline_pass, perform_inline
+from .legality import clone_blocker, inline_blocker
+from .outliner import (
+    OutlineCandidate,
+    find_outline_candidates,
+    outline_block,
+    outline_pass,
+)
+from .report import HLOReport, PassTrace, TransformEvent
+from .transplant import (
+    BlockSnapshot,
+    copy_into_new_proc,
+    promote_referenced_statics,
+    splice_body,
+    subtract_moved_counts,
+    transfer_ratio,
+)
+
+__all__ = [
+    "BlockSnapshot",
+    "Budget",
+    "CloneDatabase",
+    "CloneGroup",
+    "HLOConfig",
+    "HLOReport",
+    "PassTrace",
+    "RankedSite",
+    "TransformEvent",
+    "build_clone_groups",
+    "calling_context",
+    "clone_blocker",
+    "clone_pass",
+    "context_matches",
+    "copy_into_new_proc",
+    "inline_blocker",
+    "inline_pass",
+    "make_clone_spec",
+    "OutlineCandidate",
+    "find_outline_candidates",
+    "outline_block",
+    "outline_pass",
+    "param_usage_weights",
+    "perform_inline",
+    "program_cost",
+    "promote_referenced_statics",
+    "rank_site",
+    "routine_cost",
+    "run_hlo",
+    "spec_key",
+    "splice_body",
+    "subtract_moved_counts",
+    "transfer_ratio",
+]

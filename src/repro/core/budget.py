@@ -1,0 +1,108 @@
+"""HLO's compile-time budget model (Figure 2 of the paper).
+
+"High-level control of the inliner is done by giving the inliner a
+budget.  This budget is an estimate of how much compile time will
+increase because of inlining. ... The HP-UX backend optimizer contains
+several algorithms that are quadratic in the size of the routine being
+optimized, so we model this effect accordingly."
+
+Concretely:
+
+- the current compile-time cost of a program is ``C = Σ_R size(R)²``
+  (back-end cost is quadratic per routine);
+- a budget percentage (default 100, Figure 8 sweeps 25–1000) allows the
+  cost to grow to ``C * (1 + pct/100)``;
+- the allowance is *staged* across passes so the first pass cannot
+  consume everything: ``S[0] = C + B*0.2 ... S[limit-1] = C + B``.
+
+Because the cost model is quadratic, a 100% compile-time budget yields
+much less than 100% code growth (the paper reports ~20% typical growth).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+
+FIRST_STAGE_FRACTION = 0.2
+
+
+def routine_cost(proc: Procedure) -> float:
+    """Quadratic back-end cost model for one routine."""
+    return float(proc.size()) ** 2
+
+
+def program_cost(program: Program) -> float:
+    """``C = Σ_R size(R)²`` over every defined routine."""
+    return sum(routine_cost(p) for p in program.all_procs())
+
+
+class Budget:
+    """Tracks the compile-cost allowance through an HLO run."""
+
+    def __init__(self, program: Program, budget_percent: float = 100.0, pass_limit: int = 4):
+        if budget_percent < 0:
+            raise ValueError("budget_percent must be non-negative")
+        if pass_limit < 1:
+            raise ValueError("pass_limit must be at least 1")
+        self.initial_cost = program_cost(program)
+        self.allowance = self.initial_cost * (budget_percent / 100.0)
+        self.limit = self.initial_cost + self.allowance
+        self.pass_limit = pass_limit
+        self.stages = self._stage_thresholds()
+        self.current = self.initial_cost
+
+    def _stage_thresholds(self) -> List[float]:
+        """``S[p] = C + B * f(p)`` with f rising linearly from 0.2 to 1."""
+        if self.pass_limit == 1:
+            return [self.initial_cost + self.allowance]
+        thresholds = []
+        for p in range(self.pass_limit):
+            fraction = FIRST_STAGE_FRACTION + (1.0 - FIRST_STAGE_FRACTION) * (
+                p / (self.pass_limit - 1)
+            )
+            thresholds.append(self.initial_cost + self.allowance * fraction)
+        return thresholds
+
+    def stage_limit(self, pass_number: int) -> float:
+        index = min(pass_number, len(self.stages) - 1)
+        return self.stages[index]
+
+    def exhausted(self) -> bool:
+        return self.current >= self.limit
+
+    def fits(self, delta: float, pass_number: int) -> bool:
+        """Would spending ``delta`` stay within this pass's stage?"""
+        return self.current + delta <= self.stage_limit(pass_number)
+
+    def charge(self, delta: float) -> None:
+        self.current += delta
+
+    def recalibrate(self, program: Program) -> None:
+        """Replace the estimate with the measured cost (Figures 3/4:
+        "optimize clones and recalibrate")."""
+        self.current = program_cost(program)
+
+    @staticmethod
+    def inline_delta(caller_size: float, callee_size: float) -> float:
+        """Cost increase of inlining a callee body into a caller.
+
+        The caller grows to roughly ``caller + callee`` instructions
+        (the call instruction is replaced by the body plus glue); the
+        quadratic model charges the difference of squares.
+        """
+        new_size = caller_size + callee_size
+        return new_size ** 2 - caller_size ** 2
+
+    @staticmethod
+    def clone_delta(clonee_size: float, deletes_clonee: bool) -> float:
+        """Cost increase of materializing one clone.
+
+        "a clone group that ensures that the clonee will be deleted is
+        considered to have no compile time impact."
+        """
+        if deletes_clonee:
+            return 0.0
+        return clonee_size ** 2

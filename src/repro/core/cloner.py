@@ -1,0 +1,394 @@
+"""The cloning pass (Figure 3 of the paper).
+
+For every clonable direct call site, intersect what the caller supplies
+(the *calling-context descriptor*: constant actual arguments — "in our
+current implementation, only caller-supplied constants are considered
+interesting") with what the callee can exploit (the *parameter-usage
+descriptor*: per-parameter interest weights, with "special emphasis
+... on parameter values that reach the function position at an indirect
+call site").  A non-empty intersection is a *clone spec*; the cloner
+then greedily forms a *clone group* of all compatible sites, estimates
+the group's run-time benefit, ranks groups, and creates clones within
+the staged budget.  Clones and their specs are recorded in a database
+so later passes reuse rather than re-create them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.callgraph import CallGraph, CallSite
+from ..analysis.freq import entry_counts, site_weight
+from ..ir.instructions import Branch, Call, ICall
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+from ..ir.values import FuncRef, GlobalRef, Imm, Operand, Reg
+from ..opt.pass_manager import optimize_proc
+from .benefit import cached_block_freqs
+from .budget import Budget
+from .config import HLOConfig
+from .legality import clone_blocker
+from .report import HLOReport
+from .transplant import copy_into_new_proc, subtract_moved_counts, transfer_ratio
+
+SpecKey = Tuple[str, Tuple[Tuple[int, Tuple], ...]]
+
+
+def operand_key(op: Operand) -> Tuple:
+    """A hashable identity for a constant operand."""
+    if isinstance(op, Imm):
+        return ("imm", op.type.value, repr(op.value))
+    if isinstance(op, FuncRef):
+        return ("func", op.name)
+    if isinstance(op, GlobalRef):
+        return ("glob", op.name)
+    raise TypeError("not a constant operand: {!r}".format(op))
+
+
+def spec_key(callee: str, spec: Dict[int, Operand]) -> SpecKey:
+    return (callee, tuple((pos, operand_key(op)) for pos, op in sorted(spec.items())))
+
+
+class CloneDatabase:
+    """Cross-pass record of (clonee, spec) -> clone name (Section 2.3).
+
+    "If a given clone exists in the database then it is simply reused;
+    otherwise the clone must be created."
+
+    The database also owns clone *naming*: a name, once allocated, is
+    never recycled within an HLO run even if its clone is deleted as
+    unreachable.  (Recycling would let a stale (spec -> name) entry
+    silently resolve to a newer clone with a different signature.)
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[SpecKey, str] = {}
+        self._allocated: set = set()
+        self.hits = 0
+
+    def lookup(self, key: SpecKey) -> Optional[str]:
+        name = self._entries.get(key)
+        if name is not None:
+            self.hits += 1
+        return name
+
+    def record(self, key: SpecKey, clone_name: str) -> None:
+        self._entries[key] = clone_name
+        self._allocated.add(clone_name)
+
+    def fresh_name(self, program: Program, base: str) -> str:
+        """A clone name unused by the program *and* this run's history."""
+        counter = 1
+        while True:
+            candidate = "{}.c{}".format(base, counter)
+            if candidate not in self._allocated and program.proc(candidate) is None:
+                self._allocated.add(candidate)
+                return candidate
+            counter += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def param_usage_weights(
+    proc: Procedure,
+    config: HLOConfig,
+    freq_cache: Optional[Dict[str, Dict[str, float]]] = None,
+) -> List[float]:
+    """Interest weight per parameter position (the callee-side analysis).
+
+    Each use of a parameter register is weighed by the profile count of
+    its block relative to the routine entry (or the static heuristic
+    without data), times a kind multiplier: plain data uses, uses that
+    steer control flow, and — weighted highest — parameter values that
+    reach the function position of an indirect call.
+    """
+    rel = cached_block_freqs(proc, config.use_profile, freq_cache)
+    names = {name: i for i, (name, _t) in enumerate(proc.params)}
+    weights = [0.0] * len(proc.params)
+    if not names:
+        return weights
+
+    for label, block in proc.blocks.items():
+        block_rel = rel.get(label, 0.0)
+        if block_rel <= 0.0:
+            block_rel = 0.01  # unexecuted-in-training uses still count a little
+        for instr in block.instrs:
+            if isinstance(instr, ICall) and isinstance(instr.func, Reg):
+                pos = names.get(instr.func.name)
+                if pos is not None:
+                    weights[pos] += config.indirect_call_bonus * block_rel
+            if isinstance(instr, Branch) and isinstance(instr.cond, Reg):
+                pos = names.get(instr.cond.name)
+                if pos is not None:
+                    weights[pos] += config.branch_use_weight * block_rel
+            for op in instr.uses():
+                if isinstance(op, Reg):
+                    pos = names.get(op.name)
+                    if pos is not None:
+                        weights[pos] += config.plain_use_weight * block_rel
+    return weights
+
+
+def calling_context(instr: Call) -> Dict[int, Operand]:
+    """Constant actuals by position — the caller-side descriptor."""
+    context: Dict[int, Operand] = {}
+    for pos, arg in enumerate(instr.args):
+        if isinstance(arg, (Imm, FuncRef, GlobalRef)):
+            context[pos] = arg
+    return context
+
+
+def make_clone_spec(
+    site: CallSite, usage: List[float]
+) -> Dict[int, Operand]:
+    """Intersect caller-supplied constants with interesting parameters."""
+    context = calling_context(site.instr)  # type: ignore[arg-type]
+    return {
+        pos: op
+        for pos, op in context.items()
+        if pos < len(usage) and usage[pos] > 0.0
+    }
+
+
+def context_matches(instr: Call, spec: Dict[int, Operand]) -> bool:
+    """Does this site supply the spec's constants at the spec's positions?"""
+    for pos, expected in spec.items():
+        if pos >= len(instr.args):
+            return False
+        actual = instr.args[pos]
+        if not isinstance(actual, (Imm, FuncRef, GlobalRef)):
+            return False
+        if operand_key(actual) != operand_key(expected):
+            return False
+    return True
+
+
+@dataclass
+class CloneGroup:
+    callee: Procedure
+    spec: Dict[int, Operand]
+    sites: List[CallSite]
+    benefit: float = 0.0
+    deletes_clonee: bool = False
+
+    @property
+    def key(self) -> SpecKey:
+        return spec_key(self.callee.name, self.spec)
+
+
+def build_clone_groups(
+    program: Program,
+    graph: CallGraph,
+    config: HLOConfig,
+    site_counts: Optional[Dict[Tuple[str, int], int]],
+) -> List[CloneGroup]:
+    counts = site_counts if config.use_profile else None
+    entry = entry_counts(program, graph, counts)
+    freq_cache: Dict[str, Dict[str, float]] = {}
+    usage_cache: Dict[str, List[float]] = {}
+    address_taken = _address_taken(program)
+
+    groups: List[CloneGroup] = []
+    grouped_sites: Set[Tuple[str, int]] = set()
+
+    for site in graph.sites:
+        if site.key in grouped_sites:
+            continue
+        if clone_blocker(program, site, config.cross_module) is not None:
+            continue
+        callee = site.callee
+        assert callee is not None
+        usage = usage_cache.get(callee.name)
+        if usage is None:
+            usage = param_usage_weights(callee, config, freq_cache)
+            usage_cache[callee.name] = usage
+        spec = make_clone_spec(site, usage)
+        if not spec:
+            continue
+
+        # Greedily absorb every compatible site into the group.
+        members = [site]
+        if config.clone_groups:
+            for other in graph.callers_of(callee.name):
+                if other.key == site.key or other.key in grouped_sites:
+                    continue
+                if clone_blocker(program, other, config.cross_module) is not None:
+                    continue
+                if context_matches(other.instr, spec):  # type: ignore[arg-type]
+                    members.append(other)
+
+        value = sum(usage[pos] for pos in spec)
+        benefit = sum(
+            site_weight(m, entry, counts, config.use_profile) for m in members
+        ) * value
+        if benefit <= config.min_clone_benefit:
+            continue
+
+        incoming = graph.callers_of(callee.name)
+        member_keys = {m.key for m in members}
+        covers_all = all(s.key in member_keys for s in incoming)
+        deletes = (
+            covers_all
+            and callee.name not in address_taken
+            and callee.name != "main"
+        )
+        group = CloneGroup(callee, spec, members, benefit, deletes)
+        groups.append(group)
+        for m in members:
+            grouped_sites.add(m.key)
+
+    groups.sort(key=lambda g: (-g.benefit, g.callee.name))
+    return groups
+
+
+def _address_taken(program: Program) -> Set[str]:
+    taken: Set[str] = set()
+    for proc in program.all_procs():
+        for instr in proc.instructions():
+            for op in instr.uses():
+                if isinstance(op, FuncRef):
+                    taken.add(op.name)
+    return taken
+
+
+def clone_pass(
+    program: Program,
+    config: HLOConfig,
+    budget: Budget,
+    report: HLOReport,
+    pass_number: int,
+    database: CloneDatabase,
+    site_counts: Optional[Dict[Tuple[str, int], int]] = None,
+) -> int:
+    """Run one cloning pass; returns the number of sites retargeted."""
+    graph = CallGraph(program)
+    groups = build_clone_groups(program, graph, config, site_counts)
+
+    # Select within the stage's allotment (Figure 3: "select clones").
+    stage = budget.stage_limit(pass_number)
+    projected = budget.current
+    accepted: List[CloneGroup] = []
+    for group in groups:
+        exists = config.clone_database and database.lookup(group.key) is not None
+        cost = 0.0 if exists else Budget.clone_delta(
+            group.callee.size(), group.deletes_clonee
+        )
+        if projected + cost <= stage:
+            accepted.append(group)
+            projected += cost
+    # Any group not handled in this pass is discarded; it may be
+    # recreated and cloned in a later pass (Section 2.3).
+
+    replaced = 0
+    touched: Set[str] = set()
+    for group in accepted:
+        if config.stop_after is not None and report.transform_count >= config.stop_after:
+            break
+        clone_name = database.lookup(group.key) if config.clone_database else None
+        if clone_name is not None and program.proc(clone_name) is None:
+            clone_name = None  # the recorded clone has since been deleted
+        if clone_name is None:
+            clone_name = database.fresh_name(program, group.callee.name)
+            group_count = _group_traffic(group, site_counts)
+            ratio = transfer_ratio(group_count, _entry_count(group.callee))
+            clone = copy_into_new_proc(
+                program,
+                group.callee,
+                program.modules[group.callee.module],
+                clone_name,
+                group.spec,
+                ratio,
+                on_promote=report.record_promotion,
+            )
+            program.modules[group.callee.module].add_proc(clone)
+            subtract_moved_counts(group.callee, ratio)
+            report.clones += 1
+            if config.clone_database:
+                database.record(group.key, clone_name)
+            touched.add(clone_name)
+            if config.reoptimize:
+                # Optimize the clone immediately so the bound constants
+                # propagate into its own call sites before the in-clone
+                # retarget scan below (the recursive pass-through case).
+                optimize_proc(program, clone)
+
+        for member in group.sites:
+            if config.stop_after is not None and report.transform_count >= config.stop_after:
+                break
+            if _retarget_site(member, group.spec, clone_name):
+                replaced += 1
+                report.record_clone_replacement(
+                    pass_number,
+                    member.caller.name,
+                    clone_name,
+                    member.instr.site_id,
+                    group.callee.name,
+                )
+                touched.add(member.caller.name)
+
+        # The clone body may itself contain group-compatible recursive
+        # sites (copied from the clonee); retarget those too so a fully
+        # covered clonee really does become unreachable.
+        clone = program.proc(clone_name)
+        if clone is not None:
+            for block, index, instr in clone.call_sites():
+                if (
+                    isinstance(instr, Call)
+                    and instr.callee == group.callee.name
+                    and context_matches(instr, group.spec)
+                ):
+                    instr.callee = clone_name
+                    instr.args = [
+                        a for i, a in enumerate(instr.args) if i not in group.spec
+                    ]
+                    replaced += 1
+                    report.record_clone_replacement(
+                        pass_number, clone_name, clone_name, instr.site_id, group.callee.name
+                    )
+
+    if config.reoptimize:
+        for name in sorted(touched):
+            proc = program.proc(name)
+            if proc is not None:
+                optimize_proc(program, proc)
+    budget.recalibrate(program)
+    return replaced
+
+
+def _retarget_site(site: CallSite, spec: Dict[int, Operand], clone_name: str) -> bool:
+    """Point one call site at the clone, editing specialized actuals out."""
+    instr = site.instr
+    if not isinstance(instr, Call):
+        return False
+    # The site may have been transformed since the graph was built;
+    # verify it still calls the clonee with a matching context.
+    if site.callee is None or instr.callee != site.callee.name:
+        return False
+    if not context_matches(instr, spec):
+        return False
+    instr.callee = clone_name
+    instr.args = [a for i, a in enumerate(instr.args) if i not in spec]
+    return True
+
+
+def _group_traffic(
+    group: CloneGroup, site_counts: Optional[Dict[Tuple[str, int], int]]
+) -> Optional[int]:
+    if site_counts is None:
+        return None
+    total = 0
+    seen = False
+    for member in group.sites:
+        if member.key in site_counts:
+            total += site_counts[member.key]
+            seen = True
+    return total if seen else None
+
+
+def _entry_count(proc: Procedure) -> Optional[int]:
+    if proc.entry is None:
+        return None
+    block = proc.blocks.get(proc.entry)
+    return block.profile_count if block is not None else None

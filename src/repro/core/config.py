@@ -1,0 +1,74 @@
+"""Configuration knobs for an HLO run.
+
+The defaults mirror the paper: a 100% compile-time budget ("by default
+the inliner will try to limit compile-time increases to 100% over no
+inlining"), four alternating clone/inline passes, profile use when data
+is present, and both transforms enabled.  The ablation benchmarks and
+Figure 8 sweep these knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass
+class HLOConfig:
+    # Budget control (Figure 2 / Figure 8).
+    budget_percent: float = 100.0
+    pass_limit: int = 4
+
+    # Which transforms run (Figure 6 compares the four combinations).
+    enable_inlining: bool = True
+    enable_cloning: bool = True
+
+    # Optimization scope (Table 1's base / c rows): with cross_module
+    # off, HLO refuses sites whose caller and callee live in different
+    # modules, modelling module-at-a-time compilation.
+    cross_module: bool = True
+
+    # Profile-directed feedback (Table 1's p rows): with use_profile
+    # off, annotated counts are ignored and static heuristics rank sites.
+    use_profile: bool = True
+
+    # Inline heuristics.
+    inline_recursive: bool = True
+    cold_penalty: float = 0.25  # benefit multiplier for colder-than-entry sites
+    min_inline_benefit: float = 1e-9
+
+    # Clone heuristics: use-kind weights for the callee-side analysis.
+    plain_use_weight: float = 1.0
+    branch_use_weight: float = 3.0
+    indirect_call_bonus: float = 10.0
+    min_clone_benefit: float = 1e-9
+    clone_groups: bool = True  # greedy sharing of clones across sites
+    clone_database: bool = True  # cross-pass clone reuse
+
+    # Re-run the scalar optimizer over transformed routines between
+    # passes (Figures 3/4: "optimize ... and recalibrate").
+    reoptimize: bool = True
+
+    # Figure 8's validation knob: stop after N inlines + replacements.
+    stop_after: Optional[int] = None
+
+    # Aggressive outlining (the paper's Section 5 future work): extract
+    # cold blocks into fresh procedures before the clone/inline loop,
+    # shrinking hot bodies and freeing quadratic budget for hot-path
+    # inlining.  Off by default, as it was for the paper.
+    enable_outlining: bool = False
+    outline_cold_ratio: float = 0.05
+    outline_min_block_size: int = 4
+
+    def with_scope(self, cross_module: bool, use_profile: bool) -> "HLOConfig":
+        """A copy configured for one of Table 1's scope rows."""
+        return replace(self, cross_module=cross_module, use_profile=use_profile)
+
+    def inline_only(self) -> "HLOConfig":
+        return replace(self, enable_cloning=False, enable_inlining=True)
+
+    def clone_only(self) -> "HLOConfig":
+        return replace(self, enable_inlining=False, enable_cloning=True)
+
+    def neither(self) -> "HLOConfig":
+        return replace(self, enable_inlining=False, enable_cloning=False)

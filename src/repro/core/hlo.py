@@ -1,0 +1,154 @@
+"""HLO driver: the multi-pass inline-and-clone loop (Figure 2).
+
+    Inline_and_Clone(G):
+        C = sum over routines of size(R)^2
+        B = C * growth
+        stage the budget across passes
+        while C < B and passes remain:
+            C = Clone(G, S[P], C, D)
+            C = Inline(G, S[P], C)
+
+Before the loop an input-stage cleanup runs (the paper performs classic
+optimizations at input "mainly to reduce its size", plus the
+interprocedural side-effect analysis that deletes no-op calls); after
+each pass unreachable routines are deleted ("the clonee may become
+unreachable in the call graph and will be deleted"); after the loop the
+whole program is re-optimized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.callgraph import CallGraph
+from ..ir.instructions import ICall
+from ..ir.program import Program
+from ..ir.verifier import verify_program
+from ..opt.pass_manager import optimize_program
+from .budget import Budget
+from .cloner import CloneDatabase, clone_pass
+from .config import HLOConfig
+from .inliner import inline_pass
+from .report import HLOReport, PassTrace
+
+SiteCounts = Dict[Tuple[str, int], int]
+
+
+def run_hlo(
+    program: Program,
+    config: Optional[HLOConfig] = None,
+    site_counts: Optional[SiteCounts] = None,
+    verify: bool = True,
+) -> HLOReport:
+    """Run the full HLO pipeline over ``program`` in place."""
+    config = config or HLOConfig()
+    report = HLOReport()
+
+    icalls_before = _count_icalls(program)
+
+    # Input stage: classic clean-up plus interprocedural dead-call
+    # elimination, before any budget measurement.
+    optimize_program(program)
+    _delete_unreachable(program, report, config.cross_module)
+
+    if config.enable_outlining:
+        # Section 5's complement: shrink hot routines by extracting cold
+        # blocks *before* the budget is measured, so the freed quadratic
+        # headroom funds additional hot-path inlining below.
+        from .outliner import outline_pass
+
+        outline_pass(
+            program,
+            report,
+            cold_ratio=config.outline_cold_ratio,
+            min_block_size=config.outline_min_block_size,
+        )
+
+    budget = Budget(program, config.budget_percent, config.pass_limit)
+    report.initial_cost = budget.initial_cost
+    report.budget_limit = budget.limit
+    database = CloneDatabase()
+
+    pass_number = 0
+    while pass_number < config.pass_limit and not budget.exhausted():
+        if config.stop_after is not None and report.transform_count >= config.stop_after:
+            break
+        performed = 0
+        if config.enable_cloning:
+            before = budget.current
+            replaced = clone_pass(
+                program, config, budget, report, pass_number, database, site_counts
+            )
+            report.pass_traces.append(
+                PassTrace(
+                    pass_number, "clone", replaced, before, budget.current,
+                    budget.stage_limit(pass_number),
+                )
+            )
+            performed += replaced
+        if config.enable_inlining:
+            before = budget.current
+            inlined = inline_pass(
+                program, config, budget, report, pass_number, site_counts
+            )
+            report.pass_traces.append(
+                PassTrace(
+                    pass_number, "inline", inlined, before, budget.current,
+                    budget.stage_limit(pass_number),
+                )
+            )
+            performed += inlined
+
+        _delete_unreachable(program, report, config.cross_module)
+        budget.recalibrate(program)
+        pass_number += 1
+        report.passes_run = pass_number
+        # A zero-progress pass does NOT end the loop: later passes get a
+        # larger stage allotment (Figure 2's staging), so a site that
+        # was too expensive for this stage may be accepted next pass.
+
+    # Output stage: intensive re-optimization of the final bodies.
+    optimize_program(program)
+    _delete_unreachable(program, report, config.cross_module)
+    budget.recalibrate(program)
+    report.final_cost = budget.current
+    report.clone_db_hits = database.hits
+    report.devirtualized = max(0, icalls_before - _count_icalls(program))
+
+    if verify:
+        verify_program(program)
+    return report
+
+
+def _count_icalls(program: Program) -> int:
+    return sum(
+        1
+        for proc in program.all_procs()
+        for instr in proc.instructions()
+        if isinstance(instr, ICall)
+    )
+
+
+def _delete_unreachable(program: Program, report: HLOReport, whole_program: bool) -> None:
+    """Delete routines unreachable from the roots.
+
+    With the whole program visible (link-time scope), ``main`` is the
+    only root, so clonees whose every call was cloned or inlined die,
+    as do dead file-scope user routines.  Module-at-a-time compilation
+    must assume unseen callers of every global-linkage routine, so only
+    unreferenced statics can go.
+    """
+    if program.proc("main") is None:
+        return
+    graph = CallGraph(program)
+    if whole_program:
+        roots = ["main"]
+    else:
+        roots = [
+            p.name for p in program.all_procs() if p.linkage != "static"
+        ]
+    keep = set(graph.reachable_from(roots))
+    for proc in list(program.all_procs()):
+        if proc.name not in keep:
+            program.delete_proc(proc.name)
+            report.record_deletion(proc.name)

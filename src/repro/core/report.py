@@ -1,0 +1,113 @@
+"""HLO transformation reports — the raw material of Table 1.
+
+Table 1 of the paper reports, per benchmark and scope configuration:
+inlines performed, clones created, clone replacements (call sites
+retargeted to a clone), routine deletions, compile time, and run time.
+:class:`HLOReport` accumulates the first four (plus promotions and
+devirtualizations, which the paper describes in prose), along with a
+per-pass trace used by the budget-validation experiment (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TransformEvent:
+    """One inline or clone-replacement, in the order performed."""
+
+    kind: str  # 'inline' | 'clone-replace'
+    pass_number: int
+    caller: str
+    callee: str
+    site_id: int
+    detail: str = ""
+
+
+@dataclass
+class PassTrace:
+    """Summary of one Clone or Inline pass."""
+
+    pass_number: int
+    phase: str  # 'clone' | 'inline'
+    performed: int
+    cost_before: float
+    cost_after: float
+    budget_stage: float
+
+
+@dataclass
+class HLOReport:
+    """Aggregate counts across an entire HLO run."""
+
+    inlines: int = 0
+    clones: int = 0
+    clone_replacements: int = 0
+    deletions: int = 0
+    promotions: int = 0
+    devirtualized: int = 0
+    outlines: int = 0
+    clone_db_hits: int = 0
+    passes_run: int = 0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    budget_limit: float = 0.0
+    events: List[TransformEvent] = field(default_factory=list)
+    pass_traces: List[PassTrace] = field(default_factory=list)
+    deleted_procs: List[str] = field(default_factory=list)
+    promoted_symbols: List[str] = field(default_factory=list)
+    outlined_procs: List[str] = field(default_factory=list)
+
+    def record_inline(self, pass_number: int, caller: str, callee: str, site_id: int) -> None:
+        self.inlines += 1
+        self.events.append(TransformEvent("inline", pass_number, caller, callee, site_id))
+
+    def record_clone_replacement(
+        self, pass_number: int, caller: str, clone: str, site_id: int, clonee: str
+    ) -> None:
+        self.clone_replacements += 1
+        self.events.append(
+            TransformEvent("clone-replace", pass_number, caller, clone, site_id, clonee)
+        )
+
+    def record_deletion(self, name: str) -> None:
+        self.deletions += 1
+        self.deleted_procs.append(name)
+
+    def record_promotion(self, symbol: str) -> None:
+        self.promotions += 1
+        self.promoted_symbols.append(symbol)
+
+    @property
+    def transform_count(self) -> int:
+        """Inlines plus clone replacements — Figure 8's x axis."""
+        return self.inlines + self.clone_replacements
+
+    def summary_row(self) -> Dict[str, float]:
+        """The Table 1 column set for this run."""
+        return {
+            "inlines": self.inlines,
+            "clones": self.clones,
+            "clone_replacements": self.clone_replacements,
+            "deletions": self.deletions,
+            "compile_cost": self.final_cost,
+        }
+
+    def __str__(self) -> str:
+        return (
+            "HLOReport(inlines={}, clones={}, repls={}, deletions={}, "
+            "promotions={}, devirt={}, passes={}, cost {:.0f} -> {:.0f} / {:.0f})".format(
+                self.inlines,
+                self.clones,
+                self.clone_replacements,
+                self.deletions,
+                self.promotions,
+                self.devirtualized,
+                self.passes_run,
+                self.initial_cost,
+                self.final_cost,
+                self.budget_limit,
+            )
+        )

@@ -1,0 +1,21 @@
+"""minic front end: lexer, parser, semantic analysis, lowering, driver."""
+
+from .ast import TranslationUnit
+from .driver import compile_module, compile_program
+from .errors import CompileError
+from .lexer import Token, tokenize
+from .parser import Parser, parse_source
+from .sema import ModuleSymbols, analyze_unit
+
+__all__ = [
+    "CompileError",
+    "ModuleSymbols",
+    "Parser",
+    "Token",
+    "TranslationUnit",
+    "analyze_unit",
+    "compile_module",
+    "compile_program",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,242 @@
+"""AST node definitions for minic.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+Types at this level are the two scalar kinds plus ``void``; pointers
+are word-granular integers (addresses), so ``int *`` parses but types
+as ``int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..ir.types import Type
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    """A variable or function reference."""
+
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """op in - ! ~ * (deref) & (address-of)."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class ShortCircuit(Expr):
+    """&& and || with C short-circuit evaluation."""
+
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? a : b``."""
+
+    cond: Optional[Expr] = None
+    then_expr: Optional[Expr] = None
+    else_expr: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; ``op`` is '' for plain assignment.
+
+    Target forms: Name, Unary('*', ...), Index.
+    """
+
+    op: str = ""
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x  --x  x++  x--`` on a Name/Deref/Index target."""
+
+    op: str = "++"
+    target: Optional[Expr] = None
+    prefix: bool = True
+
+
+@dataclass
+class CallExpr(Expr):
+    """``f(args)`` — ``func`` is a Name (maybe a function or a variable
+    holding a code pointer) or an arbitrary expression (paren'd)."""
+
+    func: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — word-granular addressing."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """``int x = e;`` or ``int a[N];`` (array size must be constant)."""
+
+    name: str = ""
+    type: Type = Type.INT
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional[Stmt] = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # ExprStmt or LocalDecl or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class SwitchCase:
+    """One ``case value:`` (or ``default:`` when ``value`` is None) arm
+    with the statements up to the next label — C fallthrough applies."""
+
+    value: Optional[int]
+    stmts: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top-level declarations
+# ----------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret_type: Type
+    params: List[Param]
+    varargs: bool
+    body: Optional[Block]  # None for a prototype
+    quals: Tuple[str, ...] = ()
+    line: int = 0
+
+    @property
+    def is_proto(self) -> bool:
+        return self.body is None
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: Type
+    array_size: Optional[int]  # None for scalars
+    init: List[Union[int, float]]
+    static: bool = False
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """One parsed source file."""
+
+    decls: List[Union[FuncDef, GlobalDecl]] = field(default_factory=list)

@@ -1,0 +1,67 @@
+"""Front-end driver: minic source text to IR modules and programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..ir.module import Module
+from ..ir.program import RUNTIME_BUILTINS, Program
+from ..ir.verifier import verify_program
+from .errors import CompileError
+from .lower import lower_unit
+from .parser import parse_source
+from .sema import analyze_unit
+
+SourceList = Union[Dict[str, str], Sequence[Tuple[str, str]]]
+
+
+def compile_module(source: str, module_name: str) -> Module:
+    """Compile one minic source file into an IR module."""
+    unit = parse_source(source, module_name)
+    syms = analyze_unit(unit, module_name)
+    return lower_unit(unit, syms)
+
+
+def compile_program(sources: SourceList, verify: bool = True) -> Program:
+    """Compile and link-check a multi-module minic program.
+
+    ``sources`` maps module names to source text (dict or ordered
+    pairs).  Cross-module references resolve by name at this level;
+    unresolved externs that are not runtime builtins raise.
+    """
+    if isinstance(sources, dict):
+        pairs = list(sources.items())
+    else:
+        pairs = list(sources)
+
+    program = Program()
+    for name, text in pairs:
+        program.add_module(compile_module(text, name))
+
+    _check_resolution(program)
+    if verify:
+        verify_program(program)
+    return program
+
+
+def _check_resolution(program: Program) -> None:
+    for mod in program.modules.values():
+        for name, sig in mod.externs.items():
+            target = program.proc(name)
+            if target is None:
+                if name in RUNTIME_BUILTINS:
+                    continue
+                raise CompileError(
+                    "unresolved external function {!r} (declared in module {!r})".format(
+                        name, mod.name
+                    )
+                )
+            if target.signature() != sig:
+                raise CompileError(
+                    "signature mismatch for {!r}: declared {} in module {!r}, "
+                    "defined {} in module {!r}".format(
+                        name, sig, mod.name, target.signature(), target.module
+                    )
+                )
+    if program.proc("main") is None:
+        raise CompileError("program does not define main()")

@@ -1,0 +1,15 @@
+"""Front-end diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A lexical, syntactic, or semantic error in minic source."""
+
+    def __init__(self, message: str, line: int = 0, module: str = ""):
+        where = ""
+        if module or line:
+            where = " [{}:{}]".format(module or "<source>", line)
+        super().__init__(message + where)
+        self.line = line
+        self.module = module

@@ -1,0 +1,198 @@
+"""Semantic analysis: module symbol tables and declaration checking.
+
+Collects every function and global declared in a translation unit,
+mangles file statics to program-unique IR names (``name$module`` — the
+IR uses a flat namespace, and this mangling is what HLO's promotion
+machinery later renames when static code moves across modules), checks
+redefinitions and prototype agreement, and registers the runtime
+builtins so calls to them type-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..ir.procedure import (
+    ATTR_ALWAYS_INLINE,
+    ATTR_FP_REASSOC,
+    ATTR_NOCLONE,
+    ATTR_NOINLINE,
+)
+from ..ir.program import RUNTIME_BUILTINS
+from ..ir.types import Signature, Type
+from . import ast
+from .errors import CompileError
+
+_QUAL_TO_ATTR = {
+    "inline": ATTR_ALWAYS_INLINE,
+    "noinline": ATTR_NOINLINE,
+    "noclone": ATTR_NOCLONE,
+    "reassoc": ATTR_FP_REASSOC,
+}
+
+# ``alloca`` is a special form lowered to the Alloca instruction, not a
+# call; it appears in the function table so name resolution finds it.
+ALLOCA_NAME = "alloca"
+
+
+@dataclass
+class FuncInfo:
+    source_name: str
+    ir_name: str
+    sig: Signature
+    attrs: Tuple[str, ...]
+    static: bool
+    defined: bool
+    builtin: bool = False
+    line: int = 0
+
+
+@dataclass
+class GlobalInfo:
+    source_name: str
+    ir_name: str
+    type: Type
+    array_size: Optional[int]  # None: scalar
+    static: bool
+    extern: bool
+    line: int = 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_size is not None
+
+
+class ModuleSymbols:
+    """Symbol tables for one translation unit."""
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        self.funcs: Dict[str, FuncInfo] = {}
+        self.globals: Dict[str, GlobalInfo] = {}
+        for name, sig in RUNTIME_BUILTINS.items():
+            self.funcs[name] = FuncInfo(name, name, sig, (), False, False, builtin=True)
+        self.funcs[ALLOCA_NAME] = FuncInfo(
+            ALLOCA_NAME, ALLOCA_NAME, Signature((Type.INT,), Type.INT), (), False, False,
+            builtin=True,
+        )
+
+    def mangle(self, name: str, static: bool) -> str:
+        if static:
+            return "{}${}".format(name, self.module_name)
+        return name
+
+    def lookup_func(self, name: str) -> Optional[FuncInfo]:
+        return self.funcs.get(name)
+
+    def lookup_global(self, name: str) -> Optional[GlobalInfo]:
+        return self.globals.get(name)
+
+
+def analyze_unit(unit: ast.TranslationUnit, module_name: str) -> ModuleSymbols:
+    """Build and check the symbol tables for ``unit``."""
+    syms = ModuleSymbols(module_name)
+
+    for decl in unit.decls:
+        if isinstance(decl, ast.FuncDef):
+            _declare_func(syms, decl, module_name)
+        else:
+            _declare_global(syms, decl, module_name)
+
+    # A second look: every *defined* function must not collide with a
+    # global, and vice versa.
+    for name in syms.funcs:
+        if name in syms.globals:
+            info = syms.funcs[name]
+            raise CompileError(
+                "{!r} declared as both function and variable".format(name),
+                info.line,
+                module_name,
+            )
+    return syms
+
+
+def _declare_func(syms: ModuleSymbols, decl: ast.FuncDef, module_name: str) -> None:
+    existing = syms.funcs.get(decl.name)
+    if existing is not None and existing.builtin:
+        raise CompileError(
+            "cannot redeclare builtin {!r}".format(decl.name), decl.line, module_name
+        )
+
+    static = "static" in decl.quals
+    attrs = tuple(sorted({_QUAL_TO_ATTR[q] for q in decl.quals if q in _QUAL_TO_ATTR}))
+    if ATTR_NOINLINE in attrs and ATTR_ALWAYS_INLINE in attrs:
+        raise CompileError(
+            "{!r} is both inline and noinline".format(decl.name), decl.line, module_name
+        )
+    sig = Signature(
+        tuple(p.type for p in decl.params), decl.ret_type, decl.varargs
+    )
+
+    if existing is not None:
+        if existing.sig != sig:
+            raise CompileError(
+                "conflicting declarations of {!r}: {} vs {}".format(
+                    decl.name, existing.sig, sig
+                ),
+                decl.line,
+                module_name,
+            )
+        if decl.is_proto:
+            return
+        if existing.defined:
+            raise CompileError(
+                "redefinition of {!r}".format(decl.name), decl.line, module_name
+            )
+        if existing.static != static:
+            raise CompileError(
+                "static/extern mismatch for {!r}".format(decl.name),
+                decl.line,
+                module_name,
+            )
+        existing.defined = True
+        existing.attrs = tuple(sorted(set(existing.attrs) | set(attrs)))
+        return
+
+    syms.funcs[decl.name] = FuncInfo(
+        decl.name,
+        syms.mangle(decl.name, static),
+        sig,
+        attrs,
+        static,
+        defined=not decl.is_proto,
+        line=decl.line,
+    )
+
+
+def _declare_global(syms: ModuleSymbols, decl: ast.GlobalDecl, module_name: str) -> None:
+    existing = syms.globals.get(decl.name)
+    if decl.name in syms.funcs and not syms.funcs[decl.name].builtin:
+        raise CompileError(
+            "{!r} declared as both function and variable".format(decl.name),
+            decl.line,
+            module_name,
+        )
+    if existing is not None:
+        # Allow an extern declaration to coexist with a definition.
+        if existing.extern and not decl.extern:
+            syms.globals[decl.name] = _global_info(syms, decl)
+            return
+        if decl.extern:
+            return
+        raise CompileError(
+            "redefinition of global {!r}".format(decl.name), decl.line, module_name
+        )
+    syms.globals[decl.name] = _global_info(syms, decl)
+
+
+def _global_info(syms: ModuleSymbols, decl: ast.GlobalDecl) -> GlobalInfo:
+    return GlobalInfo(
+        decl.name,
+        syms.mangle(decl.name, decl.static),
+        decl.type,
+        decl.array_size,
+        decl.static,
+        decl.extern,
+        decl.line,
+    )

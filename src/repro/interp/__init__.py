@@ -1,0 +1,22 @@
+"""IR interpreter: execution engine, events, memory, errors."""
+
+from .errors import ExecError, StepLimitExceeded
+from .events import CountingSink, EventSink
+from .interpreter import DEFAULT_MAX_STEPS, Interpreter, Result, run_program
+from .memory import GLOBAL_BASE, HEAP_BASE, STACK_BASE, CodePtr, Memory
+
+__all__ = [
+    "CodePtr",
+    "CountingSink",
+    "DEFAULT_MAX_STEPS",
+    "EventSink",
+    "ExecError",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "Interpreter",
+    "Memory",
+    "Result",
+    "STACK_BASE",
+    "StepLimitExceeded",
+    "run_program",
+]

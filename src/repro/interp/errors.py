@@ -1,0 +1,21 @@
+"""Exceptions raised during program execution."""
+
+from __future__ import annotations
+
+
+class ExecError(Exception):
+    """A dynamic execution error (trap): bad address, unresolved call,
+    division by zero, stack overflow, or exceeding the step limit."""
+
+    def __init__(self, message: str, proc: str = "", label: str = "", index: int = -1):
+        location = ""
+        if proc:
+            location = " at @{}:{}[{}]".format(proc, label, index)
+        super().__init__(message + location)
+        self.proc = proc
+        self.label = label
+        self.index = index
+
+
+class StepLimitExceeded(ExecError):
+    """The configured maximum instruction count was reached."""

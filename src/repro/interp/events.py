@@ -1,0 +1,69 @@
+"""Execution event stream consumed by trace-driven models.
+
+The interpreter optionally streams its dynamic behaviour to an
+:class:`EventSink`; the PA8000 machine model is the main consumer.  The
+callbacks deliberately carry *IR-level* identities (procedure, block
+label, instruction index) — the machine model owns the mapping from
+those identities to code addresses via its layout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ir.instructions import Instr
+    from ..ir.procedure import Procedure
+
+
+class EventSink:
+    """Base class with no-op callbacks; override what you consume."""
+
+    def on_instr(self, proc: "Procedure", label: str, index: int, instr: "Instr") -> None:
+        """An IR instruction was executed."""
+
+    def on_branch(
+        self,
+        proc: "Procedure",
+        label: str,
+        index: int,
+        kind: str,
+        taken: bool,
+        target_label: str,
+    ) -> None:
+        """A control transfer resolved.  ``kind`` is ``cond``/``jump``."""
+
+    def on_call(self, caller: "Procedure", callee_name: str, kind: str, n_args: int) -> None:
+        """A call executed.  ``kind`` is ``direct``/``indirect``/``builtin``."""
+
+    def on_return(self, callee_name: str, caller: "Procedure") -> None:
+        """A procedure returned to ``caller`` (builtins excluded)."""
+
+    def on_mem(self, addr: int, is_store: bool) -> None:
+        """A data memory access at word address ``addr``."""
+
+
+class CountingSink(EventSink):
+    """A cheap sink that tallies event counts; handy in tests."""
+
+    def __init__(self) -> None:
+        self.instrs = 0
+        self.branches = 0
+        self.calls = 0
+        self.returns = 0
+        self.mems = 0
+
+    def on_instr(self, proc, label, index, instr) -> None:
+        self.instrs += 1
+
+    def on_branch(self, proc, label, index, kind, taken, target_label) -> None:
+        self.branches += 1
+
+    def on_call(self, caller, callee_name, kind, n_args) -> None:
+        self.calls += 1
+
+    def on_return(self, callee_name, caller) -> None:
+        self.returns += 1
+
+    def on_mem(self, addr, is_store) -> None:
+        self.mems += 1

@@ -1,0 +1,82 @@
+"""Flat word-addressed memory for the interpreter.
+
+The address space mimics a simple process image:
+
+- globals segment starting at ``GLOBAL_BASE`` (each global gets a
+  contiguous run of words),
+- a downward-growing stack starting at ``STACK_BASE`` (frames and
+  allocas live here),
+- an upward-growing heap at ``HEAP_BASE`` (the runtime ``sbrk``-style
+  allocator used by workloads that build data structures).
+
+Addresses are word-granular integers, so the machine model multiplies
+by the word size when it converts them to byte addresses for the data
+cache.  Cells may hold ints, floats, or code pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .errors import ExecError
+
+GLOBAL_BASE = 0x1000
+STACK_BASE = 0x4000_0000
+HEAP_BASE = 0x8000_0000
+
+Word = Union[int, float, "CodePtr"]
+
+
+class CodePtr:
+    """A runtime code pointer: the value of a ``FuncRef`` operand.
+
+    Kept symbolic (by procedure name) so indirect calls dispatch without
+    a code address map; equality comparison is supported because
+    programs compare handlers, but arithmetic on code pointers traps.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CodePtr) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("CodePtr", self.name))
+
+    def __repr__(self) -> str:
+        return "<code @{}>".format(self.name)
+
+
+class Memory:
+    """Sparse word-addressed memory with zero default."""
+
+    __slots__ = ("cells", "heap_top")
+
+    def __init__(self) -> None:
+        self.cells: Dict[int, Word] = {}
+        self.heap_top = HEAP_BASE
+
+    def load(self, addr: int) -> Word:
+        if not isinstance(addr, int):
+            raise ExecError("load from non-integer address {!r}".format(addr))
+        if addr < 0:
+            raise ExecError("load from negative address {}".format(addr))
+        return self.cells.get(addr, 0)
+
+    def store(self, addr: int, value: Word) -> None:
+        if not isinstance(addr, int):
+            raise ExecError("store to non-integer address {!r}".format(addr))
+        if addr < 0:
+            raise ExecError("store to negative address {}".format(addr))
+        self.cells[addr] = value
+
+    def sbrk(self, words: int) -> int:
+        """Allocate ``words`` heap words, returning the base address."""
+        if words < 0:
+            raise ExecError("sbrk of negative size {}".format(words))
+        base = self.heap_top
+        self.heap_top += words
+        return base

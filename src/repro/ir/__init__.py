@@ -1,0 +1,112 @@
+"""The ucode-like intermediate representation.
+
+Public surface: types, operand values, instructions, blocks, procedures,
+modules, programs, a builder, a verifier, and the textual printer/parser
+used for isom serialization.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .instructions import (
+    CALL_INSTRS,
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    ICall,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Probe,
+    Ret,
+    Store,
+    UnOp,
+)
+from .module import GlobalVar, Module
+from .ops import (
+    BINARY_OPS,
+    COMMUTATIVE_OPS,
+    COMPARISON_OPS,
+    UNARY_OPS,
+    EvalError,
+    eval_binop,
+    eval_unop,
+    wrap_int,
+)
+from .procedure import (
+    ATTR_ALWAYS_INLINE,
+    ATTR_FP_REASSOC,
+    ATTR_NOCLONE,
+    ATTR_NOINLINE,
+    ATTR_VARARGS,
+    LINK_EXTERN,
+    LINK_GLOBAL,
+    LINK_STATIC,
+    Procedure,
+)
+from .program import RUNTIME_BUILTINS, Program
+from .parser import ParseError, parse_instr, parse_module, parse_operand, parse_program
+from .printer import print_module, print_proc, print_program
+from .types import Signature, Type, parse_type
+from .values import FuncRef, GlobalRef, Imm, Operand, Reg, is_constant
+from .verifier import VerifyError, verify_program
+
+__all__ = [
+    "ATTR_ALWAYS_INLINE",
+    "ATTR_FP_REASSOC",
+    "ATTR_NOCLONE",
+    "ATTR_NOINLINE",
+    "ATTR_VARARGS",
+    "Alloca",
+    "BasicBlock",
+    "BinOp",
+    "BINARY_OPS",
+    "Branch",
+    "CALL_INSTRS",
+    "Call",
+    "COMMUTATIVE_OPS",
+    "COMPARISON_OPS",
+    "EvalError",
+    "FuncRef",
+    "GlobalRef",
+    "GlobalVar",
+    "ICall",
+    "IRBuilder",
+    "Imm",
+    "Instr",
+    "Jump",
+    "LINK_EXTERN",
+    "LINK_GLOBAL",
+    "LINK_STATIC",
+    "Load",
+    "Module",
+    "Mov",
+    "Operand",
+    "ParseError",
+    "Probe",
+    "Procedure",
+    "Program",
+    "RUNTIME_BUILTINS",
+    "Reg",
+    "Ret",
+    "Signature",
+    "Store",
+    "Type",
+    "UNARY_OPS",
+    "UnOp",
+    "VerifyError",
+    "eval_binop",
+    "eval_unop",
+    "is_constant",
+    "parse_instr",
+    "parse_module",
+    "parse_operand",
+    "parse_program",
+    "parse_type",
+    "print_module",
+    "print_proc",
+    "print_program",
+    "verify_program",
+    "wrap_int",
+]

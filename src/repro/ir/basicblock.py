@@ -1,0 +1,63 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instr
+
+
+class BasicBlock:
+    """A labelled basic block.
+
+    ``profile_count`` is the number of times the block executed in the
+    training run (``None`` when no profile has been applied).  The
+    inliner and cloner read these counts to rank sites and scale them
+    when bodies are duplicated.
+    """
+
+    __slots__ = ("label", "instrs", "profile_count")
+
+    def __init__(self, label: str, instrs: Optional[List[Instr]] = None):
+        self.label = label
+        self.instrs: List[Instr] = list(instrs) if instrs else []
+        self.profile_count: Optional[int] = None
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        """The block's final instruction, if it is a terminator."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> List[str]:
+        term = self.terminator
+        return term.targets() if term is not None else []
+
+    def append(self, instr: Instr) -> Instr:
+        if self.terminator is not None:
+            raise ValueError(
+                "block {} already terminated by {!r}".format(self.label, self.terminator)
+            )
+        self.instrs.append(instr)
+        return instr
+
+    def body(self) -> List[Instr]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __str__(self) -> str:
+        lines = ["{}:".format(self.label)]
+        lines += ["  {}".format(i) for i in self.instrs]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<BasicBlock {} ({} instrs)>".format(self.label, len(self.instrs))

@@ -1,0 +1,149 @@
+"""Arithmetic semantics shared by the interpreter and the constant folder.
+
+Integer operations follow two's-complement 64-bit semantics with C-like
+truncating division, so that constant folding in the optimizer produces
+bit-identical results to executing the instruction in the interpreter.
+Keeping a single evaluation function is what makes the "optimization
+preserves behaviour" property tests meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+INT_BITS = 64
+INT_MASK = (1 << INT_BITS) - 1
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+BINARY_OPS = frozenset(
+    [
+        "add", "sub", "mul", "div", "mod",
+        "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+    ]
+)
+
+# Comparison opcodes always produce an INT truth value (0 or 1), even on
+# float operands.
+COMPARISON_OPS = frozenset(["eq", "ne", "lt", "le", "gt", "ge"])
+
+# Opcodes that are only defined on integer operands.
+INT_ONLY_OPS = frozenset(["mod", "and", "or", "xor", "shl", "shr"])
+
+UNARY_OPS = frozenset(["neg", "not", "lnot", "itof", "ftoi"])
+
+COMMUTATIVE_OPS = frozenset(["add", "mul", "and", "or", "xor", "eq", "ne"])
+
+
+class EvalError(Exception):
+    """Raised for dynamically invalid arithmetic (division by zero)."""
+
+
+def wrap_int(value: int) -> int:
+    """Reduce ``value`` to a signed 64-bit integer."""
+    value &= INT_MASK
+    if value > INT_MAX:
+        value -= 1 << INT_BITS
+    return value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style integer division truncating toward zero."""
+    if b == 0:
+        raise EvalError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """C-style remainder: ``a - trunc_div(a, b) * b``."""
+    if b == 0:
+        raise EvalError("integer modulo by zero")
+    return a - _trunc_div(a, b) * b
+
+
+def eval_binop(op: str, lhs: Union[int, float], rhs: Union[int, float]):
+    """Evaluate a binary opcode on already-typed Python values.
+
+    Integer inputs must already be in signed 64-bit range; the result is
+    wrapped back into that range.  Mixed int/float operands are a type
+    error (the front end inserts explicit conversions).
+    """
+    is_float = isinstance(lhs, float)
+    if is_float != isinstance(rhs, float):
+        raise TypeError("mixed int/float operands for {}".format(op))
+    if is_float and op in INT_ONLY_OPS:
+        raise TypeError("op {} is not defined on floats".format(op))
+
+    if op == "eq":
+        return 1 if lhs == rhs else 0
+    if op == "ne":
+        return 1 if lhs != rhs else 0
+    if op == "lt":
+        return 1 if lhs < rhs else 0
+    if op == "le":
+        return 1 if lhs <= rhs else 0
+    if op == "gt":
+        return 1 if lhs > rhs else 0
+    if op == "ge":
+        return 1 if lhs >= rhs else 0
+
+    if is_float:
+        if op == "add":
+            return lhs + rhs
+        if op == "sub":
+            return lhs - rhs
+        if op == "mul":
+            return lhs * rhs
+        if op == "div":
+            if rhs == 0.0:
+                raise EvalError("float division by zero")
+            return lhs / rhs
+        raise TypeError("unknown float op: {}".format(op))
+
+    if op == "add":
+        return wrap_int(lhs + rhs)
+    if op == "sub":
+        return wrap_int(lhs - rhs)
+    if op == "mul":
+        return wrap_int(lhs * rhs)
+    if op == "div":
+        return wrap_int(_trunc_div(lhs, rhs))
+    if op == "mod":
+        return wrap_int(_trunc_mod(lhs, rhs))
+    if op == "and":
+        return wrap_int((lhs & INT_MASK) & (rhs & INT_MASK))
+    if op == "or":
+        return wrap_int((lhs & INT_MASK) | (rhs & INT_MASK))
+    if op == "xor":
+        return wrap_int((lhs & INT_MASK) ^ (rhs & INT_MASK))
+    if op == "shl":
+        return wrap_int((lhs & INT_MASK) << (rhs % INT_BITS))
+    if op == "shr":
+        # Arithmetic shift right on the signed value.
+        return wrap_int(lhs >> (rhs % INT_BITS))
+    raise TypeError("unknown op: {}".format(op))
+
+
+def eval_unop(op: str, src: Union[int, float]):
+    """Evaluate a unary opcode (same conventions as :func:`eval_binop`)."""
+    if op == "neg":
+        if isinstance(src, float):
+            return -src
+        return wrap_int(-src)
+    if op == "not":
+        if isinstance(src, float):
+            raise TypeError("bitwise not on float")
+        return wrap_int(~src)
+    if op == "lnot":
+        return 0 if src else 1
+    if op == "itof":
+        return float(src)
+    if op == "ftoi":
+        if isinstance(src, float):
+            if src != src or src in (float("inf"), float("-inf")):
+                raise EvalError("float-to-int conversion of non-finite value")
+            return wrap_int(int(src))
+        return wrap_int(int(src))
+    raise TypeError("unknown unary op: {}".format(op))

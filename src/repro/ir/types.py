@@ -1,0 +1,72 @@
+"""Type system for the ucode-like IR.
+
+The paper's ucode is a mid-level typed intermediate code.  We model the
+small type universe the workloads need: 64-bit signed integers (which
+double as addresses, as in the HP calling convention where pointers are
+integer registers), IEEE doubles, and void for procedures without a
+return value.  Function signatures carry parameter types, a return type,
+and a varargs flag; signature agreement is one of the inline/clone
+legality tests in Section 2.3/2.4 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Type(enum.Enum):
+    """Scalar value types."""
+
+    INT = "int"
+    FLT = "float"
+    VOID = "void"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A procedure signature: parameter types, return type, varargs flag."""
+
+    params: Tuple[Type, ...]
+    ret: Type = Type.INT
+    varargs: bool = False
+
+    def arity(self) -> int:
+        return len(self.params)
+
+    def accepts_call(self, arg_types: Tuple[Type, ...]) -> bool:
+        """True when a call passing ``arg_types`` matches this signature.
+
+        A varargs callee accepts any suffix beyond the fixed parameters;
+        otherwise arity and per-position types must agree exactly.  The
+        paper calls a failure here a "gross type mismatch" and refuses to
+        inline or clone such sites (to preserve the behaviour of even
+        semantically incorrect programs).
+        """
+        if self.varargs:
+            if len(arg_types) < len(self.params):
+                return False
+            fixed = arg_types[: len(self.params)]
+        else:
+            if len(arg_types) != len(self.params):
+                return False
+            fixed = arg_types
+        return all(a == p for a, p in zip(fixed, self.params))
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.varargs:
+            parts.append("...")
+        return "({}) -> {}".format(", ".join(parts), self.ret)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a scalar type name as printed by :func:`Type.__str__`."""
+    for ty in Type:
+        if ty.value == text:
+            return ty
+    raise ValueError("unknown type: {!r}".format(text))

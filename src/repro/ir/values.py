@@ -1,0 +1,86 @@
+"""Operand values for the IR.
+
+Instructions consume *operands* and produce values into *virtual
+registers*.  The IR is register-based and non-SSA (like ucode's virtual
+registers): a register may be assigned more than once, and the optimizer
+passes use classic dataflow rather than SSA form.
+
+Operand kinds:
+
+``Reg``
+    A procedure-local virtual register (``%name``).
+``Imm``
+    An immediate constant, integer or float.
+``FuncRef``
+    The address of a procedure, by its program-unique IR name.  These
+    are the values that flow into indirect call sites; constant
+    propagation of a ``FuncRef`` into an ``ICall`` is what lets HLO turn
+    an indirect call into a direct one across cloning passes (Section
+    3.1 of the paper).
+``GlobalRef``
+    The address of a module-level global variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .types import Type
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register, identified by name within one procedure."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "%" + self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate constant operand."""
+
+    value: Union[int, float]
+    type: Type = Type.INT
+
+    def __post_init__(self) -> None:
+        if self.type is Type.INT and not isinstance(self.value, int):
+            raise TypeError("integer immediate requires an int value")
+        if self.type is Type.FLT and not isinstance(self.value, float):
+            raise TypeError("float immediate requires a float value")
+
+    def __str__(self) -> str:
+        if self.type is Type.FLT:
+            return repr(float(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """The address of a procedure (a code pointer constant)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "@" + self.name
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """The address of a global variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "$" + self.name
+
+
+Operand = Union[Reg, Imm, FuncRef, GlobalRef]
+
+
+def is_constant(op: Operand) -> bool:
+    """True for operands whose value is known at compile time."""
+    return isinstance(op, (Imm, FuncRef, GlobalRef))

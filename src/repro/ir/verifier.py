@@ -1,0 +1,138 @@
+"""Structural verifier for IR programs.
+
+Run after the front end and after every HLO / optimizer pass in checked
+builds; the property-test suite asserts that every transform leaves the
+program verifiable.  Checks are structural and name-resolution level
+(this is not a type checker for arbitrary hand-built IR, but it catches
+the bugs that body transplants and CFG edits actually introduce).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import Branch, Call, ICall, Jump, Probe, Ret
+from .module import Module
+from .procedure import LINK_EXTERN, LINK_STATIC, Procedure
+from .program import RUNTIME_BUILTINS, Program
+from .types import Type
+from .values import FuncRef, GlobalRef, Reg
+
+
+class VerifyError(Exception):
+    """Raised when a program fails verification; carries all messages."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+def verify_program(program: Program) -> None:
+    """Raise :class:`VerifyError` if any module fails verification."""
+    errors: List[str] = []
+    for mod in program.modules.values():
+        errors.extend(_verify_module(program, mod))
+    if errors:
+        raise VerifyError(errors)
+
+
+def _verify_module(program: Program, mod: Module) -> List[str]:
+    errors: List[str] = []
+    for proc in mod.procs.values():
+        errors.extend(_verify_proc(program, proc))
+    return errors
+
+
+def _verify_proc(program: Program, proc: Procedure) -> List[str]:
+    errors: List[str] = []
+    where = "@{}".format(proc.name)
+
+    if proc.linkage == LINK_EXTERN:
+        errors.append("{}: defined procedure has extern linkage".format(where))
+    if proc.entry is None or proc.entry not in proc.blocks:
+        errors.append("{}: missing entry block".format(where))
+        return errors
+
+    defined = {name for name, _ in proc.params}
+    for instr in proc.instructions():
+        if instr.dest is not None:
+            defined.add(instr.dest.name)
+
+    for label, block in proc.blocks.items():
+        bwhere = "{}:{}".format(where, label)
+        if block.label != label:
+            errors.append("{}: label/key mismatch".format(bwhere))
+        if block.terminator is None:
+            errors.append("{}: block lacks a terminator".format(bwhere))
+        for idx, instr in enumerate(block.instrs):
+            if instr.is_terminator and idx != len(block.instrs) - 1:
+                errors.append("{}: terminator mid-block at {}".format(bwhere, idx))
+            for target in instr.targets():
+                if target not in proc.blocks:
+                    errors.append(
+                        "{}: branch to unknown label {}".format(bwhere, target)
+                    )
+            errors.extend(_verify_instr(program, proc, instr, defined, bwhere))
+    return errors
+
+
+def _verify_instr(program, proc, instr, defined, where) -> List[str]:
+    errors: List[str] = []
+
+    for op in instr.uses():
+        if isinstance(op, Reg) and op.name not in defined:
+            errors.append("{}: use of undefined register %{}".format(where, op.name))
+        elif isinstance(op, FuncRef):
+            target = program.proc(op.name)
+            if target is None and op.name not in RUNTIME_BUILTINS:
+                errors.append("{}: funcref to unknown @{}".format(where, op.name))
+            elif target is not None and target.linkage == LINK_STATIC:
+                if target.module != proc.module:
+                    errors.append(
+                        "{}: funcref to static @{} from module {}".format(
+                            where, op.name, proc.module
+                        )
+                    )
+        elif isinstance(op, GlobalRef):
+            gvar = program.global_var(op.name)
+            if gvar is None:
+                errors.append("{}: reference to unknown global ${}".format(where, op.name))
+            elif gvar.linkage == LINK_STATIC and gvar.module != proc.module:
+                errors.append(
+                    "{}: reference to static ${} from module {}".format(
+                        where, op.name, proc.module
+                    )
+                )
+
+    if isinstance(instr, Call):
+        sig = program.callee_signature(instr.callee)
+        target = program.proc(instr.callee)
+        if sig is None:
+            errors.append("{}: call to undeclared @{}".format(where, instr.callee))
+        else:
+            if target is not None and target.linkage == LINK_STATIC:
+                if target.module != proc.module:
+                    errors.append(
+                        "{}: cross-module call to static @{}".format(where, instr.callee)
+                    )
+            if instr.dest is not None and sig.ret is Type.VOID:
+                errors.append(
+                    "{}: call to void @{} uses a result".format(where, instr.callee)
+                )
+        if instr.site_id < 0:
+            errors.append("{}: call site without a site id".format(where))
+    elif isinstance(instr, ICall):
+        if instr.site_id < 0:
+            errors.append("{}: icall site without a site id".format(where))
+    elif isinstance(instr, Ret):
+        if proc.ret_type is Type.VOID and instr.value is not None:
+            errors.append("{}: ret with value in void procedure".format(where))
+        if proc.ret_type is not Type.VOID and instr.value is None:
+            errors.append("{}: bare ret in non-void procedure".format(where))
+    elif isinstance(instr, Branch):
+        if instr.then_target == instr.else_target:
+            # Legal but should have been simplified; not an error.
+            pass
+    elif isinstance(instr, (Jump, Probe)):
+        pass
+    return errors

@@ -1,0 +1,67 @@
+"""Isom files: object files that still contain intermediate code.
+
+Section 2.1: "An alternative compile path allows the ucode to be stored
+into special object files known as isoms.  These files remain
+unoptimized until link time.  When the linker is invoked and discovers
+isoms, it passes them en masse to HLO..."  Our isoms are the textual IR
+serialization; this module writes, reads, and sniffs them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+
+ISOM_EXTENSION = ".isom"
+_MAGIC = "module "
+
+
+def to_isom_text(module: Module) -> str:
+    """Serialize one module to isom text."""
+    return print_module(module)
+
+
+def from_isom_text(text: str) -> Module:
+    """Reconstruct a module from isom text."""
+    return parse_module(text)
+
+
+def is_isom_text(text: str) -> bool:
+    """Cheap sniff used by the linker to spot isoms among objects."""
+    for line in text.splitlines():
+        if line.strip():
+            return line.startswith(_MAGIC)
+    return False
+
+
+def write_isom(module: Module, directory: str) -> str:
+    """Write ``module`` to ``<directory>/<name>.isom``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, module.name + ISOM_EXTENSION)
+    with open(path, "w") as handle:
+        handle.write(to_isom_text(module))
+    return path
+
+
+def read_isom(path: str) -> Module:
+    with open(path) as handle:
+        return from_isom_text(handle.read())
+
+
+def read_isoms(paths: Iterable[str]) -> List[Module]:
+    return [read_isom(path) for path in paths]
+
+
+def roundtrip_modules(modules: Iterable[Module]) -> List[Module]:
+    """Serialize and re-parse modules (the in-memory isom path).
+
+    The cross-module build pipeline routes every module through isom
+    text even when nothing touches disk; this keeps the on-disk and
+    in-memory paths byte-identical and continuously exercises the
+    printer/parser round-trip.
+    """
+    return [from_isom_text(to_isom_text(m)) for m in modules]

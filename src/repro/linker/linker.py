@@ -1,0 +1,51 @@
+"""Link step: assemble modules into a program image and resolve symbols."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..ir.module import Module
+from ..ir.program import RUNTIME_BUILTINS, Program
+
+
+class LinkError(Exception):
+    """Unresolved or inconsistent symbols at link time."""
+
+
+def link_modules(modules: Iterable[Module], entry: str = "main") -> Program:
+    """Build a :class:`Program` and check symbol resolution.
+
+    Every extern declared by a module must resolve to a definition in
+    some module or to a runtime builtin; the entry procedure must exist
+    and be externally visible.
+    """
+    program = Program(list(modules))
+    errors: List[str] = []
+
+    for mod in program.modules.values():
+        for name, sig in mod.externs.items():
+            target = program.proc(name)
+            if target is None:
+                if name not in RUNTIME_BUILTINS:
+                    errors.append(
+                        "undefined symbol @{} referenced by module {}".format(
+                            name, mod.name
+                        )
+                    )
+                continue
+            if target.signature() != sig:
+                errors.append(
+                    "signature mismatch for @{}: {} (in {}) vs {} (defined in {})".format(
+                        name, sig, mod.name, target.signature(), target.module
+                    )
+                )
+
+    entry_proc = program.proc(entry)
+    if entry_proc is None:
+        errors.append("undefined entry point @{}".format(entry))
+    elif entry_proc.linkage == "static":
+        errors.append("entry point @{} has static linkage".format(entry))
+
+    if errors:
+        raise LinkError("; ".join(errors))
+    return program

@@ -1,0 +1,19 @@
+"""PA8000-style machine model: layout, caches, branch prediction, cycles."""
+
+from .branch import TwoBitPredictor
+from .cache import DirectMappedCache
+from .layout import CODE_BASE, INSTR_BYTES, CodeLayout
+from .metrics import MachineMetrics
+from .pa8000 import MachineConfig, PA8000Model, simulate
+
+__all__ = [
+    "CODE_BASE",
+    "CodeLayout",
+    "DirectMappedCache",
+    "INSTR_BYTES",
+    "MachineConfig",
+    "MachineMetrics",
+    "PA8000Model",
+    "TwoBitPredictor",
+    "simulate",
+]

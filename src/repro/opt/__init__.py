@@ -1,0 +1,32 @@
+"""Scalar optimizer: the downstream passes that exploit inlining/cloning."""
+
+from .constprop import constant_propagation
+from .copyprop import copy_propagation
+from .cse import local_cse
+from .dce import dead_code_elimination, liveness
+from .deadcalls import eliminate_dead_calls
+from .licm import licm
+from .pass_manager import (
+    MAX_ITERATIONS,
+    default_pipeline,
+    optimize_proc,
+    optimize_program,
+)
+from .peephole import peephole
+from .simplifycfg import simplify_cfg
+
+__all__ = [
+    "MAX_ITERATIONS",
+    "constant_propagation",
+    "copy_propagation",
+    "dead_code_elimination",
+    "default_pipeline",
+    "eliminate_dead_calls",
+    "licm",
+    "liveness",
+    "local_cse",
+    "optimize_proc",
+    "optimize_program",
+    "peephole",
+    "simplify_cfg",
+]

@@ -1,0 +1,88 @@
+"""Pass manager: composes procedure- and program-level optimizations.
+
+The paper's claim rests on a strong downstream optimizer: "inlining at
+the intermediate-code level ... a high-quality back end can exploit the
+scheduling and register allocation opportunities presented by larger
+subroutines."  Our pipeline is the classic scalar suite; HLO re-runs it
+over every clone/inlined routine before recalibrating its budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+
+# A procedure pass takes (program, proc) and returns True when it changed IR.
+ProcPass = Callable[[Program, Procedure], bool]
+
+MAX_ITERATIONS = 8
+
+
+def default_pipeline() -> List[Tuple[str, ProcPass]]:
+    """The standard per-procedure pipeline, in order."""
+    from .constprop import constant_propagation
+    from .copyprop import copy_propagation
+    from .cse import local_cse
+    from .dce import dead_code_elimination
+    from .licm import licm
+    from .peephole import peephole
+    from .simplifycfg import simplify_cfg
+
+    return [
+        ("constprop", constant_propagation),
+        ("simplifycfg", simplify_cfg),
+        ("copyprop", copy_propagation),
+        ("peephole", peephole),
+        ("cse", local_cse),
+        ("licm", licm),
+        ("dce", dead_code_elimination),
+    ]
+
+
+def optimize_proc(
+    program: Program,
+    proc: Procedure,
+    pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
+    max_iterations: int = MAX_ITERATIONS,
+) -> bool:
+    """Run the pipeline over one procedure to a fixed point (bounded)."""
+    passes = list(pipeline) if pipeline is not None else default_pipeline()
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        for _name, run in passes:
+            if run(program, proc):
+                changed = True
+        if not changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+def optimize_program(
+    program: Program,
+    pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
+    interprocedural: bool = True,
+) -> bool:
+    """Optimize every procedure, then apply program-level cleanups.
+
+    With ``interprocedural`` set, dead-call elimination runs between
+    per-procedure rounds (this is the analysis that deletes the no-op
+    curses calls in the paper's 072.sc before inlining even starts).
+    """
+    from .deadcalls import eliminate_dead_calls
+
+    changed_any = False
+    for _ in range(3):
+        changed = False
+        for proc in list(program.all_procs()):
+            if optimize_proc(program, proc, pipeline):
+                changed = True
+        if interprocedural and eliminate_dead_calls(program):
+            changed = True
+        if not changed:
+            break
+        changed_any = True
+    return changed_any

@@ -1,0 +1,87 @@
+"""Peephole algebraic simplification and strength reduction.
+
+Identities are applied only when the constant operand is an integer
+immediate, which (with a typed front end) implies the register operand
+is an integer too — float identities like ``x + 0.0`` are unsound in
+the presence of negative zero and NaN, so they are never applied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import BinOp, Instr, Mov
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+from ..ir.types import Type
+from ..ir.values import Imm, Operand, Reg
+
+
+def _int_imm(op: Operand) -> Optional[int]:
+    if isinstance(op, Imm) and op.type is Type.INT:
+        return op.value
+    return None
+
+
+def _simplify(instr: BinOp) -> Optional[Instr]:
+    op = instr.op
+    lhs, rhs = instr.lhs, instr.rhs
+    lc, rc = _int_imm(lhs), _int_imm(rhs)
+
+    # Canonical forms with the constant on the right for commutative ops.
+    if lc is not None and rc is None and op in ("add", "mul", "and", "or", "xor"):
+        lhs, rhs = rhs, lhs
+        lc, rc = rc, lc
+
+    if rc is not None:
+        if op == "add" and rc == 0:
+            return Mov(instr.dest, lhs)
+        if op == "sub" and rc == 0:
+            return Mov(instr.dest, lhs)
+        if op == "mul":
+            if rc == 0:
+                return Mov(instr.dest, Imm(0))
+            if rc == 1:
+                return Mov(instr.dest, lhs)
+            if rc > 1 and rc & (rc - 1) == 0:
+                shift = rc.bit_length() - 1
+                return BinOp(instr.dest, "shl", lhs, Imm(shift))
+        if op == "div" and rc == 1:
+            return Mov(instr.dest, lhs)
+        if op == "mod" and rc == 1:
+            return Mov(instr.dest, Imm(0))
+        if op in ("shl", "shr") and rc == 0:
+            return Mov(instr.dest, lhs)
+        if op == "and" and rc == 0:
+            return Mov(instr.dest, Imm(0))
+        if op == "or" and rc == 0:
+            return Mov(instr.dest, lhs)
+        if op == "xor" and rc == 0:
+            return Mov(instr.dest, lhs)
+
+    # Same-register identities.  These hold for integers; for floats
+    # ``x != x`` on NaN breaks them, so they only apply when one side is
+    # an integer immediate — which same-register forms never are.  We
+    # allow the bitwise pair (sound on any bit pattern of equal type)
+    # and skip comparisons entirely.
+    if isinstance(lhs, Reg) and isinstance(rhs, Reg) and lhs.name == rhs.name:
+        if op == "and" or op == "or":
+            return Mov(instr.dest, lhs)
+        if op == "sub" or op == "xor":
+            # x - x is 0 for ints; x could be float (x - x of NaN is
+            # NaN), so restrict to xor, which is int-only by typing.
+            if op == "xor":
+                return Mov(instr.dest, Imm(0))
+    return None
+
+
+def peephole(program: Program, proc: Procedure) -> bool:
+    changed = False
+    for block in proc.blocks.values():
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, BinOp):
+                replacement = _simplify(instr)
+                if replacement is not None:
+                    block.instrs[index] = replacement
+                    changed = True
+    return changed

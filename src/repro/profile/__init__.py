@@ -1,0 +1,16 @@
+"""Profile-based optimization support: instrumentation, database, PGO."""
+
+from .annotate import annotate_program, clear_annotations
+from .database import ProfileDatabase
+from .instrument import ProbeMap, instrument_program, strip_probes
+from .pgo import train
+
+__all__ = [
+    "ProbeMap",
+    "ProfileDatabase",
+    "annotate_program",
+    "clear_annotations",
+    "instrument_program",
+    "strip_probes",
+    "train",
+]

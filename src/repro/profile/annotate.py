@@ -1,0 +1,32 @@
+"""Apply a profile database to a freshly compiled program.
+
+The PGO pipeline compiles twice: the instrumented image trains, then a
+*fresh* compile of the same sources is annotated with the harvested
+counts before HLO runs.  Annotation matches by (procedure, label) —
+stable because the front end is deterministic — and silently skips keys
+that no longer match, which is exactly the staleness behaviour of real
+profile feedback.
+"""
+
+from __future__ import annotations
+
+from ..ir.program import Program
+from .database import ProfileDatabase
+
+
+def annotate_program(program: Program, db: ProfileDatabase) -> int:
+    """Attach block counts; returns the number of blocks annotated."""
+    annotated = 0
+    for proc in program.all_procs():
+        for label, block in proc.blocks.items():
+            count = db.block_count(proc.name, label)
+            if count is not None:
+                block.profile_count = count
+                annotated += 1
+    return annotated
+
+
+def clear_annotations(program: Program) -> None:
+    for proc in program.all_procs():
+        for block in proc.blocks.values():
+            block.profile_count = None

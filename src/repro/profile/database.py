@@ -1,0 +1,202 @@
+"""The profile database: block and call-site execution counts.
+
+Keys are stable across recompiles because the front end is
+deterministic: block counts key on ``(procedure name, block label)``
+and call-site counts on ``(module name, site id)``.  Call-site counts
+are derived from block counts — a call executes exactly as often as
+its containing block — which mirrors how arc profiles are recovered
+from basic-block profiles in practice.
+
+The database serializes to a small text format so the isom workflow can
+keep profiles on disk between the training and final compiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.instructions import CALL_INSTRS
+from ..ir.program import Program
+from .instrument import ProbeMap
+
+BlockKey = Tuple[str, str]  # (proc name, block label)
+SiteKey = Tuple[str, int]  # (module name, site id)
+
+
+class ProfileDatabase:
+    """Counts harvested from one or more training runs."""
+
+    def __init__(self) -> None:
+        self.block_counts: Dict[BlockKey, int] = {}
+        self.site_counts: Dict[SiteKey, int] = {}
+        self.training_runs = 0
+        self.training_steps = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_training_run(
+        cls,
+        program: Program,
+        probe_map: ProbeMap,
+        probe_counts: Dict[int, int],
+        steps: int = 0,
+    ) -> "ProfileDatabase":
+        db = cls()
+        db.merge_run(program, probe_map, probe_counts, steps)
+        return db
+
+    def merge_run(
+        self,
+        program: Program,
+        probe_map: ProbeMap,
+        probe_counts: Dict[int, int],
+        steps: int = 0,
+    ) -> None:
+        """Fold one training run's probe counters into the database.
+
+        Multiple runs accumulate, supporting the paper's future-work
+        idea of "incorporating profile information from a variety of
+        sources".
+        """
+        for counter_id, (proc, label) in probe_map.items():
+            count = probe_counts.get(counter_id, 0)
+            key = (proc, label)
+            self.block_counts[key] = self.block_counts.get(key, 0) + count
+        self._derive_site_counts(program)
+        self.training_runs += 1
+        self.training_steps += steps
+
+    def _derive_site_counts(self, program: Program) -> None:
+        self.site_counts = {}
+        for mod in program.modules.values():
+            for proc in mod.procs.values():
+                for label, block in proc.blocks.items():
+                    count = self.block_counts.get((proc.name, label))
+                    if count is None:
+                        continue
+                    for instr in block.instrs:
+                        if isinstance(instr, CALL_INSTRS):
+                            key = (mod.name, instr.site_id)
+                            self.site_counts[key] = (
+                                self.site_counts.get(key, 0) + count
+                            )
+
+    # ------------------------------------------------------------------
+    # Combination (Section 5: "incorporating profile information from a
+    # variety of sources")
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "ProfileDatabase":
+        """A copy with every count scaled by ``factor`` (>= 0).
+
+        Scaling lets differently sized training runs contribute equal
+        (or deliberately unequal) influence when combined.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        out = ProfileDatabase()
+        out.block_counts = {
+            k: int(round(v * factor)) for k, v in self.block_counts.items()
+        }
+        out.site_counts = {
+            k: int(round(v * factor)) for k, v in self.site_counts.items()
+        }
+        out.training_runs = self.training_runs
+        out.training_steps = int(round(self.training_steps * factor))
+        return out
+
+    @classmethod
+    def combine(
+        cls,
+        databases: "list[ProfileDatabase]",
+        weights: Optional["list[float]"] = None,
+    ) -> "ProfileDatabase":
+        """Merge profiles from several sources, optionally weighted.
+
+        With no weights, counts add directly (larger runs dominate).
+        With weights, each database is normalized by its total steps
+        first, so a short synthetic run and a long production trace can
+        contribute in the stated proportion.
+        """
+        if not databases:
+            return cls()
+        if weights is not None:
+            if len(weights) != len(databases):
+                raise ValueError("one weight per database required")
+            scaled = []
+            for db, weight in zip(databases, weights):
+                norm = weight / db.training_steps if db.training_steps else 0.0
+                # Keep counts in a useful integer range after normalizing.
+                scaled.append(db.scaled(norm * 1_000_000))
+            databases = scaled
+        out = cls()
+        for db in databases:
+            for key, count in db.block_counts.items():
+                out.block_counts[key] = out.block_counts.get(key, 0) + count
+            for key, count in db.site_counts.items():
+                out.site_counts[key] = out.site_counts.get(key, 0) + count
+            out.training_runs += db.training_runs
+            out.training_steps += db.training_steps
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def block_count(self, proc: str, label: str) -> Optional[int]:
+        return self.block_counts.get((proc, label))
+
+    def site_count(self, module: str, site_id: int) -> Optional[int]:
+        return self.site_counts.get((module, site_id))
+
+    def is_empty(self) -> bool:
+        return not self.block_counts
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = ["profiledb 1"]
+        lines.append("runs {} steps {}".format(self.training_runs, self.training_steps))
+        for (proc, label), count in sorted(self.block_counts.items()):
+            lines.append("block {} {} {}".format(proc, label, count))
+        for (module, site), count in sorted(self.site_counts.items()):
+            lines.append("site {} {} {}".format(module, site, count))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "ProfileDatabase":
+        db = cls()
+        lines = [l for l in text.splitlines() if l.strip()]
+        if not lines or not lines[0].startswith("profiledb"):
+            raise ValueError("not a profile database")
+        for line in lines[1:]:
+            parts = line.split()
+            if parts[0] == "runs":
+                db.training_runs = int(parts[1])
+                db.training_steps = int(parts[3])
+            elif parts[0] == "block":
+                db.block_counts[(parts[1], parts[2])] = int(parts[3])
+            elif parts[0] == "site":
+                db.site_counts[(parts[1], int(parts[2]))] = int(parts[3])
+            else:
+                raise ValueError("bad profile line: {!r}".format(line))
+        return db
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_text())
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileDatabase":
+        with open(path) as handle:
+            return cls.from_text(handle.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<ProfileDatabase {} blocks, {} sites, {} runs>".format(
+            len(self.block_counts), len(self.site_counts), self.training_runs
+        )

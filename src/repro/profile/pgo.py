@@ -1,0 +1,54 @@
+"""Convenience wrapper for the two-compile PGO workflow.
+
+``train()`` performs the instrumenting compile and the training run and
+returns the profile database; the caller then recompiles fresh IR and
+annotates it.  ``Toolchain`` in :mod:`repro.linker` drives both halves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..frontend.driver import SourceList, compile_program
+from ..interp.interpreter import DEFAULT_MAX_STEPS, run_program
+from ..ir.program import Program
+from .database import ProfileDatabase
+from .instrument import instrument_program
+
+InputVector = Sequence[Union[int, float]]
+
+
+def train(
+    sources: SourceList,
+    training_inputs: Sequence[InputVector],
+    entry: str = "main",
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ProfileDatabase:
+    """Instrumenting compile + training run(s) over ``training_inputs``.
+
+    Each input vector is one training run; counts accumulate, so a
+    training *set* (as SPEC provides) is a list of vectors.
+    """
+    db = ProfileDatabase()
+    for inputs in training_inputs:
+        # A fresh instrumented image per run keeps runs independent.
+        program = compile_program(sources)
+        probe_map = instrument_program(program)
+        result = run_program(program, inputs, entry=entry, max_steps=max_steps)
+        db.merge_run(program, probe_map, result.probe_counts, result.steps)
+    return db
+
+
+def train_program(
+    program: Program,
+    probe_free_builder,
+    training_inputs: Sequence[InputVector],
+) -> ProfileDatabase:  # pragma: no cover - thin alternative entry point
+    """Train when a Program object (not sources) is the unit of work."""
+    db = ProfileDatabase()
+    for inputs in training_inputs:
+        fresh = probe_free_builder()
+        probe_map = instrument_program(fresh)
+        result = run_program(fresh, inputs)
+        db.merge_run(fresh, probe_map, result.probe_counts, result.steps)
+    return db

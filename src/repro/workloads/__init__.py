@@ -1,0 +1,11 @@
+"""Workloads: the SPEC-analog benchmark suite and a random program generator."""
+
+from .suite import Workload, all_workloads, get_workload, register, workload_names
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+]

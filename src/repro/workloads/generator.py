@@ -1,0 +1,386 @@
+"""Random minic program generator for property-based testing.
+
+Generates multi-module programs that are *trap-free and terminating by
+construction*, so the property "every HLO/optimizer transform preserves
+observable behaviour" can be asserted exactly:
+
+- loops are bounded ``for`` loops with constant trip counts;
+- calls form a DAG over the generated functions (plus optional bounded
+  self-recursion with an explicit decreasing counter);
+- division/modulo only by non-zero constants, shifts by small
+  constants;
+- array indices are masked with ``& (size-1)`` (power-of-two arrays),
+  which is in-range even for negative values under two's complement;
+- every variable is initialized at declaration.
+
+The generator leans into HLO bait: constant arguments at call sites
+(clone specs), function pointers passed to dispatchers (devirt), static
+functions and globals (promotion), cross-module calls, and varargs /
+dynamic-alloca functions (legality screens).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+ARRAY_SIZE = 16  # power of two; indices are masked with & 15
+MAX_EXPR_DEPTH = 3
+
+
+MAX_CALLEE_COST = 20_000  # skip callees whose estimated cost exceeds this
+
+
+class _FuncSig:
+    __slots__ = ("name", "module", "n_params", "static", "varargs", "kind", "cost")
+
+    def __init__(self, name: str, module: str, n_params: int, static: bool,
+                 varargs: bool = False, kind: str = "plain"):
+        self.name = name
+        self.module = module
+        self.n_params = n_params
+        self.static = static
+        self.varargs = varargs
+        self.kind = kind  # plain | recursive | dispatcher | dyn_alloca
+        self.cost = 0  # estimated dynamic steps of one invocation
+
+
+class ProgramGenerator:
+    """Generates one random program per ``generate()`` call."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.funcs: List[_FuncSig] = []
+        self.globals: List[Tuple[str, str, bool]] = []  # (name, module, array?)
+        self._uid = 0
+        self._calls_left = 0  # per-body budget of emitted call sites
+        self._body_cost = 0  # estimated dynamic steps of the body so far
+        self._mult = 1  # loop multiplier at the current nesting
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._uid += 1
+        return "{}{}".format(prefix, self._uid)
+
+    # ------------------------------------------------------------------
+    # Expressions (trap-free by construction)
+    # ------------------------------------------------------------------
+
+    def _expr(self, names: Sequence[str], depth: int, callables: Sequence[_FuncSig]) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            choices = [str(rng.randint(-20, 100))]
+            if names:
+                choices.append(rng.choice(names))
+            return rng.choice(choices)
+        roll = rng.random()
+        if roll < 0.55:
+            op = rng.choice(["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="])
+            lhs = self._expr(names, depth - 1, callables)
+            rhs = self._expr(names, depth - 1, callables)
+            if op == "*":
+                # Bound products to keep values in-range recursively.
+                return "(({}) % 256) * (({}) % 256)".format(lhs, rhs)
+            return "({}) {} ({})".format(lhs, op, rhs)
+        if roll < 0.65:
+            divisor = rng.choice([2, 3, 5, 7, 16, 31])
+            return "({}) {} {}".format(
+                self._expr(names, depth - 1, callables), rng.choice(["/", "%"]), divisor
+            )
+        if roll < 0.72:
+            return "({}) >> {}".format(self._expr(names, depth - 1, callables), rng.randint(0, 7))
+        if roll < 0.80 and self.globals:
+            gname, _mod, is_array = rng.choice(self.globals)
+            if is_array:
+                return "{}[({}) & {}]".format(
+                    gname, self._expr(names, depth - 1, callables), ARRAY_SIZE - 1
+                )
+            return gname
+        cheap = [
+            f for f in callables
+            if f.cost * self._mult <= MAX_CALLEE_COST
+        ]
+        if roll < 0.95 and cheap and self._calls_left > 0:
+            self._calls_left -= 1
+            return self._call_expr(names, depth, cheap)
+        return "-({})".format(self._expr(names, depth - 1, callables))
+
+    def _call_expr(self, names: Sequence[str], depth: int, callables: Sequence[_FuncSig]) -> str:
+        rng = self.rng
+        target = rng.choice(list(callables))
+        multiplier = 8 if target.kind == "recursive" else 1
+        self._body_cost += target.cost * self._mult * multiplier
+        args = []
+        for _ in range(target.n_params):
+            # Bias toward constant arguments: clone-spec bait.
+            if rng.random() < 0.4:
+                args.append(str(rng.randint(0, 9)))
+            else:
+                args.append(self._expr(names, depth - 1, callables))
+        if target.kind == "recursive":
+            # First parameter is the bounded depth counter.
+            args[0] = str(rng.randint(0, 6))
+        if target.varargs and rng.random() < 0.7:
+            args.append(self._expr(names, depth - 1, callables))
+        return "{}({})".format(target.name, ", ".join(args))
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _block(
+        self,
+        names: List[str],
+        callables: Sequence[_FuncSig],
+        stmts: int,
+        indent: str,
+        allow_loop: bool = True,
+        protected: Sequence[str] = (),
+    ) -> List[str]:
+        """``protected`` names are readable but never assignment targets
+        (loop counters: assigning one could make the loop diverge)."""
+        rng = self.rng
+        lines: List[str] = []
+        local_names = list(names)
+        protected_set = set(protected)
+        for _ in range(stmts):
+            roll = rng.random()
+            if roll < 0.30:
+                name = self._fresh("v")
+                lines.append(
+                    "{}int {} = {};".format(
+                        indent, name, self._expr(local_names, MAX_EXPR_DEPTH, callables)
+                    )
+                )
+                local_names.append(name)
+            elif roll < 0.55 and [n for n in local_names if n not in protected_set]:
+                target = rng.choice([n for n in local_names if n not in protected_set])
+                op = rng.choice(["=", "+=", "^=", "="])
+                lines.append(
+                    "{}{} {} {};".format(
+                        indent, target, op, self._expr(local_names, MAX_EXPR_DEPTH, callables)
+                    )
+                )
+            elif roll < 0.70:
+                cond = self._expr(local_names, 2, callables)
+                body = self._block(
+                    local_names, callables, rng.randint(1, 2), indent + "  ",
+                    allow_loop, protected_set,
+                )
+                lines.append("{}if ({}) {{".format(indent, cond))
+                lines.extend(body)
+                if rng.random() < 0.5:
+                    lines.append("{}}} else {{".format(indent))
+                    lines.extend(
+                        self._block(
+                            local_names, callables, 1, indent + "  ",
+                            allow_loop, protected_set,
+                        )
+                    )
+                lines.append(indent + "}")
+            elif roll < 0.85 and allow_loop:
+                loop_var = self._fresh("i")
+                trips = rng.randint(1, 6)
+                outer_mult = self._mult
+                self._mult = outer_mult * trips
+                body = self._block(
+                    local_names + [loop_var], callables, rng.randint(1, 2),
+                    indent + "  ", allow_loop=False,
+                    protected=list(protected_set) + [loop_var],
+                )
+                self._mult = outer_mult
+                self._body_cost += 3 * trips
+                lines.append(
+                    "{}for (int {} = 0; {} < {}; {}++) {{".format(
+                        indent, loop_var, loop_var, trips, loop_var
+                    )
+                )
+                lines.extend(body)
+                lines.append(indent + "}")
+            elif roll < 0.92 and self.globals:
+                gname, _mod, is_array = rng.choice(self.globals)
+                value = self._expr(local_names, 2, callables)
+                if is_array:
+                    index = self._expr(local_names, 1, callables)
+                    lines.append(
+                        "{}{}[({}) & {}] = {};".format(indent, gname, index, ARRAY_SIZE - 1, value)
+                    )
+                else:
+                    lines.append("{}{} = {};".format(indent, gname, value))
+            elif roll < 0.96:
+                lines.append(
+                    "{}print_int(({}) % 65536);".format(
+                        indent, self._expr(local_names, 2, callables)
+                    )
+                )
+            else:
+                # A float computation, NaN-free by construction: bounded
+                # non-negative terms combined with + and scaled by small
+                # positive constants can never produce inf-inf or 0*inf.
+                fname = self._fresh("fv")
+                term1 = self._expr(local_names, 1, [])
+                term2 = self._expr(local_names, 1, [])
+                lines.append(
+                    "{}float {} = (({}) % 256 + 256) * 0.5 + (({}) % 256 + 256) * 0.25;".format(
+                        indent, fname, term1, term2
+                    )
+                )
+                lines.append("{}print_flt({} * 2.0 + 1.5);".format(indent, fname))
+        return lines
+
+    # ------------------------------------------------------------------
+    # Functions and modules
+    # ------------------------------------------------------------------
+
+    def _function(self, sig: _FuncSig, callables: Sequence[_FuncSig]) -> str:
+        rng = self.rng
+        params = ["int p{}".format(i) for i in range(sig.n_params)]
+        names = ["p{}".format(i) for i in range(sig.n_params)]
+        quals = "static " if sig.static else ""
+        self._calls_left = 3
+        self._body_cost = 40  # straight-line baseline
+        self._mult = 1
+        header_params = ", ".join(params) if params else ""
+        if sig.varargs:
+            header_params = header_params + ", ..." if header_params else "..."
+        lines = ["{}int {}({}) {{".format(quals, sig.name, header_params)]
+
+        if sig.kind == "recursive":
+            # p0 is the decreasing depth counter: guaranteed termination.
+            lines.append("  if (p0 <= 0) return {};".format(rng.randint(0, 9)))
+            inner = self._expr(names, 2, callables)
+            rest = ", ".join(
+                self._expr(names, 1, callables) for _ in range(sig.n_params - 1)
+            )
+            rest = (", " + rest) if rest else ""
+            lines.append("  int rec = {}(p0 - 1{});".format(sig.name, rest))
+            names = names + ["rec"]
+            lines.append("  int acc = rec + ({});".format(inner))
+            names.append("acc")
+        elif sig.kind == "dyn_alloca":
+            lines.append("  int n = (p0 & 7) + 1;")
+            lines.append("  int buf = alloca(n);")
+            lines.append("  for (int k = 0; k < n; k++) buf[k] = k * 3 + p0;")
+            lines.append("  int acc = buf[n - 1] + buf[0];")
+            names = names + ["n", "acc"]
+        elif sig.varargs:
+            lines.append("  int acc = va_count();")
+            lines.append("  for (int k = 0; k < va_count(); k++) acc += va_arg(k);")
+            names = names + ["acc"]
+        else:
+            lines.append("  int acc = {};".format(self._expr(names, 2, callables)))
+            names = names + ["acc"]
+
+        lines.extend(self._block(list(names), callables, rng.randint(1, 3), "  "))
+        lines.append("  return (acc + ({})) % 100003;".format(self._expr(names, 2, callables)))
+        lines.append("}")
+        sig.cost = self._body_cost
+        return "\n".join(lines)
+
+    def generate(
+        self,
+        n_modules: int = 2,
+        funcs_per_module: int = 3,
+        n_globals: int = 3,
+    ) -> List[Tuple[str, str]]:
+        """Produce [(module name, source)] for one random program."""
+        rng = self.rng
+        self.funcs = []
+        self.globals = []
+        module_names = ["mod{}".format(i) for i in range(n_modules)]
+        module_bodies: dict = {name: [] for name in module_names}
+        module_protos: dict = {name: set() for name in module_names}
+
+        # Globals scattered over modules.
+        for g in range(n_globals):
+            mod = rng.choice(module_names)
+            name = self._fresh("g")
+            is_array = rng.random() < 0.5
+            static = rng.random() < 0.3
+            decl = "static int" if static else "int"
+            if is_array:
+                init = ", ".join(str(rng.randint(0, 50)) for _ in range(4))
+                module_bodies[mod].append(
+                    "{} {}[{}] = {{{}}};".format(decl, name, ARRAY_SIZE, init)
+                )
+            else:
+                module_bodies[mod].append("{} {} = {};".format(decl, name, rng.randint(0, 99)))
+            if not static:
+                self.globals.append((name, mod, is_array))
+                for other in module_names:
+                    if other != mod:
+                        if is_array:
+                            module_protos[other].add(
+                                "extern int {}[{}];".format(name, ARRAY_SIZE)
+                            )
+                        else:
+                            module_protos[other].add("extern int {};".format(name))
+
+        # Functions: build bottom-up so the call graph is a DAG.  Each
+        # function sees at most two earlier functions, bounding dynamic
+        # call-tree fan-out (the generator must terminate *quickly*, not
+        # merely eventually).
+        for mod in module_names:
+            for _ in range(funcs_per_module):
+                visible = [f for f in self.funcs if not f.static or f.module == mod]
+                callables = (
+                    rng.sample(visible, min(len(visible), 2)) if visible else []
+                )
+                kind = "plain"
+                roll = rng.random()
+                varargs = False
+                if roll < 0.12:
+                    kind = "recursive"
+                elif roll < 0.18:
+                    kind = "dyn_alloca"
+                elif roll < 0.24:
+                    varargs = True
+                n_params = rng.randint(1 if kind == "recursive" else 0, 3)
+                if kind in ("recursive", "dyn_alloca"):
+                    n_params = max(n_params, 1)
+                static = rng.random() < 0.3
+                sig = _FuncSig(self._fresh("f"), mod, n_params, static, varargs, kind)
+                module_bodies[mod].append(self._function(sig, callables))
+                self.funcs.append(sig)
+                if not static:
+                    proto_params = ", ".join(
+                        "int p{}".format(i) for i in range(sig.n_params)
+                    )
+                    if varargs:
+                        proto_params = proto_params + ", ..." if proto_params else "..."
+                    for other in module_names:
+                        if other != mod:
+                            module_protos[other].add(
+                                "int {}({});".format(sig.name, proto_params)
+                            )
+
+        # main in the last module, calling into everything visible.
+        main_mod = module_names[-1]
+        callables = [f for f in self.funcs if not f.static or f.module == main_mod]
+        self._calls_left = 6
+        self._body_cost = 40
+        self._mult = 1
+        main_lines = ["int main() {", "  int total = 0;"]
+        body = self._block(["total"], callables, rng.randint(3, 6), "  ")
+        main_lines.extend(body)
+        main_lines.append("  print_int(total % 65536);")
+        main_lines.append("  return total % 31;")
+        main_lines.append("}")
+        module_bodies[main_mod].append("\n".join(main_lines))
+
+        sources = []
+        for mod in module_names:
+            chunks = sorted(module_protos[mod]) + module_bodies[mod]
+            sources.append((mod, "\n\n".join(chunks) + "\n"))
+        return sources
+
+
+def generate_sources(seed: int, n_modules: int = 2, funcs_per_module: int = 3,
+                     n_globals: int = 3) -> List[Tuple[str, str]]:
+    """Convenience: one seeded random program."""
+    return ProgramGenerator(random.Random(seed)).generate(
+        n_modules, funcs_per_module, n_globals
+    )

@@ -1,0 +1,27 @@
+"""The ten SPEC-analog workload programs (see each module's docstring)."""
+
+from . import (
+    compress,
+    eqntott,
+    espresso,
+    go,
+    ijpeg,
+    li,
+    m88ksim,
+    perl,
+    sc,
+    vortex,
+)
+
+_MODULES = (compress, eqntott, espresso, go, ijpeg, li, m88ksim, perl, sc, vortex)
+
+
+def register_all() -> None:
+    """Register every workload with the suite registry (idempotent per
+    process because the registry rejects duplicates and suite calls this
+    only when empty)."""
+    for module in _MODULES:
+        module.register_workload()
+
+
+__all__ = ["register_all"]

@@ -1,0 +1,148 @@
+"""``compress`` — an LZW-style compressor (analog of SPEC compress).
+
+SPEC's compress spends its time in a hash-probe loop over a string
+table, with tiny helpers (hash, probe step, data accessors) called from
+the inner loop — exactly the structure here.  The data source lives in
+a separate module behind a one-line accessor, making cross-module
+inlining of ``data_at`` the difference between a call per input byte
+and none.
+
+Inputs: [data length, repetition period, random mix percent].
+"""
+
+from ..suite import Workload, register
+
+TABLE = """
+// Open-addressed string table: key = prefix*256 + ch, value = code.
+int tab_key[1024];
+int tab_val[1024];
+
+static int hash(int prefix, int ch) {
+  return ((prefix * 31) + ch * 7) & 1023;
+}
+
+void table_clear() {
+  int i;
+  for (i = 0; i < 1024; i++) tab_key[i] = -1;
+}
+
+int table_find(int prefix, int ch) {
+  int h = hash(prefix, ch);
+  int key = prefix * 256 + ch;
+  int probes = 0;
+  while (tab_key[h] != -1 && probes < 1024) {
+    if (tab_key[h] == key) return tab_val[h];
+    h = (h + 1) & 1023;
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+void table_add(int prefix, int ch, int code) {
+  int h = hash(prefix, ch);
+  int probes = 0;
+  while (tab_key[h] != -1 && probes < 1024) {
+    h = (h + 1) & 1023;
+    probes = probes + 1;
+  }
+  if (probes >= 1024) return; // table full: stop growing the dictionary
+  tab_key[h] = prefix * 256 + ch;
+  tab_val[h] = code;
+}
+"""
+
+DATA = """
+// Pseudo-random but compressible data: a repeating phrase with noise.
+int data[8192];
+static int seed = 99991;
+
+static int rnd(int m) {
+  seed = (seed * 48271) % 2147483647;
+  return seed % m;
+}
+
+void fill_data(int n, int period, int noise) {
+  int i;
+  if (n > 8192) n = 8192;
+  for (i = 0; i < n; i++) {
+    if (rnd(100) < noise) data[i] = rnd(256);
+    else data[i] = ((i % period) * 13 + 7) & 255;
+  }
+}
+
+int data_at(int i) { return data[i & 8191]; }
+"""
+
+COMPRESS = """
+extern void table_clear();
+extern int table_find(int prefix, int ch);
+extern void table_add(int prefix, int ch, int code);
+extern int data_at(int i);
+
+int out_count = 0;
+int out_sum = 0;
+
+static void emit(int code) {
+  out_count = out_count + 1;
+  out_sum = (out_sum + code * ((out_count & 7) + 1)) % 1000003;
+}
+
+int compress(int n) {
+  table_clear();
+  out_count = 0;
+  out_sum = 0;
+  int next_code = 256;
+  int prefix = data_at(0);
+  int i;
+  for (i = 1; i < n; i++) {
+    int ch = data_at(i);
+    int code = table_find(prefix, ch);
+    if (code != -1) {
+      prefix = code;
+    } else {
+      emit(prefix);
+      if (next_code < 768) {
+        table_add(prefix, ch, next_code);
+        next_code = next_code + 1;
+      }
+      prefix = ch;
+    }
+  }
+  emit(prefix);
+  return out_count;
+}
+
+int checksum() { return out_sum; }
+"""
+
+MAIN = """
+extern void fill_data(int n, int period, int noise);
+extern int compress(int n);
+extern int checksum();
+
+int main() {
+  int n = input(0);
+  int period = input(1);
+  int noise = input(2);
+  if (period < 1) period = 1;
+  fill_data(n, period, noise);
+  int codes = compress(n);
+  print_int(codes);
+  print_int(checksum());
+  return codes % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="compress",
+    spec_analog="026.compress / 129.compress (LZW)",
+    description="LZW dictionary compression with hash-probe inner loop",
+    sources=(("table", TABLE), ("data", DATA), ("lzw", COMPRESS), ("czmain", MAIN)),
+    train_inputs=((800, 17, 8),),
+    ref_input=(2500, 23, 12),
+    suites=("92", "95"),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

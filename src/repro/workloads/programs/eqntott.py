@@ -1,0 +1,160 @@
+"""``eqntott`` — boolean equations to truth tables (analog of 023.eqntott).
+
+eqntott converts boolean equations into truth tables and spends its
+time in expression evaluation over assignments plus a comparison sort
+(the original is famously dominated by ``cmppt`` called through qsort's
+function pointer).  This workload evaluates a random boolean DAG over
+every assignment of V variables, then sorts the product terms with an
+insertion sort that calls its comparator through a pointer — the
+devirtualize-then-inline chain again, in sort form.
+
+Inputs: [variable count, expression nodes, sort rounds].
+"""
+
+from ..suite import Workload, register
+
+EXPR = """
+// Boolean expression nodes over variables 0..nvars-1.
+//   kind 0: var (val = index)   kind 1: AND   kind 2: OR
+//   kind 3: XOR                 kind 4: NOT (left only)
+int ekind[512];
+int eleft[512];
+int eright[512];
+int eval_count = 0;
+static int next_e = 0;
+
+int enode(int kind, int l, int r) {
+  int i = next_e;
+  if (i >= 512) exit(3);
+  next_e = next_e + 1;
+  ekind[i] = kind;
+  eleft[i] = l;
+  eright[i] = r;
+  return i;
+}
+
+int enode_count() { return next_e; }
+
+int beval(int n, int assignment) {
+  eval_count = eval_count + 1;
+  int k = ekind[n];
+  if (k == 0) return (assignment >> eleft[n]) & 1;
+  if (k == 4) return 1 - beval(eleft[n], assignment);
+  int l = beval(eleft[n], assignment);
+  int r = beval(eright[n], assignment);
+  if (k == 1) return l & r;
+  if (k == 2) return l | r;
+  return l ^ r;
+}
+"""
+
+SORT = """
+// Insertion sort through a comparator pointer (the qsort/cmppt shape).
+int perm[1024];
+
+int cmp_asc(int a, int b) { return a - b; }
+int cmp_desc(int a, int b) { return b - a; }
+
+int cmp_gray(int a, int b) {
+  // Order by gray-code weight, then value: the "product term" compare.
+  int ga = a ^ (a >> 1);
+  int gb = b ^ (b >> 1);
+  if (ga != gb) return ga - gb;
+  return a - b;
+}
+
+void isort(int base, int n, int cmp) {
+  int i;
+  for (i = 1; i < n; i++) {
+    int v = base[i];
+    int j = i - 1;
+    while (j >= 0 && cmp(base[j], v) > 0) {
+      base[j + 1] = base[j];
+      j = j - 1;
+    }
+    base[j + 1] = v;
+  }
+}
+
+int sort_table(int values, int n, int which) {
+  int f = &cmp_gray;
+  if (which == 1) f = &cmp_asc;
+  if (which == 2) f = &cmp_desc;
+  isort(values, n, f);
+  // Order checksum.
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) s = (s * 31 + values[i]) % 1000003;
+  return s;
+}
+"""
+
+MAIN = """
+extern int enode(int kind, int l, int r);
+extern int enode_count();
+extern int beval(int n, int assignment);
+extern int sort_table(int values, int n, int which);
+
+int table[1024];
+
+static int seed = 555;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+// Build a random DAG bottom-up: node i may reference any earlier node.
+static int build(int nvars, int nnodes) {
+  int i;
+  int last = 0;
+  for (i = 0; i < nvars; i++) last = enode(0, i, 0);
+  for (i = 0; i < nnodes; i++) {
+    int k = 1 + rnd(4);
+    int l = rnd(enode_count());
+    int r = rnd(enode_count());
+    if (k == 4) last = enode(4, l, 0);
+    else last = enode(k, l, r);
+  }
+  return last;
+}
+
+int main() {
+  int nvars = input(0);
+  int nnodes = input(1);
+  int rounds = input(2);
+  if (nvars > 10) nvars = 10;
+  int root = build(nvars, nnodes);
+  int limit = 1 << nvars;
+  int a;
+  for (a = 0; a < limit; a++) {
+    table[a] = beval(root, a) * 512 + (a ^ (a >> 2));
+  }
+  int check = 0;
+  int round;
+  for (round = 0; round < rounds; round++) {
+    int phase = round % 3;
+    if (phase == 0) check = (check + sort_table(&table[0], limit, 0)) % 1000003;
+    else if (phase == 1) check = (check + sort_table(&table[0], limit, 1)) % 1000003;
+    else check = (check + sort_table(&table[0], limit, 2)) % 1000003;
+  }
+  print_int(check);
+  print_int(limit);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="eqntott",
+    spec_analog="023.eqntott (truth tables, qsort comparator)",
+    description="boolean DAG evaluation plus comparator-pointer sorting",
+    sources=(("expr", EXPR), ("sort", SORT), ("eqmain", MAIN)),
+    train_inputs=((5, 20, 1),),
+    ref_input=(7, 30, 3),
+    suites=("92",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

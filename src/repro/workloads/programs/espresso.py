@@ -1,0 +1,177 @@
+"""``espresso`` — a bitset cover kernel (analog of SPEC espresso).
+
+The logic minimizer's hot loops intersect cube bitsets and count
+literals; the kernel here scores pairs of cubes in a cover matrix via
+cross-module bitset primitives (``bs_and``/``bs_count``), with a static
+``popcount16`` helper under them — three call layers collapsing to
+straight-line bit math when HLO inlines across the module boundary.
+
+Inputs: [cube count, sweep iterations, bits per word seed].
+"""
+
+from ..suite import Workload, register
+
+BITSET = """
+// Word-array bitset primitives.  Pointers are word-granular minic
+// addresses; callers pass &array[offset].
+static int popcount16(int w) {
+  int c = 0;
+  w = w & 65535;
+  while (w) {
+    c = c + (w & 1);
+    w = w >> 1;
+  }
+  return c;
+}
+
+void bs_and(int dst, int x, int y, int words) {
+  int i;
+  for (i = 0; i < words; i++) dst[i] = x[i] & y[i];
+}
+
+void bs_or(int dst, int x, int y, int words) {
+  int i;
+  for (i = 0; i < words; i++) dst[i] = x[i] | y[i];
+}
+
+int bs_count(int x, int words) {
+  int i;
+  int c = 0;
+  for (i = 0; i < words; i++) {
+    c = c + popcount16(x[i]);
+  }
+  return c;
+}
+
+int bs_subset(int x, int y, int words) {
+  int i;
+  for (i = 0; i < words; i++) {
+    if ((x[i] & y[i]) != x[i]) return 0;
+  }
+  return 1;
+}
+"""
+
+COVER = """
+extern void bs_and(int dst, int x, int y, int words);
+extern void bs_or(int dst, int x, int y, int words);
+extern int bs_count(int x, int words);
+extern int bs_subset(int x, int y, int words);
+
+// 32 cubes x 4 words of 16 useful bits each.
+int mat[128];
+static int tmp[4];
+
+int cube(int i) { return &mat[i * 4]; }
+
+int score_pair(int i, int j) {
+  bs_and(&tmp[0], cube(i), cube(j), 4);
+  return bs_count(&tmp[0], 4);
+}
+
+// Best-overlap pair: the quadratic scan espresso does when it picks
+// cubes to merge.
+int best_pair(int n) {
+  int best = -1;
+  int bi = 0;
+  int bj = 0;
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = i + 1; j < n; j++) {
+      int s = score_pair(i, j);
+      if (s > best) {
+        best = s;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  return bi * 256 + bj;
+}
+
+void merge_into(int i, int j) {
+  bs_or(cube(i), cube(i), cube(j), 4);
+}
+
+int count_subsets(int n) {
+  int c = 0;
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      if (i != j && bs_subset(cube(i), cube(j), 4)) c = c + 1;
+    }
+  }
+  return c;
+}
+"""
+
+MAIN = """
+extern int cube(int i);
+extern int best_pair(int n);
+extern void merge_into(int i, int j);
+extern int count_subsets(int n);
+extern int bs_count(int x, int words);
+
+static int seed = 777;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+static void fill(int n, int density) {
+  int i;
+  int w;
+  for (i = 0; i < n; i++) {
+    int base = cube(i);
+    for (w = 0; w < 4; w++) {
+      int bits = 0;
+      int b;
+      for (b = 0; b < 16; b++) {
+        if (rnd(100) < density) bits = bits | (1 << b);
+      }
+      base[w] = bits;
+    }
+  }
+}
+
+int main() {
+  int n = input(0);
+  int iters = input(1);
+  int density = input(2);
+  if (n > 32) n = 32;
+  fill(n, density);
+  int check = 0;
+  int it;
+  for (it = 0; it < iters; it++) {
+    int pair = best_pair(n);
+    int i = pair / 256;
+    int j = pair % 256;
+    merge_into(i, j);
+    check = (check + pair + count_subsets(n)) % 1000003;
+  }
+  int total = 0;
+  int i;
+  for (i = 0; i < n; i++) total = total + bs_count(cube(i), 4);
+  print_int(check);
+  print_int(total);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="espresso",
+    spec_analog="008.espresso (logic minimizer)",
+    description="bitset cover scoring with layered bit primitives",
+    sources=(("bitset", BITSET), ("cover", COVER), ("esmain", MAIN)),
+    train_inputs=((8, 2, 35),),
+    ref_input=(14, 4, 40),
+    suites=("92",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

@@ -1,0 +1,167 @@
+"""``go`` — a board-position evaluator (analog of SPEC 099.go).
+
+Go programs sweep a board array applying pattern scorers.  Here the
+scorers are selected through a function-pointer table: ``eval_board``
+makes an *indirect* call per point, and the pointer comes from a
+``pattern()`` accessor in another module.  This is the paper's staged
+showcase (Section 3.1): cloning/inlining propagates the constant code
+pointer to the call site, constant propagation turns the indirect call
+direct, and a later pass inlines the scorer.
+
+Inputs: [board size, evaluation sweeps, stone density].
+"""
+
+from ..suite import Workload, register
+
+BOARD = """
+// Square board, up to 13x13, 0 empty / 1 black / 2 white.
+int board[169];
+int bsize = 9;
+
+void set_size(int n) {
+  if (n > 13) n = 13;
+  if (n < 5) n = 5;
+  bsize = n;
+}
+
+int size() { return bsize; }
+
+int at(int r, int c) {
+  if (r < 0 || c < 0 || r >= bsize || c >= bsize) return 3;
+  return board[r * 13 + c];
+}
+
+void put(int r, int c, int v) {
+  if (r < 0 || c < 0 || r >= bsize || c >= bsize) return;
+  board[r * 13 + c] = v;
+}
+
+int count_neighbors(int r, int c, int color) {
+  int n = 0;
+  if (at(r - 1, c) == color) n = n + 1;
+  if (at(r + 1, c) == color) n = n + 1;
+  if (at(r, c - 1) == color) n = n + 1;
+  if (at(r, c + 1) == color) n = n + 1;
+  return n;
+}
+"""
+
+PATTERNS = """
+extern int at(int r, int c);
+extern int count_neighbors(int r, int c, int color);
+
+static int score_territory(int r, int c) {
+  if (at(r, c) != 0) return 0;
+  int black = count_neighbors(r, c, 1);
+  int white = count_neighbors(r, c, 2);
+  if (black > white) return black - white;
+  if (white > black) return -(white - black);
+  return 0;
+}
+
+static int score_influence(int r, int c) {
+  int v = at(r, c);
+  if (v == 1) return 2 + count_neighbors(r, c, 1);
+  if (v == 2) return -(2 + count_neighbors(r, c, 2));
+  return 0;
+}
+
+static int score_connect(int r, int c) {
+  int v = at(r, c);
+  if (v == 0 || v == 3) return 0;
+  int friends = count_neighbors(r, c, v);
+  int enemies = count_neighbors(r, c, 3 - v);
+  int s = friends * 3 - enemies;
+  if (v == 2) return -s;
+  return s;
+}
+
+// Scorer table accessor: the code pointer constant HLO will propagate.
+int pattern(int which) {
+  if (which == 0) return &score_territory;
+  if (which == 1) return &score_influence;
+  return &score_connect;
+}
+"""
+
+EVAL = """
+extern int pattern(int which);
+extern int size();
+
+int eval_board(int which) {
+  int f = pattern(which);
+  int total = 0;
+  int n = size();
+  int r;
+  int c;
+  for (r = 0; r < n; r++) {
+    for (c = 0; c < n; c++) {
+      total = total + f(r, c);
+    }
+  }
+  return total;
+}
+
+int full_eval() {
+  return eval_board(0) * 4 + eval_board(1) * 2 + eval_board(2);
+}
+"""
+
+MAIN = """
+extern void set_size(int n);
+extern void put(int r, int c, int v);
+extern int full_eval();
+extern int size();
+
+static int seed = 4242;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+static void setup(int density) {
+  int n = size();
+  int r;
+  int c;
+  for (r = 0; r < n; r++) {
+    for (c = 0; c < n; c++) {
+      if (rnd(100) < density) put(r, c, 1 + rnd(2));
+      else put(r, c, 0);
+    }
+  }
+}
+
+int main() {
+  int n = input(0);
+  int sweeps = input(1);
+  int density = input(2);
+  set_size(n);
+  setup(density);
+  int check = 0;
+  int s;
+  for (s = 0; s < sweeps; s++) {
+    check = (check + full_eval() + 1000003) % 1000003;
+    // Mutate a few points between sweeps, as moves would.
+    put(rnd(size()), rnd(size()), rnd(3));
+    put(rnd(size()), rnd(size()), rnd(3));
+  }
+  print_int(check);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="go",
+    spec_analog="099.go (board evaluation)",
+    description="board sweeps through function-pointer pattern scorers",
+    sources=(("board", BOARD), ("patterns", PATTERNS), ("goeval", EVAL), ("gomain", MAIN)),
+    train_inputs=((7, 3, 40),),
+    ref_input=(9, 9, 45),
+    suites=("95",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

@@ -1,0 +1,161 @@
+"""``ijpeg`` — integer image-block transforms (analog of SPEC 132.ijpeg).
+
+JPEG's hot loops run separable integer transforms over 8x8 blocks, then
+quantize through a table.  This workload transforms image blocks with a
+butterfly-structured integer kernel split across modules: per-row and
+per-column passes call shared butterfly helpers, and quantization goes
+through a table-lookup accessor in another module.  The block loop is
+the hot region; the helpers are the inline targets.
+
+Inputs: [image width in blocks, image height in blocks, passes].
+"""
+
+from ..suite import Workload, register
+
+DSP = """
+// Butterfly helpers: the shared integer kernel pieces.
+int rot(int a, int b, int k) {
+  // A pseudo-rotation: mixes two lanes with integer scaling.
+  int t = (a * k + b * (64 - k)) / 64;
+  int u = (b * k - a * (64 - k)) / 64;
+  return (t & 65535) * 65536 + (u & 65535);
+}
+
+int rot_hi(int packed) { return (packed / 65536) & 65535; }
+int rot_lo(int packed) { return packed & 65535; }
+
+int butterfly_add(int a, int b) { return (a + b) / 2; }
+int butterfly_sub(int a, int b) { return (a - b) / 2; }
+
+int clamp255(int v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return v;
+}
+"""
+
+QUANT = """
+// Quantization table with accessor (cross-module, one load).
+int qtable[64];
+
+void quant_init(int quality) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    int q = 1 + (i * quality) / 16;
+    if (q > 32) q = 32;
+    qtable[i] = q;
+  }
+}
+
+int quantize(int coeff, int index) {
+  return coeff / qtable[index & 63];
+}
+
+int dequantize(int coeff, int index) {
+  return coeff * qtable[index & 63];
+}
+"""
+
+TRANSFORM = """
+extern int butterfly_add(int a, int b);
+extern int butterfly_sub(int a, int b);
+extern int rot(int a, int b, int k);
+extern int rot_hi(int packed);
+extern int rot_lo(int packed);
+extern int clamp255(int v);
+extern int quantize(int coeff, int index);
+
+// One 8x8 block, processed in place through a scratch buffer.
+int blk[64];
+
+static void pass_rows() {
+  int r;
+  for (r = 0; r < 8; r++) {
+    int base = r * 8;
+    int c;
+    for (c = 0; c < 4; c++) {
+      int s = butterfly_add(blk[base + c], blk[base + 7 - c]);
+      int d = butterfly_sub(blk[base + c], blk[base + 7 - c]);
+      int packed = rot(s, d, 17 + c * 4);
+      blk[base + c] = rot_hi(packed);
+      blk[base + 7 - c] = rot_lo(packed);
+    }
+  }
+}
+
+static void pass_cols() {
+  int c;
+  for (c = 0; c < 8; c++) {
+    int r;
+    for (r = 0; r < 4; r++) {
+      int top = r * 8 + c;
+      int bot = (7 - r) * 8 + c;
+      int s = butterfly_add(blk[top], blk[bot]);
+      int d = butterfly_sub(blk[top], blk[bot]);
+      blk[top] = s;
+      blk[bot] = d;
+    }
+  }
+}
+
+int transform_block() {
+  pass_rows();
+  pass_cols();
+  int sum = 0;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int q = quantize(blk[i], i);
+    blk[i] = clamp255(q & 1023);
+    sum = (sum + blk[i]) % 1000003;
+  }
+  return sum;
+}
+
+void load_block(int seed) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    blk[i] = ((seed * (i + 3) * 2654435761) >> 8) & 255;
+  }
+}
+"""
+
+MAIN = """
+extern void quant_init(int quality);
+extern void load_block(int seed);
+extern int transform_block();
+
+int main() {
+  int wblocks = input(0);
+  int hblocks = input(1);
+  int passes = input(2);
+  quant_init(7);
+  int check = 0;
+  int p;
+  for (p = 0; p < passes; p++) {
+    int by;
+    for (by = 0; by < hblocks; by++) {
+      int bx;
+      for (bx = 0; bx < wblocks; bx++) {
+        load_block(by * 1000 + bx * 10 + p + 1);
+        check = (check + transform_block()) % 1000003;
+      }
+    }
+  }
+  print_int(check);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="ijpeg",
+    spec_analog="132.ijpeg (integer image transforms)",
+    description="8x8 block butterfly transforms with quantization lookups",
+    sources=(("dsp", DSP), ("quant", QUANT), ("xform", TRANSFORM), ("jmain", MAIN)),
+    train_inputs=((3, 2, 2),),
+    ref_input=(4, 3, 3),
+    suites=("95",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

@@ -1,0 +1,192 @@
+"""``li`` — an expression-tree interpreter (analog of SPEC's xlisp).
+
+The SPEC lisp interpreters are dominated by recursive ``eval`` dispatch
+over small per-operator helpers; the paper reports li as the suite's
+biggest winner (2x), with cloning a "vital contributor".  This workload
+has the same shape: a node pool module, an evaluator module whose
+static helpers recurse back into ``eval``, and a driver that builds
+random expression trees and folds them over many variable bindings.
+
+Inputs: [number of trees, evaluation iterations, tree depth].
+"""
+
+from ..suite import Workload, register
+
+CELLS = """
+// Node pool for expression trees, interleaved so one node occupies one
+// cache line (kind, left, right, val, aux at stride 8).  Kinds:
+//   0 const (val)        1 var (val selects a or b)
+//   2 add   3 sub        4 mul (mod 9973)
+//   5 less-than          6 if (cond node in aux)
+int pool[8192];
+static int next_node = 0;
+
+int node_count() { return next_node; }
+
+int node(int kind, int left, int right, int val) {
+  int i = next_node;
+  if (i >= 1024) exit(3);
+  next_node = next_node + 1;
+  pool[i * 8] = kind;
+  pool[i * 8 + 1] = left;
+  pool[i * 8 + 2] = right;
+  pool[i * 8 + 3] = val;
+  pool[i * 8 + 4] = 0;
+  return i;
+}
+
+int leaf_const(int v) { return node(0, 0, 0, v); }
+int leaf_var(int which) { return node(1, 0, 0, which); }
+int mk(int kind, int l, int r) { return node(kind, l, r, 0); }
+
+int mk_if(int c, int l, int r) {
+  int n = node(6, l, r, 0);
+  pool[n * 8 + 4] = c;
+  return n;
+}
+"""
+
+EVAL = """
+extern int pool[8192];
+
+// Evaluation statistics, maintained only in traced mode.  ``mode`` is a
+// pass-through parameter on the whole recursive evaluator nest — the
+// paper names "cloning a recursive procedure with a pass-through
+// parameter" as a case its multi-pass structure handles: a clone
+// specialized on mode=0 drops all the bookkeeping below.
+int stat_visits = 0;
+int stat_depth = 0;
+
+static void note_visit(int kind) {
+  stat_visits = stat_visits + 1;
+  stat_depth = (stat_depth * 31 + kind) % 1000003;
+}
+
+int eval(int n, int a, int b, int mode);
+
+// Helpers receive the node base address and read their own child
+// links.  With the pass-through ``mode`` they take five arguments —
+// one beyond the register-argument budget — so cloning mode away also
+// eliminates a memory argument at every hot call.
+static int eval_add(int base, int a, int b, int mode) {
+  return eval(pool[base + 1], a, b, mode) + eval(pool[base + 2], a, b, mode);
+}
+
+static int eval_sub(int base, int a, int b, int mode) {
+  return eval(pool[base + 1], a, b, mode) - eval(pool[base + 2], a, b, mode);
+}
+
+static int eval_mul(int base, int a, int b, int mode) {
+  int x = eval(pool[base + 1], a, b, mode) % 9973;
+  int y = eval(pool[base + 2], a, b, mode) % 9973;
+  return (x * y) % 9973;
+}
+
+static int eval_lt(int base, int a, int b, int mode) {
+  if (eval(pool[base + 1], a, b, mode) < eval(pool[base + 2], a, b, mode)) return 1;
+  return 0;
+}
+
+static int eval_if(int base, int a, int b, int mode) {
+  if (eval(pool[base + 4], a, b, mode)) return eval(pool[base + 1], a, b, mode);
+  return eval(pool[base + 2], a, b, mode);
+}
+
+int eval(int n, int a, int b, int mode) {
+  int base = n * 8;
+  int k = pool[base];
+  if (mode) note_visit(k);
+  if (k == 0) return pool[base + 3];
+  if (k == 1) {
+    if (pool[base + 3] == 0) return a;
+    return b;
+  }
+  if (k == 2) return eval_add(base, a, b, mode);
+  if (k == 3) return eval_sub(base, a, b, mode);
+  if (k == 4) return eval_mul(base, a, b, mode);
+  if (k == 5) return eval_lt(base, a, b, mode);
+  return eval_if(base, a, b, mode);
+}
+
+int visits() { return stat_visits; }
+int depth_sig() { return stat_depth; }
+
+// Fold an expression over bindings (0,seed) .. (iters-1, seed^i):
+// the hot loop the profile steers inlining toward.  mode=0 here is the
+// clone-spec constant.
+int eval_many(int root, int iters, int seed) {
+  int total = 0;
+  int i;
+  for (i = 0; i < iters; i++) {
+    total = total + eval(root, i, (i ^ seed) % 251, 0);
+    total = total % 1000003;
+  }
+  return total;
+}
+"""
+
+MAIN = """
+extern int leaf_const(int v);
+extern int leaf_var(int which);
+extern int mk(int kind, int l, int r);
+extern int mk_if(int c, int l, int r);
+extern int node_count();
+extern int eval(int n, int a, int b, int mode);
+extern int eval_many(int root, int iters, int seed);
+extern int visits();
+extern int depth_sig();
+
+static int seed = 12345;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+static int gen(int depth) {
+  if (depth <= 0) {
+    if (rnd(2)) return leaf_const(rnd(100));
+    return leaf_var(rnd(2));
+  }
+  int k = 2 + rnd(5);
+  if (k == 6) return mk_if(gen(depth - 1), gen(depth - 1), gen(depth - 1));
+  return mk(k, gen(depth - 1), gen(depth - 1));
+}
+
+int roots[64];
+
+int main() {
+  int ntrees = input(0);
+  int iters = input(1);
+  int depth = input(2);
+  if (ntrees > 64) ntrees = 64;
+  int i;
+  for (i = 0; i < ntrees; i++) roots[i] = gen(depth);
+  int total = 0;
+  for (i = 0; i < ntrees; i++) {
+    // One traced evaluation per tree (cold), then the hot fold.
+    total = (total + eval(roots[i], 1, 2, 1)) % 1000003;
+    total = (total + eval_many(roots[i], iters, i * 7 + 1)) % 1000003;
+  }
+  print_int(total);
+  print_int(node_count());
+  print_int(visits());
+  print_int(depth_sig());
+  return total % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="li",
+    spec_analog="022.li / 130.li (xlisp interpreter)",
+    description="recursive expression evaluator with per-operator helpers",
+    sources=(("cells", CELLS), ("eval", EVAL), ("limain", MAIN)),
+    train_inputs=((5, 10, 4),),
+    ref_input=(8, 24, 5),
+    suites=("92", "95"),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

@@ -1,0 +1,199 @@
+"""``m88ksim`` — a tiny CPU simulator (analog of SPEC 124.m88ksim).
+
+An instruction-set simulator's core is a fetch/decode/dispatch loop
+over small opcode handlers; the paper names m88ksim one of the
+benchmarks where *cloning* is a vital contributor (the dispatcher is
+repeatedly called with constant mode arguments).  The simulated ISA
+here has a register file, memory, ALU/branch/memory ops, and a
+``step(trace)`` entry whose constant ``trace=0`` argument at the hot
+call site is exactly the clone-spec bait.
+
+Inputs: [guest loop count, guest array size, simulator step cap].
+"""
+
+from ..suite import Workload, register
+
+CPU = """
+// Guest machine state.
+int regs[16];
+int gmem[1024];
+int pc = 0;
+int halted = 0;
+int cycles = 0;
+
+void reset() {
+  int i;
+  for (i = 0; i < 16; i++) regs[i] = 0;
+  pc = 0;
+  halted = 0;
+  cycles = 0;
+}
+
+int get_reg(int r) { return regs[r & 15]; }
+void set_reg(int r, int v) { if ((r & 15) != 0) regs[r & 15] = v; }
+int get_pc() { return pc; }
+void set_pc(int v) { pc = v & 1023; }
+int load_mem(int a) { return gmem[a & 1023]; }
+void store_mem(int a, int v) { gmem[a & 1023] = v; }
+int is_halted() { return halted; }
+void halt() { halted = 1; }
+void tick() { cycles = cycles + 1; }
+int cycle_count() { return cycles; }
+"""
+
+OPS = """
+extern int get_reg(int r);
+extern void set_reg(int r, int v);
+extern int get_pc();
+extern void set_pc(int v);
+extern int load_mem(int a);
+extern void store_mem(int a, int v);
+extern void halt();
+
+// Encoding: op in bits 12..15, d in 8..11, a in 4..7, b/imm in 0..3.
+static int fld_op(int w) { return (w >> 12) & 15; }
+static int fld_d(int w) { return (w >> 8) & 15; }
+static int fld_a(int w) { return (w >> 4) & 15; }
+static int fld_b(int w) { return w & 15; }
+
+static void op_add(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) + get_reg(fld_b(w))); }
+static void op_sub(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) - get_reg(fld_b(w))); }
+static void op_mul(int w) { set_reg(fld_d(w), (get_reg(fld_a(w)) * get_reg(fld_b(w))) % 65521); }
+static void op_addi(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) + fld_b(w)); }
+static void op_subi(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) - fld_b(w)); }
+static void op_and(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) & get_reg(fld_b(w))); }
+static void op_xor(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) ^ get_reg(fld_b(w))); }
+static void op_shl(int w) { set_reg(fld_d(w), get_reg(fld_a(w)) << fld_b(w)); }
+static void op_ld(int w) { set_reg(fld_d(w), load_mem(get_reg(fld_a(w)) + fld_b(w))); }
+static void op_st(int w) { store_mem(get_reg(fld_a(w)) + fld_b(w), get_reg(fld_d(w))); }
+
+static void op_beq(int w) {
+  if (get_reg(fld_d(w)) == get_reg(fld_a(w))) set_pc(get_pc() + fld_b(w) - 8);
+}
+
+static void op_bne(int w) {
+  if (get_reg(fld_d(w)) != get_reg(fld_a(w))) set_pc(get_pc() + fld_b(w) - 8);
+}
+
+int execute(int w, int trace) {
+  int op = fld_op(w);
+  if (trace) {
+    // A real simulator would log; tracing is off on the hot path, and
+    // cloning execute(w, 0) deletes this branch entirely.
+    print_int(op);
+  }
+  switch (op) {
+    case 0: halt(); return 0;
+    case 1: op_add(w); break;
+    case 2: op_sub(w); break;
+    case 3: op_mul(w); break;
+    case 4: op_addi(w); break;
+    case 5: op_subi(w); break;
+    case 6: op_and(w); break;
+    case 7: op_xor(w); break;
+    case 8: op_shl(w); break;
+    case 9: op_ld(w); break;
+    case 10: op_st(w); break;
+    case 11: op_beq(w); break;
+    case 12: op_bne(w); break;
+  }
+  return 1;
+}
+"""
+
+SIM = """
+extern int execute(int w, int trace);
+extern int get_pc();
+extern void set_pc(int v);
+extern int load_mem(int a);
+extern int is_halted();
+extern void tick();
+
+int step(int trace) {
+  int w = load_mem(get_pc());
+  set_pc(get_pc() + 1);
+  tick();
+  return execute(w, trace);
+}
+
+int run(int max_steps) {
+  int n = 0;
+  while (!is_halted() && n < max_steps) {
+    step(0);
+    n = n + 1;
+  }
+  return n;
+}
+"""
+
+MAIN = """
+extern void reset();
+extern void store_mem(int a, int v);
+extern void set_reg(int r, int v);
+extern int get_reg(int r);
+extern void set_pc(int v);
+extern int run(int max_steps);
+extern int cycle_count();
+
+// Host-side assembler for the guest program.
+static int emit_at = 0;
+
+static void emit(int op, int d, int a, int b) {
+  store_mem(512 + emit_at, (op << 12) | (d << 8) | (a << 4) | (b & 15));
+  emit_at = emit_at + 1;
+}
+
+// Branch offsets: when the guest branch at address P executes, pc is
+// already P+1 and the handler does pc += b - 8, so b = target - P + 7.
+static int boff(int target, int at) { return (target - at + 7) & 15; }
+
+int main() {
+  int loops = input(0);
+  int asize = input(1);
+  int cap = input(2);
+  if (asize > 15) asize = 15;
+  reset();
+  // Guest data: gmem[0..asize-1] holds small values to sum.
+  int i;
+  for (i = 0; i < asize; i++) store_mem(i, (i * 3 + 1) & 15);
+
+  // Guest registers: r1 outer counter, r2 index, r3 accumulator,
+  // r4 inner bound, r5 scratch, r6 constant one, r8 outer bound.
+  // Guest program (addresses relative to 512):
+  emit_at = 0;
+  emit(4, 1, 0, 0);            // 0: r1 = 0
+  emit(4, 6, 0, 1);            // 1: r6 = 1
+  emit(4, 2, 0, 0);            // 2: outer: r2 = 0
+  emit(9, 5, 2, 0);            // 3: inner: r5 = mem[r2]
+  emit(1, 3, 3, 5);            // 4: r3 = r3 + r5
+  emit(1, 2, 2, 6);            // 5: r2 = r2 + 1
+  emit(12, 2, 4, boff(3, 6));  // 6: bne r2, r4 -> 3
+  emit(1, 1, 1, 6);            // 7: r1 = r1 + 1
+  emit(12, 1, 8, boff(2, 8));  // 8: bne r1, r8 -> 2
+  emit(0, 0, 0, 0);            // 9: halt
+
+  set_reg(4, asize);
+  set_reg(8, loops);
+  set_pc(512);
+  int steps = run(cap);
+  print_int(get_reg(3));
+  print_int(get_reg(1));
+  print_int(steps);
+  print_int(cycle_count());
+  return get_reg(3) % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="m88ksim",
+    spec_analog="124.m88ksim (CPU simulator)",
+    description="fetch/decode/dispatch loop over small opcode handlers",
+    sources=(("cpu", CPU), ("ops", OPS), ("sim", SIM), ("simmain", MAIN)),
+    train_inputs=((20, 10, 20000),),
+    ref_input=(60, 14, 200000),
+    suites=("95",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

@@ -1,0 +1,215 @@
+"""``perl`` — a pattern matcher + hash interpreter (analog of 134.perl).
+
+Perl's SPEC profile is string/pattern work plus associative arrays.
+This workload matches glob-style patterns (``*``, ``?``, literals) over
+synthetic strings stored as word arrays, tallying hits in a hash table
+keyed by (pattern, string prefix) — recursion in the matcher, tiny
+accessors on the hash, and a dispatch on pattern-character kind.
+
+Inputs: [string count, string length, pattern set selector].
+"""
+
+from ..suite import Workload, register
+
+STRINGS = """
+// String pool: fixed-width rows of character codes.
+int pool[4096];
+int pool_width = 16;
+static int pool_rows = 0;
+
+void pool_set_width(int w) {
+  if (w >= 4 && w <= 32) pool_width = w;
+}
+
+int pool_add(int seed) {
+  int row = pool_rows;
+  if ((row + 1) * pool_width > 4096) return -1;
+  int i;
+  int state = seed;
+  for (i = 0; i < pool_width; i++) {
+    state = (state * 1103515245 + 12345) % 2147483648;
+    if (state < 0) state = -state;
+    // Characters from a small alphabet make '*' interesting.
+    pool[row * pool_width + i] = 97 + state % 5;
+  }
+  pool_rows = pool_rows + 1;
+  return row;
+}
+
+int pool_count() { return pool_rows; }
+int char_at(int row, int i) {
+  if (i >= pool_width) return 0;
+  return pool[row * pool_width + i];
+}
+int str_len() { return pool_width; }
+"""
+
+MATCH = """
+extern int char_at(int row, int i);
+extern int str_len();
+
+// Patterns live in small global arrays: code 0 ends, -1 is '*',
+// -2 is '?', positive values are literal character codes.
+int pats[256];
+int pat_base[16];
+static int pat_count = 0;
+static int pat_at = 0;
+
+int pat_begin() {
+  pat_base[pat_count & 15] = pat_at;
+  return pat_count;
+}
+
+void pat_push(int code) {
+  if (pat_at < 255) {
+    pats[pat_at] = code;
+    pat_at = pat_at + 1;
+  }
+}
+
+void pat_end() {
+  pat_push(0);
+  pat_count = pat_count + 1;
+}
+
+// Recursive glob matcher: the hot, self-recursive routine.
+int match_here(int p, int row, int s) {
+  int code = pats[p];
+  if (code == 0) return s >= str_len() || char_at(row, s) == 0;
+  if (code == -1) {
+    // '*': try every split, shortest first.
+    int k;
+    for (k = s; k <= str_len(); k++) {
+      if (match_here(p + 1, row, k)) return 1;
+    }
+    return 0;
+  }
+  if (s >= str_len()) return 0;
+  if (code == -2) return match_here(p + 1, row, s + 1);
+  if (char_at(row, s) == code) return match_here(p + 1, row, s + 1);
+  return 0;
+}
+
+int match(int pattern, int row) {
+  return match_here(pat_base[pattern & 15], row, 0);
+}
+"""
+
+HASH = """
+// The associative array: counts per (pattern, first char) key.
+int h_key[256];
+int h_val[256];
+
+void hash_clear() {
+  int i;
+  for (i = 0; i < 256; i++) h_key[i] = -1;
+}
+
+static int slot(int key) { return (key * 40503) & 255; }
+
+void hash_bump(int key) {
+  int h = slot(key);
+  int probes = 0;
+  while (h_key[h] != -1 && h_key[h] != key && probes < 256) {
+    h = (h + 1) & 255;
+    probes = probes + 1;
+  }
+  if (h_key[h] == key) {
+    h_val[h] = h_val[h] + 1;
+    return;
+  }
+  if (probes < 256) {
+    h_key[h] = key;
+    h_val[h] = 1;
+  }
+}
+
+int hash_get(int key) {
+  int h = slot(key);
+  int probes = 0;
+  while (h_key[h] != -1 && probes < 256) {
+    if (h_key[h] == key) return h_val[h];
+    h = (h + 1) & 255;
+    probes = probes + 1;
+  }
+  return 0;
+}
+
+int hash_sum() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 256; i++) {
+    if (h_key[i] != -1) s = (s + h_key[i] * h_val[i]) % 1000003;
+  }
+  return s;
+}
+"""
+
+MAIN = """
+extern void pool_set_width(int w);
+extern int pool_add(int seed);
+extern int pool_count();
+extern int char_at(int row, int i);
+extern int pat_begin();
+extern void pat_push(int code);
+extern void pat_end();
+extern int match(int pattern, int row);
+extern void hash_clear();
+extern void hash_bump(int key);
+extern int hash_sum();
+
+static void build_patterns(int selector) {
+  // Pattern 0: a*b
+  pat_begin(); pat_push(97); pat_push(-1); pat_push(98); pat_end();
+  // Pattern 1: ?c*
+  pat_begin(); pat_push(-2); pat_push(99); pat_push(-1); pat_end();
+  // Pattern 2: *de?a*
+  pat_begin(); pat_push(-1); pat_push(100); pat_push(101);
+  pat_push(-2); pat_push(97); pat_push(-1); pat_end();
+  if (selector) {
+    // Pattern 3: literal run (rarely matches: the cold pattern).
+    pat_begin(); pat_push(97); pat_push(97); pat_push(97);
+    pat_push(97); pat_end();
+  }
+}
+
+int main() {
+  int nstrings = input(0);
+  int width = input(1);
+  int selector = input(2);
+  pool_set_width(width);
+  hash_clear();
+  build_patterns(selector);
+  int npats = 3;
+  if (selector) npats = 4;
+  int i;
+  for (i = 0; i < nstrings; i++) pool_add(i * 7 + 13);
+  int hits = 0;
+  int p;
+  for (p = 0; p < npats; p++) {
+    for (i = 0; i < pool_count(); i++) {
+      if (match(p, i)) {
+        hits = hits + 1;
+        hash_bump(p * 256 + char_at(i, 0));
+      }
+    }
+  }
+  print_int(hits);
+  print_int(hash_sum());
+  return hits % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="perl",
+    spec_analog="134.perl (pattern matching + hashes)",
+    description="recursive glob matching over a string pool with hash tallies",
+    sources=(("strings", STRINGS), ("matcher", MATCH), ("phash", HASH), ("pmain", MAIN)),
+    train_inputs=((40, 10, 0),),
+    ref_input=(150, 14, 1),
+    suites=("95",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

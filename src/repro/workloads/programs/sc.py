@@ -1,0 +1,147 @@
+"""``sc`` — a spreadsheet recalculator (analog of SPEC 072.sc).
+
+The paper singles sc out twice: its scope anecdote (7.1s → 6.3s → 5.3s
+→ 4.5s across base/c/p/cp) and the "special curses library in which all
+curses calls do nothing ... eliminated before inlining because HLO's
+interprocedural analysis determines that they have no side effect."
+This workload recalculates a formula grid, and every cell update calls
+into a curses module whose display routines are empty — exactly the
+dead cross-module calls the side-effect analysis must remove.
+
+Inputs: [grid rows, grid cols, recalc passes].
+"""
+
+from ..suite import Workload, register
+
+CURSES = """
+// The no-op curses library: every routine does nothing (the real sc
+// benchmark shipped such a stub library so timing excluded terminal
+// I/O).  HLO's side-effect analysis removes calls to all of these.
+static int cur_row = 0;
+static int cur_col = 0;
+
+int cur_move(int r, int c) { return r * 256 + c; }
+int cur_addch(int ch) { return ch; }
+int cur_standout() { return 1; }
+int cur_standend() { return 0; }
+int cur_refresh() { return 0; }
+int cur_clrtoeol() { return 0; }
+"""
+
+SHEET = """
+extern int cur_move(int r, int c);
+extern int cur_addch(int ch);
+extern int cur_refresh();
+extern int cur_clrtoeol();
+
+// Grid of cells: value plus a formula kind.
+//   kind 0: constant     kind 1: sum of left and up neighbors
+//   kind 2: product mod  kind 3: max of left and up
+int cellv[600];
+int cellk[600];
+int ncols = 20;
+
+void set_cols(int c) { if (c >= 1 && c <= 30) ncols = c; }
+
+int cell_at(int r, int c) { return cellv[r * 30 + c]; }
+void poke(int r, int c, int kind, int v) {
+  cellk[r * 30 + c] = kind;
+  cellv[r * 30 + c] = v;
+}
+
+static int neighbor_left(int r, int c) {
+  if (c == 0) return 0;
+  return cell_at(r, c - 1);
+}
+
+static int neighbor_up(int r, int c) {
+  if (r == 0) return 0;
+  return cell_at(r - 1, c);
+}
+
+static void display_cell(int r, int c, int v) {
+  cur_move(r, c);
+  cur_addch(v % 64 + 32);
+  cur_clrtoeol();
+}
+
+int recalc_cell(int r, int c) {
+  int k = cellk[r * 30 + c];
+  int v = cellv[r * 30 + c];
+  if (k == 1) v = (neighbor_left(r, c) + neighbor_up(r, c) + 1) % 9973;
+  if (k == 2) v = (neighbor_left(r, c) * 3 + neighbor_up(r, c) * 5 + 7) % 9973;
+  if (k == 3) {
+    int l = neighbor_left(r, c);
+    int u = neighbor_up(r, c);
+    if (l > u) v = l;
+    else v = u;
+  }
+  cellv[r * 30 + c] = v;
+  display_cell(r, c, v);
+  return v;
+}
+
+int recalc(int rows, int cols) {
+  int sum = 0;
+  int r;
+  int c;
+  for (r = 0; r < rows; r++) {
+    for (c = 0; c < cols; c++) {
+      sum = (sum + recalc_cell(r, c)) % 1000003;
+    }
+  }
+  cur_refresh();
+  return sum;
+}
+"""
+
+MAIN = """
+extern void set_cols(int c);
+extern void poke(int r, int c, int kind, int v);
+extern int recalc(int rows, int cols);
+
+static int seed = 2024;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+int main() {
+  int rows = input(0);
+  int cols = input(1);
+  int passes = input(2);
+  if (rows > 20) rows = 20;
+  if (cols > 30) cols = 30;
+  set_cols(cols);
+  int r;
+  int c;
+  for (r = 0; r < rows; r++) {
+    for (c = 0; c < cols; c++) {
+      poke(r, c, rnd(4), rnd(100));
+    }
+  }
+  int check = 0;
+  int p;
+  for (p = 0; p < passes; p++) {
+    check = (check + recalc(rows, cols)) % 1000003;
+  }
+  print_int(check);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="sc",
+    spec_analog="072.sc (spreadsheet with no-op curses)",
+    description="grid recalculation with dead display calls per cell",
+    sources=(("curses", CURSES), ("sheet", SHEET), ("scmain", MAIN)),
+    train_inputs=((8, 10, 8),),
+    ref_input=(14, 20, 16),
+    suites=("92",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

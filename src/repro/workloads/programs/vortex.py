@@ -1,0 +1,176 @@
+"""``vortex`` — an in-memory record store (analog of SPEC 147.vortex).
+
+Vortex is an object-oriented database: transaction loops calling layers
+of tiny field accessors and integrity checks.  The store module here
+keeps records in parallel global arrays behind get/set accessors; the
+transaction module drives insert/lookup/update/validate mixes through
+them.  Thousands of two-instruction calls make this the purest inlining
+benchmark in the suite.
+
+Inputs: [transaction count, key range, validate period].
+"""
+
+from ..suite import Workload, register
+
+STORE = """
+// Open-addressed record store: parallel arrays, linear probing.
+int rec_key[512];
+int rec_val[512];
+int rec_gen[512];
+int rec_live[512];
+int rec_count = 0;
+
+static int slot_of(int key) { return (key * 2654435761) & 511; }
+
+void store_clear() {
+  int i;
+  for (i = 0; i < 512; i++) rec_live[i] = 0;
+  rec_count = 0;
+}
+
+int store_find(int key) {
+  int h = slot_of(key);
+  int probes = 0;
+  while (rec_live[h] && probes < 512) {
+    if (rec_key[h] == key) return h;
+    h = (h + 1) & 511;
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+int store_insert(int key, int val) {
+  int h = slot_of(key);
+  int probes = 0;
+  while (rec_live[h] && probes < 512) {
+    if (rec_key[h] == key) { rec_val[h] = val; return h; }
+    h = (h + 1) & 511;
+    probes = probes + 1;
+  }
+  if (probes >= 512 || rec_count >= 384) return -1;
+  rec_live[h] = 1;
+  rec_key[h] = key;
+  rec_val[h] = val;
+  rec_gen[h] = 0;
+  rec_count = rec_count + 1;
+  return h;
+}
+
+// Field accessors, vortex style: one load or store each.
+int get_key(int slot) { return rec_key[slot & 511]; }
+int get_val(int slot) { return rec_val[slot & 511]; }
+int get_gen(int slot) { return rec_gen[slot & 511]; }
+int is_live(int slot) { return rec_live[slot & 511]; }
+void set_val(int slot, int v) { rec_val[slot & 511] = v; }
+void bump_gen(int slot) { rec_gen[slot & 511] = rec_gen[slot & 511] + 1; }
+int record_count() { return rec_count; }
+"""
+
+TXN = """
+extern int store_find(int key);
+extern int store_insert(int key, int val);
+extern int get_key(int slot);
+extern int get_val(int slot);
+extern int get_gen(int slot);
+extern int is_live(int slot);
+extern void set_val(int slot, int v);
+extern void bump_gen(int slot);
+extern int record_count();
+
+int txn_ok = 0;
+int txn_miss = 0;
+
+int txn_upsert(int key, int val) {
+  int slot = store_find(key);
+  if (slot >= 0) {
+    set_val(slot, (get_val(slot) + val) % 1000003);
+    bump_gen(slot);
+    txn_ok = txn_ok + 1;
+    return get_val(slot);
+  }
+  slot = store_insert(key, val);
+  if (slot >= 0) {
+    txn_ok = txn_ok + 1;
+    return val;
+  }
+  txn_miss = txn_miss + 1;
+  return 0;
+}
+
+int txn_read(int key) {
+  int slot = store_find(key);
+  if (slot < 0) {
+    txn_miss = txn_miss + 1;
+    return 0;
+  }
+  txn_ok = txn_ok + 1;
+  return get_val(slot) + get_gen(slot);
+}
+
+// Integrity sweep: every live record's key must find its own slot.
+int validate() {
+  int bad = 0;
+  int s;
+  for (s = 0; s < 512; s++) {
+    if (is_live(s)) {
+      int found = store_find(get_key(s));
+      if (found != s && found >= 0) {
+        if (get_key(found) != get_key(s)) bad = bad + 1;
+      }
+    }
+  }
+  return bad;
+}
+"""
+
+MAIN = """
+extern int txn_upsert(int key, int val);
+extern int txn_read(int key);
+extern int validate();
+extern int record_count();
+extern void store_clear();
+
+static int seed = 31337;
+
+static int rnd(int m) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) seed = -seed;
+  return seed % m;
+}
+
+int main() {
+  int txns = input(0);
+  int key_range = input(1);
+  int vperiod = input(2);
+  if (key_range < 1) key_range = 1;
+  if (vperiod < 1) vperiod = 1;
+  store_clear();
+  int check = 0;
+  int bad = 0;
+  int t;
+  for (t = 0; t < txns; t++) {
+    int key = rnd(key_range);
+    if (rnd(100) < 40) check = (check + txn_upsert(key, rnd(1000))) % 1000003;
+    else check = (check + txn_read(key)) % 1000003;
+    if (t % vperiod == 0) bad = bad + validate();
+  }
+  print_int(check);
+  print_int(record_count());
+  print_int(bad);
+  return check % 97;
+}
+"""
+
+WORKLOAD = Workload(
+    name="vortex",
+    spec_analog="147.vortex (OO database)",
+    description="record-store transactions through tiny field accessors",
+    sources=(("store", STORE), ("txn", TXN), ("vxmain", MAIN)),
+    train_inputs=((250, 80, 50),),
+    ref_input=(900, 200, 90),
+    suites=("95",),
+)
+
+
+def register_workload() -> None:
+    register(WORKLOAD)

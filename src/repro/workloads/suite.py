@@ -1,0 +1,82 @@
+"""The workload suite: ten SPEC-analog programs written in minic.
+
+We cannot ship SPEC sources, so each workload reproduces the
+*structural* property that made its SPEC counterpart interesting to the
+paper (see DESIGN.md's substitution table): interpreter dispatch in
+``li``, a no-op curses module in ``sc``, function-pointer pattern
+scoring in ``go``, tiny accessors in ``vortex``, and so on.  Every
+workload is multi-module (cross-module inlining must matter), has
+training and reference inputs of different sizes, and prints a checksum
+so behaviour preservation is machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..frontend.driver import compile_program
+from ..ir.program import Program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program: sources plus train/ref inputs.
+
+    ``suites`` tags the workload with the SPEC generation(s) its analog
+    belongs to ("92", "95"), so Figure 6 can report the paper's two
+    geometric-mean rows.
+    """
+
+    name: str
+    spec_analog: str
+    description: str
+    sources: Tuple[Tuple[str, str], ...]
+    train_inputs: Tuple[Tuple[int, ...], ...]
+    ref_input: Tuple[int, ...]
+    suites: Tuple[str, ...] = ("92", "95")
+
+    def compile(self) -> Program:
+        """A fresh, unoptimized compile of the workload."""
+        return compile_program(list(self.sources))
+
+    def source_dict(self) -> Dict[str, str]:
+        return dict(self.sources)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError("duplicate workload {!r}".format(workload.name))
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload {!r}; available: {}".format(name, workload_names())
+        )
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    from .programs import register_all
+
+    register_all()

@@ -1,0 +1,133 @@
+"""Call graph: classification (Figure 5 taxonomy), SCCs, orders."""
+
+from repro.analysis import (
+    CROSS_MODULE,
+    EXTERNAL,
+    INDIRECT,
+    RECURSIVE,
+    WITHIN_MODULE,
+    CallGraph,
+)
+from repro.frontend import compile_program
+
+
+SOURCES = [
+    (
+        "lib",
+        """
+        static int hidden(int x) { return x + 1; }
+        int visible(int x) { return hidden(x); }
+        int self_rec(int n) { if (n <= 0) return 0; return self_rec(n - 1); }
+        int ping(int n);
+        int pong(int n) { if (n <= 0) return 0; return ping(n - 1); }
+        int ping(int n) { return pong(n); }
+        """,
+    ),
+    (
+        "main",
+        """
+        extern int visible(int x);
+        extern int ping(int n);
+        int apply(int f, int x) { return f(x); }
+        int main() {
+          print_int(visible(1));
+          print_int(ping(3));
+          print_int(apply(&visible, 2));
+          return 0;
+        }
+        """,
+    ),
+]
+
+
+def graph():
+    return CallGraph(compile_program(SOURCES))
+
+
+class TestClassification:
+    def categories(self):
+        return {
+            (s.caller.name, getattr(s.instr, "callee", "?")): s.category
+            for s in graph().sites
+        }
+
+    def test_within_module(self):
+        cats = self.categories()
+        assert cats[("visible", "hidden$lib")] == WITHIN_MODULE
+
+    def test_cross_module(self):
+        cats = self.categories()
+        assert cats[("main", "visible")] == CROSS_MODULE
+        assert cats[("main", "ping")] == CROSS_MODULE
+
+    def test_self_recursive(self):
+        cats = self.categories()
+        assert cats[("self_rec", "self_rec")] == RECURSIVE
+
+    def test_mutual_recursion_is_recursive(self):
+        cats = self.categories()
+        assert cats[("ping", "pong")] == RECURSIVE
+        assert cats[("pong", "ping")] == RECURSIVE
+
+    def test_external(self):
+        cats = self.categories()
+        assert cats[("main", "print_int")] == EXTERNAL
+
+    def test_indirect(self):
+        sites = [s for s in graph().sites if s.category == INDIRECT]
+        assert len(sites) == 1
+        assert sites[0].caller.name == "apply"
+
+    def test_category_counts_sum_to_total(self):
+        g = graph()
+        counts = g.category_counts()
+        assert sum(counts.values()) == len(g.sites)
+
+
+class TestStructure:
+    def test_callers_of(self):
+        g = graph()
+        callers = {s.caller.name for s in g.callers_of("visible")}
+        assert callers == {"main"}
+
+    def test_scc_membership(self):
+        g = graph()
+        assert set(g.scc_of("ping")) == {"ping", "pong"}
+        assert g.scc_of("visible") == ["visible"]
+
+    def test_in_cycle(self):
+        g = graph()
+        assert g.in_cycle("ping")
+        assert g.in_cycle("self_rec")
+        assert not g.in_cycle("visible")
+        assert not g.in_cycle("main")
+
+    def test_bottom_up_order(self):
+        g = graph()
+        order = g.bottom_up_order()
+        assert order.index("hidden$lib") < order.index("visible")
+        assert order.index("visible") < order.index("main")
+        assert order.index("ping") < order.index("main")
+
+    def test_reachable_from_main(self):
+        g = graph()
+        reachable = set(g.reachable_from(["main"]))
+        assert "main" in reachable and "visible" in reachable
+        assert "hidden$lib" in reachable
+        assert "ping" in reachable and "pong" in reachable
+
+    def test_address_taken_counts_as_reachable(self):
+        sources = [
+            (
+                "m",
+                """
+                int used_by_ptr(int x) { return x; }
+                int never() { return 1; }
+                int main() { int f = &used_by_ptr; return f(0); }
+                """,
+            )
+        ]
+        g = CallGraph(compile_program(sources))
+        reachable = set(g.reachable_from(["main"]))
+        assert "used_by_ptr" in reachable
+        assert "never" not in reachable

@@ -1,0 +1,80 @@
+"""Dominators and natural loops."""
+
+from repro.analysis import (
+    dominates,
+    find_loops,
+    immediate_dominators,
+    loop_depths,
+    loop_stats,
+)
+from repro.frontend import compile_module
+
+
+def proc_of(source, name="f"):
+    mod = compile_module(source, "m")
+    return mod.procs[name]
+
+
+class TestDominators:
+    def test_diamond(self):
+        proc = proc_of("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }")
+        idom = immediate_dominators(proc)
+        entry = proc.entry
+        assert idom[entry] is None
+        # The join is dominated by the entry, not by either arm.
+        join = [l for l in proc.blocks if l.startswith("if.join")][0]
+        assert idom[join] == entry
+        assert dominates(idom, entry, join)
+        then_block = [l for l in proc.blocks if l.startswith("if.then")][0]
+        assert not dominates(idom, then_block, join)
+
+    def test_linear_chain(self):
+        proc = proc_of("int f() { int a = 1; { int b = 2; } return a; }")
+        idom = immediate_dominators(proc)
+        for label in proc.reachable_labels():
+            assert label in idom
+
+    def test_loop_header_dominates_body(self):
+        proc = proc_of("int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }")
+        idom = immediate_dominators(proc)
+        head = [l for l in proc.blocks if l.startswith("while.head")][0]
+        body = [l for l in proc.blocks if l.startswith("while.body")][0]
+        assert dominates(idom, head, body)
+
+
+class TestLoops:
+    def test_single_loop(self):
+        proc = proc_of("int f(int n) { int s = 0; while (n) { n--; } return s; }")
+        loops = find_loops(proc)
+        assert len(loops) == 1
+        head = [l for l in proc.blocks if l.startswith("while.head")][0]
+        assert loops[0].header == head
+
+    def test_no_loops(self):
+        proc = proc_of("int f(int x) { if (x) return 1; return 0; }")
+        assert find_loops(proc) == []
+        assert loop_stats(proc) == (0, 0)
+
+    def test_nested_depths(self):
+        proc = proc_of(
+            """
+            int f(int n) {
+              int s = 0;
+              for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                  s += j;
+                }
+              }
+              return s;
+            }
+            """
+        )
+        depths = loop_depths(proc)
+        assert max(depths.values()) == 2
+        assert depths[proc.entry] == 0
+        count, deepest = loop_stats(proc)
+        assert count == 2 and deepest == 2
+
+    def test_do_while_loop_found(self):
+        proc = proc_of("int f(int n) { do { n--; } while (n); return n; }")
+        assert len(find_loops(proc)) == 1

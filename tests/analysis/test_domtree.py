@@ -1,0 +1,67 @@
+"""Dominator-tree helper and pass-manager iteration behaviour."""
+
+from repro.analysis import dominator_tree_children, immediate_dominators
+from repro.frontend import compile_module, compile_program
+from repro.interp import run_program
+from repro.opt import optimize_proc
+from repro.opt.pass_manager import default_pipeline
+
+
+class TestDominatorTree:
+    def test_children_partition(self):
+        proc = compile_module(
+            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }", "m"
+        ).procs["f"]
+        idom = immediate_dominators(proc)
+        children = dominator_tree_children(idom)
+        # Every non-entry node appears exactly once as someone's child.
+        all_children = [c for kids in children.values() for c in kids]
+        non_entry = [l for l in idom if idom[l] is not None]
+        assert sorted(all_children) == sorted(non_entry)
+        # The entry dominates the two arms and the join directly.
+        assert len(children[proc.entry]) >= 3
+
+
+class TestPassManager:
+    def test_custom_pipeline_respected(self):
+        ran = []
+
+        def spy_pass(program, proc):
+            ran.append(proc.name)
+            return False
+
+        program = compile_program([("m", "int main() { return 1; }")])
+        optimize_proc(program, program.proc("main"), pipeline=[("spy", spy_pass)])
+        assert ran == ["main"]
+
+    def test_iteration_cap_bounds_runaway_pass(self):
+        calls = []
+
+        def always_changed(program, proc):
+            calls.append(1)
+            return True  # claims progress forever
+
+        program = compile_program([("m", "int main() { return 1; }")])
+        optimize_proc(
+            program,
+            program.proc("main"),
+            pipeline=[("liar", always_changed)],
+            max_iterations=5,
+        )
+        assert len(calls) == 5
+
+    def test_default_pipeline_names(self):
+        names = [name for name, _fn in default_pipeline()]
+        assert names == [
+            "constprop", "simplifycfg", "copyprop", "peephole", "cse", "licm", "dce",
+        ]
+
+    def test_optimize_proc_reports_change(self):
+        program = compile_program(
+            [("m", "int main() { int a = 2 + 3; print_int(a); return 0; }")]
+        )
+        changed = optimize_proc(program, program.proc("main"))
+        assert changed
+        assert run_program(program).output == [5]
+        # Second run: already at the fixed point.
+        assert not optimize_proc(program, program.proc("main"))

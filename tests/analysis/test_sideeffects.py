@@ -1,0 +1,80 @@
+"""Side-effect analysis: which procedures are removable when unused."""
+
+from repro.analysis import CallGraph, side_effect_free_procs
+from repro.frontend import compile_program
+
+
+def free_set(source):
+    program = compile_program([("m", source)])
+    return side_effect_free_procs(program, CallGraph(program))
+
+
+BASE = "int main() { return 0; }\n"
+
+
+class TestSideEffectFree:
+    def test_pure_arithmetic(self):
+        free = free_set(BASE + "int f(int x) { return x * 2 + 1; }")
+        assert "f" in free
+
+    def test_pure_reader_of_globals(self):
+        free = free_set(BASE + "int g[4]; int f(int i) { return g[i & 3]; }")
+        assert "f" in free
+
+    def test_store_blocks(self):
+        free = free_set(BASE + "int g; int f(int x) { g = x; return x; }")
+        assert "f" not in free
+
+    def test_print_blocks(self):
+        free = free_set(BASE + "int f(int x) { print_int(x); return x; }")
+        assert "f" not in free
+
+    def test_sbrk_blocks(self):
+        free = free_set(BASE + "int f() { return sbrk(4); }")
+        assert "f" not in free
+
+    def test_pure_builtin_allowed(self):
+        free = free_set(BASE + "int f(int i) { return input(i) + abs(i); }")
+        assert "f" in free
+
+    def test_loop_blocks_termination_proof(self):
+        free = free_set(BASE + "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }")
+        assert "f" not in free
+
+    def test_recursion_blocks(self):
+        free = free_set(BASE + "int f(int n) { if (n <= 0) return 0; return f(n - 1); }")
+        assert "f" not in free
+
+    def test_transitive_purity(self):
+        free = free_set(
+            BASE
+            + "int inner(int x) { return x + 1; }\n"
+            + "int outer(int x) { return inner(x) * 2; }"
+        )
+        assert {"inner", "outer"} <= free
+
+    def test_transitive_impurity(self):
+        free = free_set(
+            BASE
+            + "int g;\n"
+            + "int inner(int x) { g = x; return x; }\n"
+            + "int outer(int x) { return inner(x) * 2; }"
+        )
+        assert "outer" not in free
+
+    def test_indirect_call_blocks(self):
+        free = free_set(
+            BASE
+            + "int id(int x) { return x; }\n"
+            + "int f(int x) { int g = &id; return g(x); }"
+        )
+        assert "f" not in free
+
+    def test_curses_stub_shape(self):
+        # The paper's 072.sc anecdote: no-op display routines are free.
+        free = free_set(
+            BASE
+            + "int cur_move(int r, int c) { return r * 256 + c; }\n"
+            + "int cur_refresh() { return 0; }"
+        )
+        assert {"cur_move", "cur_refresh"} <= free

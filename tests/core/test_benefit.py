@@ -1,0 +1,80 @@
+"""Inline-site ranking: frequency priority and the cold-site penalty."""
+
+from repro.analysis import CallGraph, entry_counts
+from repro.core import HLOConfig, rank_site
+from repro.frontend import compile_program
+from repro.ir import ATTR_ALWAYS_INLINE
+
+
+SOURCES = [
+    (
+        "m",
+        """
+        int callee(int x) { return x + 1; }
+        inline int eager(int x) { return x; }
+        int main() {
+          int total = 0;
+          for (int i = 0; i < 100; i++) total += callee(i);   // hot site
+          if (total == -1) total += callee(0);                 // cold site
+          total += eager(total);
+          print_int(total);
+          return 0;
+        }
+        """,
+    )
+]
+
+
+def ranked_sites(site_counts=None, config=None):
+    program = compile_program(SOURCES)
+    graph = CallGraph(program)
+    config = config or HLOConfig()
+    counts = site_counts
+    entry = entry_counts(program, graph, counts)
+    sites = [
+        s for s in graph.sites if s.callee is not None and s.callee.name == "callee"
+    ]
+    return [rank_site(s, entry, config, counts) for s in sites], graph
+
+
+class TestRanking:
+    def test_hot_site_outranks_cold(self):
+        ranked, _ = ranked_sites()
+        ranked.sort(key=lambda r: r.sort_key)
+        assert ranked[0].rel_freq > ranked[1].rel_freq
+        assert ranked[0].benefit > ranked[1].benefit
+
+    def test_cold_penalty_applied(self):
+        ranked, _ = ranked_sites()
+        cold = min(ranked, key=lambda r: r.rel_freq)
+        assert cold.rel_freq < 1.0
+        # benefit = weight * penalty for colder-than-entry sites
+        assert cold.benefit < cold.weight
+
+    def test_penalty_disabled_by_config(self):
+        ranked, _ = ranked_sites(config=HLOConfig(cold_penalty=1.0))
+        cold = min(ranked, key=lambda r: r.rel_freq)
+        assert cold.benefit == cold.weight
+
+    def test_measured_counts_override_estimates(self):
+        program = compile_program(SOURCES)
+        graph = CallGraph(program)
+        sites = [s for s in graph.sites if s.callee and s.callee.name == "callee"]
+        counts = {sites[0].key: 12345, sites[1].key: 1}
+        entry = entry_counts(program, graph, counts)
+        ranked = rank_site(sites[0], entry, HLOConfig(), counts)
+        assert ranked.weight == 12345.0
+
+    def test_always_inline_flag(self):
+        program = compile_program(SOURCES)
+        graph = CallGraph(program)
+        eager_site = next(
+            s for s in graph.sites if s.callee and s.callee.name == "eager"
+        )
+        assert ATTR_ALWAYS_INLINE in eager_site.callee.attrs
+        entry = entry_counts(program, graph, None)
+        ranked = rank_site(eager_site, entry, HLOConfig(), None)
+        assert ranked.always_inline
+        # Always-inline sites sort before everything else.
+        others, _ = ranked_sites()
+        assert ranked.sort_key < min(r.sort_key for r in others)

@@ -1,0 +1,86 @@
+"""Budget model (Figure 2): quadratic cost, staging, deltas."""
+
+import pytest
+
+from repro.core import Budget, program_cost, routine_cost
+from repro.frontend import compile_program
+
+
+@pytest.fixture
+def program():
+    return compile_program(
+        [
+            (
+                "m",
+                """
+                int f(int x) { return x + 1; }
+                int main() { return f(1); }
+                """,
+            )
+        ]
+    )
+
+
+class TestCostModel:
+    def test_routine_cost_is_quadratic(self, program):
+        proc = program.proc("f")
+        assert routine_cost(proc) == float(proc.size()) ** 2
+
+    def test_program_cost_sums(self, program):
+        assert program_cost(program) == sum(
+            routine_cost(p) for p in program.all_procs()
+        )
+
+    def test_inline_delta_difference_of_squares(self):
+        assert Budget.inline_delta(10, 5) == 15 ** 2 - 10 ** 2
+
+    def test_clone_delta(self):
+        assert Budget.clone_delta(10, deletes_clonee=False) == 100
+        # "a clone group that ensures that the clonee will be deleted is
+        # considered to have no compile time impact"
+        assert Budget.clone_delta(10, deletes_clonee=True) == 0
+
+
+class TestStaging:
+    def test_default_percent_doubles(self, program):
+        budget = Budget(program, budget_percent=100)
+        assert budget.limit == pytest.approx(2 * budget.initial_cost)
+
+    def test_stage_thresholds_rise_from_20_percent(self, program):
+        budget = Budget(program, budget_percent=100, pass_limit=4)
+        c, b = budget.initial_cost, budget.allowance
+        assert budget.stages[0] == pytest.approx(c + 0.2 * b)
+        assert budget.stages[-1] == pytest.approx(c + b)
+        assert budget.stages == sorted(budget.stages)
+
+    def test_single_pass_gets_everything(self, program):
+        budget = Budget(program, budget_percent=100, pass_limit=1)
+        assert budget.stages == [budget.limit]
+
+    def test_stage_limit_clamps_pass_number(self, program):
+        budget = Budget(program, pass_limit=2)
+        assert budget.stage_limit(99) == budget.stages[-1]
+
+    def test_fits_and_charge(self, program):
+        budget = Budget(program, budget_percent=100, pass_limit=1)
+        headroom = budget.limit - budget.current
+        assert budget.fits(headroom, 0)
+        assert not budget.fits(headroom + 1, 0)
+        budget.charge(headroom)
+        assert budget.exhausted()
+
+    def test_zero_budget_is_exhausted_immediately(self, program):
+        budget = Budget(program, budget_percent=0)
+        assert budget.exhausted()
+
+    def test_recalibrate_tracks_reality(self, program):
+        budget = Budget(program)
+        budget.charge(10_000)
+        budget.recalibrate(program)
+        assert budget.current == program_cost(program)
+
+    def test_invalid_arguments(self, program):
+        with pytest.raises(ValueError):
+            Budget(program, budget_percent=-1)
+        with pytest.raises(ValueError):
+            Budget(program, pass_limit=0)

@@ -1,0 +1,47 @@
+"""HLOConfig knob helpers and defaults."""
+
+from repro.core import HLOConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = HLOConfig()
+        # "By default the inliner will try to limit compile-time
+        # increases to 100% over no inlining."
+        assert cfg.budget_percent == 100.0
+        assert cfg.pass_limit == 4
+        assert cfg.enable_inlining and cfg.enable_cloning
+        assert cfg.use_profile and cfg.cross_module
+        assert not cfg.enable_outlining  # Section 5 future work: opt-in
+
+    def test_with_scope_copies(self):
+        cfg = HLOConfig()
+        module_scope = cfg.with_scope(cross_module=False, use_profile=False)
+        assert not module_scope.cross_module and not module_scope.use_profile
+        # The original is untouched (dataclasses.replace semantics).
+        assert cfg.cross_module and cfg.use_profile
+
+    def test_variant_helpers(self):
+        cfg = HLOConfig()
+        assert not cfg.inline_only().enable_cloning
+        assert cfg.inline_only().enable_inlining
+        assert not cfg.clone_only().enable_inlining
+        assert cfg.clone_only().enable_cloning
+        neither = cfg.neither()
+        assert not neither.enable_inlining and not neither.enable_cloning
+
+    def test_helpers_preserve_other_knobs(self):
+        cfg = HLOConfig(budget_percent=250.0, cold_penalty=0.5)
+        for derived in (cfg.inline_only(), cfg.clone_only(), cfg.neither(),
+                        cfg.with_scope(False, True)):
+            assert derived.budget_percent == 250.0
+            assert derived.cold_penalty == 0.5
+
+
+class TestBuildStatsWallClock:
+    def test_wall_seconds_recorded(self):
+        from repro.linker import Toolchain
+
+        tc = Toolchain([("m", "int main() { return 0; }")])
+        result = tc.build("c")
+        assert result.stats.wall_seconds > 0.0

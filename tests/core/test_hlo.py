@@ -1,0 +1,188 @@
+"""The full HLO driver (Figure 2): multi-pass loop, deletion, scope."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HLOConfig, run_hlo
+from repro.core.budget import program_cost
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.ir import Call, ICall, verify_program
+from repro.workloads.generator import generate_sources
+
+
+def fresh(sources):
+    return compile_program(sources)
+
+
+PIPELINE = [
+    (
+        "lib",
+        """
+        static int helper(int x) { return x * 2 + 1; }
+        int api(int x) { return helper(x) - 1; }
+        int dead_if_inlined(int x) { return api(x) + 1; }
+        """,
+    ),
+    (
+        "main",
+        """
+        extern int api(int x);
+        extern int dead_if_inlined(int x);
+        int main() {
+          int total = 0;
+          for (int i = 0; i < 8; i++) total += dead_if_inlined(i);
+          print_int(total);
+          return total % 31;
+        }
+        """,
+    ),
+]
+
+
+class TestDriver:
+    def test_behavior_preserved(self):
+        program = fresh(PIPELINE)
+        before = run_program(program).behavior()
+        report = run_hlo(program, HLOConfig(budget_percent=400))
+        verify_program(program)
+        assert run_program(program).behavior() == before
+        assert report.passes_run >= 1
+
+    def test_budget_respected(self):
+        program = fresh(PIPELINE)
+        report = run_hlo(program, HLOConfig(budget_percent=100))
+        # Deletions can shrink below the initial cost, so check against
+        # the recorded limit only from above.
+        assert report.final_cost <= report.budget_limit * 1.001
+
+    def test_neither_config_is_identity_modulo_cleanup(self):
+        program = fresh(PIPELINE)
+        before = run_program(program).behavior()
+        report = run_hlo(
+            program,
+            HLOConfig(enable_inlining=False, enable_cloning=False),
+        )
+        assert report.inlines == 0
+        assert report.clones == 0
+        assert run_program(program).behavior() == before
+
+    def test_whole_program_deletes_unreachable(self):
+        program = fresh(PIPELINE)
+        report = run_hlo(program, HLOConfig(budget_percent=1000))
+        # With everything inlined into main, the library routines die.
+        assert report.deletions >= 1
+
+    def test_module_scope_keeps_global_routines(self):
+        program = fresh(PIPELINE)
+        run_hlo(program, HLOConfig(budget_percent=1000, cross_module=False))
+        # api has global linkage: a module-at-a-time compiler must assume
+        # unseen callers and cannot delete it.
+        assert program.proc("api") is not None
+
+    def test_pass_limit_one(self):
+        program = fresh(PIPELINE)
+        report = run_hlo(program, HLOConfig(budget_percent=400, pass_limit=1))
+        assert report.passes_run == 1
+
+    def test_stop_after_zero_blocks_all_transforms(self):
+        program = fresh(PIPELINE)
+        report = run_hlo(program, HLOConfig(budget_percent=400, stop_after=0))
+        assert report.transform_count == 0
+
+    def test_stop_after_counts_monotonic(self):
+        full = run_hlo(fresh(PIPELINE), HLOConfig(budget_percent=400))
+        total = full.transform_count
+        for stop in range(total + 1):
+            report = run_hlo(
+                fresh(PIPELINE), HLOConfig(budget_percent=400, stop_after=stop)
+            )
+            assert report.transform_count <= stop
+
+    def test_report_final_cost_matches_program(self):
+        program = fresh(PIPELINE)
+        report = run_hlo(program, HLOConfig(budget_percent=400))
+        assert report.final_cost == program_cost(program)
+
+
+class TestStagedOptimization:
+    DEVIRT = [
+        (
+            "handlers",
+            """
+            static int on_zero(int x) { return x + 100; }
+            static int on_other(int x) { return x - 1; }
+            int handler_for(int kind) {
+              if (kind == 0) return &on_zero;
+              return &on_other;
+            }
+            """,
+        ),
+        (
+            "main",
+            """
+            extern int handler_for(int kind);
+            int main() {
+              int total = 0;
+              for (int i = 0; i < 6; i++) {
+                int h = handler_for(0);
+                total += h(i);
+              }
+              print_int(total);
+              return 0;
+            }
+            """,
+        ),
+    ]
+
+    def test_indirect_becomes_direct_across_passes(self):
+        """Section 3.1's staged optimization: inline the accessor, then
+        constant propagation exposes the code pointer, then the indirect
+        call devirtualizes (and the target may inline next pass)."""
+        program = fresh(self.DEVIRT)
+        before = run_program(program).behavior()
+        report = run_hlo(program, HLOConfig(budget_percent=1000))
+        verify_program(program)
+        assert run_program(program).behavior() == before
+        icalls = sum(
+            isinstance(i, ICall)
+            for p in program.all_procs()
+            for i in p.instructions()
+        )
+        assert icalls == 0
+        assert report.devirtualized >= 1
+
+    def test_static_handler_promoted(self):
+        program = fresh(self.DEVIRT)
+        report = run_hlo(program, HLOConfig(budget_percent=1000))
+        assert report.promotions >= 1
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_hlo_preserves_behavior(self, seed):
+        sources = generate_sources(seed)
+        reference = run_program(compile_program(sources), max_steps=1_000_000)
+        program = compile_program(sources)
+        run_hlo(program, HLOConfig(budget_percent=400))
+        verify_program(program)
+        result = run_program(program, max_steps=3_000_000)
+        assert result.behavior() == reference.behavior()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.sampled_from([25.0, 100.0, 400.0]),
+    )
+    def test_budget_limit_holds_for_any_seed(self, seed, percent):
+        program = compile_program(generate_sources(seed))
+        report = run_hlo(program, HLOConfig(budget_percent=percent))
+        assert report.final_cost <= report.budget_limit * 1.001
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_verifier_always_passes_after_hlo(self, seed):
+        program = compile_program(generate_sources(seed, n_modules=3))
+        run_hlo(program, HLOConfig(budget_percent=1000))
+        verify_program(program)

@@ -1,0 +1,57 @@
+"""HLOReport bookkeeping."""
+
+from repro.core import HLOReport
+from repro.core.report import PassTrace, TransformEvent
+
+
+class TestReport:
+    def test_record_inline(self):
+        report = HLOReport()
+        report.record_inline(0, "a", "b", 7)
+        assert report.inlines == 1
+        event = report.events[0]
+        assert event.kind == "inline"
+        assert (event.caller, event.callee, event.site_id) == ("a", "b", 7)
+
+    def test_record_clone_replacement(self):
+        report = HLOReport()
+        report.record_clone_replacement(1, "caller", "f.c1", 3, "f")
+        assert report.clone_replacements == 1
+        assert report.events[0].kind == "clone-replace"
+        assert report.events[0].detail == "f"
+
+    def test_transform_count_is_figure8_axis(self):
+        report = HLOReport()
+        report.record_inline(0, "a", "b", 1)
+        report.record_clone_replacement(0, "a", "b.c1", 2, "b")
+        report.clones += 1  # clone creation itself does not count
+        assert report.transform_count == 2
+
+    def test_deletions_and_promotions(self):
+        report = HLOReport()
+        report.record_deletion("dead")
+        report.record_promotion("@secret$lib")
+        assert report.deletions == 1
+        assert report.deleted_procs == ["dead"]
+        assert report.promotions == 1
+        assert report.promoted_symbols == ["@secret$lib"]
+
+    def test_summary_row_columns(self):
+        report = HLOReport()
+        row = report.summary_row()
+        assert set(row) == {
+            "inlines", "clones", "clone_replacements", "deletions", "compile_cost",
+        }
+
+    def test_str_mentions_counts(self):
+        report = HLOReport()
+        report.inlines = 5
+        report.outlines = 2
+        text = str(report)
+        assert "inlines=5" in text
+
+    def test_event_ordering_preserved(self):
+        report = HLOReport()
+        for i in range(5):
+            report.record_inline(i % 2, "a", "b", i)
+        assert [e.site_id for e in report.events] == [0, 1, 2, 3, 4]

@@ -1,0 +1,93 @@
+"""The inline schedule's cascaded-cost replay (_replay_cost)."""
+
+from repro.analysis import CallGraph, entry_counts
+from repro.core import HLOConfig, rank_site
+from repro.core.inliner import GLUE_FIXED, GLUE_PER_ARG, ScheduledInline, _replay_cost
+from repro.frontend import compile_program
+
+
+SOURCES = [
+    (
+        "m",
+        """
+        int c_fn(int x) { return x + 1; }
+        int b_fn(int x) { return c_fn(x) * 2; }
+        int a_fn(int x) { return b_fn(x) - 3; }
+        int main() { return a_fn(4); }
+        """,
+    )
+]
+
+
+def scheduled(program, caller, callee):
+    graph = CallGraph(program)
+    entry = entry_counts(program, graph, None)
+    site = next(
+        s
+        for s in graph.sites
+        if s.caller.name == caller and s.callee and s.callee.name == callee
+    )
+    return ScheduledInline(rank_site(site, entry, HLOConfig(), None))
+
+
+class TestReplayCost:
+    def setup_method(self):
+        self.program = compile_program(SOURCES)
+        self.graph = CallGraph(self.program)
+        self.rank = {n: i for i, n in enumerate(self.graph.bottom_up_order())}
+        self.sizes = {p.name: p.size() for p in self.program.all_procs()}
+
+    def test_empty_schedule_is_base_cost(self):
+        cost = _replay_cost([], self.sizes, self.rank)
+        assert cost == sum(s * s for s in self.sizes.values())
+
+    def test_single_inline_grows_caller_quadratically(self):
+        item = scheduled(self.program, "b_fn", "c_fn")
+        cost = _replay_cost([item], self.sizes, self.rank)
+        added = self.sizes["c_fn"] + 1 * GLUE_PER_ARG + GLUE_FIXED - 1
+        expected = dict(self.sizes)
+        expected["b_fn"] += added
+        assert cost == sum(s * s for s in expected.values())
+
+    def test_cascade_uses_grown_callee(self):
+        """Accepting b<-c makes a<-b strictly more expensive: the replay
+        performs bottom-up, so a_fn receives the already-grown b_fn."""
+        ab = scheduled(self.program, "a_fn", "b_fn")
+        bc = scheduled(self.program, "b_fn", "c_fn")
+        without_cascade = _replay_cost([ab], self.sizes, self.rank)
+        with_cascade = _replay_cost([ab, bc], self.sizes, self.rank)
+        # The pair costs more than each alone (b grew before a copied it).
+        bc_only = _replay_cost([bc], self.sizes, self.rank)
+        base = _replay_cost([], self.sizes, self.rank)
+        delta_ab = without_cascade - base
+        delta_bc = bc_only - base
+        assert with_cascade - base > delta_ab + delta_bc
+
+    def test_order_independence_of_input_list(self):
+        """The replay sorts internally: schedule list order is irrelevant."""
+        ab = scheduled(self.program, "a_fn", "b_fn")
+        bc = scheduled(self.program, "b_fn", "c_fn")
+        assert _replay_cost([ab, bc], self.sizes, self.rank) == _replay_cost(
+            [bc, ab], self.sizes, self.rank
+        )
+
+    def test_self_recursive_edge_doubles(self):
+        sources = [
+            (
+                "m",
+                """
+                int r(int n) { if (n <= 0) return 0; return n + r(n - 1); }
+                int main() { return r(3); }
+                """,
+            )
+        ]
+        program = compile_program(sources)
+        graph = CallGraph(program)
+        rank = {n: i for i, n in enumerate(graph.bottom_up_order())}
+        sizes = {p.name: p.size() for p in program.all_procs()}
+        item = scheduled(program, "r", "r")
+        cost = _replay_cost([item], sizes, rank)
+        grown = sizes["r"] * 2 + GLUE_PER_ARG + GLUE_FIXED - 1
+        expected = dict(sizes)
+        expected["r"] = grown
+        assert cost == sum(s * s for s in expected.values())

@@ -1,0 +1,64 @@
+"""Lexer: token kinds, comments, literals, errors."""
+
+import pytest
+
+from repro.frontend import CompileError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)][:-1]  # drop eof
+
+
+class TestTokens:
+    def test_keywords_vs_names(self):
+        toks = kinds("int x while whilex")
+        assert toks == [("kw", "int"), ("name", "x"), ("kw", "while"), ("name", "whilex")]
+
+    def test_numbers(self):
+        assert kinds("42 0x1F 007") == [("int", "42"), ("int", "0x1F"), ("int", "007")]
+
+    def test_floats(self):
+        toks = kinds("1.5 .25 2e3 1.0e-2")
+        assert [k for k, _ in toks] == ["float"] * 4
+
+    def test_int_vs_float_disambiguation(self):
+        toks = kinds("1 1.0 1e0")
+        assert [k for k, _ in toks] == ["int", "float", "float"]
+
+    def test_char_literals_become_ints(self):
+        toks = kinds(r"'a' '\n' '\0' '\\'")
+        assert toks == [("int", "97"), ("int", "10"), ("int", "0"), ("int", "92")]
+
+    def test_multichar_punctuation(self):
+        toks = kinds("a <<= b >> c <= d == e && f ... ++")
+        texts = [t for _, t in toks]
+        assert "<<=" in texts and ">>" in texts and "<=" in texts
+        assert "==" in texts and "&&" in texts and "..." in texts and "++" in texts
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "name"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("name", "a"), ("name", "b")]
+
+    def test_line_tracking_through_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].line == 2
+
+
+class TestErrors:
+    def test_unknown_char(self):
+        with pytest.raises(CompileError) as err:
+            tokenize("a ` b", module="m")
+        assert "`" in str(err.value)
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError):
+            tokenize(r"'\q'")

@@ -1,0 +1,192 @@
+"""Parser: declarations, statements, expression precedence, errors."""
+
+import pytest
+
+from repro.frontend import CompileError, parse_source
+from repro.frontend import ast
+
+
+def parse(source):
+    return parse_source(source, "t")
+
+
+def parse_expr(text):
+    unit = parse("int f() { return (" + text + "); }")
+    return unit.decls[0].body.stmts[0].value
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        func = unit.decls[0]
+        assert isinstance(func, ast.FuncDef)
+        assert func.name == "add"
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert not func.is_proto
+
+    def test_prototype(self):
+        unit = parse("int f(int x);")
+        assert unit.decls[0].is_proto
+
+    def test_varargs(self):
+        unit = parse("int f(int x, ...);")
+        assert unit.decls[0].varargs
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.decls[0].params == []
+
+    def test_qualifiers(self):
+        unit = parse("static inline int f() { return 0; }")
+        assert set(unit.decls[0].quals) == {"static", "inline"}
+
+    def test_global_scalar_and_array(self):
+        unit = parse("int g = 5; static int arr[4] = {1, 2};")
+        g, arr = unit.decls
+        assert g.init == [5] and g.array_size is None
+        assert arr.static and arr.array_size == 4 and arr.init == [1, 2]
+
+    def test_global_brace_init_infers_size(self):
+        unit = parse("int a[] = {1, 2, 3};" if False else "int a[3] = {1, 2, 3};")
+        assert unit.decls[0].array_size == 3
+
+    def test_comma_separated_globals(self):
+        unit = parse("int a, b = 2, c[4];")
+        assert [d.name for d in unit.decls] == ["a", "b", "c"]
+
+    def test_float_global(self):
+        unit = parse("float pi = 3.25;")
+        assert unit.decls[0].init == [3.25]
+
+    def test_negative_initializer(self):
+        unit = parse("int g = -7;")
+        assert unit.decls[0].init == [-7]
+
+    def test_too_many_initializers(self):
+        with pytest.raises(CompileError):
+            parse("int a[2] = {1, 2, 3};")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void g;")
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        unit = parse("int f(int x) { if (x) return 1; else if (x < 0) return 2; return 3; }")
+        stmt = unit.decls[0].body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body, ast.If)
+
+    def test_loops(self):
+        unit = parse(
+            "int f() { while (1) break; do continue; while (0); "
+            "for (int i = 0; i < 3; i++) { } for (;;) break; return 0; }"
+        )
+        stmts = unit.decls[0].body.stmts
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.DoWhile)
+        assert isinstance(stmts[2], ast.For)
+        bare_for = stmts[3]
+        assert bare_for.init is None and bare_for.cond is None and bare_for.step is None
+
+    def test_local_decl_list(self):
+        unit = parse("int f() { int a = 1, b, c[8]; return a; }")
+        block = unit.decls[0].body.stmts[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.stmts) == 3
+        assert block.stmts[2].array_size == 8
+
+    def test_empty_statement(self):
+        parse("int f() { ;;; return 0; }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "add"
+        assert expr.rhs.op == "mul"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "lt"
+        assert expr.lhs.op == "shl"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr.op == "sub" and expr.lhs.op == "sub"
+
+    def test_short_circuit_nodes(self):
+        expr = parse_expr("a && b || c")
+        assert isinstance(expr, ast.ShortCircuit) and expr.op == "||"
+        assert expr.lhs.op == "&&"
+
+    def test_ternary_right_associates(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+        assert isinstance(expr.else_expr, ast.Conditional)
+
+    def test_assignment_forms(self):
+        unit = parse("int f(int a) { a = 1; a += 2; a <<= 3; return a; }")
+        stmts = unit.decls[0].body.stmts
+        assert stmts[0].expr.op == ""
+        assert stmts[1].expr.op == "add"
+        assert stmts[2].expr.op == "shl"
+
+    def test_assignment_right_associates(self):
+        unit = parse("int f(int a, int b) { a = b = 1; return a; }")
+        assign = unit.decls[0].body.stmts[0].expr
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(CompileError):
+            parse("int f() { 1 = 2; return 0; }")
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_postfix_chain(self):
+        expr = parse_expr("f(1)[2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.CallExpr)
+
+    def test_inc_dec(self):
+        pre = parse_expr("++x")
+        post = parse_expr("x--")
+        assert pre.prefix and pre.op == "++"
+        assert not post.prefix and post.op == "--"
+
+    def test_address_and_deref(self):
+        expr = parse_expr("*&x")
+        assert expr.op == "*" and expr.operand.op == "&"
+
+    def test_call_args(self):
+        expr = parse_expr("f(1, g(2), h())")
+        assert len(expr.args) == 3
+        assert len(expr.args[1].args) == 1
+        assert expr.args[2].args == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f( { return 0; }",
+            "int f() { return 0 }",
+            "int f() { if return 0; }",
+            "int f() { return ; } }",
+            "int 3f() { return 0; }",
+            "int f() {",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(CompileError):
+            parse(source)
+
+    def test_error_carries_line(self):
+        with pytest.raises(CompileError) as err:
+            parse("int f() {\n  return 0\n}")
+        assert err.value.line >= 2

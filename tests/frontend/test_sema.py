@@ -1,0 +1,84 @@
+"""Semantic analysis: symbol tables, mangling, declaration checking."""
+
+import pytest
+
+from repro.frontend import CompileError, analyze_unit, parse_source
+
+
+def analyze(source, module="m"):
+    return analyze_unit(parse_source(source, module), module)
+
+
+class TestFunctionDeclarations:
+    def test_static_mangling(self):
+        syms = analyze("static int f() { return 0; } int g() { return 0; }")
+        assert syms.lookup_func("f").ir_name == "f$m"
+        assert syms.lookup_func("g").ir_name == "g"
+
+    def test_proto_then_definition(self):
+        syms = analyze("int f(int x); int f(int x) { return x; }")
+        assert syms.lookup_func("f").defined
+
+    def test_proto_signature_conflict(self):
+        with pytest.raises(CompileError):
+            analyze("int f(int x); int f(float x) { return 0; }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            analyze("int f() { return 0; } int f() { return 1; }")
+
+    def test_static_mismatch_rejected(self):
+        with pytest.raises(CompileError):
+            analyze("int f(); static int f() { return 0; }")
+
+    def test_builtin_redeclaration_rejected(self):
+        with pytest.raises(CompileError):
+            analyze("int print_int(int x) { return x; }")
+
+    def test_inline_noinline_conflict(self):
+        with pytest.raises(CompileError):
+            analyze("inline noinline int f() { return 0; }")
+
+    def test_qualifier_to_attr_mapping(self):
+        syms = analyze(
+            "inline int a() { return 0; } noinline int b() { return 0; } "
+            "noclone int c() { return 0; } reassoc float d() { return 0.0; }"
+        )
+        assert "always_inline" in syms.lookup_func("a").attrs
+        assert "noinline" in syms.lookup_func("b").attrs
+        assert "noclone" in syms.lookup_func("c").attrs
+        assert "fp_reassoc" in syms.lookup_func("d").attrs
+
+    def test_varargs_signature(self):
+        syms = analyze("int f(int x, ...);")
+        assert syms.lookup_func("f").sig.varargs
+
+
+class TestGlobalDeclarations:
+    def test_static_global_mangled(self):
+        syms = analyze("static int g; int h;")
+        assert syms.lookup_global("g").ir_name == "g$m"
+        assert syms.lookup_global("h").ir_name == "h"
+
+    def test_extern_then_definition(self):
+        syms = analyze("extern int g; int g = 5;")
+        assert not syms.lookup_global("g").extern
+
+    def test_definition_then_extern_kept(self):
+        syms = analyze("int g = 5; extern int g;")
+        assert not syms.lookup_global("g").extern
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            analyze("int g; int g;")
+
+    def test_function_variable_collision(self):
+        with pytest.raises(CompileError):
+            analyze("int f() { return 0; } int f;")
+        with pytest.raises(CompileError):
+            analyze("int f; int f() { return 0; }")
+
+    def test_array_metadata(self):
+        syms = analyze("int a[7];")
+        info = syms.lookup_global("a")
+        assert info.is_array and info.array_size == 7

@@ -1,0 +1,184 @@
+"""switch statement: dispatch, fallthrough, default, break."""
+
+import pytest
+
+from repro.frontend import CompileError
+
+from ..conftest import run_main
+
+
+def outputs(source, inputs=()):
+    return list(run_main(source, inputs).output)
+
+
+SWITCH = """
+int classify(int x) {
+  int r = 0;
+  switch (x) {
+    case 0:
+      r = 100;
+      break;
+    case 1:
+    case 2:
+      r = 200;
+      break;
+    case -3:
+      r = 300;
+      break;
+    default:
+      r = -1;
+      break;
+  }
+  return r;
+}
+int main() {
+  print_int(classify(input(0)));
+  return 0;
+}
+"""
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 100), (1, 200), (2, 200), (-3, 300), (99, -1), (-99, -1)],
+    )
+    def test_cases(self, value, expected):
+        assert outputs(SWITCH, [value]) == [expected]
+
+    def test_fallthrough(self):
+        src = """
+        int main() {
+          switch (input(0)) {
+            case 1:
+              print_int(1);
+            case 2:
+              print_int(2);
+            case 3:
+              print_int(3);
+              break;
+            case 4:
+              print_int(4);
+          }
+          print_int(99);
+          return 0;
+        }
+        """
+        assert outputs(src, [1]) == [1, 2, 3, 99]
+        assert outputs(src, [2]) == [2, 3, 99]
+        assert outputs(src, [3]) == [3, 99]
+        assert outputs(src, [4]) == [4, 99]
+        assert outputs(src, [5]) == [99]
+
+    def test_default_position_in_middle(self):
+        src = """
+        int main() {
+          switch (input(0)) {
+            case 1: print_int(1); break;
+            default: print_int(0);
+            case 2: print_int(2); break;
+          }
+          return 0;
+        }
+        """
+        # Default falls through into case 2, C-style.
+        assert outputs(src, [7]) == [0, 2]
+        assert outputs(src, [2]) == [2]
+        assert outputs(src, [1]) == [1]
+
+    def test_no_default_no_match_skips(self):
+        src = """
+        int main() {
+          switch (input(0)) { case 1: print_int(1); }
+          print_int(9);
+          return 0;
+        }
+        """
+        assert outputs(src, [5]) == [9]
+
+    def test_empty_switch(self):
+        assert outputs("int main() { switch (1) { } print_int(3); return 0; }") == [3]
+
+    def test_nested_switch_and_loop_break(self):
+        src = """
+        int main() {
+          for (int i = 0; i < 4; i++) {
+            switch (i) {
+              case 1: print_int(10); break;   // breaks the switch only
+              case 3: print_int(30); break;
+              default: print_int(i);
+            }
+          }
+          return 0;
+        }
+        """
+        assert outputs(src) == [0, 10, 2, 30]
+
+    def test_continue_inside_switch_targets_loop(self):
+        src = """
+        int main() {
+          for (int i = 0; i < 4; i++) {
+            switch (i) {
+              case 1:
+              case 2:
+                continue;
+            }
+            print_int(i);
+          }
+          return 0;
+        }
+        """
+        assert outputs(src) == [0, 3]
+
+    def test_scrutinee_evaluated_once(self):
+        src = """
+        int g = 0;
+        int bump() { g = g + 1; return g; }
+        int main() {
+          switch (bump()) {
+            case 5: print_int(5); break;
+            case 1: print_int(1); break;
+          }
+          print_int(g);
+          return 0;
+        }
+        """
+        assert outputs(src) == [1, 1]
+
+    def test_char_scrutinee(self):
+        src = """
+        int main() {
+          switch (input(0)) {
+            case 97: print_int(1); break;
+            case 98: print_int(2); break;
+          }
+          return 0;
+        }
+        """
+        assert outputs(src, [ord("a")]) == [1]
+
+
+class TestErrors:
+    def test_duplicate_case(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { switch (1) { case 1: break; case 1: break; } return 0; }")
+
+    def test_duplicate_default(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { switch (1) { default: break; default: break; } return 0; }")
+
+    def test_statement_before_label(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { switch (1) { print_int(1); case 1: break; } return 0; }")
+
+    def test_non_constant_case(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { int x = 1; switch (1) { case x: break; } return 0; }")
+
+    def test_float_scrutinee_rejected(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { float f = 1.0; switch (f) { case 1: break; } return 0; }")
+
+    def test_break_outside_rejected(self):
+        with pytest.raises(CompileError):
+            run_main("int main() { break; return 0; }")

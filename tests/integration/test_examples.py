@@ -1,0 +1,50 @@
+"""The example scripts must stay runnable (fast subset).
+
+``pgo_pipeline.py`` and ``budget_explorer.py`` sweep full workloads and
+take minutes; they are exercised by the benchmark suite's equivalent
+runners instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "devirtualization.py",
+    "multi_source_profiles.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate their results"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    expected = {
+        "quickstart.py",
+        "pgo_pipeline.py",
+        "devirtualization.py",
+        "budget_explorer.py",
+        "outlining.py",
+        "multi_source_profiles.py",
+    }
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert expected <= present
+    for name in expected:
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            head = handle.read(400)
+        assert '"""' in head, name

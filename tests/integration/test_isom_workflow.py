@@ -1,0 +1,88 @@
+"""The full on-disk isom workflow of Figure 1's bottom path.
+
+Sources compile to isom object files on disk; a later link step
+discovers them, hands them en masse to HLO, and produces the final
+program — with the profile database also persisted to disk between the
+training and final compiles, as a make-driven build would.
+"""
+
+import os
+
+from repro.core import HLOConfig, run_hlo
+from repro.frontend import compile_module
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.linker import is_isom_text, link_modules, read_isoms, write_isom
+from repro.profile import ProfileDatabase, annotate_program, instrument_program
+
+SOURCES = [
+    (
+        "mathlib",
+        """
+        static int square(int x) { return x * x; }
+        int poly(int x) { return square(x) + x + 1; }
+        """,
+    ),
+    (
+        "app",
+        """
+        extern int poly(int x);
+        int main() {
+          int total = 0;
+          for (int i = 0; i < input(0); i++) total += poly(i);
+          print_int(total);
+          return 0;
+        }
+        """,
+    ),
+]
+
+
+def test_full_disk_workflow(tmp_path):
+    workdir = str(tmp_path)
+
+    # Step 1: compile each module to an isom on disk (separate "cc -c").
+    isom_paths = []
+    for name, text in SOURCES:
+        module = compile_module(text, name)
+        isom_paths.append(write_isom(module, workdir))
+    for path in isom_paths:
+        with open(path) as handle:
+            assert is_isom_text(handle.read())
+
+    # Step 2: instrumenting link + training run; profile db to disk.
+    program = link_modules(read_isoms(isom_paths))
+    reference = run_program(program, [7]).behavior()
+    probe_map = instrument_program(program)
+    trained = run_program(program, [5])  # the *training* input differs
+    db = ProfileDatabase.from_training_run(
+        program, probe_map, trained.probe_counts, trained.steps
+    )
+    db_path = os.path.join(workdir, "app.profdb")
+    db.save(db_path)
+
+    # Step 3: final link — rediscover the isoms, annotate from disk, HLO.
+    final = link_modules(read_isoms(isom_paths))
+    loaded = ProfileDatabase.load(db_path)
+    assert annotate_program(final, loaded) > 0
+    report = run_hlo(
+        final, HLOConfig(budget_percent=400), site_counts=loaded.site_counts
+    )
+    verify_program(final)
+    assert report.inlines >= 1
+
+    # Step 4: the executable behaves identically on the reference input.
+    assert run_program(final, [7]).behavior() == reference
+
+
+def test_isoms_are_stable_across_rewrites(tmp_path):
+    """Writing an isom, reading it, and writing again is a fixpoint."""
+    module = compile_module(SOURCES[0][1], "mathlib")
+    first = write_isom(module, str(tmp_path))
+    with open(first) as handle:
+        text1 = handle.read()
+    reread = read_isoms([first])[0]
+    second = write_isom(reread, str(tmp_path / "again"))
+    with open(second) as handle:
+        text2 = handle.read()
+    assert text1 == text2

@@ -1,0 +1,125 @@
+"""End-to-end checks of the paper's headline claims, on real workloads.
+
+These are the cheapest-possible versions of the benchmark experiments
+(train inputs, two workloads) so the claims stay verified in every test
+run; the full experiments live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core import HLOConfig
+from repro.interp import run_program
+from repro.ir import Call, ICall
+from repro.linker import Toolchain
+from repro.workloads import get_workload
+
+
+def toolchain_for(name):
+    w = get_workload(name)
+    return w, Toolchain(
+        list(w.sources), train_inputs=[list(t) for t in w.train_inputs]
+    )
+
+
+CFG = HLOConfig(budget_percent=400)
+
+
+class TestScopeProgression:
+    """Section 3.2: more scope -> more transforms and better run time."""
+
+    def test_sc_improves_from_base_to_cp(self):
+        w, tc = toolchain_for("sc")
+        cycles = {}
+        behaviors = set()
+        for scope in ("base", "c", "p", "cp"):
+            result = tc.build(scope, CFG)
+            metrics, run = result.run(w.train_inputs[0])
+            cycles[scope] = metrics.cycles
+            behaviors.add(run.behavior())
+        assert len(behaviors) == 1
+        assert cycles["cp"] < cycles["base"]
+
+    def test_cross_module_enables_deletions(self):
+        _w, tc = toolchain_for("sc")
+        base = tc.build("base", CFG)
+        cross = tc.build("c", CFG)
+        assert cross.report.deletions > base.report.deletions
+
+
+class TestCursesAnecdote:
+    """Section 3.1: the no-op curses calls are deleted before inlining
+    by the interprocedural side-effect analysis."""
+
+    def count_curses_calls(self, program):
+        return sum(
+            1
+            for proc in program.all_procs()
+            for instr in proc.instructions()
+            if isinstance(instr, Call) and instr.callee.startswith("cur_")
+        )
+
+    def test_dead_display_calls_eliminated(self):
+        w, tc = toolchain_for("sc")
+        raw = w.compile()
+        assert self.count_curses_calls(raw) > 0
+        built = tc.build("c", CFG)
+        assert self.count_curses_calls(built.program) == 0
+
+    def test_output_identical_without_the_calls(self):
+        w, tc = toolchain_for("sc")
+        reference = run_program(w.compile(), w.train_inputs[0])
+        built = tc.build("c", CFG)
+        _metrics, run = built.run(w.train_inputs[0])
+        assert run.behavior() == reference.behavior()
+
+
+class TestDevirtualizationChain:
+    """Section 3.1's staged optimization on the go workload: the
+    function-pointer pattern scorers become direct calls."""
+
+    def count_icalls(self, program):
+        return sum(
+            1
+            for proc in program.all_procs()
+            for instr in proc.instructions()
+            if isinstance(instr, ICall)
+        )
+
+    def test_indirect_calls_reduced_by_full_scope(self):
+        w, tc = toolchain_for("go")
+        raw = self.count_icalls(w.compile())
+        assert raw >= 1
+        built = tc.build("c", HLOConfig(budget_percent=1000))
+        assert built.report.devirtualized >= 1 or self.count_icalls(built.program) < raw
+
+
+class TestTransformEffect:
+    """Figure 6's core ordering on one workload, cheaply."""
+
+    def test_inline_beats_clone_only_on_vortex(self):
+        w, tc = toolchain_for("vortex")
+        runs = {}
+        for label, cfg in (
+            ("neither", CFG.neither()),
+            ("inline", CFG.inline_only()),
+            ("clone", CFG.clone_only()),
+            ("both", CFG),
+        ):
+            result = tc.build("cp", cfg)
+            metrics, run = result.run(w.train_inputs[0])
+            runs[label] = (metrics.cycles, run.behavior())
+        behaviors = {b for _c, b in runs.values()}
+        assert len(behaviors) == 1
+        assert runs["inline"][0] < runs["neither"][0]
+        assert runs["both"][0] < runs["neither"][0]
+        assert runs["inline"][0] < runs["clone"][0]
+
+    def test_instruction_counts_drop_with_inlining(self):
+        w, tc = toolchain_for("vortex")
+        neither = tc.build("cp", CFG.neither())
+        both = tc.build("cp", CFG)
+        m0, _ = neither.run(w.train_inputs[0])
+        m1, _ = both.run(w.train_inputs[0])
+        assert m1.instructions < m0.instructions
+        assert m1.dcache_accesses < m0.dcache_accesses
+        assert m1.branches < m0.branches

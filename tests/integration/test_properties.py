@@ -1,0 +1,93 @@
+"""Cross-cutting property tests over the whole pipeline (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HLOConfig, run_hlo
+from repro.frontend import compile_module, compile_program
+from repro.interp import run_program
+from repro.ir import parse_module, print_module, verify_program
+from repro.linker import link_modules, roundtrip_modules
+from repro.profile import annotate_program, instrument_program, ProfileDatabase
+from repro.workloads.generator import generate_sources
+
+seeds = st.integers(min_value=0, max_value=1_000_000)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seeds, st.sampled_from(["base", "isom"]))
+def test_isom_path_equals_direct_path(seed, path):
+    """Compiling through the isom round trip changes nothing observable."""
+    sources = generate_sources(seed)
+    direct = compile_program(sources)
+    reference = run_program(direct, max_steps=500_000).behavior()
+    if path == "isom":
+        program = link_modules(
+            roundtrip_modules(compile_program(sources).modules.values())
+        )
+    else:
+        program = compile_program(sources)
+    assert run_program(program, max_steps=500_000).behavior() == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_full_pgo_pipeline_preserves_behavior(seed):
+    """Instrument -> train -> annotate -> HLO -> run == raw run."""
+    sources = generate_sources(seed)
+    reference = run_program(compile_program(sources), max_steps=500_000).behavior()
+
+    instrumented = compile_program(sources)
+    probe_map = instrument_program(instrumented)
+    trained = run_program(instrumented, max_steps=2_000_000)
+    assert trained.behavior() == reference  # probes are invisible
+
+    db = ProfileDatabase.from_training_run(
+        instrumented, probe_map, trained.probe_counts, trained.steps
+    )
+    final = compile_program(sources)
+    annotate_program(final, db)
+    run_hlo(final, HLOConfig(budget_percent=400), site_counts=db.site_counts)
+    verify_program(final)
+    assert run_program(final, max_steps=2_000_000).behavior() == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_hlo_is_idempotent_semantically(seed):
+    """Running HLO twice keeps behaviour (and the verifier) intact."""
+    sources = generate_sources(seed)
+    reference = run_program(compile_program(sources), max_steps=500_000).behavior()
+    program = compile_program(sources)
+    run_hlo(program, HLOConfig(budget_percent=200))
+    run_hlo(program, HLOConfig(budget_percent=200))
+    verify_program(program)
+    assert run_program(program, max_steps=2_000_000).behavior() == reference
+
+
+@settings(max_examples=8, deadline=None)
+@given(seeds)
+def test_variant_configs_all_preserve_behavior(seed):
+    """Figure 6's four variants agree on observable behaviour."""
+    sources = generate_sources(seed)
+    reference = run_program(compile_program(sources), max_steps=500_000).behavior()
+    base = HLOConfig(budget_percent=400)
+    for cfg in (base.neither(), base.inline_only(), base.clone_only(), base):
+        program = compile_program(sources)
+        run_hlo(program, cfg)
+        assert run_program(program, max_steps=2_000_000).behavior() == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_annotated_programs_roundtrip_through_isom(seed):
+    """Profile annotations survive isom serialization."""
+    sources = generate_sources(seed, n_modules=1)
+    name, text = sources[0]
+    mod = compile_module(text, name)
+    for proc in mod.procs.values():
+        for i, block in enumerate(proc.blocks.values()):
+            block.profile_count = i * 10
+    reparsed = parse_module(print_module(mod))
+    for pname, proc in mod.procs.items():
+        for label, block in proc.blocks.items():
+            assert reparsed.procs[pname].blocks[label].profile_count == block.profile_count

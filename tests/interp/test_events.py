@@ -1,0 +1,101 @@
+"""The event stream contract between interpreter and machine model."""
+
+from repro.frontend import compile_program
+from repro.interp import EventSink, run_program
+
+
+class RecordingSink(EventSink):
+    def __init__(self):
+        self.instrs = []
+        self.branches = []
+        self.calls = []
+        self.returns = []
+        self.mems = []
+
+    def on_instr(self, proc, label, index, instr):
+        self.instrs.append((proc.name, label, index, type(instr).__name__))
+
+    def on_branch(self, proc, label, index, kind, taken, target_label):
+        self.branches.append((proc.name, kind, taken, target_label))
+
+    def on_call(self, caller, callee_name, kind, n_args):
+        self.calls.append((caller.name, callee_name, kind, n_args))
+
+    def on_return(self, callee_name, caller):
+        self.returns.append((callee_name, caller.name))
+
+    def on_mem(self, addr, is_store):
+        self.mems.append((addr, is_store))
+
+
+SOURCES = [
+    (
+        "m",
+        """
+        int g[4];
+        int tiny(int x) { return x + 1; }
+        int apply(int f, int x) { return f(x); }
+        int main() {
+          g[0] = tiny(1);
+          int r = apply(&tiny, g[0]);
+          print_int(r);
+          if (r > 2) return 1;
+          return 0;
+        }
+        """,
+    )
+]
+
+
+def run_with_sink():
+    sink = RecordingSink()
+    program = compile_program(SOURCES)
+    result = run_program(program, sink=sink)
+    return sink, result
+
+
+class TestEventStream:
+    def test_instr_events_cover_all_steps(self):
+        sink, result = run_with_sink()
+        assert len(sink.instrs) == result.steps
+
+    def test_call_kinds(self):
+        sink, _ = run_with_sink()
+        kinds = {(callee, kind) for _c, callee, kind, _n in sink.calls}
+        assert ("tiny", "direct") in kinds
+        assert ("tiny", "indirect") in kinds  # through apply's parameter
+        assert ("print_int", "builtin") in kinds
+
+    def test_returns_name_callee_and_receiver(self):
+        sink, _ = run_with_sink()
+        assert ("tiny", "main") in sink.returns
+        assert ("apply", "main") in sink.returns
+        assert ("tiny", "apply") in sink.returns
+        # Builtins do not produce return events.
+        assert all(callee != "print_int" for callee, _ in sink.returns)
+
+    def test_mem_events_for_global_traffic(self):
+        sink, _ = run_with_sink()
+        stores = [addr for addr, is_store in sink.mems if is_store]
+        loads = [addr for addr, is_store in sink.mems if not is_store]
+        assert len(stores) == 1  # g[0] = ...
+        assert len(loads) == 1  # ... = g[0]
+        assert stores == loads  # same cell
+
+    def test_branch_events_record_direction(self):
+        sink, _ = run_with_sink()
+        cond = [(taken, target) for _p, kind, taken, target in sink.branches if kind == "cond"]
+        assert cond  # the r > 2 test
+        taken_flags = {taken for taken, _t in cond}
+        assert True in taken_flags  # r == 3 > 2
+
+    def test_instr_identities_are_resolvable(self):
+        """Every (proc, label, index) the sink sees must exist in the
+        program — the machine layout depends on this."""
+        sink, _ = run_with_sink()
+        program = compile_program(SOURCES)
+        for proc_name, label, index, _cls in sink.instrs:
+            proc = program.proc(proc_name)
+            assert proc is not None
+            assert label in proc.blocks
+            assert index < len(proc.blocks[label].instrs)

@@ -1,0 +1,56 @@
+"""Flat memory model and code pointers."""
+
+import pytest
+
+from repro.interp import CodePtr, ExecError, Memory
+from repro.interp.memory import HEAP_BASE
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert Memory().load(12345) == 0
+
+    def test_store_load(self):
+        mem = Memory()
+        mem.store(10, 42)
+        mem.store(11, 2.5)
+        assert mem.load(10) == 42
+        assert mem.load(11) == 2.5
+
+    def test_code_pointers_storable(self):
+        mem = Memory()
+        mem.store(5, CodePtr("f"))
+        assert mem.load(5) == CodePtr("f")
+
+    def test_negative_address_traps(self):
+        mem = Memory()
+        with pytest.raises(ExecError):
+            mem.load(-1)
+        with pytest.raises(ExecError):
+            mem.store(-1, 0)
+
+    def test_non_integer_address_traps(self):
+        mem = Memory()
+        with pytest.raises(ExecError):
+            mem.load(1.5)
+        with pytest.raises(ExecError):
+            mem.store(CodePtr("f"), 1)
+
+    def test_sbrk_bump_allocates(self):
+        mem = Memory()
+        a = mem.sbrk(10)
+        b = mem.sbrk(1)
+        assert a == HEAP_BASE
+        assert b == a + 10
+
+    def test_sbrk_negative_traps(self):
+        with pytest.raises(ExecError):
+            Memory().sbrk(-1)
+
+
+class TestCodePtr:
+    def test_equality_and_hash(self):
+        assert CodePtr("f") == CodePtr("f")
+        assert CodePtr("f") != CodePtr("g")
+        assert CodePtr("f") != 42
+        assert len({CodePtr("f"), CodePtr("f"), CodePtr("g")}) == 2

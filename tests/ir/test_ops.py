@@ -1,0 +1,166 @@
+"""Arithmetic semantics: 64-bit wrapping, C-style division, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import (
+    BINARY_OPS,
+    INT_MASK,
+    INT_MAX,
+    INT_MIN,
+    EvalError,
+    eval_binop,
+    eval_unop,
+    wrap_int,
+)
+
+small_ints = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+
+
+class TestWrapInt:
+    def test_identity_in_range(self):
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+        assert wrap_int(INT_MAX) == INT_MAX
+        assert wrap_int(INT_MIN) == INT_MIN
+
+    def test_overflow_wraps(self):
+        assert wrap_int(INT_MAX + 1) == INT_MIN
+        assert wrap_int(INT_MIN - 1) == INT_MAX
+        assert wrap_int(1 << 64) == 0
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    def test_always_in_range(self, value):
+        wrapped = wrap_int(value)
+        assert INT_MIN <= wrapped <= INT_MAX
+        assert (wrapped - value) % (1 << 64) == 0
+
+
+class TestIntBinops:
+    def test_add_sub_mul(self):
+        assert eval_binop("add", 2, 3) == 5
+        assert eval_binop("sub", 2, 3) == -1
+        assert eval_binop("mul", -4, 5) == -20
+
+    def test_add_wraps(self):
+        assert eval_binop("add", INT_MAX, 1) == INT_MIN
+
+    def test_trunc_division(self):
+        # C semantics: truncation toward zero.
+        assert eval_binop("div", 7, 2) == 3
+        assert eval_binop("div", -7, 2) == -3
+        assert eval_binop("div", 7, -2) == -3
+        assert eval_binop("div", -7, -2) == 3
+
+    def test_trunc_modulo(self):
+        assert eval_binop("mod", 7, 3) == 1
+        assert eval_binop("mod", -7, 3) == -1
+        assert eval_binop("mod", 7, -3) == 1
+        assert eval_binop("mod", -7, -3) == -1
+
+    @given(small_ints, small_ints.filter(lambda v: v != 0))
+    def test_div_mod_identity(self, a, b):
+        q = eval_binop("div", a, b)
+        r = eval_binop("mod", a, b)
+        assert wrap_int(q * b + r) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            eval_binop("div", 1, 0)
+        with pytest.raises(EvalError):
+            eval_binop("mod", 1, 0)
+
+    def test_bitwise(self):
+        assert eval_binop("and", 0b1100, 0b1010) == 0b1000
+        assert eval_binop("or", 0b1100, 0b1010) == 0b1110
+        assert eval_binop("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_bitwise_negative_operands(self):
+        # Two's-complement semantics: -1 & 15 == 15.
+        assert eval_binop("and", -1, 15) == 15
+        assert eval_binop("or", -16, 15) == -1
+
+    def test_shifts(self):
+        assert eval_binop("shl", 1, 10) == 1024
+        assert eval_binop("shr", 1024, 10) == 1
+        # Arithmetic right shift preserves sign.
+        assert eval_binop("shr", -8, 1) == -4
+        # Shift amounts reduce modulo 64.
+        assert eval_binop("shl", 1, 64) == 1
+
+    def test_comparisons_produce_bits(self):
+        assert eval_binop("lt", 1, 2) == 1
+        assert eval_binop("ge", 1, 2) == 0
+        assert eval_binop("eq", 5, 5) == 1
+        assert eval_binop("ne", 5, 5) == 0
+
+    @given(small_ints, small_ints)
+    def test_comparison_trichotomy(self, a, b):
+        assert eval_binop("lt", a, b) + eval_binop("eq", a, b) + eval_binop("gt", a, b) == 1
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(TypeError):
+            eval_binop("bogus", 1, 2)
+
+
+class TestFloatBinops:
+    def test_float_arith(self):
+        assert eval_binop("add", 1.5, 2.5) == 4.0
+        assert eval_binop("mul", 2.0, 0.25) == 0.5
+
+    def test_float_compare(self):
+        assert eval_binop("lt", 1.0, 2.0) == 1
+        assert eval_binop("eq", 1.0, 1.0) == 1
+
+    def test_float_div_zero_raises(self):
+        with pytest.raises(EvalError):
+            eval_binop("div", 1.0, 0.0)
+
+    def test_int_only_op_on_float_raises(self):
+        with pytest.raises(TypeError):
+            eval_binop("mod", 1.0, 2.0)
+        with pytest.raises(TypeError):
+            eval_binop("shl", 1.0, 2.0)
+
+    def test_mixed_types_raise(self):
+        with pytest.raises(TypeError):
+            eval_binop("add", 1, 2.0)
+
+
+class TestUnops:
+    def test_neg(self):
+        assert eval_unop("neg", 5) == -5
+        assert eval_unop("neg", -2.5) == 2.5
+        assert eval_unop("neg", INT_MIN) == INT_MIN  # wraps
+
+    def test_not(self):
+        assert eval_unop("not", 0) == -1
+        assert eval_unop("not", -1) == 0
+
+    def test_lnot(self):
+        assert eval_unop("lnot", 0) == 1
+        assert eval_unop("lnot", 7) == 0
+        assert eval_unop("lnot", 0.0) == 1
+
+    def test_conversions(self):
+        assert eval_unop("itof", 3) == 3.0
+        assert isinstance(eval_unop("itof", 3), float)
+        assert eval_unop("ftoi", 3.9) == 3
+        assert eval_unop("ftoi", -3.9) == -3
+
+    def test_ftoi_nonfinite_raises(self):
+        with pytest.raises(EvalError):
+            eval_unop("ftoi", float("inf"))
+        with pytest.raises(EvalError):
+            eval_unop("ftoi", float("nan"))
+
+    def test_bitwise_not_on_float_raises(self):
+        with pytest.raises(TypeError):
+            eval_unop("not", 1.0)
+
+
+def test_op_sets_consistent():
+    from repro.ir.ops import COMPARISON_OPS, INT_ONLY_OPS
+
+    assert COMPARISON_OPS <= BINARY_OPS
+    assert INT_ONLY_OPS <= BINARY_OPS

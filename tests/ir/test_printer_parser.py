@@ -1,0 +1,154 @@
+"""Textual IR (isom format): printing, parsing, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_module
+from repro.ir import (
+    FuncRef,
+    GlobalRef,
+    Imm,
+    ParseError,
+    Reg,
+    Type,
+    parse_instr,
+    parse_module,
+    parse_operand,
+    print_module,
+)
+from repro.workloads.generator import generate_sources
+
+
+class TestOperandParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("%x", Reg("x")),
+            ("@f", FuncRef("f")),
+            ("$g", GlobalRef("g")),
+            ("42", Imm(42)),
+            ("-7", Imm(-7)),
+            ("2.5", Imm(2.5, Type.FLT)),
+            ("-1.5e3", Imm(-1500.0, Type.FLT)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_operand(text) == expected
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_operand("!!")
+
+
+class TestInstrParsing:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "%d = mov 5",
+            "%d = add %a, %b",
+            "%d = neg %a",
+            "%d = load [%p]",
+            "store [%p], 3",
+            "%d = alloca 8",
+            "%d = call @f(%a, 2) #3",
+            "call @f() #0",
+            "%d = icall %fp(%a) #1",
+            "jmp L1",
+            "br %c, L1, L2",
+            "ret",
+            "ret %v",
+            "probe 7",
+        ],
+    )
+    def test_roundtrip_line(self, line):
+        assert str(parse_instr(line)) == line
+
+    @pytest.mark.parametrize(
+        "line", ["%d = bogus 1", "mov 5", "%d = add %a", "br %c, L1", "%d = load %p"]
+    )
+    def test_bad_lines_raise(self, line):
+        with pytest.raises(ParseError):
+            parse_instr(line)
+
+
+class TestModuleRoundtrip:
+    SOURCE = """
+    static int table[8] = {1, 2, 3};
+    float ratio = 2.5;
+    extern int other(int x);
+
+    static int helper(int a, int b) {
+      if (a < b) return helper(b, a);
+      return a - b;
+    }
+
+    int entry(int n, ...) {
+      int arr[4];
+      arr[0] = helper(n, 3) + other(n);
+      float f = ratio * 2.0;
+      print_flt(f);
+      return arr[0] + va_count();
+    }
+    """
+
+    def test_frontend_module_roundtrips(self):
+        mod = compile_module(self.SOURCE, "demo")
+        text = print_module(mod)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    def test_roundtrip_preserves_structure(self):
+        mod = compile_module(self.SOURCE, "demo")
+        reparsed = parse_module(print_module(mod))
+        assert set(reparsed.procs) == set(mod.procs)
+        assert set(reparsed.globals) == set(mod.globals)
+        assert set(reparsed.externs) == set(mod.externs)
+        for name in mod.procs:
+            assert reparsed.procs[name].size() == mod.procs[name].size()
+            assert reparsed.procs[name].attrs == mod.procs[name].attrs
+            assert reparsed.procs[name].linkage == mod.procs[name].linkage
+
+    def test_site_counter_bumped_past_parsed_ids(self):
+        mod = compile_module(self.SOURCE, "demo")
+        reparsed = parse_module(print_module(mod))
+        sites = [
+            instr.site_id
+            for proc in reparsed.procs.values()
+            for _b, _i, instr in proc.call_sites()
+        ]
+        assert reparsed.new_site_id() > max(sites)
+
+    def test_profile_counts_roundtrip(self):
+        mod = compile_module(self.SOURCE, "demo")
+        proc = next(iter(mod.procs.values()))
+        proc.blocks[proc.entry].profile_count = 42
+        reparsed = parse_module(print_module(mod))
+        assert reparsed.procs[proc.name].blocks[proc.entry].profile_count == 42
+
+
+class TestParserErrors:
+    def test_no_module_header(self):
+        with pytest.raises(ParseError):
+            parse_module("proc @f() -> int global {\nentry:\n  ret 0\n}")
+
+    def test_double_module_header(self):
+        with pytest.raises(ParseError):
+            parse_module('module "a"\nmodule "b"')
+
+    def test_unterminated_proc(self):
+        with pytest.raises(ParseError):
+            parse_module('module "m"\nproc @f() -> int global {\nentry:\n  ret 0')
+
+    def test_instr_before_label(self):
+        with pytest.raises(ParseError):
+            parse_module('module "m"\nproc @f() -> int global {\n  ret 0\n}')
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_generated_modules_roundtrip(seed):
+    """Property: every front-end output survives print->parse->print."""
+    for name, source in generate_sources(seed, n_modules=1, funcs_per_module=2):
+        mod = compile_module(source, name)
+        text = print_module(mod)
+        assert print_module(parse_module(text)) == text

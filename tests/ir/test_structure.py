@@ -1,0 +1,168 @@
+"""Blocks, procedures, modules, and programs: structural behaviour."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    GlobalVar,
+    IRBuilder,
+    Imm,
+    Jump,
+    Module,
+    Mov,
+    Procedure,
+    Program,
+    Reg,
+    Ret,
+    Signature,
+    Type,
+)
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("b")
+        assert block.terminator is None
+        block.append(Mov(Reg("x"), Imm(1)))
+        assert block.terminator is None
+        block.append(Ret(None))
+        assert block.terminator is not None
+
+    def test_append_after_terminator_raises(self):
+        block = BasicBlock("b", [Ret(None)])
+        with pytest.raises(ValueError):
+            block.append(Mov(Reg("x"), Imm(1)))
+
+    def test_successors_and_body(self):
+        block = BasicBlock("b", [Mov(Reg("x"), Imm(1)), Jump("next")])
+        assert block.successors() == ["next"]
+        assert len(block.body()) == 1
+
+
+class TestProcedure:
+    def make(self):
+        proc = Procedure("f", [("a", Type.INT)], Type.INT)
+        entry = proc.add_block(BasicBlock("entry"), entry=True)
+        entry.append(Mov(Reg("x"), Reg("a")))
+        entry.append(Jump("exit"))
+        exit_block = proc.add_block(BasicBlock("exit"))
+        exit_block.append(Ret(Reg("x")))
+        return proc
+
+    def test_entry_and_size(self):
+        proc = self.make()
+        assert proc.entry == "entry"
+        assert proc.size() == 3
+
+    def test_duplicate_block_raises(self):
+        proc = self.make()
+        with pytest.raises(ValueError):
+            proc.add_block(BasicBlock("entry"))
+
+    def test_new_reg_avoids_collisions(self):
+        proc = self.make()
+        names = {proc.new_reg().name for _ in range(5)}
+        assert len(names) == 5
+        assert "a" not in names and "x" not in names
+
+    def test_new_label_avoids_collisions(self):
+        proc = self.make()
+        label = proc.new_label()
+        assert label not in ("entry", "exit")
+
+    def test_rpo_starts_at_entry(self):
+        proc = self.make()
+        assert proc.rpo_labels()[0] == "entry"
+        assert proc.rpo_labels() == ["entry", "exit"]
+
+    def test_predecessors(self):
+        proc = self.make()
+        assert proc.predecessors()["exit"] == ["entry"]
+        assert proc.predecessors()["entry"] == []
+
+    def test_reachable_excludes_orphans(self):
+        proc = self.make()
+        orphan = proc.add_block(BasicBlock("orphan"))
+        orphan.append(Ret(Imm(0)))
+        assert "orphan" not in proc.reachable_labels()
+
+    def test_cannot_remove_entry(self):
+        proc = self.make()
+        with pytest.raises(ValueError):
+            proc.remove_block("entry")
+
+    def test_signature(self):
+        proc = self.make()
+        assert proc.signature() == Signature((Type.INT,), Type.INT)
+
+    def test_unknown_attr_raises(self):
+        with pytest.raises(ValueError):
+            Procedure("g", [], attrs={"mystery"})
+
+
+class TestModuleAndProgram:
+    def test_global_size_checks(self):
+        with pytest.raises(ValueError):
+            GlobalVar("g", size=0)
+        with pytest.raises(ValueError):
+            GlobalVar("g", size=2, init=[1, 2, 3])
+        assert GlobalVar("g", size=3, init=[7]).words() == [7, 0, 0]
+
+    def test_duplicate_global_raises(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g"))
+        with pytest.raises(ValueError):
+            mod.add_global(GlobalVar("g"))
+
+    def test_site_ids_monotonic(self):
+        mod = Module("m")
+        ids = [mod.new_site_id() for _ in range(4)]
+        assert ids == [0, 1, 2, 3]
+        mod.bump_site_counter(10)
+        assert mod.new_site_id() == 10
+
+    def test_program_lookup_across_modules(self):
+        m1, m2 = Module("a"), Module("b")
+        b1 = IRBuilder(m1, "f")
+        b1.ret(1)
+        b2 = IRBuilder(m2, "main")
+        b2.ret(0)
+        m2.add_global(GlobalVar("g", 4))
+        program = Program([m1, m2])
+        assert program.proc("f") is not None
+        assert program.proc("main").module == "b"
+        assert program.global_var("g").module == "b"
+        assert program.proc("missing") is None
+
+    def test_duplicate_proc_across_modules_raises(self):
+        m1, m2 = Module("a"), Module("b")
+        IRBuilder(m1, "f").ret(0)
+        IRBuilder(m2, "f").ret(0)
+        with pytest.raises(ValueError):
+            Program([m1, m2])
+
+    def test_builtin_signatures_known(self):
+        program = Program([])
+        assert program.is_builtin("print_int")
+        assert program.callee_signature("print_int") == Signature((Type.INT,), Type.VOID)
+        assert program.callee_signature("nope") is None
+
+    def test_extern_signature_lookup(self):
+        mod = Module("m")
+        mod.declare_extern("ext", Signature((Type.INT,), Type.INT))
+        program = Program([mod])
+        assert program.callee_signature("ext") == Signature((Type.INT,), Type.INT)
+
+    def test_main_required(self):
+        program = Program([])
+        with pytest.raises(ValueError):
+            program.main()
+
+    def test_delete_proc(self):
+        mod = Module("m")
+        IRBuilder(mod, "f").ret(0)
+        program = Program([mod])
+        program.delete_proc("f")
+        assert program.proc("f") is None
+        with pytest.raises(KeyError):
+            program.delete_proc("f")

@@ -1,0 +1,81 @@
+"""Types, signatures, and operand values."""
+
+import pytest
+
+from repro.ir import (
+    FuncRef,
+    GlobalRef,
+    Imm,
+    Reg,
+    Signature,
+    Type,
+    is_constant,
+    parse_type,
+)
+
+
+class TestSignature:
+    def test_exact_match(self):
+        sig = Signature((Type.INT, Type.FLT), Type.INT)
+        assert sig.accepts_call((Type.INT, Type.FLT))
+        assert not sig.accepts_call((Type.INT,))
+        assert not sig.accepts_call((Type.FLT, Type.INT))
+        assert not sig.accepts_call((Type.INT, Type.FLT, Type.INT))
+
+    def test_varargs_accepts_suffix(self):
+        sig = Signature((Type.INT,), Type.VOID, varargs=True)
+        assert sig.accepts_call((Type.INT,))
+        assert sig.accepts_call((Type.INT, Type.INT, Type.FLT))
+        assert not sig.accepts_call(())
+
+    def test_arity(self):
+        assert Signature((Type.INT, Type.INT)).arity() == 2
+
+    def test_str_forms(self):
+        assert str(Signature((Type.INT,), Type.VOID)) == "(int) -> void"
+        assert "..." in str(Signature((), Type.INT, varargs=True))
+
+
+class TestParseType:
+    @pytest.mark.parametrize("name,ty", [("int", Type.INT), ("float", Type.FLT), ("void", Type.VOID)])
+    def test_roundtrip(self, name, ty):
+        assert parse_type(name) is ty
+        assert str(ty) == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_type("double")
+
+
+class TestOperands:
+    def test_reg_identity(self):
+        assert Reg("x") == Reg("x")
+        assert Reg("x") != Reg("y")
+        assert str(Reg("t0")) == "%t0"
+
+    def test_imm_typing(self):
+        assert Imm(5).type is Type.INT
+        assert Imm(2.5, Type.FLT).type is Type.FLT
+        assert str(Imm(-3)) == "-3"
+        assert str(Imm(2.5, Type.FLT)) == "2.5"
+
+    def test_imm_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            Imm(2.5)  # float value, INT type
+        with pytest.raises(TypeError):
+            Imm(2, Type.FLT)
+
+    def test_refs(self):
+        assert str(FuncRef("f")) == "@f"
+        assert str(GlobalRef("g")) == "$g"
+        assert FuncRef("f") != GlobalRef("f")
+
+    def test_is_constant(self):
+        assert is_constant(Imm(1))
+        assert is_constant(FuncRef("f"))
+        assert is_constant(GlobalRef("g"))
+        assert not is_constant(Reg("x"))
+
+    def test_hashable(self):
+        # Operands key dicts/sets throughout the optimizer.
+        assert len({Reg("a"), Reg("a"), Imm(1), FuncRef("a")}) == 3

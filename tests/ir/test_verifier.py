@@ -1,0 +1,130 @@
+"""Verifier: each structural error class is caught."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Call,
+    FuncRef,
+    GlobalRef,
+    GlobalVar,
+    IRBuilder,
+    Imm,
+    Jump,
+    LINK_STATIC,
+    Load,
+    Module,
+    Mov,
+    Procedure,
+    Program,
+    Reg,
+    Ret,
+    Type,
+    VerifyError,
+    verify_program,
+)
+
+
+def proc_with(instrs, params=(), ret_type=Type.INT):
+    mod = Module("m")
+    proc = Procedure("p", list(params), ret_type)
+    block = proc.add_block(BasicBlock("entry"), entry=True)
+    block.instrs = list(instrs)
+    mod.add_proc(proc)
+    return Program([mod])
+
+
+def errors_of(program):
+    with pytest.raises(VerifyError) as err:
+        verify_program(program)
+    return str(err.value)
+
+
+class TestVerifier:
+    def test_valid_program_passes(self):
+        program = proc_with([Ret(Imm(0))])
+        verify_program(program)  # no raise
+
+    def test_missing_terminator(self):
+        program = proc_with([Mov(Reg("x"), Imm(1))])
+        assert "lacks a terminator" in errors_of(program)
+
+    def test_terminator_mid_block(self):
+        program = proc_with([Ret(Imm(0)), Mov(Reg("x"), Imm(1)), Ret(Imm(0))])
+        assert "terminator mid-block" in errors_of(program)
+
+    def test_branch_to_unknown_label(self):
+        program = proc_with([Jump("nowhere")])
+        assert "unknown label" in errors_of(program)
+
+    def test_undefined_register_use(self):
+        program = proc_with([Ret(Reg("ghost"))])
+        assert "undefined register" in errors_of(program)
+
+    def test_param_is_defined(self):
+        program = proc_with([Ret(Reg("a"))], params=[("a", Type.INT)])
+        verify_program(program)
+
+    def test_unknown_callee(self):
+        program = proc_with([Call(None, "mystery", [], 0), Ret(Imm(0))])
+        assert "undeclared" in errors_of(program)
+
+    def test_builtin_callee_ok(self):
+        program = proc_with([Call(None, "print_int", [Imm(1)], 0), Ret(Imm(0))])
+        verify_program(program)
+
+    def test_void_callee_with_result(self):
+        program = proc_with([Call(Reg("x"), "print_int", [Imm(1)], 0), Ret(Reg("x"))])
+        assert "void" in errors_of(program)
+
+    def test_missing_site_id(self):
+        program = proc_with([Call(None, "print_int", [Imm(1)]), Ret(Imm(0))])
+        assert "site id" in errors_of(program)
+
+    def test_ret_type_mismatch(self):
+        program = proc_with([Ret(None)])  # non-void proc, bare ret
+        assert "bare ret" in errors_of(program)
+        program = proc_with([Ret(Imm(0))], ret_type=Type.VOID)
+        assert "ret with value" in errors_of(program)
+
+    def test_unknown_funcref(self):
+        program = proc_with([Mov(Reg("x"), FuncRef("ghost")), Ret(Reg("x"))])
+        assert "funcref to unknown" in errors_of(program)
+
+    def test_unknown_global(self):
+        program = proc_with([Load(Reg("x"), GlobalRef("ghost")), Ret(Reg("x"))])
+        assert "unknown global" in errors_of(program)
+
+    def test_cross_module_static_call_rejected(self):
+        m1 = Module("a")
+        static = IRBuilder(m1, "hidden", linkage=LINK_STATIC)
+        static.ret(1)
+        m2 = Module("b")
+        caller = IRBuilder(m2, "main")
+        caller.call("hidden", [], dest=False)
+        caller.ret(0)
+        assert "cross-module call to static" in errors_of(Program([m1, m2]))
+
+    def test_cross_module_static_global_rejected(self):
+        m1 = Module("a")
+        m1.add_global(GlobalVar("priv", 1, linkage=LINK_STATIC))
+        m2 = Module("b")
+        b = IRBuilder(m2, "main")
+        b.load(b.glob("priv"))
+        b.ret(0)
+        assert "reference to static" in errors_of(Program([m1, m2]))
+
+    def test_cross_module_static_funcref_rejected(self):
+        m1 = Module("a")
+        IRBuilder(m1, "hidden", linkage=LINK_STATIC).ret(1)
+        m2 = Module("b")
+        b = IRBuilder(m2, "main")
+        b.mov(b.func("hidden"))
+        b.ret(0)
+        assert "funcref to static" in errors_of(Program([m1, m2]))
+
+    def test_error_collects_all_messages(self):
+        program = proc_with([Mov(Reg("x"), Reg("ghost"))])  # two errors
+        message = errors_of(program)
+        assert "undefined register" in message
+        assert "lacks a terminator" in message

@@ -1,0 +1,100 @@
+"""Caches and branch prediction components."""
+
+import pytest
+
+from repro.machine import DirectMappedCache, TwoBitPredictor
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(1024, 32)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(31)  # same line
+        assert not cache.access(32)  # next line
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(1024, 32)  # 32 lines
+        cache.access(0)
+        cache.access(1024)  # maps to the same index, evicts
+        assert not cache.access(0)
+
+    def test_distinct_sets_coexist(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.access(32)
+        assert cache.access(0)
+        assert cache.access(32)
+
+    def test_miss_rate(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.25
+
+    def test_reset(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert not cache.access(0)
+
+    def test_capacity_behavior(self):
+        # A working set larger than the cache always misses when swept.
+        cache = DirectMappedCache(256, 32)  # 8 lines
+        for _sweep in range(3):
+            for addr in range(0, 512, 32):  # 16 lines
+                cache.access(addr)
+        assert cache.miss_rate == 1.0
+
+    @pytest.mark.parametrize("size,line", [(0, 32), (100, 32), (128, 24), (-8, 8)])
+    def test_invalid_geometry(self, size, line):
+        with pytest.raises(ValueError):
+            DirectMappedCache(size, line)
+
+
+class TestPredictor:
+    def test_learns_taken_loop(self):
+        pred = TwoBitPredictor(16)
+        outcomes = [pred.predict_and_update(0x100, True) for _ in range(10)]
+        # Initial weakly-not-taken mispredicts once, then it learns.
+        assert outcomes[0] is False
+        assert all(outcomes[2:])
+
+    def test_hysteresis_survives_one_exit(self):
+        pred = TwoBitPredictor(16)
+        for _ in range(5):
+            pred.predict_and_update(0x100, True)
+        pred.predict_and_update(0x100, False)  # loop exit: one miss
+        assert pred.predict_and_update(0x100, True)  # still predicts taken
+
+    def test_alternating_pattern_hurts(self):
+        pred = TwoBitPredictor(16)
+        correct = sum(
+            pred.predict_and_update(0x40, i % 2 == 0) for i in range(20)
+        )
+        assert correct <= 10  # a bimodal predictor can't learn alternation
+
+    def test_collision_between_branches(self):
+        pred = TwoBitPredictor(2)  # tiny table: guaranteed collisions
+        pred.predict_and_update(0x0, True)
+        pred.predict_and_update(0x0, True)
+        # A different branch mapping to the same counter inherits bias.
+        assert pred.predict_and_update(0x8 * 2 * 4, True) in (True, False)
+        assert pred.predictions == 3
+
+    def test_forced_outcomes(self):
+        pred = TwoBitPredictor(16)
+        pred.force_mispredict()  # a return on the PA8000
+        pred.force_correct()  # a direct call
+        assert pred.predictions == 2
+        assert pred.mispredictions == 1
+        assert pred.miss_rate == 0.5
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(0)
+        with pytest.raises(ValueError):
+            TwoBitPredictor(100)

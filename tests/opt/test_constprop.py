@@ -1,0 +1,153 @@
+"""Constant propagation: folding, branch collapse, devirtualization."""
+
+from repro.frontend import compile_module
+from repro.interp import run_program
+from repro.ir import Branch, Call, ICall, Imm, Jump, Mov, Program
+from repro.opt import constant_propagation, simplify_cfg
+
+from ..conftest import single_proc_program
+
+
+def optimize(program):
+    for proc in program.all_procs():
+        for _ in range(4):
+            changed = constant_propagation(program, proc)
+            changed |= simplify_cfg(program, proc)
+            if not changed:
+                break
+    return program
+
+
+def instrs_of(program, name="main"):
+    return list(program.proc(name).instructions())
+
+
+class TestFolding:
+    def test_arith_chain_folds(self):
+        def body(b):
+            x = b.mov(7)
+            y = b.add(x, 3)
+            z = b.mul(y, 2)
+            b.ret(z)
+
+        program = optimize(single_proc_program(body))
+        ret = program.proc("main").entry_block().terminator
+        assert ret.value == Imm(20)
+
+    def test_division_by_zero_not_folded(self):
+        def body(b):
+            z = b.div(10, 0)
+            b.ret(z)
+
+        program = optimize(single_proc_program(body))
+        ops = [i for i in instrs_of(program) if getattr(i, "op", None) == "div"]
+        assert ops, "trapping division must be preserved"
+
+    def test_constant_branch_becomes_jump(self):
+        def body(b):
+            t = b.lt(1, 2)
+            yes, no = b.new_block(), b.new_block()
+            b.branch(t, yes, no)
+            b.set_block(yes)
+            b.ret(1)
+            b.set_block(no)
+            b.ret(0)
+
+        program = optimize(single_proc_program(body))
+        assert not any(isinstance(i, Branch) for i in instrs_of(program))
+        assert run_program(program).exit_code == 1
+
+    def test_state_merges_to_nac(self):
+        def body(b):
+            x = b.reg("x")
+            yes, no, join = b.new_block(), b.new_block(), b.new_block()
+            c = b.call("input", [0])
+            b.branch(c, yes, no)
+            b.set_block(yes)
+            b.mov(1, x)
+            b.jump(join)
+            b.set_block(no)
+            b.mov(2, x)
+            b.jump(join)
+            b.set_block(join)
+            b.ret(b.add(x, 0))
+
+        program = optimize(single_proc_program(body))
+        # x is 1 or 2 depending on input: must not fold to a constant.
+        assert run_program(program, [0]).exit_code == 2
+        assert run_program(program, [1]).exit_code == 1
+
+    def test_same_constant_on_both_paths_folds(self):
+        def body(b):
+            x = b.reg("x")
+            yes, no, join = b.new_block(), b.new_block(), b.new_block()
+            c = b.call("input", [0])
+            b.branch(c, yes, no)
+            b.set_block(yes)
+            b.mov(5, x)
+            b.jump(join)
+            b.set_block(no)
+            b.mov(5, x)
+            b.jump(join)
+            b.set_block(join)
+            b.ret(x)
+
+        program = optimize(single_proc_program(body))
+        ret = [i for i in instrs_of(program) if i.is_terminator and hasattr(i, "value")]
+        assert any(getattr(r, "value", None) == Imm(5) for r in ret)
+
+    def test_funcref_comparison_folds(self):
+        mod = compile_module(
+            """
+            int f(int x) { return x; }
+            int main() {
+              int a = &f;
+              if (a == &f) return 1;
+              return 0;
+            }
+            """,
+            "m",
+        )
+        program = optimize(Program([mod]))
+        assert run_program(program).exit_code == 1
+
+
+class TestDevirtualization:
+    def test_constant_icall_becomes_direct(self):
+        mod = compile_module(
+            """
+            int target(int x) { return x + 1; }
+            int main() {
+              int f = &target;
+              return f(41);
+            }
+            """,
+            "m",
+        )
+        program = Program([mod])
+        before = sum(isinstance(i, ICall) for i in instrs_of(program))
+        assert before == 1
+        optimize(program)
+        assert sum(isinstance(i, ICall) for i in instrs_of(program)) == 0
+        assert any(
+            isinstance(i, Call) and i.callee == "target" for i in instrs_of(program)
+        )
+        assert run_program(program).exit_code == 42
+
+    def test_site_id_survives_devirtualization(self):
+        mod = compile_module(
+            """
+            int target(int x) { return x; }
+            int main() { int f = &target; return f(1); }
+            """,
+            "m",
+        )
+        program = Program([mod])
+        original = [i.site_id for i in instrs_of(program) if isinstance(i, ICall)]
+        optimize(program)
+        direct = [
+            i.site_id
+            for i in instrs_of(program)
+            if isinstance(i, Call) and i.callee == "target"
+        ]
+        assert direct == original

@@ -1,0 +1,135 @@
+"""Dead-call elimination and the full optimizer pipeline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.ir import Call, verify_program
+from repro.opt import eliminate_dead_calls, optimize_program
+from repro.workloads.generator import generate_sources
+
+
+def call_count(program, callee):
+    return sum(
+        1
+        for proc in program.all_procs()
+        for instr in proc.instructions()
+        if isinstance(instr, Call) and instr.callee == callee
+    )
+
+
+class TestDeadCalls:
+    CURSES = [
+        (
+            "curses",
+            """
+            int cur_move(int r, int c) { return r * 80 + c; }
+            int cur_refresh() { return 0; }
+            """,
+        ),
+        (
+            "main",
+            """
+            extern int cur_move(int r, int c);
+            extern int cur_refresh();
+            int g = 0;
+            int main() {
+              for (int i = 0; i < 5; i++) {
+                cur_move(i, i + 1);
+                g = g + i;
+              }
+              cur_refresh();
+              print_int(g);
+              return 0;
+            }
+            """,
+        ),
+    ]
+
+    def test_unused_pure_calls_removed(self):
+        program = compile_program(self.CURSES)
+        before = run_program(program).behavior()
+        assert call_count(program, "cur_move") == 1
+        assert eliminate_dead_calls(program)
+        assert call_count(program, "cur_move") == 0
+        assert call_count(program, "cur_refresh") == 0
+        assert run_program(program).behavior() == before
+
+    def test_used_results_kept(self):
+        sources = [
+            (
+                "m",
+                """
+                int pure(int x) { return x * 2; }
+                int main() { print_int(pure(4)); return 0; }
+                """,
+            )
+        ]
+        program = compile_program(sources)
+        eliminate_dead_calls(program)
+        assert call_count(program, "pure") == 1
+
+    def test_impure_calls_kept(self):
+        sources = [
+            (
+                "m",
+                """
+                int g = 0;
+                int bump() { g = g + 1; return g; }
+                int main() { bump(); print_int(g); return 0; }
+                """,
+            )
+        ]
+        program = compile_program(sources)
+        before = run_program(program).behavior()
+        eliminate_dead_calls(program)
+        assert call_count(program, "bump") == 1
+        assert run_program(program).behavior() == before
+
+
+class TestPipeline:
+    def test_optimize_program_preserves_behavior(self, two_module_sources):
+        program = compile_program(two_module_sources)
+        before = run_program(program).behavior()
+        optimize_program(program)
+        verify_program(program)
+        assert run_program(program).behavior() == before
+
+    def test_optimize_is_idempotent_at_fixpoint(self, two_module_sources):
+        program = compile_program(two_module_sources)
+        optimize_program(program)
+        # After reaching the fixed point, a rerun changes nothing.
+        assert not optimize_program(program)
+
+    def test_optimization_shrinks_constant_code(self):
+        sources = [
+            (
+                "m",
+                """
+                int main() {
+                  int a = 3;
+                  int b = a * 4 + 2;
+                  int c;
+                  if (b > 10) c = 1; else c = 2;
+                  print_int(b + c);
+                  return 0;
+                }
+                """,
+            )
+        ]
+        program = compile_program(sources)
+        size_before = program.size()
+        optimize_program(program)
+        assert program.size() < size_before
+        assert run_program(program).output == [15]
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_behavior_preserved(self, seed):
+        sources = generate_sources(seed)
+        program = compile_program(sources)
+        before = run_program(program, max_steps=1_000_000).behavior()
+        optimize_program(program)
+        verify_program(program)
+        after = run_program(program, max_steps=1_000_000).behavior()
+        assert before == after

@@ -1,0 +1,106 @@
+"""CLI driver: each subcommand end to end."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+int twice(int x) { return x * 2; }
+int main() {
+  int n = input(0);
+  print_int(twice(n) + input_len());
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, source_file, capsys):
+        code = main(["run", source_file, "--inputs", "21"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "43"
+
+    def test_run_simulate_reports_metrics(self, source_file, capsys):
+        main(["run", source_file, "--inputs", "1", "--simulate"])
+        captured = capsys.readouterr()
+        assert "3" in captured.out
+        assert "cycles=" in captured.err
+
+    def test_run_without_hlo(self, source_file, capsys):
+        code = main(["run", source_file, "--inputs", "2", "--no-hlo"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_exit_code_propagates(self, tmp_path, capsys):
+        path = tmp_path / "x.mc"
+        path.write_text("int main() { return 3; }")
+        assert main(["run", str(path)]) == 3
+
+
+class TestCompile:
+    def test_prints_ir(self, source_file, capsys):
+        code = main(["compile", source_file, "--no-hlo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'module "prog"' in out
+        assert "proc @main" in out
+
+    def test_writes_isoms(self, source_file, tmp_path, capsys):
+        isom_dir = str(tmp_path / "isoms")
+        code = main(["compile", source_file, "--isom-dir", isom_dir])
+        assert code == 0
+        assert os.path.exists(os.path.join(isom_dir, "prog.isom"))
+
+
+class TestTrainAndProfile:
+    def test_train_writes_database(self, source_file, tmp_path, capsys):
+        db_path = str(tmp_path / "p.profdb")
+        code = main(["train", source_file, "--inputs", "5", "-o", db_path])
+        assert code == 0
+        assert os.path.exists(db_path)
+        assert "trained 1 run(s)" in capsys.readouterr().out
+
+    def test_profile_scope_pipeline(self, source_file, tmp_path, capsys):
+        db_path = str(tmp_path / "p.profdb")
+        main(["train", source_file, "--inputs", "5", "-o", db_path])
+        capsys.readouterr()
+        code = main(
+            ["run", source_file, "--inputs", "21", "--scope", "cp",
+             "--profile", db_path, "--budget", "400"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "43"
+
+    def test_profile_scope_without_db_errors(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--scope", "cp"])
+
+
+class TestReport:
+    def test_report_lists_transforms(self, source_file, capsys):
+        code = main(["report", source_file, "--budget", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HLOReport" in out
+        assert "transform events:" in out
+
+    def test_transform_toggles(self, source_file, capsys):
+        main(["report", source_file, "--budget", "1000", "--no-inline", "--no-clone"])
+        out = capsys.readouterr().out
+        assert "inlines=0" in out
+        assert "clones=0" in out
+
+
+class TestBench:
+    def test_unknown_workload_errors(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "doom"])

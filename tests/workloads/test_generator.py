@@ -1,0 +1,42 @@
+"""Random program generator: validity, determinism, boundedness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.workloads.generator import generate_sources
+
+seeds = st.integers(min_value=0, max_value=1_000_000)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_sources(42) == generate_sources(42)
+        assert generate_sources(42) != generate_sources(43)
+
+    def test_module_count_respected(self):
+        sources = generate_sources(7, n_modules=3)
+        assert len(sources) == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_programs_compile_and_verify(self, seed):
+        program = compile_program(generate_sources(seed))
+        verify_program(program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_programs_terminate_quickly_without_traps(self, seed):
+        program = compile_program(generate_sources(seed))
+        result = run_program(program, max_steps=500_000)
+        assert result.steps <= 500_000
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_runs_are_deterministic(self, seed):
+        sources = generate_sources(seed)
+        a = run_program(compile_program(sources), max_steps=500_000)
+        b = run_program(compile_program(sources), max_steps=500_000)
+        assert a.behavior() == b.behavior()
+        assert a.steps == b.steps

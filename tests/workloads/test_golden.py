@@ -1,0 +1,69 @@
+"""Golden outputs for every workload on both input sets.
+
+These pin the workloads' observable behaviour: any change to a
+workload's source, the front end, or the interpreter that alters a
+checksum shows up here first.  (If a change is *intentional*, regen
+with the snippet in this file's docstring history — but remember the
+EXPERIMENTS.md numbers are tied to these programs.)
+"""
+
+import pytest
+
+from repro.interp import run_program
+from repro.workloads import get_workload
+
+GOLDEN = {
+    "compress": {
+        "train": (62, (256, 295223)),
+        "ref": (57, (833, 71270)),
+    },
+    "eqntott": {
+        "train": (19, (341168, 32)),
+        "ref": (4, (632250, 128)),
+    },
+    "espresso": {
+        "train": (41, (526, 209)),
+        "ref": (82, (1052, 393)),
+    },
+    "go": {
+        "train": (53, (344,)),
+        "ref": (71, (750,)),
+    },
+    "ijpeg": {
+        "train": (55, (83281,)),
+        "ref": (45, (247298,)),
+    },
+    "li": {
+        "train": (6, (19212, 206, 155, 738695)),
+        "ref": (63, (146824, 744, 504, 103203)),
+    },
+    "m88ksim": {
+        "train": (39, (1300, 20, 863, 863)),
+        "ref": (74, (5700, 60, 3543, 3543)),
+    },
+    "perl": {
+        "train": (9, (9, 3708)),
+        "ref": (45, (45, 16470)),
+    },
+    "sc": {
+        "train": (48, (79200,)),
+        "ref": (23, (48911,)),
+    },
+    "vortex": {
+        "train": (3, (157725, 63, 0)),
+        "ref": (74, (665397, 169, 0)),
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+class TestGoldenOutputs:
+    def test_train_behavior(self, name):
+        w = get_workload(name)
+        result = run_program(w.compile(), w.train_inputs[0], max_steps=4_000_000)
+        assert result.behavior() == GOLDEN[name]["train"]
+
+    def test_ref_behavior(self, name):
+        w = get_workload(name)
+        result = run_program(w.compile(), w.ref_input, max_steps=4_000_000)
+        assert result.behavior() == GOLDEN[name]["ref"]

@@ -1,0 +1,198 @@
+"""Workload kernels checked against independent Python reference models.
+
+The benchmark checksums must mean something: each test here re-derives
+a workload's expected output with a straightforward Python model of the
+same algorithm (PRNG included) and compares against the compiled minic
+program's actual output.
+"""
+
+from repro.interp import run_program
+from repro.workloads import get_workload
+
+
+def outputs(name, inputs):
+    program = get_workload(name).compile()
+    return list(run_program(program, inputs, max_steps=4_000_000).output)
+
+
+class TestCompressReference:
+    """LZW with a 1024-slot probing table, mirrored in Python."""
+
+    @staticmethod
+    def reference(n, period, noise):
+        # data generation (module `data`): LCG seed 99991, a*48271 % (2^31-1)
+        seed = 99991
+        data = []
+
+        def rnd(m):
+            nonlocal seed
+            seed = (seed * 48271) % 2147483647
+            return seed % m
+
+        for i in range(n):
+            if rnd(100) < noise:
+                data.append(rnd(256))
+            else:
+                data.append(((i % period) * 13 + 7) & 255)
+
+        # compression (modules `table` + `lzw`)
+        tab_key = [-1] * 1024
+        tab_val = [0] * 1024
+
+        def find(prefix, ch):
+            h = ((prefix * 31) + ch * 7) & 1023
+            key = prefix * 256 + ch
+            probes = 0
+            while tab_key[h] != -1 and probes < 1024:
+                if tab_key[h] == key:
+                    return tab_val[h]
+                h = (h + 1) & 1023
+                probes += 1
+            return -1
+
+        def add(prefix, ch, code):
+            h = ((prefix * 31) + ch * 7) & 1023
+            probes = 0
+            while tab_key[h] != -1 and probes < 1024:
+                h = (h + 1) & 1023
+                probes += 1
+            if probes >= 1024:
+                return
+            tab_key[h] = prefix * 256 + ch
+            tab_val[h] = code
+
+        out_count = 0
+        out_sum = 0
+
+        def emit(code):
+            nonlocal out_count, out_sum
+            out_count += 1
+            out_sum = (out_sum + code * ((out_count & 7) + 1)) % 1000003
+
+        next_code = 256
+        prefix = data[0]
+        for ch in data[1:n]:
+            code = find(prefix, ch)
+            if code != -1:
+                prefix = code
+            else:
+                emit(prefix)
+                if next_code < 768:
+                    add(prefix, ch, next_code)
+                    next_code += 1
+                prefix = ch
+        emit(prefix)
+        return [out_count, out_sum]
+
+    def test_train_input_matches(self):
+        n, period, noise = get_workload("compress").train_inputs[0]
+        assert outputs("compress", (n, period, noise)) == self.reference(n, period, noise)
+
+    def test_other_inputs_match(self):
+        for params in [(100, 5, 0), (333, 7, 50), (1024, 13, 25)]:
+            assert outputs("compress", params) == self.reference(*params), params
+
+
+class TestM88ksimReference:
+    """The guest program is a nested summation loop; model it exactly."""
+
+    @staticmethod
+    def reference(loops, asize, cap):
+        asize = min(asize, 15)
+        data = [(i * 3 + 1) & 15 for i in range(asize)]
+        acc = sum(data) * loops
+        # Guest instruction count: 2 setup + per outer iteration
+        # (1 init + asize*4 inner + 1 incr + 1 branch) + final halt.
+        per_outer = 1 + asize * 4 + 2
+        steps = 2 + loops * per_outer + 1
+        steps = min(steps, cap)
+        return [acc, loops, steps, steps]
+
+    def test_train_input_matches(self):
+        loops, asize, cap = get_workload("m88ksim").train_inputs[0]
+        assert outputs("m88ksim", (loops, asize, cap)) == self.reference(loops, asize, cap)
+
+    def test_various_guest_shapes(self):
+        for params in [(1, 1, 1000), (3, 5, 1000), (7, 15, 100000)]:
+            assert outputs("m88ksim", params) == self.reference(*params), params
+
+    def test_step_cap_halts_guest(self):
+        loops, asize = 50, 10
+        full = self.reference(loops, asize, 10**9)[2]
+        capped = outputs("m88ksim", (loops, asize, full // 2))
+        assert capped[2] == full // 2  # stopped exactly at the cap
+
+
+class TestEqntottReference:
+    """Boolean DAG evaluation and the gray-code comparator sort."""
+
+    @staticmethod
+    def reference(nvars, nnodes, rounds):
+        nvars = min(nvars, 10)
+        seed = 555
+
+        def rnd(m):
+            nonlocal seed
+            seed = (seed * 1103515245 + 12345) % 2147483648
+            if seed < 0:
+                seed = -seed
+            return seed % m
+
+        kinds, lefts, rights = [], [], []
+
+        def enode(kind, l, r):
+            kinds.append(kind)
+            lefts.append(l)
+            rights.append(r)
+            return len(kinds) - 1
+
+        last = 0
+        for i in range(nvars):
+            last = enode(0, i, 0)
+        for _ in range(nnodes):
+            k = 1 + rnd(4)
+            l = rnd(len(kinds))
+            r = rnd(len(kinds))
+            last = enode(4, l, 0) if k == 4 else enode(k, l, r)
+        root = last
+
+        def beval(n, assignment):
+            k = kinds[n]
+            if k == 0:
+                return (assignment >> lefts[n]) & 1
+            if k == 4:
+                return 1 - beval(lefts[n], assignment)
+            l = beval(lefts[n], assignment)
+            r = beval(rights[n], assignment)
+            if k == 1:
+                return l & r
+            if k == 2:
+                return l | r
+            return l ^ r
+
+        limit = 1 << nvars
+        table = [beval(root, a) * 512 + (a ^ (a >> 2)) for a in range(limit)]
+
+        def cmp_key(which):
+            if which == 1:
+                return lambda v: v
+            if which == 2:
+                return lambda v: -v
+            return lambda v: ((v ^ (v >> 1)), v)
+
+        check = 0
+        for rnd_i in range(rounds):
+            table.sort(key=cmp_key(rnd_i % 3))
+            s = 0
+            for v in table:
+                s = (s * 31 + v) % 1000003
+            check = (check + s) % 1000003
+        return [check, limit]
+
+    def test_train_input_matches(self):
+        params = get_workload("eqntott").train_inputs[0]
+        assert outputs("eqntott", params) == self.reference(*params)
+
+    def test_ref_input_matches(self):
+        params = get_workload("eqntott").ref_input
+        assert outputs("eqntott", params) == self.reference(*params)

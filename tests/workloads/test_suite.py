@@ -1,0 +1,60 @@
+"""Workload registry and per-program sanity."""
+
+import pytest
+
+from repro.core import HLOConfig, run_hlo
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.workloads import all_workloads, get_workload, workload_names
+
+EXPECTED = {
+    "compress", "eqntott", "espresso", "go", "ijpeg", "li", "m88ksim",
+    "perl", "sc", "vortex",
+}
+
+
+class TestRegistry:
+    def test_all_expected_present(self):
+        assert set(workload_names()) == EXPECTED
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_workloads_have_inputs(self):
+        for w in all_workloads():
+            assert w.train_inputs
+            assert w.ref_input
+            assert w.spec_analog
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestEachWorkload:
+    def test_compiles_and_verifies(self, name):
+        program = get_workload(name).compile()
+        verify_program(program)
+        assert program.proc("main") is not None
+        assert len(program.modules) >= 2, "workloads must be multi-module"
+
+    def test_train_run_deterministic(self, name):
+        w = get_workload(name)
+        first = run_program(w.compile(), w.train_inputs[0], max_steps=2_000_000)
+        second = run_program(w.compile(), w.train_inputs[0], max_steps=2_000_000)
+        assert first.behavior() == second.behavior()
+        assert first.output, "workloads must print a checksum"
+
+    def test_hlo_preserves_behavior_on_train_input(self, name):
+        w = get_workload(name)
+        reference = run_program(w.compile(), w.train_inputs[0], max_steps=2_000_000)
+        program = w.compile()
+        run_hlo(program, HLOConfig(budget_percent=400))
+        verify_program(program)
+        result = run_program(program, w.train_inputs[0], max_steps=4_000_000)
+        assert result.behavior() == reference.behavior()
+
+    def test_train_smaller_than_ref(self, name):
+        w = get_workload(name)
+        program = w.compile()
+        train = run_program(program, w.train_inputs[0], max_steps=4_000_000)
+        ref = run_program(program, w.ref_input, max_steps=4_000_000)
+        assert train.steps < ref.steps
