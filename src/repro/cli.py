@@ -34,11 +34,12 @@ from .frontend.driver import compile_program
 from .interp.interpreter import run_program
 from .ir.printer import print_program
 from .linker.isom import write_isom
-from .linker.toolchain import SCOPES, Toolchain, scope_flags
+from .linker.toolchain import SCOPES, BuildDiagnostics, Toolchain, scope_flags
 from .machine.pa8000 import simulate
 from .profile.annotate import annotate_program
 from .profile.database import ProfileDatabase
 from .profile.pgo import train
+from .resilience.errors import ProfileFormatError
 
 
 def _read_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
@@ -61,6 +62,8 @@ def _config_from_args(args: argparse.Namespace) -> HLOConfig:
         budget_percent=args.budget,
         pass_limit=args.passes,
         enable_outlining=getattr(args, "outline", False),
+        strict=getattr(args, "strict", False),
+        verify_each_pass=getattr(args, "verify_each_pass", False),
     )
     if getattr(args, "no_inline", False):
         config = config.clone_only()
@@ -69,41 +72,89 @@ def _config_from_args(args: argparse.Namespace) -> HLOConfig:
     return config
 
 
-def _hlo_for_scope(program, args: argparse.Namespace, profile: Optional[ProfileDatabase]):
+def _load_profile(
+    args: argparse.Namespace, diagnostics: BuildDiagnostics
+) -> Optional[ProfileDatabase]:
+    """Load ``--profile``, degrading to static estimates on bad input.
+
+    A corrupt, truncated, version-skewed, or missing database is a
+    warning plus fallback — unless ``--strict``, which makes it fatal.
+    """
+    path = getattr(args, "profile", None)
+    if not path:
+        return None
+    try:
+        return ProfileDatabase.load(path)
+    except (ProfileFormatError, OSError) as exc:
+        if getattr(args, "strict", False):
+            raise SystemExit(
+                "--strict: profile database {!r} unusable: {}".format(path, exc)
+            )
+        diagnostics.profile_fallback = str(exc)
+        diagnostics.warn(
+            "profile database {!r} unusable ({}); "
+            "using static frequency estimates".format(path, exc)
+        )
+        return None
+
+
+def _hlo_for_scope(
+    program,
+    args: argparse.Namespace,
+    profile: Optional[ProfileDatabase],
+    diagnostics: Optional[BuildDiagnostics] = None,
+):
     cross, use_profile = scope_flags(args.scope)
     config = _config_from_args(args).with_scope(cross, use_profile)
     site_counts = None
     if use_profile:
-        if profile is None:
+        if profile is None and not (diagnostics and diagnostics.profile_fallback):
             raise SystemExit(
                 "scope {!r} needs --profile <db> (run `train` first)".format(args.scope)
             )
-        annotate_program(program, profile)
-        site_counts = profile.site_counts
+        if profile is not None:
+            annotate_program(program, profile)
+            site_counts = profile.site_counts
     return run_hlo(program, config, site_counts=site_counts)
+
+
+def _finish(args: argparse.Namespace, report, diagnostics: BuildDiagnostics) -> int:
+    """Print warnings + the one-line degradation summary; pick exit code."""
+    for warning in diagnostics.warnings:
+        print("warning:", warning, file=sys.stderr)
+    degraded = diagnostics.degraded or (report is not None and report.degraded)
+    if degraded:
+        print(diagnostics.summary(report), file=sys.stderr)
+        if getattr(args, "strict", False):
+            return 1
+    return 0
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
     program = compile_program(sources)
-    profile = ProfileDatabase.load(args.profile) if args.profile else None
+    diagnostics = BuildDiagnostics()
+    profile = _load_profile(args, diagnostics)
+    report = None
     if not args.no_hlo:
-        _hlo_for_scope(program, args, profile)
+        report = _hlo_for_scope(program, args, profile, diagnostics)
     if args.isom_dir:
         for module in program.modules.values():
             path = write_isom(module, args.isom_dir)
             print("wrote", path)
     else:
         print(print_program(program))
-    return 0
+    return _finish(args, report, diagnostics)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
     program = compile_program(sources)
-    profile = ProfileDatabase.load(args.profile) if args.profile else None
+    diagnostics = BuildDiagnostics()
+    profile = _load_profile(args, diagnostics)
+    report = None
     if not args.no_hlo:
-        _hlo_for_scope(program, args, profile)
+        report = _hlo_for_scope(program, args, profile, diagnostics)
     inputs = _parse_inputs(args.inputs)
     if args.simulate:
         metrics, result = simulate(program, inputs)
@@ -124,7 +175,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
-    return result.exit_code & 0x7F
+    degraded_exit = _finish(args, report, diagnostics)
+    return degraded_exit or (result.exit_code & 0x7F)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -145,8 +197,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
     program = compile_program(sources)
-    profile = ProfileDatabase.load(args.profile) if args.profile else None
-    report = _hlo_for_scope(program, args, profile)
+    diagnostics = BuildDiagnostics()
+    profile = _load_profile(args, diagnostics)
+    report = _hlo_for_scope(program, args, profile, diagnostics)
     print(report)
     print("transform events:")
     for event in report.events:
@@ -159,7 +212,11 @@ def cmd_report(args: argparse.Namespace) -> int:
         print("deleted:", ", ".join(report.deleted_procs))
     if report.promoted_symbols:
         print("promoted:", ", ".join(report.promoted_symbols))
-    return 0
+    if report.pass_failures:
+        print("pass failures:")
+        for failure in report.pass_failures:
+            print("  " + str(failure))
+    return _finish(args, report, diagnostics)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -177,11 +234,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     toolchain = Toolchain(
         list(workload.sources),
         train_inputs=[list(t) for t in workload.train_inputs],
+        strict=getattr(args, "strict", False),
     )
     config = _config_from_args(args)
     rows = []
+    degraded = False
     for scope in SCOPES:
         build = toolchain.build(scope, config)
+        if build.degraded:
+            degraded = True
+            print(
+                "{}: {}".format(scope, build.diagnostics.summary(build.report)),
+                file=sys.stderr,
+            )
         metrics, _run = build.run(workload.ref_input)
         rows.append(
             [
@@ -202,7 +267,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="{} ({})".format(workload.name, workload.spec_analog),
         )
     )
-    return 0
+    return 1 if degraded and getattr(args, "strict", False) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -227,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-clone", action="store_true")
         p.add_argument("--outline", action="store_true",
                        help="enable aggressive outlining (Section 5)")
+        p.add_argument("--strict", action="store_true",
+                       help="turn graceful degradation into hard errors")
+        p.add_argument("--verify-each-pass", action="store_true",
+                       help="verify IR after every guarded pass (slower)")
 
     p_compile = sub.add_parser("compile", help="compile to IR or isoms")
     common(p_compile)
@@ -262,6 +331,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-inline", action="store_true")
     p_bench.add_argument("--no-clone", action="store_true")
     p_bench.add_argument("--outline", action="store_true")
+    p_bench.add_argument("--strict", action="store_true",
+                         help="turn graceful degradation into hard errors")
+    p_bench.add_argument("--verify-each-pass", action="store_true")
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

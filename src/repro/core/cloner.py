@@ -90,6 +90,18 @@ class CloneDatabase:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def mark(self) -> tuple:
+        """Checkpoint for stage rollback: a failed clone pass must not
+        leave (spec -> name) entries pointing at clones that the IR
+        rollback removed."""
+        return (dict(self._entries), set(self._allocated), self.hits)
+
+    def rollback_to(self, mark: tuple) -> None:
+        entries, allocated, hits = mark
+        self._entries = dict(entries)
+        self._allocated = set(allocated)
+        self.hits = hits
+
 
 def param_usage_weights(
     proc: Procedure,
@@ -196,7 +208,9 @@ def build_clone_groups(
     for site in graph.sites:
         if site.key in grouped_sites:
             continue
-        if clone_blocker(program, site, config.cross_module) is not None:
+        if clone_blocker(
+            program, site, config.cross_module, config.local_modules
+        ) is not None:
             continue
         callee = site.callee
         assert callee is not None
@@ -214,7 +228,9 @@ def build_clone_groups(
             for other in graph.callers_of(callee.name):
                 if other.key == site.key or other.key in grouped_sites:
                     continue
-                if clone_blocker(program, other, config.cross_module) is not None:
+                if clone_blocker(
+                    program, other, config.cross_module, config.local_modules
+                ) is not None:
                     continue
                 if context_matches(other.instr, spec):  # type: ignore[arg-type]
                     members.append(other)

@@ -10,7 +10,7 @@ Figure 8 sweep these knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -60,9 +60,42 @@ class HLOConfig:
     outline_cold_ratio: float = 0.05
     outline_min_block_size: int = 4
 
+    # ------------------------------------------------------------------
+    # Resilience (docs/resilience.md): the guarded pass manager.
+    # ------------------------------------------------------------------
+
+    # Isolate every pass behind snapshot/rollback.  On by default: a
+    # healthy build pays one procedure copy per pass application and
+    # nothing else; an unhealthy build degrades instead of aborting.
+    guarded: bool = True
+
+    # Turn every degradation (pass rollback, quarantine) into a hard
+    # error — the CI / debugging mode.
+    strict: bool = False
+
+    # Verify IR after each guarded pass application, not only at HLO
+    # exit.  Slower; catches corruption at the corrupting pass.
+    verify_each_pass: bool = False
+
+    # Failures of one pass before the guard quarantines it.
+    max_pass_failures: int = 2
+
+    # Modules forced back to module-at-a-time scope (their isoms were
+    # corrupt or version-skewed); inline/clone never crosses their
+    # boundary even in a cross_module build.
+    local_modules: Tuple[str, ...] = ()
+
     def with_scope(self, cross_module: bool, use_profile: bool) -> "HLOConfig":
         """A copy configured for one of Table 1's scope rows."""
         return replace(self, cross_module=cross_module, use_profile=use_profile)
+
+    def with_strict(self) -> "HLOConfig":
+        """A copy with every degradation promoted to a hard error."""
+        return replace(self, strict=True)
+
+    def with_local_modules(self, modules) -> "HLOConfig":
+        """A copy with ``modules`` pinned to module-at-a-time scope."""
+        return replace(self, local_modules=tuple(modules))
 
     def inline_only(self) -> "HLOConfig":
         return replace(self, enable_cloning=False, enable_inlining=True)

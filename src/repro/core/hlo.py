@@ -24,7 +24,7 @@ from ..analysis.callgraph import CallGraph
 from ..ir.instructions import ICall
 from ..ir.program import Program
 from ..ir.verifier import verify_program
-from ..opt.pass_manager import optimize_program
+from ..opt.pass_manager import default_pipeline, optimize_program
 from .budget import Budget
 from .cloner import CloneDatabase, clone_pass
 from .config import HLOConfig
@@ -39,16 +39,41 @@ def run_hlo(
     config: Optional[HLOConfig] = None,
     site_counts: Optional[SiteCounts] = None,
     verify: bool = True,
+    pipeline: Optional[list] = None,
 ) -> HLOReport:
-    """Run the full HLO pipeline over ``program`` in place."""
+    """Run the full HLO pipeline over ``program`` in place.
+
+    ``pipeline`` overrides the scalar pipeline used by the input/output
+    optimization stages (the fault-injection harness substitutes
+    sabotaged passes here; production callers leave it ``None``).
+
+    With ``config.guarded`` (the default) every stage runs behind the
+    resilience layer's :class:`~repro.resilience.PassGuard`: a failing
+    pass rolls back to the last good IR and the build continues,
+    recording a :class:`~repro.core.report.PassFailure` on the report.
+    Under ``config.strict`` the first failure raises instead.
+    """
     config = config or HLOConfig()
     report = HLOReport()
+
+    guard = None
+    if config.guarded:
+        from ..resilience.guard import GuardConfig, PassGuard
+
+        guard = PassGuard(
+            GuardConfig(
+                verify_each_pass=config.verify_each_pass,
+                max_failures=config.max_pass_failures,
+                strict=config.strict,
+            ),
+            report,
+        )
 
     icalls_before = _count_icalls(program)
 
     # Input stage: classic clean-up plus interprocedural dead-call
     # elimination, before any budget measurement.
-    optimize_program(program)
+    optimize_program(program, pipeline, guard=guard, phase="input")
     _delete_unreachable(program, report, config.cross_module)
 
     if config.enable_outlining:
@@ -57,12 +82,18 @@ def run_hlo(
         # headroom funds additional hot-path inlining below.
         from .outliner import outline_pass
 
-        outline_pass(
-            program,
-            report,
-            cold_ratio=config.outline_cold_ratio,
-            min_block_size=config.outline_min_block_size,
-        )
+        def run_outline() -> None:
+            outline_pass(
+                program,
+                report,
+                cold_ratio=config.outline_cold_ratio,
+                min_block_size=config.outline_min_block_size,
+            )
+
+        if guard is not None:
+            guard.run_program_stage(program, "outline", run_outline, phase="input")
+        else:
+            run_outline()
 
     budget = Budget(program, config.budget_percent, config.pass_limit)
     report.initial_cost = budget.initial_cost
@@ -76,8 +107,16 @@ def run_hlo(
         performed = 0
         if config.enable_cloning:
             before = budget.current
-            replaced = clone_pass(
-                program, config, budget, report, pass_number, database, site_counts
+
+            def run_clone() -> int:
+                return clone_pass(
+                    program, config, budget, report, pass_number, database,
+                    site_counts,
+                )
+
+            replaced = _guarded_stage(
+                guard, program, "clone", run_clone, pass_number, "clone",
+                pipeline, report, budget, database,
             )
             report.pass_traces.append(
                 PassTrace(
@@ -88,8 +127,15 @@ def run_hlo(
             performed += replaced
         if config.enable_inlining:
             before = budget.current
-            inlined = inline_pass(
-                program, config, budget, report, pass_number, site_counts
+
+            def run_inline() -> int:
+                return inline_pass(
+                    program, config, budget, report, pass_number, site_counts
+                )
+
+            inlined = _guarded_stage(
+                guard, program, "inline", run_inline, pass_number, "inline",
+                pipeline, report, budget, database,
             )
             report.pass_traces.append(
                 PassTrace(
@@ -108,7 +154,7 @@ def run_hlo(
         # was too expensive for this stage may be accepted next pass.
 
     # Output stage: intensive re-optimization of the final bodies.
-    optimize_program(program)
+    optimize_program(program, pipeline, guard=guard, phase="output")
     _delete_unreachable(program, report, config.cross_module)
     budget.recalibrate(program)
     report.final_cost = budget.current
@@ -118,6 +164,41 @@ def run_hlo(
     if verify:
         verify_program(program)
     return report
+
+
+def _guarded_stage(
+    guard,
+    program: Program,
+    name: str,
+    run,
+    pass_number: int,
+    phase: str,
+    pipeline,
+    report: HLOReport,
+    budget: Budget,
+    database: CloneDatabase,
+) -> int:
+    """Run one clone/inline stage, unwinding side-state on rollback.
+
+    The guard restores the IR; this helper additionally restores the
+    report counters, clone database, and budget so a rolled-back stage
+    leaves no phantom transforms, stale clone names, or charged cost.
+    """
+    if guard is None:
+        return run()
+    report_mark = report.mark()
+    db_mark = database.mark()
+    failures_before = len(guard.failures)
+    result = guard.run_program_stage(
+        program, name, run, pass_number, phase,
+        default=0, bisect_pipeline=pipeline or default_pipeline(),
+    )
+    if len(guard.failures) > failures_before:
+        report.rollback_to(report_mark)
+        database.rollback_to(db_mark)
+        budget.recalibrate(program)
+        return 0
+    return result
 
 
 def _count_icalls(program: Program) -> int:

@@ -67,7 +67,8 @@ def inline_pass(
     candidates: List[RankedSite] = []
     for site in graph.sites:
         if inline_blocker(
-            program, site, config.cross_module, config.inline_recursive
+            program, site, config.cross_module, config.inline_recursive,
+            config.local_modules,
         ) is not None:
             continue
         ranked = rank_site(site, entry, config, counts, freq_cache)

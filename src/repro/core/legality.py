@@ -15,7 +15,7 @@ site passes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..analysis.callgraph import CallSite, EXTERNAL, INDIRECT
 from ..ir.instructions import Call
@@ -34,6 +34,7 @@ def inline_blocker(
     site: CallSite,
     cross_module: bool = True,
     inline_recursive: bool = True,
+    local_modules: Sequence[str] = (),
 ) -> Optional[str]:
     """Why this site cannot be inlined, or None when it can."""
     if site.category == INDIRECT:
@@ -47,6 +48,9 @@ def inline_blocker(
         return "self-recursive site (disabled by configuration)"
     if not cross_module and callee.module != caller.module:
         return "cross-module site outside current optimization scope"
+    blocked = _local_module_blocker(caller, callee, local_modules)
+    if blocked:
+        return blocked
 
     # Legal restrictions: arity / gross type mismatch, varargs.
     blocked = _signature_blocker(site, callee)
@@ -73,6 +77,7 @@ def clone_blocker(
     program: Program,
     site: CallSite,
     cross_module: bool = True,
+    local_modules: Sequence[str] = (),
 ) -> Optional[str]:
     """Why this site cannot participate in cloning, or None."""
     if site.category == INDIRECT:
@@ -84,6 +89,9 @@ def clone_blocker(
 
     if not cross_module and callee.module != caller.module:
         return "cross-module site outside current optimization scope"
+    blocked = _local_module_blocker(caller, callee, local_modules)
+    if blocked:
+        return blocked
     blocked = _signature_blocker(site, callee)
     if blocked:
         return blocked
@@ -93,6 +101,19 @@ def clone_blocker(
         return "user directive: noclone"
     if callee.name == "main":
         return "cannot clone the program entry point"
+    return None
+
+
+def _local_module_blocker(
+    caller: Procedure, callee: Procedure, local_modules: Sequence[str]
+) -> Optional[str]:
+    """Degradation screen (docs/resilience.md): a module whose isom was
+    corrupt or version-skewed fell back to module-at-a-time compilation,
+    so no transform may cross its boundary even in a link-time build."""
+    if caller.module == callee.module:
+        return None
+    if caller.module in local_modules or callee.module in local_modules:
+        return "module compiled module-at-a-time (isom fallback)"
     return None
 
 

@@ -27,6 +27,35 @@ class TransformEvent:
 
 
 @dataclass
+class PassFailure:
+    """One contained pass failure: the rollback fired and the build went on.
+
+    ``proc`` is the procedure being transformed when the pass failed, or
+    ``"<program>"`` for program-level stages (clone/inline passes,
+    dead-call elimination).  ``culprit`` is the minimal failing
+    procedure found by bisection when the failing stage spanned the
+    whole program (empty when bisection was off or found nothing).
+    """
+
+    pass_name: str
+    proc: str
+    pass_number: int
+    phase: str  # 'input' | 'clone' | 'inline' | 'scalar' | 'output'
+    error_type: str
+    error: str
+    quarantined: bool = False
+    culprit: str = ""
+
+    def __str__(self) -> str:
+        where = self.culprit or self.proc
+        tag = " [quarantined]" if self.quarantined else ""
+        return "pass {!r} failed on @{} during {} (pass {}): {}: {}{}".format(
+            self.pass_name, where, self.phase, self.pass_number,
+            self.error_type, self.error, tag,
+        )
+
+
+@dataclass
 class PassTrace:
     """Summary of one Clone or Inline pass."""
 
@@ -59,6 +88,8 @@ class HLOReport:
     deleted_procs: List[str] = field(default_factory=list)
     promoted_symbols: List[str] = field(default_factory=list)
     outlined_procs: List[str] = field(default_factory=list)
+    pass_failures: List[PassFailure] = field(default_factory=list)
+    quarantined_passes: List[str] = field(default_factory=list)
 
     def record_inline(self, pass_number: int, caller: str, callee: str, site_id: int) -> None:
         self.inlines += 1
@@ -79,6 +110,39 @@ class HLOReport:
     def record_promotion(self, symbol: str) -> None:
         self.promotions += 1
         self.promoted_symbols.append(symbol)
+
+    def record_pass_failure(self, failure: PassFailure) -> None:
+        self.pass_failures.append(failure)
+        if failure.quarantined and failure.pass_name not in self.quarantined_passes:
+            self.quarantined_passes.append(failure.pass_name)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pass failed and the build recovered by rollback."""
+        return bool(self.pass_failures)
+
+    def mark(self) -> tuple:
+        """Opaque checkpoint of the transform counters and event lists.
+
+        The guarded pass runner takes a mark before a clone/inline
+        stage; if the stage fails and its IR is rolled back, the
+        counters roll back too so a degraded build does not report
+        phantom transforms.  Failure diagnostics are never rolled back.
+        """
+        return (
+            self.inlines, self.clones, self.clone_replacements,
+            self.promotions, self.outlines,
+            len(self.events), len(self.promoted_symbols),
+            len(self.outlined_procs),
+        )
+
+    def rollback_to(self, mark: tuple) -> None:
+        (self.inlines, self.clones, self.clone_replacements,
+         self.promotions, self.outlines,
+         events_len, promoted_len, outlined_len) = mark
+        del self.events[events_len:]
+        del self.promoted_symbols[promoted_len:]
+        del self.outlined_procs[outlined_len:]
 
     @property
     def transform_count(self) -> int:

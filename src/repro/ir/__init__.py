@@ -50,7 +50,7 @@ from .parser import ParseError, parse_instr, parse_module, parse_operand, parse_
 from .printer import print_module, print_proc, print_program
 from .types import Signature, Type, parse_type
 from .values import FuncRef, GlobalRef, Imm, Operand, Reg, is_constant
-from .verifier import VerifyError, verify_program
+from .verifier import VerifyError, verify_proc, verify_program
 
 __all__ = [
     "ATTR_ALWAYS_INLINE",
@@ -107,6 +107,7 @@ __all__ = [
     "print_module",
     "print_proc",
     "print_program",
+    "verify_proc",
     "verify_program",
     "wrap_int",
 ]

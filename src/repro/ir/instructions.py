@@ -16,7 +16,6 @@ can attribute transformed sites to source sites.
 
 from __future__ import annotations
 
-import copy as _copy
 from typing import Callable, Dict, List, Optional
 
 from .values import FuncRef, Imm, Operand, Reg
@@ -47,8 +46,24 @@ class Instr:
         """Rewrite successor labels through ``mapping`` (missing = keep)."""
 
     def copy(self) -> "Instr":
-        """A deep copy suitable for transplanting into another body."""
-        return _copy.deepcopy(self)
+        """A copy suitable for transplanting into another body.
+
+        Operand values (``Reg``/``Imm``/``FuncRef``/``GlobalRef``) are
+        frozen dataclasses, so only the instruction object itself and
+        its operand *lists* need duplicating; ``map_operands`` replaces
+        references, never mutates operands.  This sits on the hot path
+        of inlining, cloning, and every guarded-pass snapshot — a full
+        ``copy.deepcopy`` here dominated compile time.
+        """
+        cls = self.__class__
+        new = cls.__new__(cls)
+        for klass in cls.__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                value = getattr(self, slot)
+                if type(value) is list:
+                    value = list(value)
+                setattr(new, slot, value)
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<{}>".format(self)

@@ -36,6 +36,17 @@ def verify_program(program: Program) -> None:
         raise VerifyError(errors)
 
 
+def verify_proc(program: Program, proc: Procedure) -> None:
+    """Raise :class:`VerifyError` if one procedure fails verification.
+
+    The guarded pass manager runs this after each per-procedure pass —
+    whole-program verification there would be quadratic in practice.
+    """
+    errors = _verify_proc(program, proc)
+    if errors:
+        raise VerifyError(errors)
+
+
 def _verify_module(program: Program, mod: Module) -> List[str]:
     errors: List[str] = []
     for proc in mod.procs.values():

@@ -1,7 +1,9 @@
 """Isom serialization, link step, and the scope-aware compiler driver."""
 
+from ..resilience.errors import IsomError
 from .isom import (
     ISOM_EXTENSION,
+    ISOM_VERSION,
     from_isom_text,
     is_isom_text,
     read_isom,
@@ -23,6 +25,8 @@ __all__ = [
     "BuildResult",
     "BuildStats",
     "ISOM_EXTENSION",
+    "ISOM_VERSION",
+    "IsomError",
     "LinkError",
     "SCOPES",
     "Toolchain",

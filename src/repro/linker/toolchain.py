@@ -28,7 +28,7 @@ compile and training run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.budget import program_cost
@@ -43,7 +43,9 @@ from ..machine.pa8000 import MachineConfig, simulate
 from ..profile.annotate import annotate_program
 from ..profile.database import ProfileDatabase
 from ..profile.instrument import instrument_program
-from .isom import roundtrip_modules
+from ..resilience.errors import IsomError, ProfileFormatError, StrictModeError
+from ..resilience.faults import FaultInjector
+from .isom import from_isom_text, to_isom_text
 from .linker import link_modules
 
 SCOPES = ("base", "c", "p", "cp")
@@ -76,6 +78,44 @@ class BuildStats:
 
 
 @dataclass
+class BuildDiagnostics:
+    """What the degradation ladder did during one build.
+
+    Every entry is a *recovered* failure: the build finished, but at a
+    lower rung — a module compiled module-at-a-time because its isom
+    was bad, or static frequency estimates stood in for a bad profile.
+    ``--strict`` turns any of these into a hard error instead.
+    """
+
+    module_fallbacks: List[str] = field(default_factory=list)
+    profile_fallback: str = ""  # reason text; empty = profile path healthy
+    warnings: List[str] = field(default_factory=list)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.module_fallbacks or self.profile_fallback)
+
+    def summary(self, report: Optional[HLOReport] = None) -> str:
+        """The one-line build-output summary."""
+        quarantined = len(report.quarantined_passes) if report else 0
+        failures = len(report.pass_failures) if report else 0
+        return (
+            "resilience: {} pass failures, {} passes quarantined, "
+            "{} modules fell back, profile: {}".format(
+                failures,
+                quarantined,
+                len(self.module_fallbacks),
+                "static ({})".format(self.profile_fallback)
+                if self.profile_fallback
+                else "ok",
+            )
+        )
+
+
+@dataclass
 class BuildResult:
     """A finished executable plus everything measured while building it."""
 
@@ -83,6 +123,12 @@ class BuildResult:
     report: HLOReport
     stats: BuildStats
     profile: Optional[ProfileDatabase] = None
+    diagnostics: BuildDiagnostics = field(default_factory=BuildDiagnostics)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any recovery path fired during this build."""
+        return self.diagnostics.degraded or self.report.degraded
 
     def run(
         self,
@@ -102,7 +148,16 @@ def scope_flags(scope: str) -> Tuple[bool, bool]:
 
 
 class Toolchain:
-    """Compiles one program's sources under the four scope configs."""
+    """Compiles one program's sources under the four scope configs.
+
+    ``strict`` turns every degradation (bad isom, bad profile, pass
+    rollback) into a hard :class:`StrictModeError`/exception; the
+    default is to degrade gracefully and record what happened on
+    :class:`BuildDiagnostics`.  ``fault_injector`` is the test harness
+    hook — it corrupts serialized isom/profile text at exactly the
+    points real corruption would enter the pipeline, and substitutes
+    sabotaged scalar passes.
+    """
 
     def __init__(
         self,
@@ -110,6 +165,8 @@ class Toolchain:
         train_inputs: Sequence[InputVector] = (),
         config: Optional[HLOConfig] = None,
         max_train_steps: int = DEFAULT_MAX_STEPS,
+        strict: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
@@ -118,7 +175,10 @@ class Toolchain:
         self.train_inputs = [list(v) for v in train_inputs]
         self.base_config = config or HLOConfig()
         self.max_train_steps = max_train_steps
+        self.strict = strict
+        self.fault_injector = fault_injector
         self._profile_cache: Optional[Tuple[ProfileDatabase, float]] = None
+        self._reload_cache: Optional[ProfileDatabase] = None
 
     # ------------------------------------------------------------------
     # Building
@@ -130,6 +190,9 @@ class Toolchain:
         started = time.perf_counter()
         cross_module, use_profile = scope_flags(scope)
         cfg = (config or self.base_config).with_scope(cross_module, use_profile)
+        if self.strict:
+            cfg = cfg.with_strict()
+        diagnostics = BuildDiagnostics()
         compile_units = 0.0
 
         profile: Optional[ProfileDatabase] = None
@@ -140,32 +203,59 @@ class Toolchain:
                 )
             profile, train_units = self._train()
             compile_units += train_units
+            profile = self._reload_profile(profile, diagnostics)
 
         # The final compile: front end, then (for cross-module scopes)
         # the isom round trip and link, then HLO.
         program = self._frontend()
         if cross_module:
-            program = link_modules(roundtrip_modules(program.modules.values()))
+            modules, fallbacks = self._isom_roundtrip(program)
+            program = link_modules(modules)
+            if fallbacks:
+                diagnostics.module_fallbacks.extend(fallbacks)
+                for name in fallbacks:
+                    diagnostics.warn(
+                        "isom for module {!r} unusable; "
+                        "compiling it module-at-a-time".format(name)
+                    )
+                cfg = cfg.with_local_modules(fallbacks)
 
         annotated = 0
         site_counts = None
         if profile is not None:
             annotated = annotate_program(program, profile)
-            site_counts = profile.site_counts
+            if annotated == 0 and not profile.is_empty():
+                # Every recorded key missed: the profile was trained
+                # against different sources.  Stale feedback is worse
+                # than none — fall back to static estimation.
+                self._degrade_profile(
+                    diagnostics,
+                    "stale profile: no recorded block matches this program",
+                )
+                profile = None
+            else:
+                site_counts = profile.site_counts
 
-        report = run_hlo(program, cfg, site_counts=site_counts)
+        pipeline = None
+        if self.fault_injector is not None:
+            from ..opt.pass_manager import default_pipeline
+
+            pipeline = self.fault_injector.wrap_pipeline(default_pipeline())
+
+        report = run_hlo(program, cfg, site_counts=site_counts, pipeline=pipeline)
         compile_units += report.final_cost
 
+        trained = self._profile_cache[0] if self._profile_cache else None
         stats = BuildStats(
             scope=scope,
             compile_units=compile_units,
-            train_steps=profile.training_steps if profile else 0,
-            train_runs=profile.training_runs if profile else 0,
+            train_steps=trained.training_steps if use_profile and trained else 0,
+            train_runs=trained.training_runs if use_profile and trained else 0,
             code_size_instrs=program.size(),
             annotated_blocks=annotated,
             wall_seconds=time.perf_counter() - started,
         )
-        return BuildResult(program, report, stats, profile)
+        return BuildResult(program, report, stats, profile, diagnostics)
 
     def build_all_scopes(
         self, config: Optional[HLOConfig] = None
@@ -179,6 +269,71 @@ class Toolchain:
 
     def _frontend(self) -> Program:
         return compile_program(self.sources)
+
+    # ------------------------------------------------------------------
+    # Degradation ladder (docs/resilience.md)
+    # ------------------------------------------------------------------
+
+    def _isom_roundtrip(self, program: Program):
+        """Route every module through isom text, degrading per module.
+
+        A module whose isom is truncated, corrupted, or version-skewed
+        falls back to its direct front-end compile (module-at-a-time:
+        the returned fallback list feeds ``HLOConfig.local_modules`` so
+        no transform crosses its boundary), instead of failing the
+        whole link.
+        """
+        modules = []
+        fallbacks: List[str] = []
+        for mod in program.modules.values():
+            text = to_isom_text(mod)
+            if self.fault_injector is not None:
+                text = self.fault_injector.corrupt_isom(text, mod.name)
+            try:
+                modules.append(from_isom_text(text))
+            except IsomError as exc:
+                if self.strict:
+                    raise StrictModeError(
+                        "isom for module {!r} unusable under --strict: {}".format(
+                            mod.name, exc
+                        )
+                    ) from exc
+                fallbacks.append(mod.name)
+                modules.append(mod)  # the direct front-end compile
+        return modules, fallbacks
+
+    def _reload_profile(
+        self, profile: ProfileDatabase, diagnostics: BuildDiagnostics
+    ) -> Optional[ProfileDatabase]:
+        """Round-trip the profile through its on-disk text form.
+
+        The real pipeline keeps the database on disk between the
+        training and final compiles; routing the in-memory build
+        through ``to_text``/``from_text`` keeps both paths identical
+        and gives corruption one well-defined place to strike.  A
+        database that fails to parse degrades to static estimation.
+        """
+        if self.fault_injector is None and self._reload_cache is not None:
+            return self._reload_cache
+        text = profile.to_text()
+        if self.fault_injector is not None:
+            text = self.fault_injector.corrupt_profile(text)
+        try:
+            reloaded = ProfileDatabase.from_text(text)
+            if self.fault_injector is None:
+                self._reload_cache = reloaded
+            return reloaded
+        except ProfileFormatError as exc:
+            self._degrade_profile(
+                diagnostics, "profile database unusable: {}".format(exc)
+            )
+            return None
+
+    def _degrade_profile(self, diagnostics: BuildDiagnostics, reason: str) -> None:
+        if self.strict:
+            raise StrictModeError(reason)
+        diagnostics.profile_fallback = reason
+        diagnostics.warn(reason + "; using static frequency estimates")
 
     def _train(self) -> Tuple[ProfileDatabase, float]:
         """Instrumenting compile + training runs (cached per toolchain)."""

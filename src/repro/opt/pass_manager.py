@@ -9,10 +9,13 @@ over every clone/inlined routine before recalibrating its budget.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..ir.procedure import Procedure
 from ..ir.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.guard import PassGuard
 
 # A procedure pass takes (program, proc) and returns True when it changed IR.
 ProcPass = Callable[[Program, Procedure], bool]
@@ -46,14 +49,29 @@ def optimize_proc(
     proc: Procedure,
     pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
     max_iterations: int = MAX_ITERATIONS,
+    guard: Optional["PassGuard"] = None,
+    pass_number: int = -1,
+    phase: str = "scalar",
 ) -> bool:
-    """Run the pipeline over one procedure to a fixed point (bounded)."""
+    """Run the pipeline over one procedure to a fixed point (bounded).
+
+    With a :class:`~repro.resilience.PassGuard`, each pass application
+    is isolated: an exception (or, in checked builds, a verifier
+    failure) rolls the procedure back to its pre-pass state, records a
+    structured diagnostic, and the remaining passes continue.  The
+    iteration bound doubles as the per-pass step budget — a pass whose
+    rollback/retry would otherwise loop forever converges to "no
+    change" once the guard quarantines it.
+    """
     passes = list(pipeline) if pipeline is not None else default_pipeline()
     changed_any = False
     for _ in range(max_iterations):
         changed = False
-        for _name, run in passes:
-            if run(program, proc):
+        for name, run in passes:
+            if guard is not None:
+                if guard.run_proc_pass(program, proc, name, run, pass_number, phase):
+                    changed = True
+            elif run(program, proc):
                 changed = True
         if not changed:
             break
@@ -65,6 +83,9 @@ def optimize_program(
     program: Program,
     pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
     interprocedural: bool = True,
+    guard: Optional["PassGuard"] = None,
+    pass_number: int = -1,
+    phase: str = "scalar",
 ) -> bool:
     """Optimize every procedure, then apply program-level cleanups.
 
@@ -78,10 +99,21 @@ def optimize_program(
     for _ in range(3):
         changed = False
         for proc in list(program.all_procs()):
-            if optimize_proc(program, proc, pipeline):
+            if optimize_proc(
+                program, proc, pipeline, guard=guard,
+                pass_number=pass_number, phase=phase,
+            ):
                 changed = True
-        if interprocedural and eliminate_dead_calls(program):
-            changed = True
+        if interprocedural:
+            if guard is not None:
+                deleted = guard.run_program_stage(
+                    program, "deadcalls",
+                    lambda: eliminate_dead_calls(program),
+                    pass_number, phase, default=False,
+                )
+                changed = bool(deleted) or changed
+            elif eliminate_dead_calls(program):
+                changed = True
         if not changed:
             break
         changed_any = True

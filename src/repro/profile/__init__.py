@@ -1,13 +1,16 @@
 """Profile-based optimization support: instrumentation, database, PGO."""
 
 from .annotate import annotate_program, clear_annotations
-from .database import ProfileDatabase
+from ..resilience.errors import ProfileFormatError
+from .database import PROFILEDB_VERSION, ProfileDatabase
 from .instrument import ProbeMap, instrument_program, strip_probes
 from .pgo import train
 
 __all__ = [
     "ProbeMap",
+    "PROFILEDB_VERSION",
     "ProfileDatabase",
+    "ProfileFormatError",
     "annotate_program",
     "clear_annotations",
     "instrument_program",

@@ -8,16 +8,35 @@ its containing block — which mirrors how arc profiles are recovered
 from basic-block profiles in practice.
 
 The database serializes to a small text format so the isom workflow can
-keep profiles on disk between the training and final compiles.
+keep profiles on disk between the training and final compiles.  The
+on-disk format is versioned and checksummed::
+
+    profiledb 2 crc32 5d41402a
+    runs 1 steps 8842
+    block main entry 1
+    site app 0 12
+
+"From Profiling to Optimization" calls stale and corrupted profiles the
+dominant failure mode of deployed PGO, so ``from_text``/``load`` treat
+their input as hostile: truncation, corruption, version skew, malformed
+integers, and short lines all raise a typed
+:class:`~repro.resilience.ProfileFormatError` carrying the offending
+line number — the signal the driver uses to fall back to static
+frequency estimation instead of crashing.  Version-1 databases (no
+checksum) are still read.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional, Tuple
 
 from ..ir.instructions import CALL_INSTRS
 from ..ir.program import Program
+from ..resilience.errors import ProfileFormatError
 from .instrument import ProbeMap
+
+PROFILEDB_VERSION = 2
 
 BlockKey = Tuple[str, str]  # (proc name, block label)
 SiteKey = Tuple[str, int]  # (module name, site id)
@@ -160,32 +179,116 @@ class ProfileDatabase:
     # ------------------------------------------------------------------
 
     def to_text(self) -> str:
-        lines = ["profiledb 1"]
-        lines.append("runs {} steps {}".format(self.training_runs, self.training_steps))
+        lines = ["runs {} steps {}".format(self.training_runs, self.training_steps)]
         for (proc, label), count in sorted(self.block_counts.items()):
             lines.append("block {} {} {}".format(proc, label, count))
         for (module, site), count in sorted(self.site_counts.items()):
             lines.append("site {} {} {}".format(module, site, count))
-        return "\n".join(lines) + "\n"
+        payload = "\n".join(lines) + "\n"
+        checksum = format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+        return "profiledb {} crc32 {}\n{}".format(
+            PROFILEDB_VERSION, checksum, payload
+        )
 
     @classmethod
     def from_text(cls, text: str) -> "ProfileDatabase":
+        header, _, payload = text.lstrip("\n").partition("\n")
+        if not header.startswith("profiledb"):
+            raise ProfileFormatError("not a profile database", "not-profile")
+        fields = header.split()
+        try:
+            version = int(fields[1]) if len(fields) > 1 else 0
+        except ValueError:
+            raise ProfileFormatError(
+                "malformed version field", "malformed", 1, header
+            ) from None
+        if version == PROFILEDB_VERSION:
+            if len(fields) != 4 or fields[2] != "crc32":
+                raise ProfileFormatError(
+                    "malformed profiledb header", "malformed", 1, header
+                )
+            computed = format(
+                zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x"
+            )
+            if computed != fields[3]:
+                raise ProfileFormatError(
+                    "checksum mismatch (stated {}, computed {}): "
+                    "database is truncated or corrupted".format(fields[3], computed),
+                    "corrupted",
+                )
+        elif version != 1:  # version 1 predates the checksum; still read it
+            raise ProfileFormatError(
+                "version skew: file is v{}, toolchain reads v{}".format(
+                    version, PROFILEDB_VERSION
+                ),
+                "version-skew",
+                1,
+                header,
+            )
+
         db = cls()
-        lines = [l for l in text.splitlines() if l.strip()]
-        if not lines or not lines[0].startswith("profiledb"):
-            raise ValueError("not a profile database")
-        for line in lines[1:]:
+        for lineno, line in enumerate(payload.splitlines(), 2):
+            if not line.strip():
+                continue
             parts = line.split()
-            if parts[0] == "runs":
-                db.training_runs = int(parts[1])
-                db.training_steps = int(parts[3])
-            elif parts[0] == "block":
-                db.block_counts[(parts[1], parts[2])] = int(parts[3])
-            elif parts[0] == "site":
-                db.site_counts[(parts[1], int(parts[2]))] = int(parts[3])
-            else:
-                raise ValueError("bad profile line: {!r}".format(line))
+            kind = parts[0]
+            try:
+                if kind == "runs":
+                    if len(parts) != 4 or parts[2] != "steps":
+                        raise ProfileFormatError(
+                            "expected 'runs <n> steps <n>'", "malformed", lineno, line
+                        )
+                    db.training_runs = int(parts[1])
+                    db.training_steps = int(parts[3])
+                elif kind == "block":
+                    if len(parts) != 4:
+                        raise ProfileFormatError(
+                            "block line needs 'block <proc> <label> <count>'",
+                            "malformed", lineno, line,
+                        )
+                    db.block_counts[(parts[1], parts[2])] = int(parts[3])
+                elif kind == "site":
+                    if len(parts) != 4:
+                        raise ProfileFormatError(
+                            "site line needs 'site <module> <id> <count>'",
+                            "malformed", lineno, line,
+                        )
+                    db.site_counts[(parts[1], int(parts[2]))] = int(parts[3])
+                else:
+                    raise ProfileFormatError(
+                        "unknown record kind {!r}".format(kind), "malformed",
+                        lineno, line,
+                    )
+            except ValueError as exc:
+                if isinstance(exc, ProfileFormatError):
+                    raise
+                raise ProfileFormatError(
+                    "malformed integer field: {}".format(exc), "malformed",
+                    lineno, line,
+                ) from None
         return db
+
+    # ------------------------------------------------------------------
+    # Staleness (degradation ladder input)
+    # ------------------------------------------------------------------
+
+    def match_ratio(self, program: Program) -> float:
+        """Fraction of recorded block keys that resolve in ``program``.
+
+        The front end is deterministic, so a profile trained from the
+        same sources matches ~1.0; a profile from different or heavily
+        edited sources matches near 0.0.  The driver treats a
+        low ratio as *stale* and degrades to static estimation.
+        """
+        if not self.block_counts:
+            return 0.0
+        live = {
+            (proc.name, label)
+            for proc in program.all_procs()
+            for label in proc.blocks
+        }
+        hits = sum(1 for key in self.block_counts if key in live)
+        return hits / len(self.block_counts)
 
     def save(self, path: str) -> None:
         with open(path, "w") as handle:

@@ -1,0 +1,34 @@
+"""Resilience: pass isolation, snapshot/rollback, fault injection.
+
+The subsystem behind the degradation ladder (docs/resilience.md): a
+failing pass rolls back instead of aborting the build, corrupted inputs
+degrade scope/feedback instead of crashing the driver, and a seeded
+fault injector proves every recovery path fires.
+"""
+
+from .errors import (
+    InjectedFault,
+    IsomError,
+    ProfileFormatError,
+    ResilienceError,
+    StrictModeError,
+)
+from .faults import CORRUPTION_MODES, FaultInjector
+from .guard import PROGRAM_SCOPE, GuardConfig, PassGuard, bisect_failure
+from .snapshot import ProcedureSnapshot, ProgramSnapshot
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "FaultInjector",
+    "GuardConfig",
+    "InjectedFault",
+    "IsomError",
+    "PassGuard",
+    "ProcedureSnapshot",
+    "ProfileFormatError",
+    "PROGRAM_SCOPE",
+    "ProgramSnapshot",
+    "ResilienceError",
+    "StrictModeError",
+    "bisect_failure",
+]

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the resilience test matrix.
+
+Every recovery path in the degradation ladder must be *provably* live —
+a fallback that is never exercised is a fallback that has silently
+rotted.  The injector manufactures the four failure classes the ladder
+handles, all driven by one seeded :class:`random.Random` so a failing
+test reproduces from its seed:
+
+- a pass that raises (:func:`FaultInjector.failing_pass`);
+- a pass that mutates IR into something the verifier rejects
+  (:func:`FaultInjector.corrupting_pass`);
+- truncated / garbled isom text (:func:`FaultInjector.corrupt_text`);
+- garbled profile-database lines (same entry point).
+
+Wired into :class:`~repro.linker.toolchain.Toolchain` via its
+``fault_injector`` hook, which calls :meth:`corrupt_isom` /
+:meth:`corrupt_profile` at the exact points real corruption would
+enter: between serialization and parse.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..ir.instructions import Jump
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+from .errors import InjectedFault
+
+CORRUPTION_MODES = ("truncate", "garble", "bitflip-checksum", "version-skew")
+
+
+class FaultInjector:
+    """Seeded source of deterministic faults.
+
+    ``crash_pass`` / ``corrupt_pass`` name a scalar pass to sabotage
+    (see :meth:`wrap_pipeline`); ``isom_modules`` lists module names
+    whose isom text to corrupt; ``corrupt_profile_db`` garbles the
+    profile database text.  ``mode`` picks the text-corruption flavour.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_pass: Optional[str] = None,
+        corrupt_pass: Optional[str] = None,
+        isom_modules: Sequence[str] = (),
+        corrupt_profile_db: bool = False,
+        mode: str = "truncate",
+    ):
+        if mode not in CORRUPTION_MODES:
+            raise ValueError(
+                "unknown corruption mode {!r}; expected one of {}".format(
+                    mode, CORRUPTION_MODES
+                )
+            )
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.crash_pass = crash_pass
+        self.corrupt_pass = corrupt_pass
+        self.isom_modules = tuple(isom_modules)
+        self.corrupt_profile_db = corrupt_profile_db
+        self.mode = mode
+        self.injected: List[str] = []  # log of every fault actually fired
+
+    # ------------------------------------------------------------------
+    # Pass-level faults
+    # ------------------------------------------------------------------
+
+    def failing_pass(self, name: str = "injected-crash"):
+        """A scalar pass that always raises :class:`InjectedFault`."""
+
+        def run(program: Program, proc: Procedure) -> bool:
+            self.injected.append("crash:{}:{}".format(name, proc.name))
+            raise InjectedFault(
+                "injected crash in pass {!r} on @{} (seed {})".format(
+                    name, proc.name, self.seed
+                )
+            )
+
+        return run
+
+    def corrupting_pass(self, name: str = "injected-corrupt"):
+        """A scalar pass that breaks the IR instead of raising.
+
+        Appends a jump to a label that does not exist, which the
+        verifier rejects — modelling a pass whose output is wrong
+        rather than one that crashes.
+        """
+
+        def run(program: Program, proc: Procedure) -> bool:
+            blocks = [b for b in proc.blocks.values() if b.terminator is not None]
+            if not blocks:
+                return False
+            block = blocks[self.rng.randrange(len(blocks))]
+            bogus = "__injected_missing_{}".format(self.rng.randrange(1 << 16))
+            block.instrs[-1] = Jump(bogus)
+            self.injected.append("corrupt:{}:{}".format(name, proc.name))
+            return True
+
+        return run
+
+    def wrap_pipeline(self, pipeline):
+        """Sabotage the configured pass of a ``(name, fn)`` pipeline.
+
+        The named pass keeps its position so bisection and quarantine
+        report the pass a user would recognize.
+        """
+        wrapped = []
+        for name, run in pipeline:
+            if name == self.crash_pass:
+                wrapped.append((name, self.failing_pass(name)))
+            elif name == self.corrupt_pass:
+                wrapped.append((name, self.corrupting_pass(name)))
+            else:
+                wrapped.append((name, run))
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Text-level faults
+    # ------------------------------------------------------------------
+
+    def corrupt_text(self, text: str) -> str:
+        """Damage serialized text per ``mode``, deterministically."""
+        if self.mode == "truncate":
+            # Cut mid-line somewhere in the back half of the payload.
+            cut = self.rng.randrange(len(text) // 2, max(len(text) - 1, 1))
+            return text[:cut]
+        if self.mode == "garble":
+            lines = text.splitlines()
+            # Only lines with something to garble are candidates — the
+            # fault must actually fire, every time, from any seed.
+            victims = [
+                i for i in range(1, len(lines))
+                if any(ch.isalnum() for ch in lines[i])
+            ]
+            if victims:
+                victim = self.rng.choice(victims)
+                lines[victim] = "".join(
+                    self.rng.choice("#!?~") if ch.isalnum() else ch
+                    for ch in lines[victim]
+                )
+            return "\n".join(lines) + "\n"
+        if self.mode == "bitflip-checksum":
+            # Flip one hex digit of the header checksum, leaving the
+            # payload intact: pure checksum-mismatch corruption.
+            head, _, rest = text.partition("\n")
+            fields = head.split()
+            if fields and all(c in "0123456789abcdef" for c in fields[-1]):
+                digits = list(fields[-1])
+                pos = self.rng.randrange(len(digits))
+                digits[pos] = "0" if digits[pos] != "0" else "f"
+                fields[-1] = "".join(digits)
+            return " ".join(fields) + "\n" + rest
+        # version-skew: claim a far-future format version.
+        head, _, rest = text.partition("\n")
+        fields = head.split()
+        if len(fields) >= 2:
+            fields[1] = "999"
+        return " ".join(fields) + "\n" + rest
+
+    def corrupt_isom(self, text: str, module_name: str) -> str:
+        if module_name not in self.isom_modules:
+            return text
+        self.injected.append("isom:{}:{}".format(self.mode, module_name))
+        return self.corrupt_text(text)
+
+    def corrupt_profile(self, text: str) -> str:
+        if not self.corrupt_profile_db:
+            return text
+        self.injected.append("profile:{}".format(self.mode))
+        return self.corrupt_text(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<FaultInjector seed={} mode={} fired={}>".format(
+            self.seed, self.mode, len(self.injected)
+        )

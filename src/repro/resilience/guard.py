@@ -1,0 +1,197 @@
+"""The guarded pass runner: isolate, roll back, quarantine, bisect.
+
+The HLO sits between front ends and the back end and must never turn a
+working build into a broken one — a bad pass should degrade
+*optimization quality*, not correctness.  The guard enforces that
+contract mechanically:
+
+1. snapshot the IR a pass is about to mutate;
+2. run the pass with a step budget;
+3. optionally verify the result;
+4. on any exception (including verifier failures), restore the
+   snapshot, record a structured :class:`~repro.core.report.PassFailure`
+   on the report, and let the remaining pipeline continue.
+
+A pass that fails ``max_failures`` times is **quarantined**: the guard
+stops running it for the rest of the build, so one buggy pass cannot
+turn every procedure's compile into a snapshot/rollback treadmill.
+
+Under ``strict`` the first failure re-raises instead of degrading —
+the CI / debugging mode where you want the crash, not the save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.report import HLOReport, PassFailure
+from ..ir.procedure import Procedure
+from ..ir.program import Program
+from ..ir.verifier import verify_proc, verify_program
+from .snapshot import ProcedureSnapshot, ProgramSnapshot
+
+T = TypeVar("T")
+
+ProcPass = Callable[[Program, Procedure], bool]
+
+PROGRAM_SCOPE = "<program>"
+
+
+@dataclass
+class GuardConfig:
+    """Knobs for the guarded pass runner."""
+
+    # Verify IR after every guarded pass application (a checkpoint per
+    # pass, not just at the end of HLO).  Catches IR-corrupting passes
+    # at the point of corruption instead of at program exit.
+    verify_each_pass: bool = False
+
+    # Failures of one pass before it is quarantined for the build.
+    max_failures: int = 2
+
+    # Re-raise the first failure instead of rolling back.
+    strict: bool = False
+
+    # On a program-level stage failure, bisect to the minimal failing
+    # (pass, procedure) pair for the diagnostic.
+    bisect: bool = True
+
+
+class PassGuard:
+    """Per-build failure containment shared by every guarded stage."""
+
+    def __init__(self, config: Optional[GuardConfig] = None,
+                 report: Optional[HLOReport] = None):
+        self.config = config or GuardConfig()
+        self.report = report
+        self.failure_counts: Dict[str, int] = {}
+        self.failures: List[PassFailure] = []
+        self.quarantined: set = set()
+
+    # ------------------------------------------------------------------
+    # Guarded execution
+    # ------------------------------------------------------------------
+
+    def run_proc_pass(
+        self,
+        program: Program,
+        proc: Procedure,
+        name: str,
+        run: ProcPass,
+        pass_number: int = -1,
+        phase: str = "scalar",
+    ) -> bool:
+        """Run one per-procedure pass under isolation; False on rollback."""
+        if name in self.quarantined:
+            return False
+        snapshot = ProcedureSnapshot(proc)
+        try:
+            changed = bool(run(program, proc))
+            if self.config.verify_each_pass:
+                verify_proc(program, proc)
+            return changed
+        except Exception as exc:
+            if self.config.strict:
+                raise
+            snapshot.restore(proc)
+            self._record(name, proc.name, pass_number, phase, exc)
+            return False
+
+    def run_program_stage(
+        self,
+        program: Program,
+        name: str,
+        run: Callable[[], T],
+        pass_number: int = -1,
+        phase: str = "input",
+        default: Optional[T] = None,
+        bisect_pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
+    ) -> Optional[T]:
+        """Run a whole-program stage under isolation; ``default`` on rollback.
+
+        When the stage is (or wraps) a scalar pipeline, pass it as
+        ``bisect_pipeline`` so a failure is narrowed to the minimal
+        failing (pass, procedure) pair before the snapshot is restored.
+        """
+        if name in self.quarantined:
+            return default
+        snapshot = ProgramSnapshot(program)
+        try:
+            result = run()
+            if self.config.verify_each_pass:
+                verify_program(program)
+            return result
+        except Exception as exc:
+            if self.config.strict:
+                raise
+            culprit = ""
+            if self.config.bisect and bisect_pipeline is not None:
+                pair = bisect_failure(program, bisect_pipeline)
+                if pair is not None:
+                    culprit = "{} on @{}".format(pair[0], pair[1])
+            snapshot.restore(program)
+            self._record(name, PROGRAM_SCOPE, pass_number, phase, exc, culprit=culprit)
+            return default
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        name: str,
+        proc: str,
+        pass_number: int,
+        phase: str,
+        exc: Exception,
+        culprit: str = "",
+    ) -> None:
+        count = self.failure_counts.get(name, 0) + 1
+        self.failure_counts[name] = count
+        quarantined = count >= self.config.max_failures
+        if quarantined:
+            self.quarantined.add(name)
+        failure = PassFailure(
+            pass_name=name,
+            proc=proc,
+            pass_number=pass_number,
+            phase=phase,
+            error_type=type(exc).__name__,
+            error=str(exc) or repr(exc),
+            quarantined=quarantined,
+            culprit=culprit,
+        )
+        self.failures.append(failure)
+        if self.report is not None:
+            self.report.record_pass_failure(failure)
+
+
+def bisect_failure(
+    program: Program,
+    pipeline: Sequence[Tuple[str, ProcPass]],
+) -> Optional[Tuple[str, str]]:
+    """Find the minimal failing (pass name, procedure name) pair.
+
+    Applies every (pass, procedure) combination in isolation, rolling
+    each attempt back whether or not it fails, and returns the first
+    pair whose application raises (or breaks the verifier).  The
+    program is left exactly as it was found.  Returns ``None`` when no
+    single pair reproduces the failure (e.g. the bug needs a
+    multi-procedure interaction).
+    """
+    whole = ProgramSnapshot(program)
+    try:
+        for name, run in pipeline:
+            for proc in list(program.all_procs()):
+                snapshot = ProcedureSnapshot(proc)
+                try:
+                    run(program, proc)
+                    verify_proc(program, proc)
+                except Exception:
+                    return (name, proc.name)
+                finally:
+                    snapshot.restore(proc)
+        return None
+    finally:
+        whole.restore(program)

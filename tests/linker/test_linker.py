@@ -33,11 +33,15 @@ class TestIsoms:
         mod = compile_module(LIB, "lib")
         text = to_isom_text(mod)
         assert is_isom_text(text)
-        assert print_module(from_isom_text(text)) == text
+        header, _, payload = text.partition("\n")
+        assert header.startswith("isom 1 crc32 ")
+        assert print_module(from_isom_text(text)) == payload
 
     def test_sniffing(self):
         assert not is_isom_text("\x7fELF...")
         assert not is_isom_text("")
+        # Both the versioned format and legacy headerless payloads sniff.
+        assert is_isom_text(to_isom_text(compile_module(LIB, "lib")))
         assert is_isom_text("\n\nmodule \"x\"\n")
 
     def test_disk_roundtrip(self, tmp_path):

@@ -104,3 +104,45 @@ class TestBench:
     def test_unknown_workload_errors(self):
         with pytest.raises(SystemExit):
             main(["bench", "doom"])
+
+
+class TestResilienceFlags:
+    def test_bad_profile_degrades_with_warning(self, source_file, tmp_path, capsys):
+        bad = tmp_path / "bad.profdb"
+        bad.write_text("not a database\n")
+        code = main(
+            ["run", source_file, "--inputs", "21", "--scope", "cp",
+             "--profile", str(bad)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "43"  # static fallback still runs
+        assert "static frequency estimates" in captured.err
+        assert "profile: static" in captured.err
+
+    def test_missing_profile_degrades_with_warning(self, source_file, capsys):
+        code = main(
+            ["run", source_file, "--inputs", "21", "--scope", "cp",
+             "--profile", "/nonexistent/x.profdb"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "43"
+        assert "static frequency estimates" in captured.err
+
+    def test_strict_makes_bad_profile_fatal(self, source_file, tmp_path):
+        bad = tmp_path / "bad.profdb"
+        bad.write_text("not a database\n")
+        with pytest.raises(SystemExit):
+            main(
+                ["run", source_file, "--inputs", "21", "--scope", "cp",
+                 "--profile", str(bad), "--strict"]
+            )
+
+    def test_report_accepts_strict_and_verify_flags(self, source_file, capsys):
+        code = main(
+            ["report", source_file, "--budget", "1000",
+             "--strict", "--verify-each-pass"]
+        )
+        assert code == 0
+        assert "HLOReport" in capsys.readouterr().out
