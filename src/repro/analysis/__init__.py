@@ -19,9 +19,11 @@ from .freq import (
     static_block_freqs,
 )
 from .loops import Loop, find_loops, loop_depths, loop_stats
+from .manager import AnalysisManager
 from .sideeffects import PURE_BUILTINS, side_effect_free_procs
 
 __all__ = [
+    "AnalysisManager",
     "CATEGORIES",
     "CROSS_MODULE",
     "CallGraph",

@@ -1,0 +1,287 @@
+"""Quick benchmark smoke run for CI (``python -m repro.bench.smoke``).
+
+Builds a handful of suite workloads through the parallel/incremental
+pipeline and writes one JSON blob (``BENCH_smoke.json``) with, per
+workload: deterministic compile cost (``compile_units``), simulated
+run cycles on the reference input, the SHA-256 checksum of the final
+isoms, and the host wall time.  On top of that it measures:
+
+- **parallel speedup** — the whole workload set is built once serially
+  and once fanned out over worker processes (``--jobs``); the per-build
+  checksums must match exactly, which is the determinism gate;
+- **cache effectiveness** — each workload is built cold and then warm
+  against an on-disk module cache; the warm build must recompile zero
+  modules (100% hit rate).
+
+``--check --baseline benchmarks/baseline.json`` turns the run into a
+regression gate: ``compile_units`` or ``cycles`` more than 15% above
+the committed baseline fails the run.  Wall times are *recorded* but
+only gated behind ``--gate-wall-time``, because a wall-time baseline
+measured on one machine is meaningless on another; the deterministic
+cost model is the portable proxy (docs/performance.md).
+
+Refresh the baseline after an intentional compiler change with::
+
+    python -m repro.bench.smoke --write-baseline benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import tempfile
+import time
+from typing import List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
+DEFAULT_SCOPE = "cp"
+REGRESSION_THRESHOLD = 0.15
+
+
+def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
+    """Worker body: build one workload end to end and measure it.
+
+    Top-level so it pickles under ``ProcessPoolExecutor``.  The inner
+    build runs the pipeline serially (``jobs=1``) — parallelism comes
+    from fanning *workloads* out, one per worker, not from nesting
+    pools.
+    """
+    from ..linker.isom import to_isom_text
+    from ..linker.toolchain import Toolchain
+    from ..workloads.suite import get_workload
+
+    name, scope = item
+    workload = get_workload(name)
+    toolchain = Toolchain(
+        list(workload.sources),
+        train_inputs=[list(t) for t in workload.train_inputs],
+        jobs=1,
+    )
+    started = time.perf_counter()
+    result = toolchain.build(scope)
+    wall = time.perf_counter() - started
+    metrics, _run = result.run(workload.ref_input)
+    digest = hashlib.sha256()
+    for mod_name in sorted(result.program.modules):
+        digest.update(to_isom_text(result.program.modules[mod_name]).encode("utf-8"))
+    return name, {
+        "compile_units": round(result.stats.compile_units, 2),
+        "cycles": round(metrics.cycles, 2),
+        "checksum": digest.hexdigest(),
+        "wall_s": round(wall, 4),
+    }
+
+
+def _run_suite(names: Sequence[str], scope: str, jobs: int) -> Tuple[dict, float]:
+    """Build every workload (jobs-wide fan-out); returns (results, wall)."""
+    from ..parallel.executor import parallel_map
+
+    items = [(name, scope) for name in names]
+    started = time.perf_counter()
+    built, _fell_back = parallel_map(_build_one, items, jobs=jobs)
+    wall = time.perf_counter() - started
+    return dict(built), wall
+
+
+def _measure_cache(names: Sequence[str], scope: str) -> dict:
+    """Cold + warm disk-cache builds; the warm pass must be all hits."""
+    from ..linker.toolchain import Toolchain
+    from ..workloads.suite import get_workload
+
+    cold = {"hits": 0, "misses": 0}
+    warm = {"hits": 0, "misses": 0, "modules_compiled": 0}
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as cache_dir:
+        for name in names:
+            workload = get_workload(name)
+            for temperature in (cold, warm):
+                toolchain = Toolchain(
+                    list(workload.sources),
+                    train_inputs=[list(t) for t in workload.train_inputs],
+                    cache_dir=cache_dir,
+                )
+                diag = toolchain.build(scope).diagnostics
+                temperature["hits"] += diag.cache_hits
+                temperature["misses"] += diag.cache_misses
+                if temperature is warm:
+                    warm["modules_compiled"] += diag.modules_compiled
+    warm_total = warm["hits"] + warm["misses"]
+    return {
+        "cold_hits": cold["hits"],
+        "cold_misses": cold["misses"],
+        "warm_hits": warm["hits"],
+        "warm_misses": warm["misses"],
+        "warm_modules_recompiled": warm["modules_compiled"],
+        "warm_hit_rate": round(warm["hits"] / warm_total, 4) if warm_total else 0.0,
+    }
+
+
+def run_smoke(
+    names: Sequence[str] = DEFAULT_WORKLOADS,
+    scope: str = DEFAULT_SCOPE,
+    jobs: int = 4,
+) -> Tuple[dict, List[str]]:
+    """The full smoke measurement; returns (report, failure messages).
+
+    Failures here are *internal* invariants (determinism, warm-cache
+    hit rate) — baseline regressions are judged by :func:`check`.
+    """
+    failures: List[str] = []
+
+    serial_results, serial_wall = _run_suite(names, scope, jobs=1)
+    parallel_results, parallel_wall = _run_suite(names, scope, jobs=jobs)
+
+    for name in names:
+        if serial_results[name]["checksum"] != parallel_results[name]["checksum"]:
+            failures.append(
+                "determinism: {} isoms differ between jobs=1 and jobs={}".format(
+                    name, jobs
+                )
+            )
+
+    cache = _measure_cache(names, scope)
+    if cache["warm_modules_recompiled"] != 0:
+        failures.append(
+            "cache: warm rebuild recompiled {} module(s), expected 0".format(
+                cache["warm_modules_recompiled"]
+            )
+        )
+    if cache["warm_hit_rate"] != 1.0:
+        failures.append(
+            "cache: warm hit rate {} != 1.0".format(cache["warm_hit_rate"])
+        )
+
+    report = {
+        "schema": SCHEMA_VERSION,
+        "scope": scope,
+        "workloads": parallel_results,
+        "totals": {
+            "compile_units": round(
+                sum(r["compile_units"] for r in parallel_results.values()), 2
+            ),
+            "cycles": round(sum(r["cycles"] for r in parallel_results.values()), 2),
+        },
+        "build": {
+            "jobs": jobs,
+            "serial_wall_s": round(serial_wall, 4),
+            "parallel_wall_s": round(parallel_wall, 4),
+            "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else 0.0,
+        },
+        "cache": cache,
+    }
+    return report, failures
+
+
+def check(
+    report: dict,
+    baseline: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+    gate_wall_time: bool = False,
+) -> List[str]:
+    """Compare a smoke report against the committed baseline."""
+    failures: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, measured in report["workloads"].items():
+        expected = base_workloads.get(name)
+        if expected is None:
+            continue  # new workload: no baseline yet
+        for metric in ("compile_units", "cycles"):
+            before, after = expected.get(metric), measured.get(metric)
+            if not before or after is None:
+                continue
+            growth = (after - before) / before
+            if growth > threshold:
+                failures.append(
+                    "{}: {} regressed {:.1f}% ({} -> {}), limit {:.0f}%".format(
+                        name, metric, growth * 100, before, after, threshold * 100
+                    )
+                )
+        if gate_wall_time:
+            before, after = expected.get("wall_s"), measured.get("wall_s")
+            if before and after and (after - before) / before > threshold:
+                failures.append(
+                    "{}: wall_s regressed ({} -> {})".format(name, before, after)
+                )
+    return failures
+
+
+def baseline_view(report: dict) -> dict:
+    """The committable subset of a report: deterministic fields only."""
+    return {
+        "schema": report["schema"],
+        "scope": report["scope"],
+        "workloads": {
+            name: {
+                "compile_units": entry["compile_units"],
+                "cycles": entry["cycles"],
+                "checksum": entry["checksum"],
+            }
+            for name, entry in report["workloads"].items()
+        },
+        "totals": report["totals"],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.smoke", description="quick benchmark smoke run for CI"
+    )
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated workload names")
+    parser.add_argument("--scope", default=DEFAULT_SCOPE)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel pass")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the full JSON report here")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="committed baseline to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >{:.0f}%% regression vs --baseline".format(
+                            REGRESSION_THRESHOLD * 100))
+    parser.add_argument("--gate-wall-time", action="store_true",
+                        help="also gate host wall time (off by default: "
+                        "baselines do not transfer across machines)")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the deterministic baseline subset here")
+    args = parser.parse_args(argv)
+
+    names = [part.strip() for part in args.workloads.split(",") if part.strip()]
+    report, failures = run_smoke(names, scope=args.scope, jobs=args.jobs)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote", args.output)
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline_view(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote", args.write_baseline)
+
+    if args.check and args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures.extend(check(report, baseline, gate_wall_time=args.gate_wall_time))
+
+    print(
+        "smoke: {} workload(s), scope {}, {:.2f}s serial / {:.2f}s with "
+        "{} jobs (x{:.2f}), warm cache {:.0f}% hits".format(
+            len(names),
+            args.scope,
+            report["build"]["serial_wall_s"],
+            report["build"]["parallel_wall_s"],
+            report["build"]["jobs"],
+            report["build"]["speedup"],
+            report["cache"]["warm_hit_rate"] * 100,
+        )
+    )
+    for failure in failures:
+        print("FAIL:", failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -72,6 +72,49 @@ def _config_from_args(args: argparse.Namespace) -> HLOConfig:
     return config
 
 
+def _compile_cli(
+    args: argparse.Namespace, diagnostics: BuildDiagnostics
+):
+    """Compile ``args.files``, honoring ``--jobs`` / ``--cache-dir``.
+
+    Without either flag this is the legacy direct front-end path.  With
+    either, the parallel/incremental pipeline runs instead: per-module
+    compiles fan out over worker processes, unchanged modules come from
+    the content-addressed cache, and every module routes through isom
+    text so the output is identical for any worker count.
+    """
+    sources = _read_sources(args.files)
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs is None and cache_dir is None:
+        return compile_program(sources)
+
+    from .parallel.cache import ModuleCache
+    from .parallel.executor import compile_sources
+
+    cross, use_profile = scope_flags(args.scope)
+    cfg = _config_from_args(args).with_scope(cross, use_profile)
+    cache = ModuleCache(cache_dir)
+    mark = cache.stats.snapshot()
+    program, stats = compile_sources(
+        sources,
+        jobs=max(1, jobs if jobs is not None else 1),
+        cache=cache,
+        fingerprint=cfg.fingerprint(),
+        warn=diagnostics.warn,
+    )
+    hits, misses, invalidations, _stores = cache.stats.since(mark)
+    diagnostics.record_cache(hits, misses, invalidations)
+    diagnostics.parallel_jobs = stats.jobs
+    diagnostics.modules_compiled += stats.compiled
+    diagnostics.modules_from_cache += stats.from_cache
+    if stats.serial_fallback:
+        diagnostics.parallel_fallbacks.append(
+            stats.fallback_reason or "worker pool unavailable"
+        )
+    return program
+
+
 def _load_profile(
     args: argparse.Namespace, diagnostics: BuildDiagnostics
 ) -> Optional[ProfileDatabase]:
@@ -123,17 +166,16 @@ def _finish(args: argparse.Namespace, report, diagnostics: BuildDiagnostics) -> 
     for warning in diagnostics.warnings:
         print("warning:", warning, file=sys.stderr)
     degraded = diagnostics.degraded or (report is not None and report.degraded)
-    if degraded:
+    if degraded or diagnostics.cache_enabled or diagnostics.parallel_jobs > 1:
         print(diagnostics.summary(report), file=sys.stderr)
-        if getattr(args, "strict", False):
-            return 1
+    if degraded and getattr(args, "strict", False):
+        return 1
     return 0
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    sources = _read_sources(args.files)
-    program = compile_program(sources)
     diagnostics = BuildDiagnostics()
+    program = _compile_cli(args, diagnostics)
     profile = _load_profile(args, diagnostics)
     report = None
     if not args.no_hlo:
@@ -148,9 +190,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    sources = _read_sources(args.files)
-    program = compile_program(sources)
     diagnostics = BuildDiagnostics()
+    program = _compile_cli(args, diagnostics)
     profile = _load_profile(args, diagnostics)
     report = None
     if not args.no_hlo:
@@ -195,9 +236,8 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    sources = _read_sources(args.files)
-    program = compile_program(sources)
     diagnostics = BuildDiagnostics()
+    program = _compile_cli(args, diagnostics)
     profile = _load_profile(args, diagnostics)
     report = _hlo_for_scope(program, args, profile, diagnostics)
     print(report)
@@ -235,6 +275,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         list(workload.sources),
         train_inputs=[list(t) for t in workload.train_inputs],
         strict=getattr(args, "strict", False),
+        jobs=getattr(args, "jobs", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
     config = _config_from_args(args)
     rows = []
@@ -296,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="turn graceful degradation into hard errors")
         p.add_argument("--verify-each-pass", action="store_true",
                        help="verify IR after every guarded pass (slower)")
+        p.add_argument("--jobs", type=int, metavar="N",
+                       help="compile modules with N worker processes "
+                       "(output is identical for any N)")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed incremental compile cache")
 
     p_compile = sub.add_parser("compile", help="compile to IR or isoms")
     common(p_compile)
@@ -334,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--strict", action="store_true",
                          help="turn graceful degradation into hard errors")
     p_bench.add_argument("--verify-each-pass", action="store_true")
+    p_bench.add_argument("--jobs", type=int, metavar="N",
+                         help="compile modules with N worker processes")
+    p_bench.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed incremental compile cache")
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -16,7 +16,10 @@ so later passes reuse rather than re-create them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.manager import AnalysisManager
 
 from ..analysis.callgraph import CallGraph, CallSite
 from ..analysis.freq import entry_counts, site_weight
@@ -195,10 +198,15 @@ def build_clone_groups(
     graph: CallGraph,
     config: HLOConfig,
     site_counts: Optional[Dict[Tuple[str, int], int]],
+    manager: Optional["AnalysisManager"] = None,
 ) -> List[CloneGroup]:
     counts = site_counts if config.use_profile else None
-    entry = entry_counts(program, graph, counts)
-    freq_cache: Dict[str, Dict[str, float]] = {}
+    if manager is not None:
+        entry = manager.entry_counts(counts)
+        freq_cache = manager.freq_cache()
+    else:
+        entry = entry_counts(program, graph, counts)
+        freq_cache = {}
     usage_cache: Dict[str, List[float]] = {}
     address_taken = _address_taken(program)
 
@@ -277,10 +285,11 @@ def clone_pass(
     pass_number: int,
     database: CloneDatabase,
     site_counts: Optional[Dict[Tuple[str, int], int]] = None,
+    manager: Optional["AnalysisManager"] = None,
 ) -> int:
     """Run one cloning pass; returns the number of sites retargeted."""
-    graph = CallGraph(program)
-    groups = build_clone_groups(program, graph, config, site_counts)
+    graph = manager.callgraph() if manager is not None else CallGraph(program)
+    groups = build_clone_groups(program, graph, config, site_counts, manager)
 
     # Select within the stage's allotment (Figure 3: "select clones").
     stage = budget.stage_limit(pass_number)
@@ -299,6 +308,7 @@ def clone_pass(
 
     replaced = 0
     touched: Set[str] = set()
+    mutated: Set[str] = set()
     for group in accepted:
         if config.stop_after is not None and report.transform_count >= config.stop_after:
             break
@@ -320,6 +330,9 @@ def clone_pass(
             )
             program.modules[group.callee.module].add_proc(clone)
             subtract_moved_counts(group.callee, ratio)
+            # The clonee's counts just migrated into the clone.
+            mutated.add(group.callee.name)
+            mutated.add(clone_name)
             report.clones += 1
             if config.clone_database:
                 database.record(group.key, clone_name)
@@ -343,6 +356,7 @@ def clone_pass(
                     group.callee.name,
                 )
                 touched.add(member.caller.name)
+                mutated.add(member.caller.name)
 
         # The clone body may itself contain group-compatible recursive
         # sites (copied from the clonee); retarget those too so a fully
@@ -360,6 +374,7 @@ def clone_pass(
                         a for i, a in enumerate(instr.args) if i not in group.spec
                     ]
                     replaced += 1
+                    mutated.add(clone_name)
                     report.record_clone_replacement(
                         pass_number, clone_name, clone_name, instr.site_id, group.callee.name
                     )
@@ -370,6 +385,8 @@ def clone_pass(
             if proc is not None:
                 optimize_proc(program, proc)
     budget.recalibrate(program)
+    if manager is not None and mutated:
+        manager.invalidate_procs(mutated)
     return replaced
 
 

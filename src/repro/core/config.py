@@ -85,6 +85,34 @@ class HLOConfig:
     # boundary even in a cross_module build.
     local_modules: Tuple[str, ...] = ()
 
+    # ------------------------------------------------------------------
+    # Performance (docs/performance.md): analysis memoization.
+    # ------------------------------------------------------------------
+
+    # Reuse call graph / frequency / entry-count analyses across HLO
+    # stages and passes, invalidating only what a transform mutated.
+    # Off = recompute everything from scratch every stage (the ablation
+    # and equivalence-testing mode).
+    memoize_analyses: bool = True
+
+    def fingerprint(self) -> str:
+        """A stable digest of every knob, for incremental-cache keys.
+
+        Two configs with equal fields fingerprint identically; any
+        field change — even one irrelevant to the frontend — derives a
+        new digest, so cached objects are never shared across configs.
+        """
+        import hashlib
+        from dataclasses import fields
+
+        digest = hashlib.sha256()
+        for spec in sorted(fields(self), key=lambda f: f.name):
+            digest.update(spec.name.encode("utf-8"))
+            digest.update(b"=")
+            digest.update(repr(getattr(self, spec.name)).encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
     def with_scope(self, cross_module: bool, use_profile: bool) -> "HLOConfig":
         """A copy configured for one of Table 1's scope rows."""
         return replace(self, cross_module=cross_module, use_profile=use_profile)

@@ -95,6 +95,16 @@ def run_hlo(
         else:
             run_outline()
 
+    # Analyses computed from here on are memoized across stages and
+    # passes; the inliner/cloner invalidate exactly what they mutate
+    # (docs/performance.md).  Created after the input stage so the
+    # scalar clean-up above never leaves stale entries behind.
+    manager = None
+    if config.memoize_analyses:
+        from ..analysis.manager import AnalysisManager
+
+        manager = AnalysisManager(program)
+
     budget = Budget(program, config.budget_percent, config.pass_limit)
     report.initial_cost = budget.initial_cost
     report.budget_limit = budget.limit
@@ -111,12 +121,12 @@ def run_hlo(
             def run_clone() -> int:
                 return clone_pass(
                     program, config, budget, report, pass_number, database,
-                    site_counts,
+                    site_counts, manager,
                 )
 
             replaced = _guarded_stage(
                 guard, program, "clone", run_clone, pass_number, "clone",
-                pipeline, report, budget, database,
+                pipeline, report, budget, database, manager,
             )
             report.pass_traces.append(
                 PassTrace(
@@ -130,12 +140,13 @@ def run_hlo(
 
             def run_inline() -> int:
                 return inline_pass(
-                    program, config, budget, report, pass_number, site_counts
+                    program, config, budget, report, pass_number, site_counts,
+                    manager,
                 )
 
             inlined = _guarded_stage(
                 guard, program, "inline", run_inline, pass_number, "inline",
-                pipeline, report, budget, database,
+                pipeline, report, budget, database, manager,
             )
             report.pass_traces.append(
                 PassTrace(
@@ -145,7 +156,7 @@ def run_hlo(
             )
             performed += inlined
 
-        _delete_unreachable(program, report, config.cross_module)
+        _delete_unreachable(program, report, config.cross_module, manager)
         budget.recalibrate(program)
         pass_number += 1
         report.passes_run = pass_number
@@ -154,12 +165,20 @@ def run_hlo(
         # was too expensive for this stage may be accepted next pass.
 
     # Output stage: intensive re-optimization of the final bodies.
+    # The scalar pipeline mutates arbitrary procedures, so every
+    # memoized analysis is stale afterwards.
     optimize_program(program, pipeline, guard=guard, phase="output")
-    _delete_unreachable(program, report, config.cross_module)
+    if manager is not None:
+        manager.invalidate_all()
+    _delete_unreachable(program, report, config.cross_module, manager)
     budget.recalibrate(program)
     report.final_cost = budget.current
     report.clone_db_hits = database.hits
     report.devirtualized = max(0, icalls_before - _count_icalls(program))
+    if manager is not None:
+        report.analysis_hits = manager.hits
+        report.analysis_misses = manager.misses
+        report.analysis_invalidations = manager.invalidations
 
     if verify:
         verify_program(program)
@@ -177,12 +196,15 @@ def _guarded_stage(
     report: HLOReport,
     budget: Budget,
     database: CloneDatabase,
+    manager=None,
 ) -> int:
     """Run one clone/inline stage, unwinding side-state on rollback.
 
     The guard restores the IR; this helper additionally restores the
     report counters, clone database, and budget so a rolled-back stage
     leaves no phantom transforms, stale clone names, or charged cost.
+    A rollback replaces procedure *objects*, so every memoized analysis
+    is dropped too.
     """
     if guard is None:
         return run()
@@ -197,6 +219,8 @@ def _guarded_stage(
         report.rollback_to(report_mark)
         database.rollback_to(db_mark)
         budget.recalibrate(program)
+        if manager is not None:
+            manager.invalidate_all()
         return 0
     return result
 
@@ -210,7 +234,9 @@ def _count_icalls(program: Program) -> int:
     )
 
 
-def _delete_unreachable(program: Program, report: HLOReport, whole_program: bool) -> None:
+def _delete_unreachable(
+    program: Program, report: HLOReport, whole_program: bool, manager=None
+) -> None:
     """Delete routines unreachable from the roots.
 
     With the whole program visible (link-time scope), ``main`` is the
@@ -221,7 +247,7 @@ def _delete_unreachable(program: Program, report: HLOReport, whole_program: bool
     """
     if program.proc("main") is None:
         return
-    graph = CallGraph(program)
+    graph = manager.callgraph() if manager is not None else CallGraph(program)
     if whole_program:
         roots = ["main"]
     else:
@@ -229,7 +255,11 @@ def _delete_unreachable(program: Program, report: HLOReport, whole_program: bool
             p.name for p in program.all_procs() if p.linkage != "static"
         ]
     keep = set(graph.reachable_from(roots))
+    deleted = []
     for proc in list(program.all_procs()):
         if proc.name not in keep:
             program.delete_proc(proc.name)
             report.record_deletion(proc.name)
+            deleted.append(proc.name)
+    if manager is not None and deleted:
+        manager.invalidate_procs(deleted)

@@ -12,10 +12,13 @@ re-optimized and the budget recalibrated.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..analysis.callgraph import CallGraph
 from ..analysis.freq import entry_counts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.manager import AnalysisManager
 from ..ir.basicblock import BasicBlock
 from ..ir.instructions import Call, Jump
 from ..ir.procedure import Procedure
@@ -56,12 +59,24 @@ def inline_pass(
     report: HLOReport,
     pass_number: int,
     site_counts: Optional[Dict[Tuple[str, int], int]] = None,
+    manager: Optional["AnalysisManager"] = None,
 ) -> int:
-    """Run one inline pass; returns the number of inlines performed."""
-    graph = CallGraph(program)
+    """Run one inline pass; returns the number of inlines performed.
+
+    With an :class:`~repro.analysis.AnalysisManager`, the call graph,
+    entry counts, and block frequencies are reused from earlier stages
+    when still valid; the pass reports every procedure it mutated back
+    to the manager so the caches stay honest.
+    """
     counts = site_counts if config.use_profile else None
-    entry = entry_counts(program, graph, counts)
-    freq_cache: Dict[str, Dict[str, float]] = {}
+    if manager is not None:
+        graph = manager.callgraph()
+        entry = manager.entry_counts(counts)
+        freq_cache = manager.freq_cache()
+    else:
+        graph = CallGraph(program)
+        entry = entry_counts(program, graph, counts)
+        freq_cache = {}
 
     # Screen and rank (Figure 4: "screen inline candidates").
     candidates: List[RankedSite] = []
@@ -101,6 +116,7 @@ def inline_pass(
     schedule.sort(key=lambda s: (perform_rank.get(s.caller, 0), -s.ranked.benefit))
     performed = 0
     touched: Set[str] = set()
+    mutated: Set[str] = set()
     for item in schedule:
         if config.stop_after is not None and report.transform_count >= config.stop_after:
             break
@@ -110,6 +126,10 @@ def inline_pass(
         if perform_inline(program, caller, item.site_id, report, pass_number):
             performed += 1
             touched.add(item.caller)
+            # The callee's profile counts migrate to the inlined copy,
+            # so both ends of the site count as mutated.
+            mutated.add(item.caller)
+            mutated.add(item.callee)
 
     # "optimize inlines and recalibrate"
     if config.reoptimize:
@@ -118,6 +138,8 @@ def inline_pass(
             if proc is not None:
                 optimize_proc(program, proc)
     budget.recalibrate(program)
+    if manager is not None and mutated:
+        manager.invalidate_procs(mutated)
     return performed
 
 

@@ -80,6 +80,13 @@ class HLOReport:
     outlines: int = 0
     clone_db_hits: int = 0
     passes_run: int = 0
+    # Analysis-memoization counters (docs/performance.md): how often the
+    # multi-pass loop reused a cached call graph / entry-count /
+    # frequency result instead of recomputing, and how many times the
+    # transforms invalidated.  Informational; never rolled back.
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+    analysis_invalidations: int = 0
     initial_cost: float = 0.0
     final_cost: float = 0.0
     budget_limit: float = 0.0

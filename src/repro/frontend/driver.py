@@ -44,6 +44,16 @@ def compile_program(sources: SourceList, verify: bool = True) -> Program:
     return program
 
 
+def link_check(program: Program) -> None:
+    """Check cross-module resolution of an externally assembled program.
+
+    The parallel compile pipeline builds its :class:`Program` from
+    per-worker modules and then runs the same resolution checks a
+    serial :func:`compile_program` would.
+    """
+    _check_resolution(program)
+
+
 def _check_resolution(program: Program) -> None:
     for mod in program.modules.values():
         for name, sig in mod.externs.items():

@@ -85,14 +85,45 @@ class BuildDiagnostics:
     lower rung — a module compiled module-at-a-time because its isom
     was bad, or static frequency estimates stood in for a bad profile.
     ``--strict`` turns any of these into a hard error instead.
+
+    The build-performance counters (docs/performance.md) ride along:
+    incremental-cache hits/misses/invalidations, how many modules were
+    actually recompiled vs. served from cache, and whether the parallel
+    worker pool had to fall back to serial compilation.  A serial
+    fallback is a warning, not a degradation — the output is identical,
+    only slower to produce.
     """
 
     module_fallbacks: List[str] = field(default_factory=list)
     profile_fallback: str = ""  # reason text; empty = profile path healthy
     warnings: List[str] = field(default_factory=list)
 
+    # Incremental-cache counters for this build (cache_enabled gates
+    # whether the summary line reports them).
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    modules_compiled: int = 0
+    modules_from_cache: int = 0
+
+    # Parallel-compilation accounting.
+    parallel_jobs: int = 1
+    parallel_fallbacks: List[str] = field(default_factory=list)
+
     def warn(self, message: str) -> None:
         self.warnings.append(message)
+
+    def record_cache(self, hits: int, misses: int, invalidations: int) -> None:
+        self.cache_enabled = True
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_invalidations += invalidations
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else 0.0
 
     @property
     def degraded(self) -> bool:
@@ -102,7 +133,7 @@ class BuildDiagnostics:
         """The one-line build-output summary."""
         quarantined = len(report.quarantined_passes) if report else 0
         failures = len(report.pass_failures) if report else 0
-        return (
+        line = (
             "resilience: {} pass failures, {} passes quarantined, "
             "{} modules fell back, profile: {}".format(
                 failures,
@@ -113,6 +144,18 @@ class BuildDiagnostics:
                 else "ok",
             )
         )
+        if self.cache_enabled:
+            line += ", cache: {}/{} hits ({:.0f}%)".format(
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+                self.cache_hit_rate * 100.0,
+            )
+        if self.parallel_jobs > 1 or self.parallel_fallbacks:
+            line += ", jobs: {}{}".format(
+                self.parallel_jobs,
+                " (serial fallback)" if self.parallel_fallbacks else "",
+            )
+        return line
 
 
 @dataclass
@@ -167,6 +210,9 @@ class Toolchain:
         max_train_steps: int = DEFAULT_MAX_STEPS,
         strict: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        cache: Optional["object"] = None,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
@@ -177,6 +223,21 @@ class Toolchain:
         self.max_train_steps = max_train_steps
         self.strict = strict
         self.fault_injector = fault_injector
+        # The parallel/incremental pipeline (docs/performance.md) is
+        # opt-in: asking for a worker count or a cache switches the
+        # front end over to repro.parallel.compile_sources, which
+        # routes every module through its isom text so the output is
+        # byte-identical for any --jobs value and any cache state.
+        # With neither flag the legacy direct path runs, unchanged.
+        self.jobs = jobs
+        self._use_pipeline = (
+            jobs is not None or cache_dir is not None or cache is not None
+        )
+        self.cache = cache
+        if self.cache is None and self._use_pipeline:
+            from ..parallel.cache import ModuleCache
+
+            self.cache = ModuleCache(cache_dir)
         self._profile_cache: Optional[Tuple[ProfileDatabase, float]] = None
         self._reload_cache: Optional[ProfileDatabase] = None
 
@@ -201,13 +262,13 @@ class Toolchain:
                 raise ValueError(
                     "scope {!r} needs training inputs for the PGO pipeline".format(scope)
                 )
-            profile, train_units = self._train()
+            profile, train_units = self._train(cfg, diagnostics)
             compile_units += train_units
             profile = self._reload_profile(profile, diagnostics)
 
         # The final compile: front end, then (for cross-module scopes)
         # the isom round trip and link, then HLO.
-        program = self._frontend()
+        program = self._frontend(cfg, diagnostics)
         if cross_module:
             modules, fallbacks = self._isom_roundtrip(program)
             program = link_modules(modules)
@@ -267,8 +328,40 @@ class Toolchain:
     # PGO pipeline pieces
     # ------------------------------------------------------------------
 
-    def _frontend(self) -> Program:
-        return compile_program(self.sources)
+    def _frontend(
+        self,
+        cfg: Optional[HLOConfig] = None,
+        diagnostics: Optional[BuildDiagnostics] = None,
+    ) -> Program:
+        if not self._use_pipeline:
+            return compile_program(self.sources)
+
+        from ..parallel.executor import compile_sources
+
+        jobs = max(1, self.jobs if self.jobs is not None else 1)
+        profile = self._profile_cache[0] if self._profile_cache else None
+        warn = diagnostics.warn if diagnostics is not None else None
+        mark = self.cache.stats.snapshot() if self.cache is not None else None
+        program, stats = compile_sources(
+            self.sources,
+            jobs=jobs,
+            cache=self.cache,
+            fingerprint=cfg.fingerprint() if cfg is not None else "",
+            profile=profile,
+            warn=warn,
+        )
+        if diagnostics is not None:
+            diagnostics.parallel_jobs = max(diagnostics.parallel_jobs, stats.jobs)
+            diagnostics.modules_compiled += stats.compiled
+            diagnostics.modules_from_cache += stats.from_cache
+            if stats.serial_fallback:
+                diagnostics.parallel_fallbacks.append(
+                    stats.fallback_reason or "worker pool unavailable"
+                )
+            if mark is not None:
+                hits, misses, invalidations, _stores = self.cache.stats.since(mark)
+                diagnostics.record_cache(hits, misses, invalidations)
+        return program
 
     # ------------------------------------------------------------------
     # Degradation ladder (docs/resilience.md)
@@ -335,14 +428,18 @@ class Toolchain:
         diagnostics.profile_fallback = reason
         diagnostics.warn(reason + "; using static frequency estimates")
 
-    def _train(self) -> Tuple[ProfileDatabase, float]:
+    def _train(
+        self,
+        cfg: Optional[HLOConfig] = None,
+        diagnostics: Optional[BuildDiagnostics] = None,
+    ) -> Tuple[ProfileDatabase, float]:
         """Instrumenting compile + training runs (cached per toolchain)."""
         if self._profile_cache is not None:
             return self._profile_cache
         db = ProfileDatabase()
         units = 0.0
         for index, inputs in enumerate(self.train_inputs):
-            program = self._frontend()
+            program = self._frontend(cfg, diagnostics)
             probe_map = instrument_program(program)
             if index == 0:
                 units += program_cost(program)  # one instrumenting compile

@@ -1,0 +1,171 @@
+"""Process-parallel module compilation with a deterministic merge.
+
+``compile_sources`` is the parallel/incremental counterpart of
+:func:`repro.frontend.driver.compile_program`.  It splits a program
+into per-module compile jobs (frontend -> lower -> isom serialization),
+consults the :class:`~repro.parallel.cache.ModuleCache` first, fans the
+misses out over a ``ProcessPoolExecutor`` in heaviest-first order, and
+then assembles the program **in the original source order**, so the
+merged output is byte-for-byte independent of worker count and
+completion order.
+
+Every module in this pipeline — serial or parallel, cached or fresh —
+is routed through its isom text before linking.  That single
+normalization point is what makes ``--jobs 1`` and ``--jobs 4`` (and
+cold vs. warm cache) produce identical programs: fresh-name counters
+and other ephemeral front-end state never leak into the build.
+
+Worker *infrastructure* failures (a broken pool, a killed worker, an
+unpicklable result) degrade to serial in-process compilation with a
+diagnostic — the build completes, just without the speedup.  Genuine
+input errors (:class:`~repro.frontend.errors.CompileError`) propagate
+exactly as they would from a serial build.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..frontend.driver import compile_module, link_check
+from ..frontend.errors import CompileError
+from ..ir.module import Module
+from ..ir.program import Program
+from ..ir.verifier import verify_program
+from ..resilience.errors import IsomError
+from .cache import ModuleCache
+from .scheduler import heaviest_first
+
+SourceList = Union[Dict[str, str], Sequence[Tuple[str, str]]]
+
+# Exceptions that indicate bad *input* rather than broken machinery;
+# these propagate instead of triggering the serial fallback.
+_INPUT_ERRORS = (CompileError, IsomError, ValueError)
+
+
+@dataclass
+class CompileStats:
+    """What the parallel/incremental pipeline did for one compile."""
+
+    jobs: int = 1
+    compiled: int = 0  # modules actually (re)compiled
+    from_cache: int = 0  # modules served from the cache
+    serial_fallback: bool = False
+    fallback_reason: str = ""
+    worker_errors: List[str] = field(default_factory=list)
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this host."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _compile_to_isom(pair: Tuple[str, str]) -> Tuple[str, str]:
+    """Worker body: one module's frontend compile, serialized to isom."""
+    from ..linker.isom import to_isom_text
+
+    name, source = pair
+    return name, to_isom_text(compile_module(source, name))
+
+
+def parallel_map(
+    func: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    warn: Optional[Callable[[str], None]] = None,
+) -> Tuple[list, bool]:
+    """Apply ``func`` across ``items``, results in input order.
+
+    Returns ``(results, fell_back)``.  With ``jobs <= 1`` or a single
+    item this is a plain serial map.  Infrastructure failures retry the
+    incomplete items serially in-process; exceptions raised *by the
+    function* propagate unchanged (re-raised by the serial retry when
+    the pool machinery obscured them).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items], False
+
+    results: Dict[int, object] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            futures = {
+                pool.submit(func, item): index for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+    except _INPUT_ERRORS:
+        raise
+    except Exception as exc:  # pool breakage, pickling, OS limits, ...
+        if warn is not None:
+            warn(
+                "parallel workers unavailable ({}: {}); "
+                "compiling serially".format(type(exc).__name__, exc)
+            )
+        for index, item in enumerate(items):
+            if index not in results:
+                results[index] = func(item)
+        return [results[index] for index in range(len(items))], True
+    return [results[index] for index in range(len(items))], False
+
+
+def compile_sources(
+    sources: SourceList,
+    jobs: int = 1,
+    cache: Optional[ModuleCache] = None,
+    fingerprint: str = "",
+    profile: Optional[object] = None,
+    warn: Optional[Callable[[str], None]] = None,
+) -> Tuple[Program, CompileStats]:
+    """Compile a multi-module program, in parallel and incrementally.
+
+    ``fingerprint`` is the :meth:`HLOConfig.fingerprint` of the build
+    configuration — part of every cache key, so a config change
+    invalidates.  ``profile`` (a ProfileDatabase, when available)
+    steers the heaviest-first schedule.
+    """
+    if isinstance(sources, dict):
+        pairs: List[Tuple[str, str]] = list(sources.items())
+    else:
+        pairs = list(sources)
+    stats = CompileStats(jobs=max(1, jobs))
+
+    modules: Dict[str, Module] = {}
+    keys: Dict[str, str] = {}
+    pending: List[Tuple[str, str]] = []
+    for name, text in pairs:
+        if cache is not None:
+            key = cache.key_for(name, text, fingerprint)
+            keys[name] = key
+            cached = cache.fetch(name, key)
+            if cached is not None:
+                modules[name] = cached
+                stats.from_cache += 1
+                continue
+        pending.append((name, text))
+
+    if pending:
+        from ..linker.isom import from_isom_text
+
+        ordered = heaviest_first(pending, profile)
+        compiled, fell_back = parallel_map(
+            _compile_to_isom, ordered, jobs=jobs, warn=warn
+        )
+        stats.serial_fallback = fell_back
+        if fell_back:
+            stats.fallback_reason = "worker pool unavailable"
+        for name, isom_text in compiled:
+            modules[name] = from_isom_text(isom_text)
+            stats.compiled += 1
+            if cache is not None:
+                cache.store(name, keys[name], isom_text)
+
+    # Deterministic merge: original source order, not completion order.
+    program = Program()
+    for name, _text in pairs:
+        program.add_module(modules[name])
+    link_check(program)
+    verify_program(program)
+    return program, stats

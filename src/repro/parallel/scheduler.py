@@ -1,0 +1,51 @@
+"""Profile-weight-aware scheduling of per-module compile jobs.
+
+Fanning modules out over a process pool, the makespan is set by the
+last worker to finish, so the heaviest compiles must start first
+(classic longest-processing-time order).  "Heaviest" is estimated from
+two signals:
+
+- measured profile traffic attributed to the module (the sum of its
+  recorded call-site counts), when a training profile is available —
+  hot modules grow most under HLO and tend to recompile slowest;
+- source text length, the cold-start proxy for frontend cost.
+
+Profile traffic dominates when present; length breaks ties and covers
+the unprofiled case.  The order is deterministic (name-tiebroken), so
+scheduling never perturbs build output — only completion latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SourcePairs = Sequence[Tuple[str, str]]
+
+
+def module_weights(
+    sources: SourcePairs, profile: Optional[object] = None
+) -> Dict[str, Tuple[float, int]]:
+    """(profile traffic, source length) per module name."""
+    traffic: Dict[str, float] = {}
+    site_counts = getattr(profile, "site_counts", None)
+    if site_counts:
+        for (module, _site_id), count in site_counts.items():
+            traffic[module] = traffic.get(module, 0.0) + float(count)
+    return {
+        name: (traffic.get(name, 0.0), len(text)) for name, text in sources
+    }
+
+
+def heaviest_first(
+    sources: SourcePairs, profile: Optional[object] = None
+) -> List[Tuple[str, str]]:
+    """Source pairs reordered for submission: heaviest modules first."""
+    weights = module_weights(sources, profile)
+    return sorted(
+        sources,
+        key=lambda pair: (
+            -weights[pair[0]][0],
+            -weights[pair[0]][1],
+            pair[0],
+        ),
+    )

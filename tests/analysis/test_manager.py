@@ -1,0 +1,82 @@
+"""AnalysisManager: memoization with explicit invalidation."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisManager
+from repro.core.config import HLOConfig
+from repro.core.hlo import run_hlo
+from repro.frontend import compile_program
+from repro.linker.isom import to_isom_text
+
+SOURCES = [
+    (
+        "lib",
+        """
+        int helper(int x) { return x * 3 + 1; }
+        int wrap(int x) { return helper(x) + helper(x + 1); }
+        """,
+    ),
+    (
+        "main",
+        """
+        extern int wrap(int x);
+        int main() {
+          int i;
+          int total = 0;
+          for (i = 0; i < input(0); i++) total = total + wrap(i);
+          print_int(total);
+          return 0;
+        }
+        """,
+    ),
+]
+
+
+def test_callgraph_is_cached_until_invalidated():
+    manager = AnalysisManager(compile_program(SOURCES))
+    first = manager.callgraph()
+    assert manager.callgraph() is first
+    assert (manager.hits, manager.misses) == (1, 1)
+    manager.invalidate_procs(["wrap"])
+    assert manager.callgraph() is not first
+    assert manager.invalidations == 1
+
+
+def test_entry_counts_cached_per_profile_presence():
+    manager = AnalysisManager(compile_program(SOURCES))
+    static = manager.entry_counts(None)
+    assert manager.entry_counts(None) is static
+    profiled = manager.entry_counts({("main", 0): 7})
+    assert profiled is not static
+    assert manager.entry_counts({("main", 0): 7}) is profiled
+
+
+def test_invalidate_procs_is_selective_for_freqs():
+    manager = AnalysisManager(compile_program(SOURCES))
+    cache = manager.freq_cache()
+    cache["wrap"] = {"entry": 1.0}
+    cache["helper"] = {"entry": 1.0}
+    manager.invalidate_procs(["wrap"])
+    assert "wrap" not in manager.freq_cache()
+    assert "helper" in manager.freq_cache()
+    manager.invalidate_all()
+    assert manager.freq_cache() == {}
+
+
+def _final_isoms(memoize):
+    program = compile_program(SOURCES)
+    config = HLOConfig(memoize_analyses=memoize).with_scope(True, False)
+    report = run_hlo(program, config)
+    text = {
+        name: to_isom_text(module) for name, module in program.modules.items()
+    }
+    return text, report
+
+
+def test_memoized_hlo_is_equivalent_and_counts_reuse():
+    memo_text, memo_report = _final_isoms(True)
+    plain_text, plain_report = _final_isoms(False)
+    assert memo_text == plain_text
+    assert str(memo_report) == str(plain_report)
+    assert memo_report.analysis_hits + memo_report.analysis_misses > 0
+    assert plain_report.analysis_hits == plain_report.analysis_misses == 0

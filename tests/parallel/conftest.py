@@ -1,0 +1,44 @@
+"""Fixtures for the parallel/incremental compilation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linker.isom import to_isom_text
+
+# A three-module program with cross-module calls, small enough that a
+# full cp build (train + compile + HLO) stays fast in the suite.
+SOURCES = [
+    (
+        "util",
+        "int add(int a, int b) { return a + b; }\n"
+        "int mul(int a, int b) { return a * b; }\n",
+    ),
+    (
+        "mid",
+        "extern int add(int a, int b);\n"
+        "int twice(int x) { return add(x, x); }\n",
+    ),
+    (
+        "main",
+        "extern int twice(int x);\n"
+        "extern int mul(int a, int b);\n"
+        "int main() { int n = input(0); print_int(mul(twice(n), 3)); return 0; }\n",
+    ),
+]
+
+TRAIN_INPUTS = [[5]]
+REF_INPUT = [7]
+
+
+@pytest.fixture
+def sources():
+    return [(name, text) for name, text in SOURCES]
+
+
+def isoms(result):
+    """Module name -> final isom text, for byte-level comparisons."""
+    return {
+        name: to_isom_text(module)
+        for name, module in result.program.modules.items()
+    }

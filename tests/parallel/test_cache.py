@@ -1,0 +1,123 @@
+"""The content-addressed incremental module cache."""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import HLOConfig
+from repro.frontend.driver import compile_module
+from repro.linker.isom import to_isom_text
+from repro.linker.toolchain import Toolchain
+from repro.parallel import ModuleCache
+
+from .conftest import TRAIN_INPUTS
+
+MODULE_SOURCE = "int add(int a, int b) { return a + b; }\n"
+
+
+def _compiled_text(name="util", source=MODULE_SOURCE):
+    return to_isom_text(compile_module(source, name))
+
+
+def test_key_depends_on_every_input():
+    base = ModuleCache.key_for("m", "src", "fp")
+    assert ModuleCache.key_for("m", "src", "fp") == base
+    assert ModuleCache.key_for("m2", "src", "fp") != base
+    assert ModuleCache.key_for("m", "src2", "fp") != base
+    assert ModuleCache.key_for("m", "src", "fp2") != base
+
+
+def test_memory_hit_returns_fresh_objects():
+    cache = ModuleCache()
+    key = cache.key_for("util", MODULE_SOURCE, "")
+    assert cache.fetch("util", key) is None
+    assert cache.stats.misses == 1
+    cache.store("util", key, _compiled_text())
+    first = cache.fetch("util", key)
+    second = cache.fetch("util", key)
+    assert cache.stats.hits == 2
+    assert first is not second  # cached text, never shared IR objects
+    assert to_isom_text(first) == to_isom_text(second)
+
+
+def test_changed_key_counts_as_invalidation():
+    cache = ModuleCache()
+    old_key = cache.key_for("util", MODULE_SOURCE, "")
+    cache.store("util", old_key, _compiled_text())
+    new_key = cache.key_for("util", MODULE_SOURCE + "// edit\n", "")
+    assert cache.fetch("util", new_key) is None
+    assert cache.stats.invalidations == 1
+    # A brand-new module is a plain miss, not an invalidation.
+    other = cache.key_for("other", MODULE_SOURCE, "")
+    assert cache.fetch("other", other) is None
+    assert cache.stats.invalidations == 1
+
+
+def test_disk_persistence_across_instances(tmp_path):
+    first = ModuleCache(str(tmp_path))
+    key = first.key_for("util", MODULE_SOURCE, "")
+    first.store("util", key, _compiled_text())
+    second = ModuleCache(str(tmp_path))
+    assert second.fetch("util", key) is not None
+    assert second.stats.hits == 1
+
+
+def test_corrupt_disk_entry_is_a_miss_and_evicted(tmp_path):
+    cache = ModuleCache(str(tmp_path))
+    key = cache.key_for("util", MODULE_SOURCE, "")
+    cache.store("util", key, _compiled_text())
+    path = os.path.join(str(tmp_path), "objects", key + ".isom")
+    with open(path, "w") as handle:
+        handle.write("isom 1 crc32 0\ngarbage\n")
+    fresh = ModuleCache(str(tmp_path))
+    assert fresh.fetch("util", key) is None
+    assert not os.path.exists(path)
+
+
+def _build(sources, tmp_path, config=None):
+    toolchain = Toolchain(
+        sources,
+        train_inputs=TRAIN_INPUTS,
+        config=config,
+        cache_dir=str(tmp_path),
+    )
+    return toolchain.build("cp")
+
+
+def test_warm_rebuild_recompiles_nothing(sources, tmp_path):
+    cold = _build(sources, tmp_path)
+    assert cold.diagnostics.modules_compiled > 0
+    warm = _build(sources, tmp_path)
+    assert warm.diagnostics.modules_compiled == 0
+    assert warm.diagnostics.cache_hit_rate == 1.0
+    assert "cache: " in warm.diagnostics.summary(warm.report)
+    assert "(100%)" in warm.diagnostics.summary(warm.report)
+
+
+def test_rewriting_identical_source_still_hits(sources, tmp_path):
+    _build(sources, tmp_path)
+    # "touch" every file: same text objects rebuilt from scratch.
+    rewritten = [(name, str(text)) for name, text in sources]
+    warm = _build(rewritten, tmp_path)
+    assert warm.diagnostics.modules_compiled == 0
+
+
+def test_config_change_invalidates(sources, tmp_path):
+    _build(sources, tmp_path)
+    changed = _build(sources, tmp_path, config=HLOConfig(budget_percent=137.0))
+    assert changed.diagnostics.modules_compiled > 0
+    assert changed.diagnostics.cache_invalidations > 0
+
+
+def test_single_module_edit_recompiles_only_that_module(sources, tmp_path):
+    _build(sources, tmp_path)
+    edited = [
+        (name, text + "// tweak\n" if name == "mid" else text)
+        for name, text in sources
+    ]
+    partial = _build(edited, tmp_path)
+    # Only 'mid' misses, once: the first frontend compile stores the
+    # new isom and the build's later compiles (training + final) hit.
+    assert partial.diagnostics.modules_compiled == 1
+    assert partial.diagnostics.cache_misses == 1
+    assert partial.diagnostics.cache_invalidations == 1

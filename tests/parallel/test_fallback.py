@@ -1,0 +1,66 @@
+"""Worker-pool failures degrade to serial compilation; input errors don't."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.parallel.executor as executor
+from repro.frontend.errors import CompileError
+from repro.linker.toolchain import Toolchain
+from repro.parallel import compile_sources, parallel_map
+
+from .conftest import REF_INPUT, TRAIN_INPUTS, isoms
+
+
+class _BrokenPool:
+    """Stands in for ProcessPoolExecutor when the OS says no."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("no processes for you")
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", _BrokenPool)
+
+
+def test_parallel_map_falls_back_serially(broken_pool):
+    warnings = []
+    results, fell_back = parallel_map(
+        lambda x: x * 2, [1, 2, 3], jobs=4, warn=warnings.append
+    )
+    assert results == [2, 4, 6]
+    assert fell_back
+    assert warnings and "serially" in warnings[0]
+
+
+def test_compile_sources_survives_broken_pool(sources, broken_pool):
+    program, stats = compile_sources(sources, jobs=4)
+    assert list(program.modules) == [name for name, _text in sources]
+    assert stats.serial_fallback
+    assert stats.compiled == len(sources)
+
+
+def test_toolchain_records_fallback_as_warning_not_degradation(
+    sources, broken_pool
+):
+    result = Toolchain(sources, train_inputs=TRAIN_INPUTS, jobs=4).build("cp")
+    assert result.diagnostics.parallel_fallbacks
+    assert any("serially" in w for w in result.diagnostics.warnings)
+    assert "serial fallback" in result.diagnostics.summary(result.report)
+    assert not result.degraded  # output identical, only slower to produce
+
+
+def test_fallback_output_matches_healthy_build(sources, broken_pool):
+    degraded_pool = Toolchain(sources, train_inputs=TRAIN_INPUTS, jobs=4).build("cp")
+    healthy = Toolchain(sources, train_inputs=TRAIN_INPUTS, jobs=1).build("cp")
+    assert isoms(degraded_pool) == isoms(healthy)
+    behavior_a = degraded_pool.run(REF_INPUT)[1].behavior()
+    behavior_b = healthy.run(REF_INPUT)[1].behavior()
+    assert behavior_a == behavior_b
+
+
+def test_compile_errors_propagate_through_workers():
+    bad = [("ok", "int f() { return 1; }"), ("bad", "this is not minic")]
+    with pytest.raises(CompileError):
+        compile_sources(bad, jobs=2)

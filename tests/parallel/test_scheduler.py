@@ -1,0 +1,36 @@
+"""Heaviest-first scheduling: profile traffic, then length, then name."""
+
+from __future__ import annotations
+
+from repro.parallel import heaviest_first, module_weights
+
+
+class _FakeProfile:
+    def __init__(self, site_counts):
+        self.site_counts = site_counts
+
+
+def test_weights_sum_profile_traffic_per_module():
+    sources = [("a", "xx"), ("b", "yyyy")]
+    profile = _FakeProfile({("a", 0): 10, ("a", 1): 5, ("b", 0): 2})
+    weights = module_weights(sources, profile)
+    assert weights == {"a": (15.0, 2), "b": (2.0, 4)}
+
+
+def test_profile_traffic_dominates_length():
+    sources = [("long_cold", "x" * 500), ("short_hot", "y" * 10)]
+    profile = _FakeProfile({("short_hot", 0): 1000})
+    ordered = [name for name, _text in heaviest_first(sources, profile)]
+    assert ordered == ["short_hot", "long_cold"]
+
+
+def test_length_breaks_ties_without_profile():
+    sources = [("small", "x"), ("big", "x" * 100), ("medium", "x" * 10)]
+    ordered = [name for name, _text in heaviest_first(sources)]
+    assert ordered == ["big", "medium", "small"]
+
+
+def test_name_tiebreak_is_deterministic():
+    sources = [("b", "xx"), ("a", "yy"), ("c", "zz")]
+    assert [n for n, _ in heaviest_first(sources)] == ["a", "b", "c"]
+    assert [n for n, _ in heaviest_first(list(reversed(sources)))] == ["a", "b", "c"]
