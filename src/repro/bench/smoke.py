@@ -11,7 +11,13 @@ isoms, and the host wall time.  On top of that it measures:
   checksums must match exactly, which is the determinism gate;
 - **cache effectiveness** — each workload is built cold and then warm
   against an on-disk module cache; the warm build must recompile zero
-  modules (100% hit rate).
+  modules (100% hit rate);
+- **observability overhead** — the set is built once with the null
+  observer (tracing off, the default) and once with tracer + metrics +
+  ledger all live; both walls and their ratio land in the report, so a
+  tracing hot path that grows expensive shows up in CI.  With
+  ``--trace-out`` / ``--metrics-out`` the instrumented pass also writes
+  its artifacts for upload.
 
 ``--check --baseline benchmarks/baseline.json`` turns the run into a
 regression gate: ``compile_units`` or ``cycles`` more than 15% above
@@ -118,10 +124,60 @@ def _measure_cache(names: Sequence[str], scope: str) -> dict:
     }
 
 
+def _measure_observability(
+    names: Sequence[str],
+    scope: str,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> dict:
+    """Same serial build set, observer off vs. fully on.
+
+    Wall times are best-of-two to damp scheduler noise; the ratio is
+    recorded, not gated (host wall never transfers across machines —
+    same policy as the speedup numbers).
+    """
+    from ..linker.toolchain import Toolchain
+    from ..obs import BuildObserver, InliningLedger, MetricsRegistry, Tracer
+    from ..workloads.suite import get_workload
+
+    def build_all(observer) -> float:
+        started = time.perf_counter()
+        for name in names:
+            workload = get_workload(name)
+            toolchain = Toolchain(
+                list(workload.sources),
+                train_inputs=[list(t) for t in workload.train_inputs],
+                jobs=1,
+            )
+            toolchain.build(scope, observer=observer)
+        return time.perf_counter() - started
+
+    disabled = min(build_all(None) for _ in range(2))
+    observer = BuildObserver(
+        tracer=Tracer(), metrics=MetricsRegistry(), ledger=InliningLedger()
+    )
+    enabled = min(build_all(observer) for _ in range(2))
+
+    if trace_out:
+        observer.tracer.write(trace_out)
+    if metrics_out:
+        observer.metrics.write(metrics_out)
+
+    return {
+        "disabled_wall_s": round(disabled, 4),
+        "enabled_wall_s": round(enabled, 4),
+        "overhead_ratio": round(enabled / disabled, 3) if disabled else 0.0,
+        "trace_events": len(observer.tracer.events()),
+        "ledger_decisions": observer.ledger.considered,
+    }
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
     jobs: int = 4,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> Tuple[dict, List[str]]:
     """The full smoke measurement; returns (report, failure messages).
 
@@ -140,6 +196,10 @@ def run_smoke(
                     name, jobs
                 )
             )
+
+    observability = _measure_observability(
+        names, scope, trace_out=trace_out, metrics_out=metrics_out
+    )
 
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
@@ -170,6 +230,7 @@ def run_smoke(
             "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else 0.0,
         },
         "cache": cache,
+        "observability": observability,
     }
     return report, failures
 
@@ -245,10 +306,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "baselines do not transfer across machines)")
     parser.add_argument("--write-baseline", metavar="FILE",
                         help="write the deterministic baseline subset here")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write the instrumented pass's Chrome trace here")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the instrumented pass's metrics JSON here")
     args = parser.parse_args(argv)
 
     names = [part.strip() for part in args.workloads.split(",") if part.strip()]
-    report, failures = run_smoke(names, scope=args.scope, jobs=args.jobs)
+    report, failures = run_smoke(
+        names, scope=args.scope, jobs=args.jobs,
+        trace_out=args.trace_out, metrics_out=args.metrics_out,
+    )
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -268,7 +336,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(
         "smoke: {} workload(s), scope {}, {:.2f}s serial / {:.2f}s with "
-        "{} jobs (x{:.2f}), warm cache {:.0f}% hits".format(
+        "{} jobs (x{:.2f}), warm cache {:.0f}% hits, "
+        "observability x{:.3f} when enabled".format(
             len(names),
             args.scope,
             report["build"]["serial_wall_s"],
@@ -276,6 +345,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report["build"]["jobs"],
             report["build"]["speedup"],
             report["cache"]["warm_hit_rate"] * 100,
+            report["observability"]["overhead_ratio"],
         )
     )
     for failure in failures:

@@ -36,6 +36,16 @@ from .ir.printer import print_program
 from .linker.isom import write_isom
 from .linker.toolchain import SCOPES, BuildDiagnostics, Toolchain, scope_flags
 from .machine.pa8000 import simulate
+from .obs import (
+    NULL_OBSERVER,
+    BuildObserver,
+    CliLogger,
+    InliningLedger,
+    MetricsRegistry,
+    Tracer,
+    VERBOSITY_LEVELS,
+)
+from .obs.metrics import collect_build_metrics
 from .profile.annotate import annotate_program
 from .profile.database import ProfileDatabase
 from .profile.pgo import train
@@ -72,8 +82,57 @@ def _config_from_args(args: argparse.Namespace) -> HLOConfig:
     return config
 
 
+def _logger_from_args(args: argparse.Namespace) -> CliLogger:
+    return CliLogger(getattr(args, "verbosity", "normal"))
+
+
+def _observer_from_args(args: argparse.Namespace) -> BuildObserver:
+    """Build the observability bundle the flags ask for.
+
+    Each sink is live only when requested, so an un-flagged run keeps
+    the :data:`NULL_OBSERVER` fast path end to end.
+    """
+    want_trace = bool(getattr(args, "trace_out", None))
+    want_metrics = bool(getattr(args, "metrics_out", None))
+    want_ledger = bool(
+        getattr(args, "explain_inlining", False)
+        or getattr(args, "explain_inlining_out", None)
+    )
+    if not (want_trace or want_metrics or want_ledger):
+        return NULL_OBSERVER
+    return BuildObserver(
+        tracer=Tracer() if want_trace else None,
+        metrics=MetricsRegistry() if want_metrics else None,
+        ledger=InliningLedger() if want_ledger else None,
+    )
+
+
+def _emit_observability(
+    args: argparse.Namespace, obs: BuildObserver, log: CliLogger
+) -> None:
+    """Write out whatever sinks the flags requested."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and obs.tracer.enabled:
+        obs.tracer.write(trace_out)
+        log.debug("wrote trace ({} events) to {}".format(
+            len(obs.tracer.events()), trace_out))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and obs.metrics.enabled:
+        obs.metrics.write(metrics_out)
+        log.debug("wrote metrics ({} series) to {}".format(
+            len(obs.metrics.names()), metrics_out))
+    ledger_out = getattr(args, "explain_inlining_out", None)
+    if ledger_out and obs.ledger.enabled:
+        obs.ledger.write_jsonl(ledger_out)
+        log.debug("wrote inlining ledger ({} decisions) to {}".format(
+            obs.ledger.considered, ledger_out))
+    if getattr(args, "explain_inlining", False) and obs.ledger.enabled:
+        print(obs.ledger.format_text())
+
+
 def _compile_cli(
-    args: argparse.Namespace, diagnostics: BuildDiagnostics
+    args: argparse.Namespace, diagnostics: BuildDiagnostics,
+    obs: BuildObserver = NULL_OBSERVER,
 ):
     """Compile ``args.files``, honoring ``--jobs`` / ``--cache-dir``.
 
@@ -87,7 +146,8 @@ def _compile_cli(
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
     if jobs is None and cache_dir is None:
-        return compile_program(sources)
+        with obs.tracer.span("frontend", cat="frontend"):
+            return compile_program(sources)
 
     from .parallel.cache import ModuleCache
     from .parallel.executor import compile_sources
@@ -96,13 +156,15 @@ def _compile_cli(
     cfg = _config_from_args(args).with_scope(cross, use_profile)
     cache = ModuleCache(cache_dir)
     mark = cache.stats.snapshot()
-    program, stats = compile_sources(
-        sources,
-        jobs=max(1, jobs if jobs is not None else 1),
-        cache=cache,
-        fingerprint=cfg.fingerprint(),
-        warn=diagnostics.warn,
-    )
+    with obs.tracer.span("frontend", cat="frontend"):
+        program, stats = compile_sources(
+            sources,
+            jobs=max(1, jobs if jobs is not None else 1),
+            cache=cache,
+            fingerprint=cfg.fingerprint(),
+            warn=diagnostics.warn,
+            observer=obs,
+        )
     hits, misses, invalidations, _stores = cache.stats.since(mark)
     diagnostics.record_cache(hits, misses, invalidations)
     diagnostics.parallel_jobs = stats.jobs
@@ -146,6 +208,7 @@ def _hlo_for_scope(
     args: argparse.Namespace,
     profile: Optional[ProfileDatabase],
     diagnostics: Optional[BuildDiagnostics] = None,
+    obs: BuildObserver = NULL_OBSERVER,
 ):
     cross, use_profile = scope_flags(args.scope)
     config = _config_from_args(args).with_scope(cross, use_profile)
@@ -158,16 +221,27 @@ def _hlo_for_scope(
         if profile is not None:
             annotate_program(program, profile)
             site_counts = profile.site_counts
-    return run_hlo(program, config, site_counts=site_counts)
+    with obs.tracer.span("hlo", cat="hlo"):
+        return run_hlo(program, config, site_counts=site_counts, observer=obs)
 
 
-def _finish(args: argparse.Namespace, report, diagnostics: BuildDiagnostics) -> int:
+def _finish(
+    args: argparse.Namespace,
+    report,
+    diagnostics: BuildDiagnostics,
+    log: Optional[CliLogger] = None,
+    obs: BuildObserver = NULL_OBSERVER,
+) -> int:
     """Print warnings + the one-line degradation summary; pick exit code."""
+    log = log if log is not None else _logger_from_args(args)
     for warning in diagnostics.warnings:
-        print("warning:", warning, file=sys.stderr)
+        log.warn(warning)
     degraded = diagnostics.degraded or (report is not None and report.degraded)
     if degraded or diagnostics.cache_enabled or diagnostics.parallel_jobs > 1:
-        print(diagnostics.summary(report), file=sys.stderr)
+        log.info(diagnostics.summary(report))
+    if obs.metrics.enabled:
+        collect_build_metrics(diagnostics, report, registry=obs.metrics)
+    _emit_observability(args, obs, log)
     if degraded and getattr(args, "strict", False):
         return 1
     return 0
@@ -175,36 +249,42 @@ def _finish(args: argparse.Namespace, report, diagnostics: BuildDiagnostics) -> 
 
 def cmd_compile(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
-    program = _compile_cli(args, diagnostics)
-    profile = _load_profile(args, diagnostics)
-    report = None
-    if not args.no_hlo:
-        report = _hlo_for_scope(program, args, profile, diagnostics)
+    obs = _observer_from_args(args)
+    with obs.tracer.span("build", command="compile"):
+        program = _compile_cli(args, diagnostics, obs)
+        profile = _load_profile(args, diagnostics)
+        report = None
+        if not args.no_hlo:
+            report = _hlo_for_scope(program, args, profile, diagnostics, obs)
     if args.isom_dir:
         for module in program.modules.values():
             path = write_isom(module, args.isom_dir)
             print("wrote", path)
     else:
         print(print_program(program))
-    return _finish(args, report, diagnostics)
+    return _finish(args, report, diagnostics, obs=obs)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
-    program = _compile_cli(args, diagnostics)
-    profile = _load_profile(args, diagnostics)
-    report = None
-    if not args.no_hlo:
-        report = _hlo_for_scope(program, args, profile, diagnostics)
+    obs = _observer_from_args(args)
+    log = _logger_from_args(args)
+    with obs.tracer.span("build", command="run"):
+        program = _compile_cli(args, diagnostics, obs)
+        profile = _load_profile(args, diagnostics)
+        report = None
+        if not args.no_hlo:
+            report = _hlo_for_scope(program, args, profile, diagnostics, obs)
     inputs = _parse_inputs(args.inputs)
-    if args.simulate:
-        metrics, result = simulate(program, inputs)
-    else:
-        metrics, result = None, run_program(program, inputs)
+    with obs.tracer.span("execute", cat="machine", simulate=bool(args.simulate)):
+        if args.simulate:
+            metrics, result = simulate(program, inputs)
+        else:
+            metrics, result = None, run_program(program, inputs)
     for value in result.output:
         print(value)
     if metrics is not None:
-        print(
+        log.info(
             "# cycles={:.0f} instructions={} cpi={:.3f} "
             "icache_mr={:.4f} dcache_mr={:.4f} branch_mr={:.4f}".format(
                 metrics.cycles,
@@ -213,10 +293,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 metrics.icache_miss_rate,
                 metrics.dcache_miss_rate,
                 metrics.branch_miss_rate,
-            ),
-            file=sys.stderr,
+            )
         )
-    degraded_exit = _finish(args, report, diagnostics)
+    degraded_exit = _finish(args, report, diagnostics, log, obs)
     return degraded_exit or (result.exit_code & 0x7F)
 
 
@@ -237,9 +316,11 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
-    program = _compile_cli(args, diagnostics)
-    profile = _load_profile(args, diagnostics)
-    report = _hlo_for_scope(program, args, profile, diagnostics)
+    obs = _observer_from_args(args)
+    with obs.tracer.span("build", command="report"):
+        program = _compile_cli(args, diagnostics, obs)
+        profile = _load_profile(args, diagnostics)
+        report = _hlo_for_scope(program, args, profile, diagnostics, obs)
     print(report)
     print("transform events:")
     for event in report.events:
@@ -256,7 +337,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         print("pass failures:")
         for failure in report.pass_failures:
             print("  " + str(failure))
-    return _finish(args, report, diagnostics)
+    return _finish(args, report, diagnostics, obs=obs)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -279,17 +360,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cache_dir=getattr(args, "cache_dir", None),
     )
     config = _config_from_args(args)
+    obs = _observer_from_args(args)
+    log = _logger_from_args(args)
     rows = []
     degraded = False
     for scope in SCOPES:
-        build = toolchain.build(scope, config)
+        build = toolchain.build(scope, config, observer=obs)
         if build.degraded:
             degraded = True
-            print(
-                "{}: {}".format(scope, build.diagnostics.summary(build.report)),
-                file=sys.stderr,
-            )
-        metrics, _run = build.run(workload.ref_input)
+            log.info("{}: {}".format(scope, build.diagnostics.summary(build.report)))
+        with obs.tracer.span("execute", cat="machine", scope=scope):
+            metrics, _run = build.run(workload.ref_input)
         rows.append(
             [
                 scope,
@@ -309,6 +390,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="{} ({})".format(workload.name, workload.spec_analog),
         )
     )
+    _emit_observability(args, obs, log)
     return 1 if degraded and getattr(args, "strict", False) else 0
 
 
@@ -343,6 +425,22 @@ def build_parser() -> argparse.ArgumentParser:
                        "(output is identical for any N)")
         p.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed incremental compile cache")
+        observability(p)
+
+    def observability(p):
+        p.add_argument("--trace-out", metavar="FILE",
+                       help="write a Chrome trace-event JSON timeline "
+                       "(load in Perfetto / chrome://tracing)")
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="write build counters/gauges/histograms as JSON")
+        p.add_argument("--explain-inlining", action="store_true",
+                       help="print every call-site decision HLO made "
+                       "(inlined / cloned / rejected, with reasons)")
+        p.add_argument("--explain-inlining-out", metavar="FILE",
+                       help="write the inlining-decision ledger as JSONL")
+        p.add_argument("--verbosity", choices=VERBOSITY_LEVELS,
+                       default="normal",
+                       help="stderr verbosity (default normal)")
 
     p_compile = sub.add_parser("compile", help="compile to IR or isoms")
     common(p_compile)
@@ -385,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compile modules with N worker processes")
     p_bench.add_argument("--cache-dir", metavar="DIR",
                          help="content-addressed incremental compile cache")
+    observability(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -27,6 +27,8 @@ from ..ir.instructions import Branch, Call, ICall
 from ..ir.procedure import Procedure
 from ..ir.program import Program
 from ..ir.values import FuncRef, GlobalRef, Imm, Operand, Reg
+from ..obs import NULL_OBSERVER
+from ..obs.ledger import record_decision
 from ..opt.pass_manager import optimize_proc
 from .benefit import cached_block_freqs
 from .budget import Budget
@@ -199,7 +201,17 @@ def build_clone_groups(
     config: HLOConfig,
     site_counts: Optional[Dict[Tuple[str, int], int]],
     manager: Optional["AnalysisManager"] = None,
+    obs=NULL_OBSERVER,
+    report: Optional[HLOReport] = None,
+    pass_number: int = 0,
 ) -> List[CloneGroup]:
+    """Form ranked clone groups; rejected seeds land on the ledger.
+
+    Every site iterated here gets exactly one fate: a legality /
+    no-context / benefit rejection recorded immediately, or membership
+    in a returned group (whose accept-or-reject decision the budget
+    selection in :func:`clone_pass` records).
+    """
     counts = site_counts if config.use_profile else None
     if manager is not None:
         entry = manager.entry_counts(counts)
@@ -216,9 +228,13 @@ def build_clone_groups(
     for site in graph.sites:
         if site.key in grouped_sites:
             continue
-        if clone_blocker(
+        blocker = clone_blocker(
             program, site, config.cross_module, config.local_modules
-        ) is not None:
+        )
+        if blocker is not None:
+            record_decision(
+                obs, report, "clone", pass_number, site, "rejected", blocker,
+            )
             continue
         callee = site.callee
         assert callee is not None
@@ -228,6 +244,11 @@ def build_clone_groups(
             usage_cache[callee.name] = usage
         spec = make_clone_spec(site, usage)
         if not spec:
+            record_decision(
+                obs, report, "clone", pass_number, site, "rejected",
+                "no caller-supplied constant meets an interesting parameter",
+                reason_class="benefit",
+            )
             continue
 
         # Greedily absorb every compatible site into the group.
@@ -248,6 +269,12 @@ def build_clone_groups(
             site_weight(m, entry, counts, config.use_profile) for m in members
         ) * value
         if benefit <= config.min_clone_benefit:
+            # Only the seed: ungrouped members get their own iteration.
+            record_decision(
+                obs, report, "clone", pass_number, site, "rejected",
+                "benefit below threshold", reason_class="benefit",
+                benefit=benefit,
+            )
             continue
 
         incoming = graph.callers_of(callee.name)
@@ -286,10 +313,13 @@ def clone_pass(
     database: CloneDatabase,
     site_counts: Optional[Dict[Tuple[str, int], int]] = None,
     manager: Optional["AnalysisManager"] = None,
+    obs=NULL_OBSERVER,
 ) -> int:
     """Run one cloning pass; returns the number of sites retargeted."""
     graph = manager.callgraph() if manager is not None else CallGraph(program)
-    groups = build_clone_groups(program, graph, config, site_counts, manager)
+    groups = build_clone_groups(
+        program, graph, config, site_counts, manager, obs, report, pass_number
+    )
 
     # Select within the stage's allotment (Figure 3: "select clones").
     stage = budget.stage_limit(pass_number)
@@ -303,14 +333,28 @@ def clone_pass(
         if projected + cost <= stage:
             accepted.append(group)
             projected += cost
+        else:
+            for member in group.sites:
+                record_decision(
+                    obs, report, "clone", pass_number, member, "rejected",
+                    "staged budget exhausted", reason_class="budget",
+                    benefit=group.benefit,
+                )
     # Any group not handled in this pass is discarded; it may be
     # recreated and cloned in a later pass (Section 2.3).
 
     replaced = 0
     touched: Set[str] = set()
     mutated: Set[str] = set()
-    for group in accepted:
+    for group_index, group in enumerate(accepted):
         if config.stop_after is not None and report.transform_count >= config.stop_after:
+            for later in accepted[group_index:]:
+                for member in later.sites:
+                    record_decision(
+                        obs, report, "clone", pass_number, member, "rejected",
+                        "stop-after limit reached", reason_class="budget",
+                        benefit=later.benefit,
+                    )
             break
         clone_name = database.lookup(group.key) if config.clone_database else None
         if clone_name is not None and program.proc(clone_name) is None:
@@ -319,35 +363,50 @@ def clone_pass(
             clone_name = database.fresh_name(program, group.callee.name)
             group_count = _group_traffic(group, site_counts)
             ratio = transfer_ratio(group_count, _entry_count(group.callee))
-            clone = copy_into_new_proc(
-                program,
-                group.callee,
-                program.modules[group.callee.module],
-                clone_name,
-                group.spec,
-                ratio,
-                on_promote=report.record_promotion,
-            )
-            program.modules[group.callee.module].add_proc(clone)
-            subtract_moved_counts(group.callee, ratio)
-            # The clonee's counts just migrated into the clone.
-            mutated.add(group.callee.name)
-            mutated.add(clone_name)
-            report.clones += 1
-            if config.clone_database:
-                database.record(group.key, clone_name)
-            touched.add(clone_name)
-            if config.reoptimize:
-                # Optimize the clone immediately so the bound constants
-                # propagate into its own call sites before the in-clone
-                # retarget scan below (the recursive pass-through case).
-                optimize_proc(program, clone)
+            with obs.tracer.span(
+                "clone:{}".format(clone_name) if obs.tracer.enabled else "",
+                cat="transform", clonee=group.callee.name,
+            ):
+                clone = copy_into_new_proc(
+                    program,
+                    group.callee,
+                    program.modules[group.callee.module],
+                    clone_name,
+                    group.spec,
+                    ratio,
+                    on_promote=report.record_promotion,
+                )
+                program.modules[group.callee.module].add_proc(clone)
+                subtract_moved_counts(group.callee, ratio)
+                # The clonee's counts just migrated into the clone.
+                mutated.add(group.callee.name)
+                mutated.add(clone_name)
+                report.clones += 1
+                if config.clone_database:
+                    database.record(group.key, clone_name)
+                touched.add(clone_name)
+                if config.reoptimize:
+                    # Optimize the clone immediately so the bound constants
+                    # propagate into its own call sites before the in-clone
+                    # retarget scan below (the recursive pass-through case).
+                    optimize_proc(program, clone)
 
-        for member in group.sites:
+        for member_index, member in enumerate(group.sites):
             if config.stop_after is not None and report.transform_count >= config.stop_after:
+                for later in group.sites[member_index:]:
+                    record_decision(
+                        obs, report, "clone", pass_number, later, "rejected",
+                        "stop-after limit reached", reason_class="budget",
+                        benefit=group.benefit,
+                    )
                 break
             if _retarget_site(member, group.spec, clone_name):
                 replaced += 1
+                record_decision(
+                    obs, report, "clone", pass_number, member, "cloned",
+                    "call site retargeted to clone", reason_class="accepted",
+                    benefit=group.benefit,
+                )
                 report.record_clone_replacement(
                     pass_number,
                     member.caller.name,
@@ -357,6 +416,12 @@ def clone_pass(
                 )
                 touched.add(member.caller.name)
                 mutated.add(member.caller.name)
+            else:
+                record_decision(
+                    obs, report, "clone", pass_number, member, "rejected",
+                    "call site changed before retargeting",
+                    reason_class="mechanical",
+                )
 
         # The clone body may itself contain group-compatible recursive
         # sites (copied from the clonee); retarget those too so a fully
@@ -378,6 +443,16 @@ def clone_pass(
                     report.record_clone_replacement(
                         pass_number, clone_name, clone_name, instr.site_id, group.callee.name
                     )
+                    # Not a graph site (it was born with the clone this
+                    # pass), but it is an evaluation with an outcome.
+                    report.sites_considered += 1
+                    if obs.ledger.enabled:
+                        obs.ledger.record(
+                            "clone", pass_number, clone_name, clone_name,
+                            instr.site_id, "cloned",
+                            "recursive site inside clone retargeted",
+                            "accepted", group.benefit,
+                        )
 
     if config.reoptimize:
         for name in sorted(touched):

@@ -24,6 +24,7 @@ from ..analysis.callgraph import CallGraph
 from ..ir.instructions import ICall
 from ..ir.program import Program
 from ..ir.verifier import verify_program
+from ..obs import NULL_OBSERVER
 from ..opt.pass_manager import default_pipeline, optimize_program
 from .budget import Budget
 from .cloner import CloneDatabase, clone_pass
@@ -40,12 +41,19 @@ def run_hlo(
     site_counts: Optional[SiteCounts] = None,
     verify: bool = True,
     pipeline: Optional[list] = None,
+    observer=None,
 ) -> HLOReport:
     """Run the full HLO pipeline over ``program`` in place.
 
     ``pipeline`` overrides the scalar pipeline used by the input/output
     optimization stages (the fault-injection harness substitutes
     sabotaged passes here; production callers leave it ``None``).
+
+    ``observer`` is a :class:`~repro.obs.BuildObserver`: every stage
+    and pass below becomes a trace span, guarded-pass failures become
+    instant events, and each call site the transforms evaluate leaves
+    a decision on the inlining ledger.  ``None`` (the default) is the
+    no-op fast path.
 
     With ``config.guarded`` (the default) every stage runs behind the
     resilience layer's :class:`~repro.resilience.PassGuard`: a failing
@@ -55,6 +63,7 @@ def run_hlo(
     """
     config = config or HLOConfig()
     report = HLOReport()
+    obs = observer if observer is not None else NULL_OBSERVER
 
     guard = None
     if config.guarded:
@@ -67,14 +76,16 @@ def run_hlo(
                 strict=config.strict,
             ),
             report,
+            observer=obs,
         )
 
     icalls_before = _count_icalls(program)
 
     # Input stage: classic clean-up plus interprocedural dead-call
     # elimination, before any budget measurement.
-    optimize_program(program, pipeline, guard=guard, phase="input")
-    _delete_unreachable(program, report, config.cross_module)
+    with obs.tracer.span("input-stage", cat="hlo"):
+        optimize_program(program, pipeline, guard=guard, phase="input")
+        _delete_unreachable(program, report, config.cross_module)
 
     if config.enable_outlining:
         # Section 5's complement: shrink hot routines by extracting cold
@@ -90,10 +101,11 @@ def run_hlo(
                 min_block_size=config.outline_min_block_size,
             )
 
-        if guard is not None:
-            guard.run_program_stage(program, "outline", run_outline, phase="input")
-        else:
-            run_outline()
+        with obs.tracer.span("outline", cat="hlo"):
+            if guard is not None:
+                guard.run_program_stage(program, "outline", run_outline, phase="input")
+            else:
+                run_outline()
 
     # Analyses computed from here on are memoized across stages and
     # passes; the inliner/cloner invalidate exactly what they mutate
@@ -121,13 +133,17 @@ def run_hlo(
             def run_clone() -> int:
                 return clone_pass(
                     program, config, budget, report, pass_number, database,
-                    site_counts, manager,
+                    site_counts, manager, obs,
                 )
 
-            replaced = _guarded_stage(
-                guard, program, "clone", run_clone, pass_number, "clone",
-                pipeline, report, budget, database, manager,
-            )
+            with obs.tracer.span(
+                "clone-pass-{}".format(pass_number), cat="hlo"
+            ) as span:
+                replaced = _guarded_stage(
+                    guard, program, "clone", run_clone, pass_number, "clone",
+                    pipeline, report, budget, database, manager, obs,
+                )
+                span.add(performed=replaced)
             report.pass_traces.append(
                 PassTrace(
                     pass_number, "clone", replaced, before, budget.current,
@@ -141,13 +157,17 @@ def run_hlo(
             def run_inline() -> int:
                 return inline_pass(
                     program, config, budget, report, pass_number, site_counts,
-                    manager,
+                    manager, obs,
                 )
 
-            inlined = _guarded_stage(
-                guard, program, "inline", run_inline, pass_number, "inline",
-                pipeline, report, budget, database, manager,
-            )
+            with obs.tracer.span(
+                "inline-pass-{}".format(pass_number), cat="hlo"
+            ) as span:
+                inlined = _guarded_stage(
+                    guard, program, "inline", run_inline, pass_number, "inline",
+                    pipeline, report, budget, database, manager, obs,
+                )
+                span.add(performed=inlined)
             report.pass_traces.append(
                 PassTrace(
                     pass_number, "inline", inlined, before, budget.current,
@@ -156,7 +176,8 @@ def run_hlo(
             )
             performed += inlined
 
-        _delete_unreachable(program, report, config.cross_module, manager)
+        with obs.tracer.span("unreachable-sweep", cat="hlo"):
+            _delete_unreachable(program, report, config.cross_module, manager)
         budget.recalibrate(program)
         pass_number += 1
         report.passes_run = pass_number
@@ -167,10 +188,11 @@ def run_hlo(
     # Output stage: intensive re-optimization of the final bodies.
     # The scalar pipeline mutates arbitrary procedures, so every
     # memoized analysis is stale afterwards.
-    optimize_program(program, pipeline, guard=guard, phase="output")
-    if manager is not None:
-        manager.invalidate_all()
-    _delete_unreachable(program, report, config.cross_module, manager)
+    with obs.tracer.span("output-stage", cat="hlo"):
+        optimize_program(program, pipeline, guard=guard, phase="output")
+        if manager is not None:
+            manager.invalidate_all()
+        _delete_unreachable(program, report, config.cross_module, manager)
     budget.recalibrate(program)
     report.final_cost = budget.current
     report.clone_db_hits = database.hits
@@ -197,19 +219,21 @@ def _guarded_stage(
     budget: Budget,
     database: CloneDatabase,
     manager=None,
+    obs=NULL_OBSERVER,
 ) -> int:
     """Run one clone/inline stage, unwinding side-state on rollback.
 
     The guard restores the IR; this helper additionally restores the
-    report counters, clone database, and budget so a rolled-back stage
-    leaves no phantom transforms, stale clone names, or charged cost.
-    A rollback replaces procedure *objects*, so every memoized analysis
-    is dropped too.
+    report counters, clone database, inlining ledger, and budget so a
+    rolled-back stage leaves no phantom transforms, stale clone names,
+    phantom ledger decisions, or charged cost.  A rollback replaces
+    procedure *objects*, so every memoized analysis is dropped too.
     """
     if guard is None:
         return run()
     report_mark = report.mark()
     db_mark = database.mark()
+    ledger_mark = obs.ledger.mark()
     failures_before = len(guard.failures)
     result = guard.run_program_stage(
         program, name, run, pass_number, phase,
@@ -218,6 +242,7 @@ def _guarded_stage(
     if len(guard.failures) > failures_before:
         report.rollback_to(report_mark)
         database.rollback_to(db_mark)
+        obs.ledger.rollback_to(ledger_mark)
         budget.recalibrate(program)
         if manager is not None:
             manager.invalidate_all()

@@ -23,6 +23,8 @@ from ..ir.basicblock import BasicBlock
 from ..ir.instructions import Call, Jump
 from ..ir.procedure import Procedure
 from ..ir.program import Program
+from ..obs import NULL_OBSERVER
+from ..obs.ledger import record_decision
 from ..opt.pass_manager import optimize_proc
 from .benefit import RankedSite, rank_site
 from .budget import Budget
@@ -60,13 +62,16 @@ def inline_pass(
     pass_number: int,
     site_counts: Optional[Dict[Tuple[str, int], int]] = None,
     manager: Optional["AnalysisManager"] = None,
+    obs=NULL_OBSERVER,
 ) -> int:
     """Run one inline pass; returns the number of inlines performed.
 
     With an :class:`~repro.analysis.AnalysisManager`, the call graph,
     entry counts, and block frequencies are reused from earlier stages
     when still valid; the pass reports every procedure it mutated back
-    to the manager so the caches stay honest.
+    to the manager so the caches stay honest.  ``obs`` is the
+    observability bundle: every site evaluated here leaves a decision
+    on its ledger (and bumps ``report.sites_considered``).
     """
     counts = site_counts if config.use_profile else None
     if manager is not None:
@@ -81,14 +86,24 @@ def inline_pass(
     # Screen and rank (Figure 4: "screen inline candidates").
     candidates: List[RankedSite] = []
     for site in graph.sites:
-        if inline_blocker(
+        blocker = inline_blocker(
             program, site, config.cross_module, config.inline_recursive,
             config.local_modules,
-        ) is not None:
+        )
+        if blocker is not None:
+            record_decision(
+                obs, report, "inline", pass_number, site, "rejected", blocker,
+            )
             continue
         ranked = rank_site(site, entry, config, counts, freq_cache)
         if ranked.always_inline or ranked.benefit > config.min_inline_benefit:
             candidates.append(ranked)
+        else:
+            record_decision(
+                obs, report, "inline", pass_number, site, "rejected",
+                "benefit below threshold", reason_class="benefit",
+                benefit=ranked.benefit,
+            )
     candidates.sort(key=lambda r: r.sort_key)
 
     # Greedy selection against the staged budget, with cascaded costs
@@ -108,6 +123,11 @@ def inline_pass(
             continue  # user directive: exempt from the budget
         if projected_cost > stage:
             schedule.pop()
+            record_decision(
+                obs, report, "inline", pass_number, ranked.site, "rejected",
+                "staged budget exhausted", reason_class="budget",
+                benefit=ranked.benefit,
+            )
 
     if not schedule:
         return 0
@@ -117,19 +137,47 @@ def inline_pass(
     performed = 0
     touched: Set[str] = set()
     mutated: Set[str] = set()
-    for item in schedule:
+    for index, item in enumerate(schedule):
         if config.stop_after is not None and report.transform_count >= config.stop_after:
+            for later in schedule[index:]:
+                record_decision(
+                    obs, report, "inline", pass_number, later.ranked.site,
+                    "rejected", "stop-after limit reached",
+                    reason_class="budget", benefit=later.ranked.benefit,
+                )
             break
         caller = program.proc(item.caller)
         if caller is None:
+            record_decision(
+                obs, report, "inline", pass_number, item.ranked.site,
+                "rejected", "caller deleted before transform",
+                reason_class="mechanical",
+            )
             continue
-        if perform_inline(program, caller, item.site_id, report, pass_number):
+        with obs.tracer.span(
+            "inline:{}<-{}".format(item.caller, item.callee)
+            if obs.tracer.enabled else "",
+            cat="transform", site=item.site_id,
+        ):
+            done = perform_inline(program, caller, item.site_id, report, pass_number)
+        if done:
             performed += 1
+            record_decision(
+                obs, report, "inline", pass_number, item.ranked.site,
+                "inlined", "accepted within staged budget",
+                reason_class="accepted", benefit=item.ranked.benefit,
+            )
             touched.add(item.caller)
             # The callee's profile counts migrate to the inlined copy,
             # so both ends of the site count as mutated.
             mutated.add(item.caller)
             mutated.add(item.callee)
+        else:
+            record_decision(
+                obs, report, "inline", pass_number, item.ranked.site,
+                "rejected", "call site vanished before transform",
+                reason_class="mechanical",
+            )
 
     # "optimize inlines and recalibrate"
     if config.reoptimize:

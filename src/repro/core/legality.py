@@ -29,6 +29,34 @@ from ..ir.procedure import (
 from ..ir.program import Program
 
 
+# Reason-string prefix -> Figure 5 legality class.  The inlining
+# ledger (repro.obs.ledger) buckets every rejected call site by these
+# classes; keep the table next to the strings so a new screen cannot
+# be added without deciding its class.
+REASON_CLASSES = (
+    ("indirect call", "indirect"),
+    ("not a direct call", "indirect"),
+    ("external callee", "external"),
+    ("self-recursive site", "recursion"),
+    ("cross-module site", "scope"),
+    ("module compiled module-at-a-time", "isom-fallback"),
+    ("argument arity difference", "arity-mismatch"),
+    ("callee takes variable arguments", "varargs"),
+    ("callee permits FP reassociation", "fp-reassoc"),
+    ("callee uses dynamic stack allocation", "alloca"),
+    ("user directive", "user-directive"),
+    ("cannot clone the program entry point", "entry-point"),
+)
+
+
+def classify_blocker(reason: str) -> str:
+    """The Figure 5 legality class for a blocker reason string."""
+    for prefix, clazz in REASON_CLASSES:
+        if reason.startswith(prefix):
+            return clazz
+    return "other"
+
+
 def inline_blocker(
     program: Program,
     site: CallSite,

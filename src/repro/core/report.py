@@ -87,6 +87,12 @@ class HLOReport:
     analysis_hits: int = 0
     analysis_misses: int = 0
     analysis_invalidations: int = 0
+    # Call-site evaluations across every clone/inline pass: each site
+    # the transforms screened, ranked, accepted, or refused counts one
+    # per evaluation.  The inlining ledger (repro.obs.ledger) records
+    # one decision per increment, so with --explain-inlining the ledger
+    # length always equals this counter.
+    sites_considered: int = 0
     initial_cost: float = 0.0
     final_cost: float = 0.0
     budget_limit: float = 0.0
@@ -138,14 +144,14 @@ class HLOReport:
         """
         return (
             self.inlines, self.clones, self.clone_replacements,
-            self.promotions, self.outlines,
+            self.promotions, self.outlines, self.sites_considered,
             len(self.events), len(self.promoted_symbols),
             len(self.outlined_procs),
         )
 
     def rollback_to(self, mark: tuple) -> None:
         (self.inlines, self.clones, self.clone_replacements,
-         self.promotions, self.outlines,
+         self.promotions, self.outlines, self.sites_considered,
          events_len, promoted_len, outlined_len) = mark
         del self.events[events_len:]
         del self.promoted_symbols[promoted_len:]

@@ -40,6 +40,8 @@ from ..interp.interpreter import DEFAULT_MAX_STEPS, run_program
 from ..ir.program import Program
 from ..machine.metrics import MachineMetrics
 from ..machine.pa8000 import MachineConfig, simulate
+from ..obs import NULL_OBSERVER
+from ..obs.metrics import collect_build_metrics, format_build_summary
 from ..profile.annotate import annotate_program
 from ..profile.database import ProfileDatabase
 from ..profile.instrument import instrument_program
@@ -129,33 +131,23 @@ class BuildDiagnostics:
     def degraded(self) -> bool:
         return bool(self.module_fallbacks or self.profile_fallback)
 
+    def metrics(self, report: Optional[HLOReport] = None,
+                stats: Optional["BuildStats"] = None):
+        """This build's counters on the canonical metric names.
+
+        One derivation (``repro.obs.metrics.collect_build_metrics``)
+        feeds both the stderr summary line and every JSON output, so
+        the two can no longer drift.
+        """
+        return collect_build_metrics(diagnostics=self, report=report, stats=stats)
+
     def summary(self, report: Optional[HLOReport] = None) -> str:
-        """The one-line build-output summary."""
-        quarantined = len(report.quarantined_passes) if report else 0
-        failures = len(report.pass_failures) if report else 0
-        line = (
-            "resilience: {} pass failures, {} passes quarantined, "
-            "{} modules fell back, profile: {}".format(
-                failures,
-                quarantined,
-                len(self.module_fallbacks),
-                "static ({})".format(self.profile_fallback)
-                if self.profile_fallback
-                else "ok",
-            )
+        """The one-line build-output summary (from the metrics registry)."""
+        return format_build_summary(
+            self.metrics(report),
+            profile_reason=self.profile_fallback,
+            serial_fallback=bool(self.parallel_fallbacks),
         )
-        if self.cache_enabled:
-            line += ", cache: {}/{} hits ({:.0f}%)".format(
-                self.cache_hits,
-                self.cache_hits + self.cache_misses,
-                self.cache_hit_rate * 100.0,
-            )
-        if self.parallel_jobs > 1 or self.parallel_fallbacks:
-            line += ", jobs: {}{}".format(
-                self.parallel_jobs,
-                " (serial fallback)" if self.parallel_fallbacks else "",
-            )
-        return line
 
 
 @dataclass
@@ -245,9 +237,15 @@ class Toolchain:
     # Building
     # ------------------------------------------------------------------
 
-    def build(self, scope: str = "cp", config: Optional[HLOConfig] = None) -> BuildResult:
+    def build(
+        self,
+        scope: str = "cp",
+        config: Optional[HLOConfig] = None,
+        observer=None,
+    ) -> BuildResult:
         import time
 
+        obs = observer if observer is not None else NULL_OBSERVER
         started = time.perf_counter()
         cross_module, use_profile = scope_flags(scope)
         cfg = (config or self.base_config).with_scope(cross_module, use_profile)
@@ -256,55 +254,67 @@ class Toolchain:
         diagnostics = BuildDiagnostics()
         compile_units = 0.0
 
-        profile: Optional[ProfileDatabase] = None
-        if use_profile:
-            if not self.train_inputs:
-                raise ValueError(
-                    "scope {!r} needs training inputs for the PGO pipeline".format(scope)
-                )
-            profile, train_units = self._train(cfg, diagnostics)
-            compile_units += train_units
-            profile = self._reload_profile(profile, diagnostics)
-
-        # The final compile: front end, then (for cross-module scopes)
-        # the isom round trip and link, then HLO.
-        program = self._frontend(cfg, diagnostics)
-        if cross_module:
-            modules, fallbacks = self._isom_roundtrip(program)
-            program = link_modules(modules)
-            if fallbacks:
-                diagnostics.module_fallbacks.extend(fallbacks)
-                for name in fallbacks:
-                    diagnostics.warn(
-                        "isom for module {!r} unusable; "
-                        "compiling it module-at-a-time".format(name)
+        with obs.tracer.span("build", scope=scope) as build_span:
+            profile: Optional[ProfileDatabase] = None
+            if use_profile:
+                if not self.train_inputs:
+                    raise ValueError(
+                        "scope {!r} needs training inputs for the PGO pipeline".format(scope)
                     )
-                cfg = cfg.with_local_modules(fallbacks)
+                with obs.tracer.span("train", cat="pgo"):
+                    profile, train_units = self._train(cfg, diagnostics, obs)
+                    compile_units += train_units
+                    profile = self._reload_profile(profile, diagnostics)
 
-        annotated = 0
-        site_counts = None
-        if profile is not None:
-            annotated = annotate_program(program, profile)
-            if annotated == 0 and not profile.is_empty():
-                # Every recorded key missed: the profile was trained
-                # against different sources.  Stale feedback is worse
-                # than none — fall back to static estimation.
-                self._degrade_profile(
-                    diagnostics,
-                    "stale profile: no recorded block matches this program",
+            # The final compile: front end, then (for cross-module scopes)
+            # the isom round trip and link, then HLO.
+            with obs.tracer.span("frontend", cat="frontend"):
+                program = self._frontend(cfg, diagnostics, obs)
+            if cross_module:
+                with obs.tracer.span("isom-roundtrip", cat="linker"):
+                    modules, fallbacks = self._isom_roundtrip(program)
+                    program = link_modules(modules)
+                if fallbacks:
+                    diagnostics.module_fallbacks.extend(fallbacks)
+                    for name in fallbacks:
+                        diagnostics.warn(
+                            "isom for module {!r} unusable; "
+                            "compiling it module-at-a-time".format(name)
+                        )
+                        obs.tracer.instant(
+                            "isom-fallback:{}".format(name), cat="resilience"
+                        )
+                    cfg = cfg.with_local_modules(fallbacks)
+
+            annotated = 0
+            site_counts = None
+            if profile is not None:
+                annotated = annotate_program(program, profile)
+                if annotated == 0 and not profile.is_empty():
+                    # Every recorded key missed: the profile was trained
+                    # against different sources.  Stale feedback is worse
+                    # than none — fall back to static estimation.
+                    self._degrade_profile(
+                        diagnostics,
+                        "stale profile: no recorded block matches this program",
+                    )
+                    profile = None
+                else:
+                    site_counts = profile.site_counts
+
+            pipeline = None
+            if self.fault_injector is not None:
+                from ..opt.pass_manager import default_pipeline
+
+                pipeline = self.fault_injector.wrap_pipeline(default_pipeline())
+
+            with obs.tracer.span("hlo", cat="hlo"):
+                report = run_hlo(
+                    program, cfg, site_counts=site_counts, pipeline=pipeline,
+                    observer=obs,
                 )
-                profile = None
-            else:
-                site_counts = profile.site_counts
-
-        pipeline = None
-        if self.fault_injector is not None:
-            from ..opt.pass_manager import default_pipeline
-
-            pipeline = self.fault_injector.wrap_pipeline(default_pipeline())
-
-        report = run_hlo(program, cfg, site_counts=site_counts, pipeline=pipeline)
-        compile_units += report.final_cost
+            compile_units += report.final_cost
+            build_span.add(compile_units=round(compile_units, 2))
 
         trained = self._profile_cache[0] if self._profile_cache else None
         stats = BuildStats(
@@ -316,13 +326,17 @@ class Toolchain:
             annotated_blocks=annotated,
             wall_seconds=time.perf_counter() - started,
         )
+        if obs.metrics.enabled:
+            collect_build_metrics(diagnostics, report, stats,
+                                  registry=obs.metrics)
+            obs.metrics.observe("build.wall_s", stats.wall_seconds)
         return BuildResult(program, report, stats, profile, diagnostics)
 
     def build_all_scopes(
-        self, config: Optional[HLOConfig] = None
+        self, config: Optional[HLOConfig] = None, observer=None
     ) -> Dict[str, BuildResult]:
         """All four Table 1 rows for this program."""
-        return {scope: self.build(scope, config) for scope in SCOPES}
+        return {scope: self.build(scope, config, observer) for scope in SCOPES}
 
     # ------------------------------------------------------------------
     # PGO pipeline pieces
@@ -332,6 +346,7 @@ class Toolchain:
         self,
         cfg: Optional[HLOConfig] = None,
         diagnostics: Optional[BuildDiagnostics] = None,
+        observer=None,
     ) -> Program:
         if not self._use_pipeline:
             return compile_program(self.sources)
@@ -349,6 +364,7 @@ class Toolchain:
             fingerprint=cfg.fingerprint() if cfg is not None else "",
             profile=profile,
             warn=warn,
+            observer=observer if observer is not None else NULL_OBSERVER,
         )
         if diagnostics is not None:
             diagnostics.parallel_jobs = max(diagnostics.parallel_jobs, stats.jobs)
@@ -432,6 +448,7 @@ class Toolchain:
         self,
         cfg: Optional[HLOConfig] = None,
         diagnostics: Optional[BuildDiagnostics] = None,
+        observer=None,
     ) -> Tuple[ProfileDatabase, float]:
         """Instrumenting compile + training runs (cached per toolchain)."""
         if self._profile_cache is not None:
@@ -439,7 +456,7 @@ class Toolchain:
         db = ProfileDatabase()
         units = 0.0
         for index, inputs in enumerate(self.train_inputs):
-            program = self._frontend(cfg, diagnostics)
+            program = self._frontend(cfg, diagnostics, observer)
             probe_map = instrument_program(program)
             if index == 0:
                 units += program_cost(program)  # one instrumenting compile

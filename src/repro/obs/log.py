@@ -1,0 +1,63 @@
+"""One stderr shim for the whole CLI (``--verbosity``).
+
+Historically warnings, resilience summaries, and machine-metric lines
+were each printed with bare ``print(..., file=sys.stderr)`` calls
+scattered over the driver, so under ``--jobs N`` (or any buffered
+stderr) they interleaved unpredictably with each other and with
+stdout.  Every stderr line now goes through one :class:`CliLogger`:
+a single lock, an explicit flush per line, and one place that knows
+the verbosity level.
+
+Levels: ``quiet`` shows only errors; ``normal`` (the default) adds
+warnings, summaries, and informational lines — the pre-existing
+output, unchanged; ``debug`` adds the observability layer's own
+chatter (per-stage notes, ledger/trace accounting).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Optional, TextIO
+
+VERBOSITY_LEVELS = ("quiet", "normal", "debug")
+
+_RANK = {"quiet": 0, "normal": 1, "debug": 2}
+
+
+class CliLogger:
+    """Leveled, locked, line-buffered stderr writer."""
+
+    def __init__(self, verbosity: str = "normal", stream: Optional[TextIO] = None):
+        if verbosity not in _RANK:
+            raise ValueError(
+                "unknown verbosity {!r}; expected one of {}".format(
+                    verbosity, VERBOSITY_LEVELS
+                )
+            )
+        self.verbosity = verbosity
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def _emit(self, message: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(message + "\n")
+            stream.flush()
+
+    def error(self, message: str) -> None:
+        """Always shown, even under ``quiet``."""
+        self._emit("error: " + message)
+
+    def warn(self, message: str) -> None:
+        if _RANK[self.verbosity] >= 1:
+            self._emit("warning: " + message)
+
+    def info(self, message: str) -> None:
+        """Summaries and metric lines: shown at ``normal`` and above."""
+        if _RANK[self.verbosity] >= 1:
+            self._emit(message)
+
+    def debug(self, message: str) -> None:
+        if _RANK[self.verbosity] >= 2:
+            self._emit("debug: " + message)

@@ -1,0 +1,253 @@
+"""Central metrics: counters, gauges, and p50/p95 histograms.
+
+Before this module existed every subsystem kept its own ad-hoc tallies
+— :class:`~repro.linker.toolchain.BuildDiagnostics` counted cache and
+worker outcomes, :class:`~repro.core.report.HLOReport` counted
+transforms, the module cache and analysis manager each kept private
+hit/miss counters — and the stderr summary line re-derived numbers the
+bench harness derived separately, which is exactly how the two drift.
+
+:class:`MetricsRegistry` is the one sink.  Subsystems keep their cheap
+local counters (they are part of rollback protocols and picklable
+build results); :func:`collect_build_metrics` maps them onto canonical
+metric names once, and **both** the human summary line
+(:func:`format_build_summary`) and the machine outputs (``--metrics-out``
+JSON, ``BENCH_smoke.json``) read from the same registry.
+
+Metric names are dotted: ``hlo.*`` transform counts, ``analysis.*``
+memoization, ``cache.*`` incremental compilation, ``resilience.*``
+degradations, ``build.*`` whole-build facts, ``obs.*`` the
+observability layer's own accounting.  Histograms (timings, sizes)
+report count/sum/min/max/mean plus p50 and p95.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+METRICS_SCHEMA_VERSION = 1
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (not assumed sorted)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class Histogram:
+    """A value distribution summarized as count/sum/min/max/p50/p95."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        total = sum(self.values)
+        return {
+            "count": len(self.values),
+            "sum": round(total, 6),
+            "min": round(min(self.values), 6),
+            "max": round(max(self.values), 6),
+            "mean": round(total / len(self.values), 6),
+            "p50": round(percentile(self.values, 0.50), 6),
+            "p95": round(percentile(self.values, 0.95), 6),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one build."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, delta: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, default: float = 0) -> float:
+        """The counter or gauge named ``name``."""
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].summary()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class NullMetrics:
+    """API-compatible registry that records nothing (disabled path)."""
+
+    enabled = False
+
+    def count(self, name: str, delta: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def value(self, name: str, default: float = 0) -> float:
+        return default
+
+    def histogram(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def to_dict(self) -> dict:
+        return {"schema": METRICS_SCHEMA_VERSION, "counters": {},
+                "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()
+
+
+def collect_build_metrics(
+    diagnostics=None,
+    report=None,
+    stats=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Map every subsystem's counters onto the canonical metric names.
+
+    This is the *single* definition of how build numbers are derived;
+    the stderr summary line and every JSON output call through here.
+    ``diagnostics`` is a BuildDiagnostics, ``report`` an HLOReport,
+    ``stats`` a BuildStats — any may be ``None``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    if diagnostics is not None:
+        reg.count("cache.hits", diagnostics.cache_hits)
+        reg.count("cache.misses", diagnostics.cache_misses)
+        reg.count("cache.invalidations", diagnostics.cache_invalidations)
+        reg.gauge("cache.enabled", 1 if diagnostics.cache_enabled else 0)
+        reg.gauge("cache.hit_rate", round(diagnostics.cache_hit_rate, 4))
+        reg.count("build.modules_compiled", diagnostics.modules_compiled)
+        reg.count("build.modules_from_cache", diagnostics.modules_from_cache)
+        reg.gauge("build.parallel_jobs", diagnostics.parallel_jobs)
+        reg.count("build.parallel_fallbacks", len(diagnostics.parallel_fallbacks))
+        reg.count("build.warnings", len(diagnostics.warnings))
+        reg.count("resilience.module_fallbacks", len(diagnostics.module_fallbacks))
+        reg.gauge(
+            "resilience.profile_fallback", 1 if diagnostics.profile_fallback else 0
+        )
+    if report is not None:
+        reg.count("hlo.inlines", report.inlines)
+        reg.count("hlo.clones", report.clones)
+        reg.count("hlo.clone_replacements", report.clone_replacements)
+        reg.count("hlo.deletions", report.deletions)
+        reg.count("hlo.promotions", report.promotions)
+        reg.count("hlo.devirtualized", report.devirtualized)
+        reg.count("hlo.outlines", report.outlines)
+        reg.count("hlo.clone_db_hits", report.clone_db_hits)
+        reg.count("hlo.sites_considered", report.sites_considered)
+        reg.gauge("hlo.passes_run", report.passes_run)
+        reg.gauge("hlo.initial_cost", report.initial_cost)
+        reg.gauge("hlo.final_cost", report.final_cost)
+        reg.gauge("hlo.budget_limit", report.budget_limit)
+        reg.count("resilience.pass_failures", len(report.pass_failures))
+        reg.count("resilience.quarantined_passes", len(report.quarantined_passes))
+        reg.count("analysis.hits", report.analysis_hits)
+        reg.count("analysis.misses", report.analysis_misses)
+        reg.count("analysis.invalidations", report.analysis_invalidations)
+    if stats is not None:
+        reg.gauge("build.compile_units", stats.compile_units)
+        reg.gauge("build.code_size_instrs", stats.code_size_instrs)
+        reg.gauge("build.train_steps", stats.train_steps)
+        reg.gauge("build.train_runs", stats.train_runs)
+        reg.gauge("build.annotated_blocks", stats.annotated_blocks)
+        reg.gauge("build.wall_seconds", round(stats.wall_seconds, 6))
+    return reg
+
+
+def format_build_summary(
+    reg: MetricsRegistry,
+    profile_reason: str = "",
+    serial_fallback: bool = False,
+) -> str:
+    """The one-line build summary, read from the registry.
+
+    Free-text context (the profile degradation reason, whether the
+    worker pool fell back) rides alongside because a registry holds
+    numbers, not prose.
+    """
+    line = (
+        "resilience: {:.0f} pass failures, {:.0f} passes quarantined, "
+        "{:.0f} modules fell back, profile: {}".format(
+            reg.value("resilience.pass_failures"),
+            reg.value("resilience.quarantined_passes"),
+            reg.value("resilience.module_fallbacks"),
+            "static ({})".format(profile_reason) if profile_reason else "ok",
+        )
+    )
+    if reg.value("cache.enabled"):
+        hits = reg.value("cache.hits")
+        lookups = hits + reg.value("cache.misses")
+        line += ", cache: {:.0f}/{:.0f} hits ({:.0f}%)".format(
+            hits, lookups, (hits / lookups * 100.0) if lookups else 0.0
+        )
+    jobs = reg.value("build.parallel_jobs")
+    if jobs > 1 or reg.value("build.parallel_fallbacks"):
+        line += ", jobs: {:.0f}{}".format(
+            jobs, " (serial fallback)" if serial_fallback else ""
+        )
+    return line

@@ -1,0 +1,230 @@
+"""Span-based structured tracing, exported as Chrome trace-event JSON.
+
+The span model is hierarchical and mirrors the toolchain's own shape::
+
+    build                       (one per Toolchain.build / CLI command)
+      frontend                  (module compiles; parallel workers get
+        module:<name>            their own timeline rows, merged here)
+      train / isom-roundtrip / link
+      hlo
+        input-stage / outline
+        clone-pass N / inline-pass N
+          clone:<name> / inline:<caller><-<callee>   (per-procedure)
+        unreachable-sweep
+        output-stage
+
+Spans nest by containment on one timeline row (Chrome ``ph:"X"``
+complete events); per-worker spans from the parallel executor land on
+their own row (``tid`` = worker pid) of the same ``pid``, so Perfetto
+renders the fan-out next to the coordinating build.  Pass failures from
+the resilience layer are instant events (``ph:"i"``) at the moment the
+guard caught them.
+
+The disabled fast path is a shared :data:`NULL_TRACER` whose ``span``
+returns one reusable no-op context manager — no allocation, no clock
+read — so always-on call sites cost a method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+TRACE_SCHEMA_VERSION = 1
+
+# Chrome trace-event field cheat sheet: ph=X complete span, ph=i
+# instant, ph=M metadata; ts/dur are microseconds.
+_MAIN_TID = 0
+
+
+class _NullSpan:
+    """Reusable no-op span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible tracer that records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "build", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "build", **args) -> None:
+        pass
+
+    def absorb_worker_spans(self, spans) -> None:
+        pass
+
+    def events(self) -> List[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One timed region; records itself on the tracer at ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_tid")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+        self._tid = _MAIN_TID
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._complete(self, time.perf_counter())
+        return False
+
+    def add(self, **args) -> None:
+        """Attach argument key/values to the span after the fact."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Collects trace events for one build; thread-safe appends.
+
+    The epoch is taken in both ``perf_counter`` and wall-clock terms so
+    spans measured in *other processes* (parallel workers report
+    wall-clock start/end pairs) can be placed on the same timeline.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch_perf = time.perf_counter()
+        self._epoch_wall = time.time()
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+        self._thread_names: Dict[int, str] = {_MAIN_TID: "build"}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "build", **args) -> Span:
+        return Span(self, name, cat, args)
+
+    def _complete(self, span: Span, end: float) -> None:
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "pid": 1,
+            "tid": span._tid,
+            "ts": self._ts(span._start),
+            "dur": max(0.0, (end - span._start) * 1e6),
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        with self._lock:
+            self._events.append(event)
+
+    def instant(self, name: str, cat: str = "build", **args) -> None:
+        """A zero-duration marker (pass failures, degradations, ...)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": _MAIN_TID,
+            "ts": self._ts(time.perf_counter()),
+        }
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            self._events.append(event)
+
+    def absorb_worker_spans(self, spans) -> None:
+        """Merge spans measured in worker processes onto this timeline.
+
+        Each item is a dict with ``name``, ``pid`` (the worker's OS
+        pid, used as the tid of its timeline row), wall-clock ``start``
+        / ``end`` seconds, and optional ``cat`` / ``args``.
+        """
+        with self._lock:
+            for info in spans:
+                tid = int(info["pid"])
+                self._thread_names.setdefault(tid, "worker-{}".format(tid))
+                event = {
+                    "name": info["name"],
+                    "cat": info.get("cat", "frontend"),
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": max(0.0, (info["start"] - self._epoch_wall) * 1e6),
+                    "dur": max(0.0, (info["end"] - info["start"]) * 1e6),
+                }
+                if info.get("args"):
+                    event["args"] = dict(info["args"])
+                self._events.append(event)
+
+    def _ts(self, perf_t: float) -> float:
+        return max(0.0, (perf_t - self._epoch_perf) * 1e6)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def to_dict(self) -> dict:
+        """The Chrome trace-event JSON object (Perfetto-loadable)."""
+        with self._lock:
+            metadata = [
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+                for tid, label in sorted(self._thread_names.items())
+            ]
+            return {
+                "traceEvents": metadata + list(self._events),
+                "displayTimeUnit": "ms",
+                "otherData": {"schema": TRACE_SCHEMA_VERSION, "tool": "repro"},
+            }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+
+def worker_span(name: str, start_wall: float, end_wall: float,
+                pid: int, cat: str = "frontend",
+                args: Optional[dict] = None) -> dict:
+    """The picklable span record a worker process sends home."""
+    info = {"name": name, "pid": pid, "start": start_wall, "end": end_wall,
+            "cat": cat}
+    if args:
+        info["args"] = args
+    return info

@@ -1,0 +1,180 @@
+"""Schema validation for observability outputs (CI gate).
+
+``python -m repro.obs.validate --trace T.json --metrics M.json
+[--ledger L.jsonl]`` checks that the artifacts CI uploads actually
+parse and carry the fields their consumers (Perfetto, the bench
+dashboard, the ledger tooling) rely on.  Pure stdlib — the checks are
+hand-rolled rather than jsonschema-based so the validator runs in the
+bare CI image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .ledger import DECISIONS
+
+_TRACE_PHASES = {"X", "i", "M", "B", "E", "C"}
+
+
+def validate_trace(obj) -> List[str]:
+    """Problems with a Chrome trace-event JSON object (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["trace: top level must be an object with 'traceEvents'"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["trace: 'traceEvents' must be a non-empty list"]
+    for index, event in enumerate(events):
+        where = "trace: event[{}]".format(index)
+        if not isinstance(event, dict):
+            errors.append(where + " is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append("{} missing {!r}".format(where, key))
+        phase = event.get("ph")
+        if phase not in _TRACE_PHASES:
+            errors.append("{} has unknown ph {!r}".format(where, phase))
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(
+                        "{} {} must be a non-negative number".format(where, key)
+                    )
+        if phase == "i" and "ts" not in event:
+            errors.append(where + " instant missing 'ts'")
+    return errors
+
+
+def validate_metrics(obj) -> List[str]:
+    """Problems with a ``--metrics-out`` JSON object (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["metrics: top level must be an object"]
+    if not isinstance(obj.get("schema"), int):
+        errors.append("metrics: missing integer 'schema'")
+    for section in ("counters", "gauges"):
+        table = obj.get(section)
+        if not isinstance(table, dict):
+            errors.append("metrics: missing object {!r}".format(section))
+            continue
+        for name, value in table.items():
+            if not isinstance(value, (int, float)):
+                errors.append(
+                    "metrics: {}[{!r}] is not a number".format(section, name)
+                )
+    histograms = obj.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("metrics: missing object 'histograms'")
+    else:
+        for name, summary in histograms.items():
+            if not isinstance(summary, dict):
+                errors.append("metrics: histogram {!r} is not an object".format(name))
+                continue
+            for key in ("count", "sum", "min", "max", "mean", "p50", "p95"):
+                if not isinstance(summary.get(key), (int, float)):
+                    errors.append(
+                        "metrics: histogram {!r} missing numeric {!r}".format(
+                            name, key
+                        )
+                    )
+    return errors
+
+
+def validate_ledger_jsonl(text: str) -> List[str]:
+    """Problems with an ``--explain-inlining-out`` JSONL file."""
+    errors: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["ledger: file is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return ["ledger: header line is not JSON: {}".format(exc)]
+    for key in ("schema", "considered", "decisions", "rejection_classes"):
+        if key not in header:
+            errors.append("ledger: header missing {!r}".format(key))
+    entries = 0
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append("ledger: line {} is not JSON: {}".format(number, exc))
+            continue
+        entries += 1
+        for key in ("phase", "pass", "caller", "callee", "site_id",
+                    "decision", "reason", "reason_class"):
+            if key not in record:
+                errors.append(
+                    "ledger: line {} missing {!r}".format(number, key)
+                )
+        if record.get("decision") not in DECISIONS:
+            errors.append(
+                "ledger: line {} has unknown decision {!r}".format(
+                    number, record.get("decision")
+                )
+            )
+    considered = header.get("considered")
+    if isinstance(considered, int) and considered != entries:
+        errors.append(
+            "ledger: header says {} considered but file has {} entries".format(
+                considered, entries
+            )
+        )
+    return errors
+
+
+def _load_json(path: str, errors: List[str], label: str):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        errors.append("{}: cannot load {}: {}".format(label, path, exc))
+        return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="schema-validate observability artifacts",
+    )
+    parser.add_argument("--trace", metavar="FILE",
+                        help="Chrome trace-event JSON to validate")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="metrics JSON to validate")
+    parser.add_argument("--ledger", metavar="FILE",
+                        help="inlining-ledger JSONL to validate")
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.ledger):
+        parser.error("nothing to validate: pass --trace/--metrics/--ledger")
+
+    errors: List[str] = []
+    if args.trace:
+        obj = _load_json(args.trace, errors, "trace")
+        if obj is not None:
+            errors.extend(validate_trace(obj))
+    if args.metrics:
+        obj = _load_json(args.metrics, errors, "metrics")
+        if obj is not None:
+            errors.extend(validate_metrics(obj))
+    if args.ledger:
+        try:
+            with open(args.ledger) as handle:
+                errors.extend(validate_ledger_jsonl(handle.read()))
+        except OSError as exc:
+            errors.append("ledger: cannot load {}: {}".format(args.ledger, exc))
+
+    for error in errors:
+        print("FAIL:", error, file=sys.stderr)
+    if not errors:
+        print("observability artifacts valid")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

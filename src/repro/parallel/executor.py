@@ -34,6 +34,8 @@ from ..frontend.errors import CompileError
 from ..ir.module import Module
 from ..ir.program import Program
 from ..ir.verifier import verify_program
+from ..obs import NULL_OBSERVER
+from ..obs.tracer import worker_span
 from ..resilience.errors import IsomError
 from .cache import ModuleCache
 from .scheduler import heaviest_first
@@ -68,6 +70,26 @@ def _compile_to_isom(pair: Tuple[str, str]) -> Tuple[str, str]:
 
     name, source = pair
     return name, to_isom_text(compile_module(source, name))
+
+
+def _compile_to_isom_traced(pair: Tuple[str, str]):
+    """Worker body under tracing: same compile, plus a span record.
+
+    The span is timed with wall-clock (``time.time``), not the worker's
+    ``perf_counter`` — perf_counter epochs differ per process, so wall
+    time is the only clock the parent can place on its own timeline
+    (see :func:`repro.obs.tracer.worker_span`).
+    """
+    import time
+
+    name, _source = pair
+    start = time.time()
+    result = _compile_to_isom(pair)
+    span = worker_span(
+        "module:{}".format(name), start, time.time(), os.getpid(),
+        cat="frontend", args={"module": name},
+    )
+    return result[0], result[1], span
 
 
 def parallel_map(
@@ -118,6 +140,7 @@ def compile_sources(
     fingerprint: str = "",
     profile: Optional[object] = None,
     warn: Optional[Callable[[str], None]] = None,
+    observer=NULL_OBSERVER,
 ) -> Tuple[Program, CompileStats]:
     """Compile a multi-module program, in parallel and incrementally.
 
@@ -125,6 +148,11 @@ def compile_sources(
     configuration — part of every cache key, so a config change
     invalidates.  ``profile`` (a ProfileDatabase, when available)
     steers the heaviest-first schedule.
+
+    With a tracing ``observer``, each worker times its own compile in
+    wall-clock and ships the record back with its result; the parent
+    absorbs them into the main timeline keyed by worker pid, so a
+    ``--jobs 4`` trace shows four concurrent module rows.
     """
     if isinstance(sources, dict):
         pairs: List[Tuple[str, str]] = list(sources.items())
@@ -150,17 +178,28 @@ def compile_sources(
         from ..linker.isom import from_isom_text
 
         ordered = heaviest_first(pending, profile)
-        compiled, fell_back = parallel_map(
-            _compile_to_isom, ordered, jobs=jobs, warn=warn
-        )
+        traced = observer.tracer.enabled
+        body = _compile_to_isom_traced if traced else _compile_to_isom
+        compiled, fell_back = parallel_map(body, ordered, jobs=jobs, warn=warn)
         stats.serial_fallback = fell_back
         if fell_back:
             stats.fallback_reason = "worker pool unavailable"
-        for name, isom_text in compiled:
+        spans = []
+        for item in compiled:
+            if traced:
+                name, isom_text, span = item
+                spans.append(span)
+                observer.metrics.observe(
+                    "frontend.module_compile_s", span["end"] - span["start"]
+                )
+            else:
+                name, isom_text = item
             modules[name] = from_isom_text(isom_text)
             stats.compiled += 1
             if cache is not None:
                 cache.store(name, keys[name], isom_text)
+        if spans:
+            observer.tracer.absorb_worker_spans(spans)
 
     # Deterministic merge: original source order, not completion order.
     program = Program()

@@ -62,9 +62,13 @@ class PassGuard:
     """Per-build failure containment shared by every guarded stage."""
 
     def __init__(self, config: Optional[GuardConfig] = None,
-                 report: Optional[HLOReport] = None):
+                 report: Optional[HLOReport] = None,
+                 observer=None):
+        from ..obs import NULL_OBSERVER
+
         self.config = config or GuardConfig()
         self.report = report
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.failure_counts: Dict[str, int] = {}
         self.failures: List[PassFailure] = []
         self.quarantined: set = set()
@@ -165,6 +169,19 @@ class PassGuard:
         self.failures.append(failure)
         if self.report is not None:
             self.report.record_pass_failure(failure)
+        # A rollback is a moment, not a duration: an instant event at
+        # the point the guard caught it, so the trace shows exactly
+        # where the degraded build diverged from the healthy one.
+        self.observer.tracer.instant(
+            "pass-failure:{}".format(name),
+            cat="resilience",
+            proc=proc,
+            phase=phase,
+            pass_number=pass_number,
+            error=type(exc).__name__,
+            quarantined=quarantined,
+        )
+        self.observer.metrics.count("resilience.rollbacks")
 
 
 def bisect_failure(

@@ -1,0 +1,123 @@
+"""The observability CLI flags, end to end through ``repro.cli.main``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.validate import (
+    validate_ledger_jsonl,
+    validate_metrics,
+    validate_trace,
+)
+
+PROGRAM = """
+int twice(int x) { return x * 2; }
+int add3(int x) { return x + 3; }
+int main() {
+  int n = input(0);
+  print_int(twice(n) + add3(n));
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestTraceOut:
+    def test_writes_valid_chrome_trace(self, source_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(["compile", source_file, "--trace-out", str(trace)])
+        assert code == 0
+        obj = json.loads(trace.read_text())
+        assert validate_trace(obj) == []
+        names = [e["name"] for e in obj["traceEvents"]]
+        assert "build" in names
+        assert "hlo" in names
+
+    def test_jobs_build_merges_worker_rows(self, source_file, tmp_path, capsys):
+        # Two modules so the pool actually fans out.
+        lib = tmp_path / "lib.mc"
+        lib.write_text("int helper(int x) { return x + 1; }\n")
+        trace = tmp_path / "trace.json"
+        code = main([
+            "compile", source_file, str(lib), "--no-hlo",
+            "--jobs", "2", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        obj = json.loads(trace.read_text())
+        assert validate_trace(obj) == []
+        module_spans = [
+            e for e in obj["traceEvents"]
+            if e.get("ph") == "X" and e["name"].startswith("module:")
+        ]
+        assert len(module_spans) == 2
+        assert all(e["tid"] != 0 for e in module_spans)
+
+
+class TestMetricsOut:
+    def test_writes_valid_metrics(self, source_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(["compile", source_file, "--metrics-out", str(metrics)])
+        assert code == 0
+        obj = json.loads(metrics.read_text())
+        assert validate_metrics(obj) == []
+        assert "hlo.sites_considered" in obj["counters"]
+
+
+class TestExplainInlining:
+    def test_prints_ledger_text(self, source_file, capsys):
+        code = main(["report", source_file, "--explain-inlining"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inlining ledger:" in out
+        assert "call-site evaluations" in out
+
+    def test_jsonl_out_is_valid_and_complete(self, source_file, tmp_path,
+                                             capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        code = main([
+            "report", source_file, "--explain-inlining-out", str(ledger),
+        ])
+        assert code == 0
+        text = ledger.read_text()
+        assert validate_ledger_jsonl(text) == []
+        header = json.loads(text.splitlines()[0])
+        assert header["considered"] > 0
+
+
+class TestVerbosity:
+    def test_quiet_suppresses_warnings(self, source_file, tmp_path, capsys):
+        bad = tmp_path / "bad.profdb"
+        bad.write_text("not a profile db")
+        code = main([
+            "compile", source_file, "--scope", "p", "--profile", str(bad),
+            "--verbosity", "quiet",
+        ])
+        assert code == 0
+        assert "warning:" not in capsys.readouterr().err
+
+    def test_normal_keeps_warnings(self, source_file, tmp_path, capsys):
+        bad = tmp_path / "bad.profdb"
+        bad.write_text("not a profile db")
+        code = main([
+            "compile", source_file, "--scope", "p", "--profile", str(bad),
+        ])
+        assert code == 0
+        assert "warning:" in capsys.readouterr().err
+
+    def test_rejects_unknown_level(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["compile", source_file, "--verbosity", "shouting"])
+
+
+class TestDisabledPath:
+    def test_no_flags_writes_nothing(self, source_file, tmp_path, capsys):
+        code = main(["compile", source_file])
+        assert code == 0
+        assert list(tmp_path.glob("*.json")) == []

@@ -1,0 +1,135 @@
+"""Inlining-decision ledger: recording, rollback, output formats."""
+
+import json
+
+from repro.core.report import HLOReport
+from repro.obs import BuildObserver
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    InliningLedger,
+    record_decision,
+)
+from repro.obs.validate import validate_ledger_jsonl
+
+
+def filled_ledger():
+    ledger = InliningLedger()
+    ledger.record("inline", 0, "main", "api", 1, "inlined",
+                  "accepted within staged budget", "accepted", 12.5)
+    ledger.record("clone", 0, "main", "helper", 2, "cloned",
+                  "call site retargeted to clone", "accepted", 3.0)
+    ledger.record("inline", 1, "api", "ext", 3, "rejected",
+                  "external callee", "external")
+    ledger.record("inline", 1, "api", "big", 4, "rejected",
+                  "staged budget exhausted", "budget", 0.4)
+    return ledger
+
+
+class TestRecording:
+    def test_counts_and_classes(self):
+        ledger = filled_ledger()
+        assert ledger.considered == 4
+        assert ledger.decision_counts() == {
+            "inlined": 1, "cloned": 1, "rejected": 2,
+        }
+        assert ledger.rejection_classes() == {"external": 1, "budget": 1}
+
+    def test_mark_rollback_truncates(self):
+        ledger = filled_ledger()
+        mark = ledger.mark()
+        ledger.record("inline", 2, "a", "b", 9, "rejected", "x", "other")
+        assert ledger.considered == 5
+        ledger.rollback_to(mark)
+        assert ledger.considered == 4
+        assert ledger.entries[-1].site_id == 4
+
+    def test_null_ledger_is_inert(self):
+        NULL_LEDGER.record("inline", 0, "a", "b", 1, "inlined", "r", "c")
+        assert NULL_LEDGER.enabled is False
+        assert NULL_LEDGER.mark() == 0
+        NULL_LEDGER.rollback_to(0)
+
+
+class TestRecordDecision:
+    class FakeSite:
+        class _Named:
+            def __init__(self, name):
+                self.name = name
+
+        class _Instr:
+            def __init__(self, site_id, callee=None):
+                self.site_id = site_id
+                self.callee = callee
+
+        def __init__(self, caller, callee, site_id):
+            self.caller = self._Named(caller)
+            self.callee = self._Named(callee) if callee else None
+            self.instr = self._Instr(site_id, callee)
+
+    def test_increments_report_and_ledger_together(self):
+        report = HLOReport()
+        obs = BuildObserver(ledger=InliningLedger())
+        site = self.FakeSite("main", "api", 7)
+        record_decision(obs, report, "inline", 0, site, "rejected",
+                        "external callee")
+        assert report.sites_considered == 1
+        assert obs.ledger.considered == 1
+        entry = obs.ledger.entries[0]
+        assert (entry.caller, entry.callee, entry.site_id) == ("main", "api", 7)
+        # No explicit class: derived from the reason text (Figure 5).
+        assert entry.reason_class == "external"
+
+    def test_counts_report_even_with_null_ledger(self):
+        report = HLOReport()
+        obs = BuildObserver()  # all sinks null
+        site = self.FakeSite("main", "api", 7)
+        record_decision(obs, report, "inline", 0, site, "rejected",
+                        "indirect call")
+        assert report.sites_considered == 1
+
+    def test_indirect_site_labels_callee(self):
+        report = HLOReport()
+        obs = BuildObserver(ledger=InliningLedger())
+        site = self.FakeSite("main", None, 3)
+        site.instr.callee = None
+        record_decision(obs, report, "inline", 0, site, "rejected",
+                        "indirect call")
+        assert obs.ledger.entries[0].callee == "<indirect>"
+
+
+class TestOutput:
+    def test_jsonl_header_invariant(self):
+        ledger = filled_ledger()
+        text = ledger.to_jsonl()
+        assert validate_ledger_jsonl(text) == []
+        lines = text.strip().split("\n")
+        header = json.loads(lines[0])
+        assert header["considered"] == 4
+        assert header["considered"] == len(lines) - 1
+        assert sum(header["decisions"].values()) == header["considered"]
+
+    def test_jsonl_entries_carry_benefit(self):
+        ledger = filled_ledger()
+        lines = ledger.to_jsonl().strip().split("\n")
+        first = json.loads(lines[1])
+        assert first["decision"] == "inlined"
+        assert first["benefit"] == 12.5
+        external = json.loads(lines[3])
+        assert "benefit" not in external
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        filled_ledger().write_jsonl(str(path))
+        assert validate_ledger_jsonl(path.read_text()) == []
+
+    def test_format_text_summarizes_and_lists(self):
+        text = filled_ledger().format_text()
+        assert "4 call-site evaluations" in text
+        assert "1 inlined, 1 cloned, 2 rejected" in text
+        assert "rejections by class:" in text
+        assert "external" in text
+        assert "@main -> @api site 1" in text
+
+    def test_format_text_limit(self):
+        text = filled_ledger().format_text(limit=2)
+        assert "... 2 more" in text

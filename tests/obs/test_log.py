@@ -1,0 +1,53 @@
+"""The CLI logging shim: one leveled stderr writer."""
+
+import io
+
+import pytest
+
+from repro.obs.log import VERBOSITY_LEVELS, CliLogger
+
+
+def logger_with_buffer(verbosity):
+    stream = io.StringIO()
+    return CliLogger(verbosity, stream=stream), stream
+
+
+class TestLevels:
+    def test_quiet_shows_only_errors(self):
+        log, stream = logger_with_buffer("quiet")
+        log.error("broken")
+        log.warn("careful")
+        log.info("fyi")
+        log.debug("detail")
+        assert stream.getvalue() == "error: broken\n"
+
+    def test_normal_shows_warnings_and_info(self):
+        log, stream = logger_with_buffer("normal")
+        log.warn("careful")
+        log.info("summary line")
+        log.debug("detail")
+        assert stream.getvalue() == "warning: careful\nsummary line\n"
+
+    def test_debug_shows_everything(self):
+        log, stream = logger_with_buffer("debug")
+        log.error("e")
+        log.warn("w")
+        log.info("i")
+        log.debug("d")
+        assert stream.getvalue() == (
+            "error: e\nwarning: w\ni\ndebug: d\n"
+        )
+
+    def test_warning_prefix_matches_cli_contract(self):
+        # tests/test_cli.py pins "warning:" on stderr; the shim must
+        # keep that exact prefix.
+        log, stream = logger_with_buffer("normal")
+        log.warn("profile database 'x' unusable")
+        assert stream.getvalue().startswith("warning: ")
+
+    def test_unknown_verbosity_rejected(self):
+        with pytest.raises(ValueError):
+            CliLogger("loud")
+
+    def test_levels_tuple(self):
+        assert VERBOSITY_LEVELS == ("quiet", "normal", "debug")

@@ -1,0 +1,129 @@
+"""MetricsRegistry: recording, percentiles, the canonical collection."""
+
+import json
+
+from repro.core.report import HLOReport
+from repro.linker.toolchain import BuildDiagnostics, BuildStats
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    collect_build_metrics,
+    format_build_summary,
+    percentile,
+)
+from repro.obs.validate import validate_metrics
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("cache.hits")
+        reg.count("cache.hits", 4)
+        assert reg.value("cache.hits") == 5
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("hlo.final_cost", 100.0)
+        reg.gauge("hlo.final_cost", 42.0)
+        assert reg.value("hlo.final_cost") == 42.0
+
+    def test_histogram_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):  # 1..100
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert 50.0 <= summary["p50"] <= 51.0
+        assert 95.0 <= summary["p95"] <= 96.0
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.95) == 7.0
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_names_are_sorted_union(self):
+        reg = MetricsRegistry()
+        reg.observe("z.hist", 1.0)
+        reg.count("a.counter")
+        reg.gauge("m.gauge", 2)
+        assert reg.names() == ["a.counter", "m.gauge", "z.hist"]
+
+
+class TestExport:
+    def test_to_dict_validates(self):
+        reg = MetricsRegistry()
+        reg.count("hlo.inlines", 3)
+        reg.gauge("build.parallel_jobs", 4)
+        reg.observe("frontend.module_compile_s", 0.01)
+        assert validate_metrics(reg.to_dict()) == []
+
+    def test_write_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.count("cache.hits", 2)
+        path = tmp_path / "metrics.json"
+        reg.write(str(path))
+        obj = json.loads(path.read_text())
+        assert obj["counters"]["cache.hits"] == 2
+        assert validate_metrics(obj) == []
+
+
+class TestNullPath:
+    def test_null_metrics_records_nothing(self):
+        NULL_METRICS.count("x")
+        NULL_METRICS.gauge("y", 5)
+        NULL_METRICS.observe("z", 1.0)
+        assert NULL_METRICS.enabled is False
+        assert NULL_METRICS.names() == []
+        assert NULL_METRICS.value("x") == 0
+        assert NULL_METRICS.histogram("z") is None
+
+
+class TestCollection:
+    def diagnostics(self):
+        diag = BuildDiagnostics()
+        diag.record_cache(hits=3, misses=1, invalidations=1)
+        diag.parallel_jobs = 4
+        return diag
+
+    def test_collect_maps_canonical_names(self):
+        report = HLOReport()
+        report.inlines = 5
+        report.sites_considered = 40
+        stats = BuildStats(scope="cp", compile_units=123.0, train_steps=0,
+                           train_runs=0, code_size_instrs=77)
+        reg = collect_build_metrics(self.diagnostics(), report, stats)
+        assert reg.value("cache.hits") == 3
+        assert reg.value("hlo.inlines") == 5
+        assert reg.value("hlo.sites_considered") == 40
+        assert reg.value("build.compile_units") == 123.0
+        assert reg.value("build.code_size_instrs") == 77
+
+    def test_collect_into_existing_registry(self):
+        reg = MetricsRegistry()
+        reg.count("resilience.rollbacks", 2)
+        out = collect_build_metrics(self.diagnostics(), registry=reg)
+        assert out is reg
+        assert reg.value("resilience.rollbacks") == 2
+        assert reg.value("cache.hits") == 3
+
+    def test_summary_matches_diagnostics_summary(self):
+        # Satellite guarantee: the stderr line and the registry cannot
+        # drift, because BuildDiagnostics.summary() *is* the registry
+        # formatting.
+        diag = self.diagnostics()
+        report = HLOReport()
+        assert diag.summary(report) == format_build_summary(
+            collect_build_metrics(diag, report),
+            profile_reason=diag.profile_fallback,
+            serial_fallback=bool(diag.parallel_fallbacks),
+        )
+
+    def test_summary_text_shape(self):
+        diag = self.diagnostics()
+        line = diag.summary(HLOReport())
+        assert "profile: ok" in line
+        assert "cache: 3/4 hits (75%)" in line
+        assert "jobs: 4" in line

@@ -1,0 +1,114 @@
+"""Span tracer: nesting, worker merging, Chrome trace export."""
+
+import json
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    worker_span,
+)
+from repro.obs.validate import validate_trace
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("build", scope="cp"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "build"
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"scope": "cp"}
+
+    def test_nested_spans_are_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = {e["name"]: e for e in tracer.events()}
+        inner, outer = events["inner"], events["outer"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+
+    def test_add_attaches_args_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("clone-pass-0") as span:
+            span.add(performed=3)
+        (event,) = tracer.events()
+        assert event["args"]["performed"] == 3
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("pass-failure:cse", cat="resilience", proc="api")
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert event["args"]["proc"] == "api"
+
+
+class TestWorkerMerge:
+    def test_absorb_worker_spans_lands_on_worker_rows(self):
+        tracer = Tracer()
+        base = tracer._epoch_wall
+        spans = [
+            worker_span("module:lib", base + 0.01, base + 0.02, 4001),
+            worker_span("module:main", base + 0.01, base + 0.03, 4002,
+                        args={"module": "main"}),
+        ]
+        tracer.absorb_worker_spans(spans)
+        events = tracer.events()
+        assert {e["tid"] for e in events} == {4001, 4002}
+        trace = tracer.to_dict()
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names[4001] == "worker-4001"
+        assert names[4002] == "worker-4002"
+
+    def test_worker_ts_uses_wall_epoch(self):
+        tracer = Tracer()
+        base = tracer._epoch_wall
+        tracer.absorb_worker_spans(
+            [worker_span("module:x", base + 0.5, base + 0.75, 99)]
+        )
+        (event,) = tracer.events()
+        assert abs(event["ts"] - 0.5e6) < 1e4
+        assert abs(event["dur"] - 0.25e6) < 1e3
+
+
+class TestExport:
+    def test_to_dict_is_valid_chrome_trace(self):
+        tracer = Tracer()
+        with tracer.span("build"):
+            with tracer.span("hlo", cat="hlo"):
+                tracer.instant("pass-failure:dce", cat="resilience")
+        assert validate_trace(tracer.to_dict()) == []
+
+    def test_write_is_json_loadable(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("build"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        obj = json.loads(path.read_text())
+        assert validate_trace(obj) == []
+        assert obj["displayTimeUnit"] == "ms"
+
+
+class TestNullPath:
+    def test_null_tracer_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything") as span:
+            span.add(key="value")
+        NULL_TRACER.instant("nothing")
+        NULL_TRACER.absorb_worker_spans([{"bogus": True}])
+        assert NULL_TRACER.events() == []
+
+    def test_null_span_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
