@@ -70,3 +70,109 @@ def dominator_tree_children(idom: Dict[str, Optional[str]]) -> Dict[str, List[st
         if parent is not None:
             children[parent].append(label)
     return children
+
+
+def control_equivalent_classes(proc: Procedure) -> List[List[str]]:
+    """Partition reachable blocks into control-equivalence classes.
+
+    Blocks ``a`` and ``b`` are control equivalent when they sit in the
+    same innermost loop (or both in none) and ``a`` dominates ``b``
+    while ``b`` postdominates ``a`` (or the other way around): every
+    terminating execution reaches both the same number of times, so
+    their true execution counts are provably equal.  The same-loop
+    restriction is load-bearing — a loop *header* is dominated by the
+    procedure entry and postdominates it, yet runs once per iteration,
+    so dominance alone would merge blocks whose counts differ by the
+    trip count.  The sampled profiler uses the partition to pool
+    sample evidence across a class: counts a basic-block-counting
+    instrumentation would measure as identical must not diverge
+    through sampling noise, because downstream consumers compare them
+    (the inliner's cold-path penalty triggers on
+    ``count(site block) < count(entry)``).
+
+    Classes are returned in reverse-post-order of their first member;
+    members keep RPO order.  A procedure with no exit block (an
+    infinite loop) degenerates to singleton classes — postdominance is
+    undefined without an exit, and such procedures never terminate a
+    training run normally anyway.
+    """
+    rpo = proc.rpo_labels()
+    if not rpo:
+        return []
+    labels = set(rpo)
+    succs: Dict[str, List[str]] = {
+        label: sorted(
+            {s for s in proc.blocks[label].successors() if s in labels}
+        )
+        for label in rpo
+    }
+    preds: Dict[str, List[str]] = {label: [] for label in rpo}
+    for label, targets in succs.items():
+        for target in targets:
+            preds[target].append(label)
+
+    def solve(order: List[str], incoming: Dict[str, List[str]], roots: set):
+        """Iterative all-(post)dominators: sets, not trees — the graphs
+        here are a handful of blocks, clarity beats the fast algorithm."""
+        sets = {
+            label: ({label} if label in roots else set(order))
+            for label in order
+        }
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                if label in roots:
+                    continue
+                flows = [sets[p] for p in incoming[label]]
+                new = (set.intersection(*flows) if flows else set())
+                new.add(label)
+                if new != sets[label]:
+                    sets[label] = new
+                    changed = True
+        return sets
+
+    exits = {label for label in rpo if not succs[label]}
+    if not exits:
+        return [[label] for label in rpo]
+    dom = solve(rpo, preds, {rpo[0]})
+    # Seeding every exit as its own root is the virtual-exit
+    # formulation of postdominance for multi-exit procedures.
+    pdom = solve(list(reversed(rpo)), succs, exits)
+
+    # Innermost-loop membership: the header of the smallest natural
+    # loop containing each block (None outside any loop).
+    from .loops import find_loops
+
+    innermost: Dict[str, Optional[str]] = {label: None for label in rpo}
+    smallest: Dict[str, int] = {}
+    for loop in find_loops(proc):
+        for label in loop.body:
+            if label in innermost and (
+                label not in smallest or len(loop.body) < smallest[label]
+            ):
+                innermost[label] = loop.header
+                smallest[label] = len(loop.body)
+
+    parent = {label: label for label in rpo}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, a in enumerate(rpo):
+        for b in rpo[i + 1:]:
+            if innermost[a] != innermost[b]:
+                continue
+            equivalent = (a in dom[b] and b in pdom[a]) or (
+                b in dom[a] and a in pdom[b]
+            )
+            if equivalent and find(a) != find(b):
+                parent[find(b)] = find(a)
+
+    grouped: Dict[str, List[str]] = {}
+    for label in rpo:
+        grouped.setdefault(find(label), []).append(label)
+    return list(grouped.values())

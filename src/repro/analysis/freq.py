@@ -153,3 +153,39 @@ def site_weight(
         return float(site_counts[site.key])
     rel = block_freqs(site.caller, use_profile=use_profile).get(site.block.label, 0.0)
     return entry.get(site.caller.name, 0.0) * rel
+
+
+def context_block_freqs(
+    proc: Procedure,
+    caller: str,
+    context_counts: Dict[Tuple[str, str], Dict[Tuple[str, ...], int]],
+) -> Optional[Dict[str, float]]:
+    """Per-block frequency of ``proc`` *when called from* ``caller``.
+
+    ``context_counts`` is a sampled profile's context attribution
+    (``(proc, label) -> {calling context -> estimated count}``, nearest
+    caller first — see :mod:`repro.sampling`).  Selecting the contexts
+    whose nearest caller is ``caller`` isolates the procedure's
+    behaviour along that edge: a callee whose hot loop only spins for
+    one of its callers shows entry-relative frequencies under that
+    caller that the context-blind aggregate dilutes away.  Returns
+    ``None`` when the entry block carries no evidence for this caller
+    (the consumer falls back to the aggregate estimate).
+    """
+    if proc.entry is None:
+        return None
+
+    def in_context(key: Tuple[str, str]) -> float:
+        total = 0.0
+        for ctx, count in context_counts.get(key, {}).items():
+            if ctx and ctx[0] == caller:
+                total += count
+        return total
+
+    entry_count = in_context((proc.name, proc.entry))
+    if entry_count <= 0.0:
+        return None
+    return {
+        label: in_context((proc.name, label)) / entry_count
+        for label in proc.blocks
+    }

@@ -17,7 +17,12 @@ isoms, and the host wall time.  On top of that it measures:
   ledger all live; both walls and their ratio land in the report, so a
   tracing hot path that grows expensive shows up in CI.  With
   ``--trace-out`` / ``--metrics-out`` the instrumented pass also writes
-  its artifacts for upload.
+  its artifacts for upload;
+- **sampled-vs-exact decision overlap** — each workload is built with
+  the exact instrumented profile and again with the sampling profiler
+  (``repro.sampling``, rate 1/100); the Jaccard overlap of the two
+  builds' inline/clone decision sets must stay ≥ 90%, the empirical
+  backing for sampled PGO being a drop-in replacement.
 
 ``--check --baseline benchmarks/baseline.json`` turns the run into a
 regression gate: ``compile_units`` or ``cycles`` more than 15% above
@@ -41,10 +46,12 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
+SAMPLING_RATE = 100
+MIN_DECISION_OVERLAP = 0.9
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -172,6 +179,64 @@ def _measure_observability(
     }
 
 
+def _decision_set(report) -> set:
+    """The identity of every transform HLO performed in one build."""
+    return {
+        (event.kind, event.caller, event.callee, event.site_id)
+        for event in report.events
+    }
+
+
+def _measure_sampling(
+    names: Sequence[str], scope: str, rate: int = SAMPLING_RATE
+) -> dict:
+    """Sampled-vs-exact feedback: do the *decisions* converge?
+
+    Each workload is built twice at the profile-fed scope — once with
+    the exact instrumented profile, once with the sampling profiler at
+    1/``rate`` — and the two builds' inline/clone decision sets are
+    compared (Jaccard overlap).  Sampling claims the cheap profile
+    steers the optimizer to the same place; this section is where that
+    claim is measured on every CI run.
+    """
+    from ..linker.toolchain import Toolchain
+    from ..workloads.suite import get_workload
+
+    per = {}
+    for name in names:
+        workload = get_workload(name)
+        train_inputs = [list(t) for t in workload.train_inputs]
+        exact = Toolchain(
+            list(workload.sources), train_inputs=train_inputs, jobs=1
+        ).build(scope)
+        sampled = Toolchain(
+            list(workload.sources), train_inputs=train_inputs, jobs=1,
+            sample_rate=rate,
+        ).build(scope)
+        exact_set = _decision_set(exact.report)
+        sampled_set = _decision_set(sampled.report)
+        union = exact_set | sampled_set
+        overlap = len(exact_set & sampled_set) / len(union) if union else 1.0
+        per[name] = {
+            "overlap": round(overlap, 4),
+            "exact_decisions": len(exact_set),
+            "sampled_decisions": len(sampled_set),
+            "confidence": round(
+                sampled.profile.overall_confidence(), 4
+            ) if sampled.profile is not None else 0.0,
+        }
+    mean = (
+        sum(entry["overlap"] for entry in per.values()) / len(per)
+        if per else 1.0
+    )
+    return {
+        "rate": rate,
+        "min_overlap": MIN_DECISION_OVERLAP,
+        "mean_overlap": round(mean, 4),
+        "workloads": per,
+    }
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
@@ -200,6 +265,17 @@ def run_smoke(
     observability = _measure_observability(
         names, scope, trace_out=trace_out, metrics_out=metrics_out
     )
+
+    sampling = _measure_sampling(names, scope)
+    for name, entry in sampling["workloads"].items():
+        if entry["overlap"] < MIN_DECISION_OVERLAP:
+            failures.append(
+                "sampling: {} decision overlap {:.2f} below {:.2f} "
+                "(rate 1/{})".format(
+                    name, entry["overlap"], MIN_DECISION_OVERLAP,
+                    sampling["rate"],
+                )
+            )
 
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
@@ -231,6 +307,7 @@ def run_smoke(
         },
         "cache": cache,
         "observability": observability,
+        "sampling": sampling,
     }
     return report, failures
 
@@ -346,6 +423,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report["build"]["speedup"],
             report["cache"]["warm_hit_rate"] * 100,
             report["observability"]["overhead_ratio"],
+        )
+    )
+    print(
+        "sampling: mean decision overlap {:.1%} at rate 1/{} "
+        "(floor {:.0%})".format(
+            report["sampling"]["mean_overlap"],
+            report["sampling"]["rate"],
+            report["sampling"]["min_overlap"],
         )
     )
     for failure in failures:

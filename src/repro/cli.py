@@ -9,16 +9,25 @@ Subcommands:
     Compile and execute, optionally on the PA8000 machine model.
 ``train``
     The instrumenting compile + training run; writes a profile database.
+    ``--sample-rate N`` switches collection to the sampling profiler.
 ``report``
     Run HLO at a chosen scope and print the transform report.
 ``bench``
     Compare the four Table 1 scope configurations on a suite workload.
+``profile``
+    Lifecycle management for profile databases: ``sample`` (collect a
+    sampled, context-sensitive profile), ``merge`` (weighted / decayed
+    multi-run combination), ``report`` (coverage, confidence,
+    staleness), ``check`` (health gate with per-procedure staleness and
+    optional salvage remapping).
 
 Module names come from file stems; inputs are comma-separated integers.
 
     python -m repro run prog.mc --inputs 5,10 --simulate
     python -m repro train prog.mc --inputs 5 -o prog.profdb
     python -m repro report prog.mc --scope cp --profile prog.profdb
+    python -m repro profile sample prog.mc --inputs 5 -o prog.profdb
+    python -m repro profile check prog.profdb prog.mc
 """
 
 from __future__ import annotations
@@ -50,6 +59,18 @@ from .profile.annotate import annotate_program
 from .profile.database import ProfileDatabase
 from .profile.pgo import train
 from .resilience.errors import ProfileFormatError
+from .sampling import (
+    DEFAULT_CONTEXT_DEPTH,
+    DEFAULT_MIN_MATCH,
+    DEFAULT_SAMPLE_RATE,
+    MIN_PROFILE_CONFIDENCE,
+    assess_staleness,
+    format_quality_report,
+    merge_profiles,
+    quality_report,
+    remap_database,
+    sample_train,
+)
 
 
 def _read_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
@@ -189,7 +210,7 @@ def _load_profile(
     if not path:
         return None
     try:
-        return ProfileDatabase.load(path)
+        db = ProfileDatabase.load(path)
     except (ProfileFormatError, OSError) as exc:
         if getattr(args, "strict", False):
             raise SystemExit(
@@ -201,6 +222,24 @@ def _load_profile(
             "using static frequency estimates".format(path, exc)
         )
         return None
+    if db.sampled:
+        confidence = db.overall_confidence()
+        if confidence < MIN_PROFILE_CONFIDENCE:
+            # The low-confidence rung of the degradation ladder
+            # (docs/resilience.md): thin sampled evidence is noise, and
+            # static frequency estimation beats amplified noise.
+            reason = (
+                "low-confidence sampled profile {!r}: confidence {:.2f} "
+                "below minimum {:.2f}".format(
+                    path, confidence, MIN_PROFILE_CONFIDENCE
+                )
+            )
+            if getattr(args, "strict", False):
+                raise SystemExit("--strict: " + reason)
+            diagnostics.profile_fallback = reason
+            diagnostics.warn(reason + "; using static frequency estimates")
+            return None
+    return db
 
 
 def _hlo_for_scope(
@@ -213,6 +252,7 @@ def _hlo_for_scope(
     cross, use_profile = scope_flags(args.scope)
     config = _config_from_args(args).with_scope(cross, use_profile)
     site_counts = None
+    context_counts = None
     if use_profile:
         if profile is None and not (diagnostics and diagnostics.profile_fallback):
             raise SystemExit(
@@ -221,8 +261,12 @@ def _hlo_for_scope(
         if profile is not None:
             annotate_program(program, profile)
             site_counts = profile.site_counts
+            context_counts = profile.context_view()
     with obs.tracer.span("hlo", cat="hlo"):
-        return run_hlo(program, config, site_counts=site_counts, observer=obs)
+        return run_hlo(
+            program, config, site_counts=site_counts, observer=obs,
+            context_counts=context_counts,
+        )
 
 
 def _finish(
@@ -299,11 +343,35 @@ def cmd_run(args: argparse.Namespace) -> int:
     return degraded_exit or (result.exit_code & 0x7F)
 
 
+def _collect_runs(inputs: Optional[Sequence[str]]) -> List[List[int]]:
+    """Training vectors from any mix of repeated ``--inputs`` flags and
+    ``;``-separated runs inside one flag; no flag means one empty run."""
+    chunks: List[str] = []
+    for entry in inputs or [""]:
+        chunks.extend(entry.split(";"))
+    return [_parse_inputs(chunk) for chunk in chunks]
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
-    runs = [
-        _parse_inputs(chunk) for chunk in (args.inputs.split(";") if args.inputs else [""])
-    ]
+    runs = _collect_runs(args.inputs)
+    if args.sample_rate:
+        db = sample_train(
+            sources,
+            runs,
+            rate=args.sample_rate,
+            context_depth=args.context_depth,
+            seed=args.seed,
+        )
+        db.save(args.output)
+        print(
+            "sampled {} run(s), {} steps ({} samples, confidence {:.1%}); "
+            "wrote {}".format(
+                db.training_runs, db.training_steps, db.sample_count,
+                db.overall_confidence(), args.output,
+            )
+        )
+        return 0
     db = train(sources, runs)
     db.save(args.output)
     print(
@@ -311,6 +379,165 @@ def cmd_train(args: argparse.Namespace) -> int:
             db.training_runs, db.training_steps, args.output
         )
     )
+    return 0
+
+
+def _load_profile_arg(path: str) -> ProfileDatabase:
+    try:
+        return ProfileDatabase.load(path)
+    except (ProfileFormatError, OSError) as exc:
+        raise SystemExit("profile database {!r} unusable: {}".format(path, exc))
+
+
+def _profile_sources(args: argparse.Namespace, required: bool):
+    """(sources, default training inputs) for a profile subcommand.
+
+    Sources come from positional files or ``--workload NAME`` (the
+    bench suite's programs — what CI uses so it needs no checked-in
+    source files).
+    """
+    workload_name = getattr(args, "workload", None)
+    if workload_name:
+        from .workloads.suite import get_workload, workload_names
+
+        try:
+            workload = get_workload(workload_name)
+        except KeyError:
+            raise SystemExit(
+                "unknown workload {!r}; available: {}".format(
+                    workload_name, ", ".join(workload_names())
+                )
+            )
+        return list(workload.sources), [list(t) for t in workload.train_inputs]
+    if getattr(args, "files", None):
+        return _read_sources(args.files), None
+    if required:
+        raise SystemExit("give minic source files or --workload NAME")
+    return None, None
+
+
+def cmd_profile_sample(args: argparse.Namespace) -> int:
+    sources, default_runs = _profile_sources(args, required=True)
+    runs = _collect_runs(args.inputs) if args.inputs else (default_runs or [[]])
+    db = sample_train(
+        sources,
+        runs,
+        rate=args.rate,
+        context_depth=args.context_depth,
+        seed=args.seed,
+    )
+    db.save(args.output)
+    print(
+        "sampled {} run(s): {} samples / {} events (rate 1/{:.0f}, k={}); "
+        "confidence {:.1%}; wrote {}".format(
+            db.training_runs, db.sample_count, db.sampled_events,
+            db.sample_rate, db.context_depth, db.overall_confidence(),
+            args.output,
+        )
+    )
+    return 0
+
+
+def cmd_profile_merge(args: argparse.Namespace) -> int:
+    databases = [_load_profile_arg(path) for path in args.databases]
+    weights = None
+    if args.weights:
+        try:
+            weights = [float(part) for part in args.weights.split(",")]
+        except ValueError:
+            raise SystemExit("--weights must be comma-separated numbers")
+        if len(weights) != len(databases):
+            raise SystemExit(
+                "--weights needs one weight per database "
+                "({} given, {} databases)".format(len(weights), len(databases))
+            )
+    try:
+        merged = merge_profiles(databases, weights=weights, decay=args.decay)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    merged.save(args.output)
+    print(
+        "merged {} database(s) -> {} blocks, {} run(s); wrote {}".format(
+            len(databases), len(merged.block_counts), merged.training_runs,
+            args.output,
+        )
+    )
+    return 0
+
+
+def cmd_profile_report(args: argparse.Namespace) -> int:
+    db = _load_profile_arg(args.database)
+    sources, _runs = _profile_sources(args, required=False)
+    program = compile_program(sources) if sources is not None else None
+    payload = quality_report(db, program)
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_quality_report(payload))
+    return 0
+
+
+def cmd_profile_check(args: argparse.Namespace) -> int:
+    """Health-gate a database against the current sources; exit 1 when
+    it should not feed a build (stale procedures or thin evidence)."""
+    db = _load_profile_arg(args.database)
+    sources, _runs = _profile_sources(args, required=True)
+    program = compile_program(sources)
+    payload = quality_report(db, program)
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_quality_report(payload))
+
+    problems = []
+    staleness = assess_staleness(db, program)
+    if staleness.stale:
+        # Fingerprint drift is a failure even when every recorded label
+        # still resolves (a same-shape edit): the counts describe code
+        # that no longer exists.  --remap salvages what still matches.
+        problems.append(
+            "stale procedure(s), fingerprint drift: "
+            + ", ".join(sorted(staleness.stale))
+        )
+    if not staleness.healthy(args.min_match):
+        offenders = [
+            name
+            for name, entry in sorted(staleness.procs.items())
+            if entry.match_ratio < args.min_match
+        ]
+        problems.append(
+            "stale procedures below match ratio {:.2f}: {}".format(
+                args.min_match, ", ".join(offenders)
+            )
+        )
+    if db.sampled and db.overall_confidence() < args.min_confidence:
+        problems.append(
+            "sampled confidence {:.2f} below minimum {:.2f}".format(
+                db.overall_confidence(), args.min_confidence
+            )
+        )
+
+    if args.remap:
+        remapped, report = remap_database(db, program)
+        remapped.save(args.remap)
+        print(
+            "remapped: kept {}/{} block counts "
+            "({} fresh, {} stale, {} missing proc(s)); wrote {}".format(
+                len(remapped.block_counts), len(db.block_counts),
+                len(report.fresh), len(report.stale), len(report.missing),
+                args.remap,
+            )
+        )
+
+    if problems:
+        for problem in problems:
+            print("profile check: " + problem, file=sys.stderr)
+        return 1
+    print("profile check: OK")
     return 0
 
 
@@ -459,10 +686,94 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="instrument, run, write profile db")
     p_train.add_argument("files", nargs="+")
-    p_train.add_argument("--inputs",
-                         help="training inputs; ';' separates runs, ',' elements")
+    p_train.add_argument("--inputs", action="append",
+                         help="training inputs; ',' separates elements, "
+                         "';' separates runs, and the flag may repeat "
+                         "(one run per occurrence)")
+    p_train.add_argument("--sample-rate", type=int, metavar="N",
+                         help="collect by sampling every ~N interpreter "
+                         "steps instead of instrumenting")
+    p_train.add_argument("--context-depth", type=int,
+                         default=DEFAULT_CONTEXT_DEPTH, metavar="K",
+                         help="calling-context depth recorded per sample "
+                         "(default {})".format(DEFAULT_CONTEXT_DEPTH))
+    p_train.add_argument("--seed", type=int, default=0,
+                         help="sampling jitter seed (default 0)")
     p_train.add_argument("-o", "--output", default="repro.profdb")
     p_train.set_defaults(func=cmd_train)
+
+    p_profile = sub.add_parser(
+        "profile", help="profile lifecycle: sample, merge, report, check"
+    )
+    profile_sub = p_profile.add_subparsers(dest="profile_command", required=True)
+
+    def profile_sources(p):
+        p.add_argument("files", nargs="*", help="minic source files")
+        p.add_argument("--workload",
+                       help="use a bench-suite workload's sources instead "
+                       "of source files")
+
+    pp_sample = profile_sub.add_parser(
+        "sample", help="collect a sampled, context-sensitive profile"
+    )
+    profile_sources(pp_sample)
+    pp_sample.add_argument("--inputs", action="append",
+                           help="training inputs (',' elements, ';' runs, "
+                           "flag may repeat); --workload supplies its own "
+                           "training set when omitted")
+    pp_sample.add_argument("--rate", type=int, default=DEFAULT_SAMPLE_RATE,
+                           metavar="N",
+                           help="sample every ~N interpreter steps "
+                           "(default {})".format(DEFAULT_SAMPLE_RATE))
+    pp_sample.add_argument("--context-depth", type=int,
+                           default=DEFAULT_CONTEXT_DEPTH, metavar="K",
+                           help="calling-context depth per sample "
+                           "(default {})".format(DEFAULT_CONTEXT_DEPTH))
+    pp_sample.add_argument("--seed", type=int, default=0,
+                           help="sampling jitter seed (default 0)")
+    pp_sample.add_argument("-o", "--output", default="repro.profdb")
+    pp_sample.set_defaults(func=cmd_profile_sample)
+
+    pp_merge = profile_sub.add_parser(
+        "merge", help="combine databases with explicit weights or decay"
+    )
+    pp_merge.add_argument("databases", nargs="+",
+                          help="profile databases, oldest first")
+    pp_merge.add_argument("--weights",
+                          help="comma-separated weight per database")
+    pp_merge.add_argument("--decay", type=float, metavar="D",
+                          help="exponential aging: newest run weight 1.0, "
+                          "each older run multiplied by D")
+    pp_merge.add_argument("-o", "--output", default="merged.profdb")
+    pp_merge.set_defaults(func=cmd_profile_merge)
+
+    pp_report = profile_sub.add_parser(
+        "report", help="coverage / confidence / staleness of a database"
+    )
+    pp_report.add_argument("database")
+    profile_sources(pp_report)
+    pp_report.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    pp_report.set_defaults(func=cmd_profile_report)
+
+    pp_check = profile_sub.add_parser(
+        "check", help="health-gate a database against current sources"
+    )
+    pp_check.add_argument("database")
+    profile_sources(pp_check)
+    pp_check.add_argument("--min-match", type=float, default=DEFAULT_MIN_MATCH,
+                          help="per-procedure match-ratio floor "
+                          "(default {})".format(DEFAULT_MIN_MATCH))
+    pp_check.add_argument("--min-confidence", type=float,
+                          default=MIN_PROFILE_CONFIDENCE,
+                          help="sampled-confidence floor "
+                          "(default {})".format(MIN_PROFILE_CONFIDENCE))
+    pp_check.add_argument("--remap", metavar="FILE",
+                          help="write a salvaged database (still-matching "
+                          "counts remapped to the current sources) here")
+    pp_check.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    pp_check.set_defaults(func=cmd_profile_check)
 
     p_report = sub.add_parser("report", help="print the HLO transform report")
     common(p_report)

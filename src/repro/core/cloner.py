@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.manager import AnalysisManager
 
 from ..analysis.callgraph import CallGraph, CallSite
-from ..analysis.freq import entry_counts, site_weight
+from ..analysis.freq import context_block_freqs, entry_counts, site_weight
 from ..ir.instructions import Branch, Call, ICall
 from ..ir.procedure import Procedure
 from ..ir.program import Program
@@ -112,6 +112,7 @@ def param_usage_weights(
     proc: Procedure,
     config: HLOConfig,
     freq_cache: Optional[Dict[str, Dict[str, float]]] = None,
+    rel: Optional[Dict[str, float]] = None,
 ) -> List[float]:
     """Interest weight per parameter position (the callee-side analysis).
 
@@ -120,8 +121,15 @@ def param_usage_weights(
     without data), times a kind multiplier: plain data uses, uses that
     steer control flow, and — weighted highest — parameter values that
     reach the function position of an indirect call.
+
+    ``rel`` overrides the relative block frequencies — the
+    context-sensitive path hands in the callee's frequencies *as seen
+    from one caller* (:func:`~repro.analysis.freq.context_block_freqs`)
+    so a parameter whose uses sit in a loop that only spins for that
+    caller is weighed accordingly.
     """
-    rel = cached_block_freqs(proc, config.use_profile, freq_cache)
+    if rel is None:
+        rel = cached_block_freqs(proc, config.use_profile, freq_cache)
     names = {name: i for i, (name, _t) in enumerate(proc.params)}
     weights = [0.0] * len(proc.params)
     if not names:
@@ -204,6 +212,7 @@ def build_clone_groups(
     obs=NULL_OBSERVER,
     report: Optional[HLOReport] = None,
     pass_number: int = 0,
+    context_counts=None,
 ) -> List[CloneGroup]:
     """Form ranked clone groups; rejected seeds land on the ledger.
 
@@ -211,8 +220,17 @@ def build_clone_groups(
     no-context / benefit rejection recorded immediately, or membership
     in a returned group (whose accept-or-reject decision the budget
     selection in :func:`clone_pass` records).
+
+    ``context_counts`` (from a context-sensitive profile database's
+    :meth:`~repro.profile.ProfileDatabase.context_view`) sharpens the
+    benefit estimate: each member site's value is computed against the
+    callee's block frequencies *as observed from that caller* rather
+    than the all-callers aggregate, so a hot loop that only spins for
+    one caller neither dilutes that caller's benefit nor inflates the
+    others'.
     """
     counts = site_counts if config.use_profile else None
+    ctx_counts = context_counts if config.use_profile else None
     if manager is not None:
         entry = manager.entry_counts(counts)
         freq_cache = manager.freq_cache()
@@ -220,7 +238,25 @@ def build_clone_groups(
         entry = entry_counts(program, graph, counts)
         freq_cache = {}
     usage_cache: Dict[str, List[float]] = {}
+    ctx_usage_cache: Dict[Tuple[str, str], Optional[List[float]]] = {}
     address_taken = _address_taken(program)
+
+    def member_value(callee: Procedure, member: CallSite, spec, aggregate: float) -> float:
+        """The group value as seen from one member's caller."""
+        if ctx_counts is None:
+            return aggregate
+        cache_key = (callee.name, member.caller.name)
+        if cache_key not in ctx_usage_cache:
+            rel_ctx = context_block_freqs(callee, member.caller.name, ctx_counts)
+            ctx_usage_cache[cache_key] = (
+                param_usage_weights(callee, config, rel=rel_ctx)
+                if rel_ctx is not None
+                else None
+            )
+        ctx_usage = ctx_usage_cache[cache_key]
+        if ctx_usage is None:  # no evidence from this caller: use aggregate
+            return aggregate
+        return sum(ctx_usage[pos] for pos in spec)
 
     groups: List[CloneGroup] = []
     grouped_sites: Set[Tuple[str, int]] = set()
@@ -266,8 +302,10 @@ def build_clone_groups(
 
         value = sum(usage[pos] for pos in spec)
         benefit = sum(
-            site_weight(m, entry, counts, config.use_profile) for m in members
-        ) * value
+            site_weight(m, entry, counts, config.use_profile)
+            * member_value(callee, m, spec, value)
+            for m in members
+        )
         if benefit <= config.min_clone_benefit:
             # Only the seed: ungrouped members get their own iteration.
             record_decision(
@@ -314,11 +352,13 @@ def clone_pass(
     site_counts: Optional[Dict[Tuple[str, int], int]] = None,
     manager: Optional["AnalysisManager"] = None,
     obs=NULL_OBSERVER,
+    context_counts=None,
 ) -> int:
     """Run one cloning pass; returns the number of sites retargeted."""
     graph = manager.callgraph() if manager is not None else CallGraph(program)
     groups = build_clone_groups(
-        program, graph, config, site_counts, manager, obs, report, pass_number
+        program, graph, config, site_counts, manager, obs, report, pass_number,
+        context_counts=context_counts,
     )
 
     # Select within the stage's allotment (Figure 3: "select clones").

@@ -42,8 +42,14 @@ def run_hlo(
     verify: bool = True,
     pipeline: Optional[list] = None,
     observer=None,
+    context_counts=None,
 ) -> HLOReport:
     """Run the full HLO pipeline over ``program`` in place.
+
+    ``context_counts`` carries a context-sensitive profile's per-caller
+    block counts (:meth:`~repro.profile.ProfileDatabase.context_view`)
+    into the cloner's benefit estimation; ``None`` keeps the classic
+    aggregate estimates.
 
     ``pipeline`` overrides the scalar pipeline used by the input/output
     optimization stages (the fault-injection harness substitutes
@@ -133,7 +139,7 @@ def run_hlo(
             def run_clone() -> int:
                 return clone_pass(
                     program, config, budget, report, pass_number, database,
-                    site_counts, manager, obs,
+                    site_counts, manager, obs, context_counts,
                 )
 
             with obs.tracer.span(

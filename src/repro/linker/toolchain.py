@@ -41,12 +41,17 @@ from ..ir.program import Program
 from ..machine.metrics import MachineMetrics
 from ..machine.pa8000 import MachineConfig, simulate
 from ..obs import NULL_OBSERVER
-from ..obs.metrics import collect_build_metrics, format_build_summary
+from ..obs.metrics import (
+    collect_build_metrics,
+    collect_profile_metrics,
+    format_build_summary,
+)
 from ..profile.annotate import annotate_program
 from ..profile.database import ProfileDatabase
 from ..profile.instrument import instrument_program
 from ..resilience.errors import IsomError, ProfileFormatError, StrictModeError
 from ..resilience.faults import FaultInjector
+from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
 from .isom import from_isom_text, to_isom_text
 from .linker import link_modules
 
@@ -56,6 +61,11 @@ SCOPES = ("base", "c", "p", "cp")
 # (training runs are cheap relative to the quadratic back end, but not
 # free — the paper folds them into the profile-compile times).
 TRAIN_STEP_UNITS = 0.05
+
+# A sampled training run skips the instrumenting rewrite and the probe
+# execution overhead; the residual per-step charge is the bare
+# interpreter plus the (rare) sample bookkeeping.
+SAMPLED_STEP_UNITS = 0.01
 
 InputVector = Sequence[Union[int, float]]
 
@@ -205,6 +215,10 @@ class Toolchain:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         cache: Optional["object"] = None,
+        sample_rate: Optional[int] = None,
+        context_depth: Optional[int] = None,
+        sample_seed: int = 0,
+        min_profile_confidence: float = MIN_PROFILE_CONFIDENCE,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
@@ -230,6 +244,14 @@ class Toolchain:
             from ..parallel.cache import ModuleCache
 
             self.cache = ModuleCache(cache_dir)
+        # Sampled PGO (repro.sampling): a rate switches the training
+        # phase from the instrumenting two-compile workflow to the
+        # sampling profiler — no rewrite, k-deep calling contexts, and
+        # confidence-gated feedback (the low-confidence rung below).
+        self.sample_rate = sample_rate
+        self.context_depth = context_depth
+        self.sample_seed = sample_seed
+        self.min_profile_confidence = min_profile_confidence
         self._profile_cache: Optional[Tuple[ProfileDatabase, float]] = None
         self._reload_cache: Optional[ProfileDatabase] = None
 
@@ -265,6 +287,23 @@ class Toolchain:
                     profile, train_units = self._train(cfg, diagnostics, obs)
                     compile_units += train_units
                     profile = self._reload_profile(profile, diagnostics)
+                if profile is not None and profile.sampled:
+                    confidence = profile.overall_confidence()
+                    if confidence < self.min_profile_confidence:
+                        # Low-confidence rung: too few samples landed to
+                        # trust the estimates; static frequency analysis
+                        # beats amplified sampling noise.
+                        self._degrade_profile(
+                            diagnostics,
+                            "low-confidence sampled profile: confidence "
+                            "{:.2f} below minimum {:.2f}".format(
+                                confidence, self.min_profile_confidence
+                            ),
+                        )
+                        obs.tracer.instant(
+                            "profile-low-confidence", cat="resilience"
+                        )
+                        profile = None
 
             # The final compile: front end, then (for cross-module scopes)
             # the isom round trip and link, then HLO.
@@ -288,6 +327,7 @@ class Toolchain:
 
             annotated = 0
             site_counts = None
+            context_counts = None
             if profile is not None:
                 annotated = annotate_program(program, profile)
                 if annotated == 0 and not profile.is_empty():
@@ -301,6 +341,11 @@ class Toolchain:
                     profile = None
                 else:
                     site_counts = profile.site_counts
+                    context_counts = profile.context_view()
+            if profile is not None and obs.metrics.enabled:
+                # Against the pre-HLO program: coverage/staleness of
+                # the feedback as the optimizer actually received it.
+                collect_profile_metrics(profile, program, registry=obs.metrics)
 
             pipeline = None
             if self.fault_injector is not None:
@@ -311,7 +356,7 @@ class Toolchain:
             with obs.tracer.span("hlo", cat="hlo"):
                 report = run_hlo(
                     program, cfg, site_counts=site_counts, pipeline=pipeline,
-                    observer=obs,
+                    observer=obs, context_counts=context_counts,
                 )
             compile_units += report.final_cost
             build_span.add(compile_units=round(compile_units, 2))
@@ -450,8 +495,19 @@ class Toolchain:
         diagnostics: Optional[BuildDiagnostics] = None,
         observer=None,
     ) -> Tuple[ProfileDatabase, float]:
-        """Instrumenting compile + training runs (cached per toolchain)."""
+        """Training-phase profile collection (cached per toolchain).
+
+        Without a ``sample_rate`` this is the paper's instrumenting
+        compile + training runs.  With one, the sampling profiler
+        (:mod:`repro.sampling`) runs the *unmodified* program under the
+        interpreter's event stream instead — cheaper per step, no
+        instrumenting rewrite, and the database carries contexts and
+        confidence for the consumers downstream.
+        """
         if self._profile_cache is not None:
+            return self._profile_cache
+        if self.sample_rate is not None:
+            self._profile_cache = self._train_sampled(cfg, diagnostics, observer)
             return self._profile_cache
         db = ProfileDatabase()
         units = 0.0
@@ -465,3 +521,33 @@ class Toolchain:
         units += db.training_steps * TRAIN_STEP_UNITS
         self._profile_cache = (db, units)
         return self._profile_cache
+
+    def _train_sampled(
+        self,
+        cfg: Optional[HLOConfig] = None,
+        diagnostics: Optional[BuildDiagnostics] = None,
+        observer=None,
+    ) -> Tuple[ProfileDatabase, float]:
+        from ..sampling.sampler import (
+            DEFAULT_CONTEXT_DEPTH,
+            SampledProfile,
+            sample_run,
+        )
+
+        depth = (
+            self.context_depth
+            if self.context_depth is not None
+            else DEFAULT_CONTEXT_DEPTH
+        )
+        acc = SampledProfile(
+            rate=self.sample_rate, context_depth=depth, seed=self.sample_seed
+        )
+        program = self._frontend(cfg, diagnostics, observer)
+        units = program_cost(program)  # one plain (non-instrumenting) compile
+        for inputs in self.train_inputs:
+            sample_run(
+                program, inputs, profile=acc, max_steps=self.max_train_steps
+            )
+        db = acc.to_database(self._frontend(cfg, diagnostics, observer))
+        units += db.training_steps * SAMPLED_STEP_UNITS
+        return db, units

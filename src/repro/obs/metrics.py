@@ -16,9 +16,11 @@ JSON, ``BENCH_smoke.json``) read from the same registry.
 
 Metric names are dotted: ``hlo.*`` transform counts, ``analysis.*``
 memoization, ``cache.*`` incremental compilation, ``resilience.*``
-degradations, ``build.*`` whole-build facts, ``obs.*`` the
-observability layer's own accounting.  Histograms (timings, sizes)
-report count/sum/min/max/mean plus p50 and p95.
+degradations, ``build.*`` whole-build facts, ``profile.*`` the
+profile database feeding the build (collection mode, confidence,
+coverage, staleness), ``obs.*`` the observability layer's own
+accounting.  Histograms (timings, sizes) report count/sum/min/max/mean
+plus p50 and p95.
 """
 
 from __future__ import annotations
@@ -216,6 +218,41 @@ def collect_build_metrics(
         reg.gauge("build.train_runs", stats.train_runs)
         reg.gauge("build.annotated_blocks", stats.annotated_blocks)
         reg.gauge("build.wall_seconds", round(stats.wall_seconds, 6))
+    return reg
+
+
+def collect_profile_metrics(
+    profile,
+    program=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Map a profile database's quality onto canonical ``profile.*`` names.
+
+    ``profile`` is a :class:`~repro.profile.ProfileDatabase` (duck-typed
+    so this layer needs no import of the profile package); ``program``
+    optionally adds the against-a-compile figures (coverage, staleness
+    match ratio).  The same names feed ``--metrics-out`` JSON, the
+    build summary, and ``BENCH_smoke.json``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.gauge("profile.sampled", 1 if profile.sampled else 0)
+    reg.gauge("profile.runs", profile.training_runs)
+    reg.gauge("profile.steps", profile.training_steps)
+    reg.gauge("profile.blocks", len(profile.block_counts))
+    reg.gauge("profile.sites", len(profile.site_counts))
+    reg.gauge("profile.confidence", round(profile.overall_confidence(), 4))
+    if profile.sampled:
+        reg.gauge("profile.sample_rate", round(profile.sample_rate, 2))
+        reg.gauge("profile.samples", profile.sample_count)
+        reg.gauge("profile.events", profile.sampled_events)
+        reg.gauge("profile.context_depth", profile.context_depth)
+        reg.gauge(
+            "profile.contexts",
+            sum(len(per) for per in profile.context_counts.values()),
+        )
+    if program is not None:
+        reg.gauge("profile.coverage", round(profile.coverage(program), 4))
+        reg.gauge("profile.match_ratio", round(profile.match_ratio(program), 4))
     return reg
 
 

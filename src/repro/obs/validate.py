@@ -129,6 +129,60 @@ def validate_ledger_jsonl(text: str) -> List[str]:
     return errors
 
 
+def validate_bench(obj) -> List[str]:
+    """Problems with a ``BENCH_smoke.json`` report (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["bench: top level must be an object"]
+    if not isinstance(obj.get("schema"), int):
+        errors.append("bench: missing integer 'schema'")
+    workloads = obj.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        errors.append("bench: missing non-empty object 'workloads'")
+    else:
+        for name, entry in workloads.items():
+            where = "bench: workloads[{!r}]".format(name)
+            if not isinstance(entry, dict):
+                errors.append(where + " is not an object")
+                continue
+            for key in ("compile_units", "cycles", "wall_s"):
+                if not isinstance(entry.get(key), (int, float)):
+                    errors.append("{} missing numeric {!r}".format(where, key))
+            if not isinstance(entry.get("checksum"), str):
+                errors.append(where + " missing string 'checksum'")
+    for section in ("totals", "build", "cache", "observability"):
+        if not isinstance(obj.get(section), dict):
+            errors.append("bench: missing object {!r}".format(section))
+    sampling = obj.get("sampling")
+    if not isinstance(sampling, dict):
+        errors.append("bench: missing object 'sampling'")
+    else:
+        for key in ("rate", "min_overlap", "mean_overlap"):
+            if not isinstance(sampling.get(key), (int, float)):
+                errors.append("bench: sampling missing numeric {!r}".format(key))
+        per = sampling.get("workloads")
+        if not isinstance(per, dict) or not per:
+            errors.append("bench: sampling missing non-empty object 'workloads'")
+        else:
+            for name, entry in per.items():
+                where = "bench: sampling.workloads[{!r}]".format(name)
+                if not isinstance(entry, dict):
+                    errors.append(where + " is not an object")
+                    continue
+                for key in ("overlap", "exact_decisions",
+                            "sampled_decisions", "confidence"):
+                    if not isinstance(entry.get(key), (int, float)):
+                        errors.append(
+                            "{} missing numeric {!r}".format(where, key)
+                        )
+                overlap = entry.get("overlap")
+                if isinstance(overlap, (int, float)) and not 0.0 <= overlap <= 1.0:
+                    errors.append(
+                        "{} overlap {} outside [0, 1]".format(where, overlap)
+                    )
+    return errors
+
+
 def _load_json(path: str, errors: List[str], label: str):
     try:
         with open(path) as handle:
@@ -149,9 +203,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="metrics JSON to validate")
     parser.add_argument("--ledger", metavar="FILE",
                         help="inlining-ledger JSONL to validate")
+    parser.add_argument("--bench", metavar="FILE",
+                        help="BENCH_smoke.json report to validate")
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.ledger):
-        parser.error("nothing to validate: pass --trace/--metrics/--ledger")
+    if not (args.trace or args.metrics or args.ledger or args.bench):
+        parser.error(
+            "nothing to validate: pass --trace/--metrics/--ledger/--bench"
+        )
 
     errors: List[str] = []
     if args.trace:
@@ -168,6 +226,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 errors.extend(validate_ledger_jsonl(handle.read()))
         except OSError as exc:
             errors.append("ledger: cannot load {}: {}".format(args.ledger, exc))
+    if args.bench:
+        obj = _load_json(args.bench, errors, "bench")
+        if obj is not None:
+            errors.extend(validate_bench(obj))
 
     for error in errors:
         print("FAIL:", error, file=sys.stderr)

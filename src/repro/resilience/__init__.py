@@ -9,6 +9,7 @@ fault injector proves every recovery path fires.
 from .errors import (
     InjectedFault,
     IsomError,
+    ProfileConfidenceError,
     ProfileFormatError,
     ResilienceError,
     StrictModeError,
@@ -25,6 +26,7 @@ __all__ = [
     "IsomError",
     "PassGuard",
     "ProcedureSnapshot",
+    "ProfileConfidenceError",
     "ProfileFormatError",
     "PROGRAM_SCOPE",
     "ProgramSnapshot",

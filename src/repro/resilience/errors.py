@@ -52,6 +52,22 @@ class ProfileFormatError(ResilienceError, ValueError):
         super().__init__(message)
 
 
+class ProfileConfidenceError(ResilienceError, ValueError):
+    """A sampled profile's statistical evidence is too thin to trust.
+
+    Raised by :func:`repro.sampling.require_confident` (and by the
+    driver under ``--strict``) when a sampled database's
+    evidence-weighted confidence falls below the minimum.  The default
+    behaviour is the degradation-ladder rung instead: warn and fall
+    back to static frequency estimates (docs/resilience.md).
+    """
+
+    def __init__(self, message: str, confidence: float = 0.0, minimum: float = 0.0):
+        self.confidence = confidence
+        self.minimum = minimum
+        super().__init__(message)
+
+
 class InjectedFault(ResilienceError):
     """Raised by the fault injector's crashing passes (never by real code)."""
 

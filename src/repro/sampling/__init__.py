@@ -1,0 +1,65 @@
+"""Sampled, context-sensitive profile collection and lifecycle management.
+
+The exact-instrumentation pipeline (:mod:`repro.profile`) is one end of
+the PGO spectrum: perfect counts, paid for with an instrumenting
+compile and a slowed training run, and brittle the moment sources move.
+This package is the production end:
+
+- :class:`SamplingSink` / :class:`SampledProfile` /
+  :func:`sample_train` — a sampling profiler on the interpreter's
+  event stream (every ~N steps with seeded jitter) that records k-deep
+  calling contexts per sample and scales observations into a
+  :class:`~repro.profile.ProfileDatabase` with per-count confidence;
+- :mod:`~repro.sampling.lifecycle` — weighted/decayed multi-run
+  merging, fingerprint-based per-procedure staleness detection with
+  salvage remapping, and the quality report behind
+  ``repro profile {report,check}``.
+"""
+
+from ..resilience.errors import ProfileConfidenceError
+from .lifecycle import (
+    DEFAULT_MIN_MATCH,
+    FRESH,
+    MIN_PROFILE_CONFIDENCE,
+    MISSING,
+    STALE,
+    ProcStaleness,
+    StalenessReport,
+    assess_staleness,
+    format_quality_report,
+    merge_profiles,
+    quality_report,
+    remap_database,
+    require_confident,
+)
+from .sampler import (
+    DEFAULT_CONTEXT_DEPTH,
+    DEFAULT_SAMPLE_RATE,
+    SampledProfile,
+    SamplingSink,
+    sample_run,
+    sample_train,
+)
+
+__all__ = [
+    "DEFAULT_CONTEXT_DEPTH",
+    "DEFAULT_MIN_MATCH",
+    "DEFAULT_SAMPLE_RATE",
+    "FRESH",
+    "MIN_PROFILE_CONFIDENCE",
+    "MISSING",
+    "STALE",
+    "ProcStaleness",
+    "ProfileConfidenceError",
+    "SampledProfile",
+    "SamplingSink",
+    "StalenessReport",
+    "assess_staleness",
+    "format_quality_report",
+    "merge_profiles",
+    "quality_report",
+    "remap_database",
+    "require_confident",
+    "sample_run",
+    "sample_train",
+]

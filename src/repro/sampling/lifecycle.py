@@ -1,0 +1,306 @@
+"""Profile lifecycle management: merge, age, detect staleness, salvage.
+
+The PGO survey ("From Profiling to Optimization") identifies two
+dominant production problems once profile-guided builds leave the lab:
+
+1. **Multi-run management** — profiles arrive continuously from many
+   deployments; naive accumulation lets ancient behaviour swamp the
+   present.  :func:`merge_profiles` combines runs with explicit weights
+   or an exponential *decay* (each older run's influence multiplied by
+   ``decay``), on top of
+   :meth:`~repro.profile.ProfileDatabase.combine`'s step-normalized
+   weighting.
+2. **Staleness** — sources move on while profiles age.  The seed
+   pipeline's answer was all-or-nothing (the whole-database
+   ``match_ratio``).  Here every procedure carries a source fingerprint
+   recorded at training time; :func:`assess_staleness` classifies each
+   as *fresh* (fingerprint matches the current compile), *stale*
+   (shape changed — still-matching block labels can be salvaged),
+   or *missing* (deleted/renamed), and :func:`remap_database` performs
+   the per-procedure salvage: fresh counts kept wholesale, stale
+   procedures keep exactly the block counts whose labels still resolve,
+   missing procedures dropped, site counts re-derived against the
+   current program.
+
+:func:`quality_report` rolls coverage, confidence, and staleness into
+one machine-readable dict (the ``repro profile report``/``check``
+payload), and :func:`require_confident` is the hard-gate twin of the
+driver's low-confidence degradation rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.program import Program
+from ..profile.database import ProfileDatabase
+from ..profile.fingerprint import fingerprint_program
+from ..resilience.errors import ProfileConfidenceError
+
+# Below this evidence-weighted confidence a sampled profile is treated
+# as noise: the degradation ladder falls back to static estimates.
+MIN_PROFILE_CONFIDENCE = 0.5
+
+# Below this per-procedure match ratio `repro profile check` calls the
+# database stale for that procedure.
+DEFAULT_MIN_MATCH = 0.8
+
+FRESH = "fresh"
+STALE = "stale"
+MISSING = "missing"
+
+
+@dataclass
+class ProcStaleness:
+    """One procedure's staleness verdict."""
+
+    name: str
+    status: str  # FRESH / STALE / MISSING
+    match_ratio: float  # fraction of recorded block labels that resolve
+    blocks_recorded: int
+    blocks_matching: int
+
+
+@dataclass
+class StalenessReport:
+    """Per-procedure staleness of one database against one program."""
+
+    procs: Dict[str, ProcStaleness] = field(default_factory=dict)
+    overall_match: float = 0.0  # the legacy whole-database scalar
+
+    @property
+    def fresh(self) -> List[str]:
+        return sorted(n for n, p in self.procs.items() if p.status == FRESH)
+
+    @property
+    def stale(self) -> List[str]:
+        return sorted(n for n, p in self.procs.items() if p.status == STALE)
+
+    @property
+    def missing(self) -> List[str]:
+        return sorted(n for n, p in self.procs.items() if p.status == MISSING)
+
+    def worst_ratio(self) -> float:
+        if not self.procs:
+            return 0.0
+        return min(p.match_ratio for p in self.procs.values())
+
+    def healthy(self, min_match: float = DEFAULT_MIN_MATCH) -> bool:
+        return all(p.match_ratio >= min_match for p in self.procs.values())
+
+
+def merge_profiles(
+    databases: Sequence[ProfileDatabase],
+    weights: Optional[Sequence[float]] = None,
+    decay: Optional[float] = None,
+) -> ProfileDatabase:
+    """Combine several profiles, weighted explicitly or by age decay.
+
+    ``databases`` are ordered oldest first.  With ``decay`` (in (0, 1])
+    the newest run gets weight 1.0 and each step back multiplies by
+    ``decay`` — the exponential forgetting that keeps a long-lived
+    profile tracking current behaviour.  ``weights`` and ``decay`` are
+    mutually exclusive.
+    """
+    if weights is not None and decay is not None:
+        raise ValueError("pass weights or decay, not both")
+    if decay is not None:
+        if not (0.0 < decay <= 1.0):
+            raise ValueError("decay must be in (0, 1]")
+        n = len(databases)
+        weights = [decay ** (n - 1 - i) for i in range(n)]
+    return ProfileDatabase.combine(list(databases), list(weights) if weights else None)
+
+
+def assess_staleness(db: ProfileDatabase, program: Program) -> StalenessReport:
+    """Classify every recorded procedure against a fresh compile.
+
+    Fingerprints decide fresh-vs-stale when the database carries them
+    (v3); databases without fingerprints (v1/v2) fall back to pure
+    label matching — a procedure whose every recorded label resolves is
+    presumed fresh.
+    """
+    report = StalenessReport(overall_match=db.match_ratio(program))
+    ratios = db.proc_match_ratios(program)
+    current = fingerprint_program(program)
+    recorded_counts: Dict[str, int] = {}
+    for proc, _label in db.block_counts:
+        recorded_counts[proc] = recorded_counts.get(proc, 0) + 1
+
+    names = set(ratios) | {
+        name for name in db.fingerprints if name in recorded_counts
+    }
+    for name in names:
+        ratio = ratios.get(name, 0.0)
+        recorded = recorded_counts.get(name, 0)
+        if program.proc(name) is None:
+            status = MISSING
+        else:
+            trained_fp = db.fingerprints.get(name)
+            if trained_fp is not None:
+                status = FRESH if trained_fp == current.get(name) else STALE
+            else:
+                status = FRESH if ratio >= 1.0 else STALE
+        report.procs[name] = ProcStaleness(
+            name=name,
+            status=status,
+            match_ratio=ratio,
+            blocks_recorded=recorded,
+            blocks_matching=int(round(ratio * recorded)),
+        )
+    return report
+
+
+def remap_database(
+    db: ProfileDatabase, program: Program
+) -> "tuple[ProfileDatabase, StalenessReport]":
+    """Salvage the still-matching counts of a partially stale database.
+
+    Returns a new database re-anchored to ``program``: fresh
+    procedures keep everything, stale procedures keep only the block
+    counts (and their samples/contexts) whose labels still resolve,
+    missing procedures are dropped, and site counts are re-derived
+    through the current program's call sites.  Fingerprints are
+    refreshed, so a subsequent assessment of the remapped database
+    against the same program reports everything fresh.
+    """
+    report = assess_staleness(db, program)
+    out = ProfileDatabase()
+    out.training_runs = db.training_runs
+    out.training_steps = db.training_steps
+    out.sampled = db.sampled
+    out.sample_rate = db.sample_rate
+    out.context_depth = db.context_depth
+    out.sampled_events = db.sampled_events
+    out.sample_count = db.sample_count
+
+    live = {
+        (proc.name, label)
+        for proc in program.all_procs()
+        for label in proc.blocks
+    }
+    for key, count in db.block_counts.items():
+        if key in live:
+            out.block_counts[key] = count
+    for key, n in db.block_samples.items():
+        if key in live:
+            out.block_samples[key] = n
+    for key, per in db.context_counts.items():
+        if key in live:
+            out.context_counts[key] = dict(per)
+    out._derive_site_counts(program)
+    out.fingerprints = {
+        name: fp
+        for name, fp in fingerprint_program(program).items()
+        if any(proc == name for proc, _label in out.block_counts)
+    }
+    return out, report
+
+
+def quality_report(
+    db: ProfileDatabase, program: Optional[Program] = None
+) -> dict:
+    """Coverage / confidence / staleness rolled into one JSON-able dict.
+
+    Without a ``program`` only the database-intrinsic figures are
+    reported; with one, coverage and per-procedure staleness join in.
+    """
+    payload = {
+        "runs": db.training_runs,
+        "steps": db.training_steps,
+        "blocks": len(db.block_counts),
+        "sites": len(db.site_counts),
+        "sampled": db.sampled,
+        "confidence": round(db.overall_confidence(), 4),
+    }
+    if db.sampled:
+        payload["sampling"] = {
+            "rate": round(db.sample_rate, 2),
+            "context_depth": db.context_depth,
+            "events": db.sampled_events,
+            "samples": db.sample_count,
+            "contexts": sum(len(per) for per in db.context_counts.values()),
+        }
+    if program is not None:
+        staleness = assess_staleness(db, program)
+        payload["coverage"] = round(db.coverage(program), 4)
+        payload["match_ratio"] = round(staleness.overall_match, 4)
+        payload["staleness"] = {
+            "fresh": staleness.fresh,
+            "stale": staleness.stale,
+            "missing": staleness.missing,
+            "procs": {
+                name: {
+                    "status": entry.status,
+                    "match_ratio": round(entry.match_ratio, 4),
+                    "blocks_recorded": entry.blocks_recorded,
+                    "blocks_matching": entry.blocks_matching,
+                }
+                for name, entry in sorted(staleness.procs.items())
+            },
+        }
+    return payload
+
+
+def format_quality_report(payload: dict) -> str:
+    """Human rendering of :func:`quality_report` for the CLI."""
+    lines = [
+        "profile: {} run(s), {} steps, {} blocks, {} sites".format(
+            payload["runs"], payload["steps"], payload["blocks"], payload["sites"]
+        ),
+        "collection: {}".format(
+            "sampled (rate 1/{:.0f}, k={}, {} samples / {} events, "
+            "{} context record(s))".format(
+                payload["sampling"]["rate"],
+                payload["sampling"]["context_depth"],
+                payload["sampling"]["samples"],
+                payload["sampling"]["events"],
+                payload["sampling"]["contexts"],
+            )
+            if payload.get("sampled")
+            else "exact (instrumented)"
+        ),
+        "confidence: {:.1%}".format(payload["confidence"]),
+    ]
+    if "coverage" in payload:
+        lines.append("coverage: {:.1%} of program blocks".format(payload["coverage"]))
+        lines.append(
+            "staleness: match ratio {:.1%}; {} fresh, {} stale, {} missing".format(
+                payload["match_ratio"],
+                len(payload["staleness"]["fresh"]),
+                len(payload["staleness"]["stale"]),
+                len(payload["staleness"]["missing"]),
+            )
+        )
+        for name, entry in payload["staleness"]["procs"].items():
+            if entry["status"] != FRESH:
+                lines.append(
+                    "  {}: {} ({}/{} blocks still match)".format(
+                        name,
+                        entry["status"],
+                        entry["blocks_matching"],
+                        entry["blocks_recorded"],
+                    )
+                )
+    return "\n".join(lines)
+
+
+def require_confident(
+    db: ProfileDatabase, minimum: float = MIN_PROFILE_CONFIDENCE
+) -> None:
+    """Raise :class:`ProfileConfidenceError` when the evidence is thin.
+
+    The hard-gate (``--strict``) twin of the driver's low-confidence
+    degradation rung; exact databases always pass.
+    """
+    confidence = db.overall_confidence()
+    if db.sampled and confidence < minimum:
+        raise ProfileConfidenceError(
+            "sampled profile confidence {:.2f} below minimum {:.2f} "
+            "({} samples over {} blocks)".format(
+                confidence, minimum, db.sample_count, len(db.block_samples)
+            ),
+            confidence=confidence,
+            minimum=minimum,
+        )

@@ -138,9 +138,12 @@ class TestProfileDetection:
             ProfileDatabase.from_text(text)
         assert "frobnicate" in str(err.value)
 
-    def test_v2_roundtrip_and_v1_compat(self):
+    def test_v3_roundtrip_and_v1_compat(self):
+        # Trained databases carry procedure fingerprints (the lifecycle
+        # layer's staleness anchor), which lifts them to format v3.
         text = sample_profile_text()
-        assert text.startswith("profiledb 2 crc32 ")
+        assert text.startswith("profiledb 3 crc32 ")
+        assert "\nfp main " in text
         db = ProfileDatabase.from_text(text)
         assert not db.is_empty()
         # A v1 database (payload only, no checksum) still loads.

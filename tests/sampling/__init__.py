@@ -1,0 +1,1 @@
+"""Tests for the sampling profiler and profile lifecycle subsystem."""
