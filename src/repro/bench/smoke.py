@@ -22,14 +22,23 @@ isoms, and the host wall time.  On top of that it measures:
   the exact instrumented profile and again with the sampling profiler
   (``repro.sampling``, rate 1/100); the Jaccard overlap of the two
   builds' inline/clone decision sets must stay ≥ 90%, the empirical
-  backing for sampled PGO being a drop-in replacement.
+  backing for sampled PGO being a drop-in replacement;
+- **interpreter engine speedup** — each workload runs sink-free under
+  the pre-decoded engine and the reference loop (best-of-N walls);
+  the fast engine must stay ≥ 2× the reference on every workload, the
+  acceptance bar the engine shipped against.  ``interp.steps_per_sec``
+  and the plan-cache counters land in the report on the canonical
+  ``interp.*`` metric names.
 
 ``--check --baseline benchmarks/baseline.json`` turns the run into a
 regression gate: ``compile_units`` or ``cycles`` more than 15% above
-the committed baseline fails the run.  Wall times are *recorded* but
-only gated behind ``--gate-wall-time``, because a wall-time baseline
-measured on one machine is meaningless on another; the deterministic
-cost model is the portable proxy (docs/performance.md).
+the committed baseline fails the run, and so does an engine *speedup*
+more than 15% below baseline (a ratio of two walls on the same host,
+so it transfers across machines where raw wall time does not).  Wall
+times and absolute steps/sec are *recorded* but only gated behind
+``--gate-wall-time``, because a wall-time baseline measured on one
+machine is meaningless on another; the deterministic cost model is the
+portable proxy (docs/performance.md).
 
 Refresh the baseline after an intentional compiler change with::
 
@@ -46,12 +55,14 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
 SAMPLING_RATE = 100
 MIN_DECISION_OVERLAP = 0.9
+MIN_INTERP_SPEEDUP = 2.0
+INTERP_REPEATS = 5
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -237,6 +248,88 @@ def _measure_sampling(
     }
 
 
+def _measure_interp(
+    names: Sequence[str], repeats: int = INTERP_REPEATS
+) -> dict:
+    """Pre-decoded engine vs. reference loop, sink-free, best-of-N.
+
+    Runs each workload's un-optimized program (front end only — engine
+    throughput is a property of the interpreter, not of HLO) on its
+    reference input under both engines.  The per-workload *speedup* is
+    the portable figure: both walls come from the same host and run, so
+    their ratio survives machine changes where raw steps/sec cannot.
+    The fast-engine figures are read back through the canonical
+    ``interp.*`` metric names (:func:`repro.obs.metrics.collect_interp_metrics`)
+    so the report and ``--metrics-out`` consumers agree on spelling.
+    """
+    import gc
+
+    from ..interp.interpreter import Interpreter
+    from ..obs.metrics import collect_interp_metrics
+    from ..workloads.suite import get_workload
+
+    per = {}
+    plans_compiled = 0
+    plan_cache_hits = 0
+    for name in names:
+        workload = get_workload(name)
+        program = workload.compile()
+        # One untimed warm-up per engine: absorbs plan compilation (its
+        # counters are what we report), faults code in, settles caches.
+        for engine in ("fast", "reference"):
+            interp = Interpreter(program, workload.ref_input, engine=engine)
+            interp.run()
+            if engine == "fast":
+                plans_compiled += interp.plans_compiled
+                plan_cache_hits += interp.plan_cache_hits
+        # Timed rounds interleave the engines so temporal drift (turbo
+        # decay, a background process waking up) lands on both equally
+        # instead of skewing the ratio; GC is parked so a collection
+        # pause cannot charge one engine for the other's garbage.
+        walls = {"fast": None, "reference": None}
+        last_fast = None
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                for engine in ("fast", "reference"):
+                    interp = Interpreter(
+                        program, workload.ref_input, engine=engine
+                    )
+                    started = time.perf_counter()
+                    interp.run()
+                    wall = time.perf_counter() - started
+                    best = walls[engine]
+                    walls[engine] = wall if best is None else min(best, wall)
+                    if engine == "fast":
+                        plan_cache_hits += interp.plan_cache_hits
+                        last_fast = interp
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        steps = last_fast.steps
+        fast_sps = steps / walls["fast"] if walls["fast"] else 0.0
+        ref_sps = steps / walls["reference"] if walls["reference"] else 0.0
+        reg = collect_interp_metrics(last_fast, steps_per_sec=fast_sps)
+        per[name] = {
+            "steps": reg.value("interp.steps"),
+            "steps_per_sec": reg.value("interp.steps_per_sec"),
+            "reference_steps_per_sec": round(ref_sps, 1),
+            "speedup": round(fast_sps / ref_sps, 3) if ref_sps else 0.0,
+        }
+    speedups = [entry["speedup"] for entry in per.values()]
+    return {
+        "engine": "fast",
+        "min_speedup": MIN_INTERP_SPEEDUP,
+        "mean_speedup": round(sum(speedups) / len(speedups), 3)
+        if speedups else 0.0,
+        "plans_compiled": plans_compiled,
+        "plan_cache_hits": plan_cache_hits,
+        "workloads": per,
+    }
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
@@ -277,6 +370,14 @@ def run_smoke(
                 )
             )
 
+    interp = _measure_interp(names)
+    for name, entry in interp["workloads"].items():
+        if entry["speedup"] < MIN_INTERP_SPEEDUP:
+            failures.append(
+                "interp: {} engine speedup {:.2f}x below the {:.1f}x "
+                "floor".format(name, entry["speedup"], MIN_INTERP_SPEEDUP)
+            )
+
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
         failures.append(
@@ -308,6 +409,7 @@ def run_smoke(
         "cache": cache,
         "observability": observability,
         "sampling": sampling,
+        "interp": interp,
     }
     return report, failures
 
@@ -342,6 +444,35 @@ def check(
                 failures.append(
                     "{}: wall_s regressed ({} -> {})".format(name, before, after)
                 )
+    base_interp = baseline.get("interp", {}).get("workloads", {})
+    measured_interp = report.get("interp", {}).get("workloads", {})
+    for name, measured in measured_interp.items():
+        expected = base_interp.get(name)
+        if expected is None:
+            continue
+        # The speedup is a same-host wall ratio, so it transfers across
+        # machines and gates unconditionally; absolute steps/sec is
+        # host-bound wall clock and hides behind --gate-wall-time like
+        # every other raw timing.
+        before, after = expected.get("speedup"), measured.get("speedup")
+        if before and after is not None:
+            drop = (before - after) / before
+            if drop > threshold:
+                failures.append(
+                    "{}: interp speedup regressed {:.1f}% "
+                    "({} -> {}), limit {:.0f}%".format(
+                        name, drop * 100, before, after, threshold * 100
+                    )
+                )
+        if gate_wall_time:
+            before = expected.get("steps_per_sec")
+            after = measured.get("steps_per_sec")
+            if before and after and (before - after) / before > threshold:
+                failures.append(
+                    "{}: interp steps_per_sec regressed ({} -> {})".format(
+                        name, before, after
+                    )
+                )
     return failures
 
 
@@ -359,6 +490,19 @@ def baseline_view(report: dict) -> dict:
             for name, entry in report["workloads"].items()
         },
         "totals": report["totals"],
+        # Speedup (a same-host wall ratio) and steps/sec both land in
+        # the baseline; check() gates the former always and the latter
+        # only behind --gate-wall-time.
+        "interp": {
+            "workloads": {
+                name: {
+                    "speedup": entry["speedup"],
+                    "steps_per_sec": entry["steps_per_sec"],
+                }
+                for name, entry in report.get("interp", {})
+                .get("workloads", {}).items()
+            },
+        },
     }
 
 
@@ -431,6 +575,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report["sampling"]["mean_overlap"],
             report["sampling"]["rate"],
             report["sampling"]["min_overlap"],
+        )
+    )
+    print(
+        "interp: {} engine mean speedup x{:.2f} over reference "
+        "(floor x{:.1f}; {} plans compiled, {} cache hits)".format(
+            report["interp"]["engine"],
+            report["interp"]["mean_speedup"],
+            report["interp"]["min_speedup"],
+            report["interp"]["plans_compiled"],
+            report["interp"]["plan_cache_hits"],
         )
     )
     for failure in failures:

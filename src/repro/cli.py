@@ -40,7 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 from .core.config import HLOConfig
 from .core.hlo import run_hlo
 from .frontend.driver import compile_program
-from .interp.interpreter import run_program
+from .interp.interpreter import DEFAULT_ENGINE, ENGINES, run_program
 from .ir.printer import print_program
 from .linker.isom import write_isom
 from .linker.toolchain import SCOPES, BuildDiagnostics, Toolchain, scope_flags
@@ -321,10 +321,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             report = _hlo_for_scope(program, args, profile, diagnostics, obs)
     inputs = _parse_inputs(args.inputs)
     with obs.tracer.span("execute", cat="machine", simulate=bool(args.simulate)):
+        engine = getattr(args, "engine", DEFAULT_ENGINE)
         if args.simulate:
-            metrics, result = simulate(program, inputs)
+            metrics, result = simulate(program, inputs, engine=engine)
         else:
-            metrics, result = None, run_program(program, inputs)
+            metrics, result = None, run_program(program, inputs, engine=engine)
     for value in result.output:
         print(value)
     if metrics is not None:
@@ -355,6 +356,7 @@ def _collect_runs(inputs: Optional[Sequence[str]]) -> List[List[int]]:
 def cmd_train(args: argparse.Namespace) -> int:
     sources = _read_sources(args.files)
     runs = _collect_runs(args.inputs)
+    engine = getattr(args, "engine", DEFAULT_ENGINE)
     if args.sample_rate:
         db = sample_train(
             sources,
@@ -362,6 +364,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             rate=args.sample_rate,
             context_depth=args.context_depth,
             seed=args.seed,
+            engine=engine,
         )
         db.save(args.output)
         print(
@@ -372,7 +375,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    db = train(sources, runs)
+    db = train(sources, runs, engine=engine)
     db.save(args.output)
     print(
         "trained {} run(s), {} steps; wrote {}".format(
@@ -425,6 +428,7 @@ def cmd_profile_sample(args: argparse.Namespace) -> int:
         rate=args.rate,
         context_depth=args.context_depth,
         seed=args.seed,
+        engine=getattr(args, "engine", DEFAULT_ENGINE),
     )
     db.save(args.output)
     print(
@@ -585,6 +589,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         strict=getattr(args, "strict", False),
         jobs=getattr(args, "jobs", None),
         cache_dir=getattr(args, "cache_dir", None),
+        engine=getattr(args, "engine", DEFAULT_ENGINE),
     )
     config = _config_from_args(args)
     obs = _observer_from_args(args)
@@ -652,7 +657,14 @@ def build_parser() -> argparse.ArgumentParser:
                        "(output is identical for any N)")
         p.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed incremental compile cache")
+        engine_flag(p)
         observability(p)
+
+    def engine_flag(p):
+        p.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+                       help="interpreter engine: 'fast' pre-decodes to "
+                       "threaded code, 'reference' is the plain loop "
+                       "(default {})".format(DEFAULT_ENGINE))
 
     def observability(p):
         p.add_argument("--trace-out", metavar="FILE",
@@ -700,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0,
                          help="sampling jitter seed (default 0)")
     p_train.add_argument("-o", "--output", default="repro.profdb")
+    engine_flag(p_train)
     p_train.set_defaults(func=cmd_train)
 
     p_profile = sub.add_parser(
@@ -732,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp_sample.add_argument("--seed", type=int, default=0,
                            help="sampling jitter seed (default 0)")
     pp_sample.add_argument("-o", "--output", default="repro.profdb")
+    engine_flag(pp_sample)
     pp_sample.set_defaults(func=cmd_profile_sample)
 
     pp_merge = profile_sub.add_parser(
@@ -794,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compile modules with N worker processes")
     p_bench.add_argument("--cache-dir", metavar="DIR",
                          help="content-addressed incremental compile cache")
+    engine_flag(p_bench)
     observability(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 

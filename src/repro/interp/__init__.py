@@ -1,22 +1,36 @@
-"""IR interpreter: execution engine, events, memory, errors."""
+"""IR interpreter: execution engines, events, memory, errors."""
 
+from .diff import assert_identical, diff_engines, run_outcome
 from .errors import ExecError, StepLimitExceeded
-from .events import CountingSink, EventSink
-from .interpreter import DEFAULT_MAX_STEPS, Interpreter, Result, run_program
+from .events import CountingSink, EventSink, RecordingSink
+from .interpreter import (
+    DEFAULT_ENGINE,
+    DEFAULT_MAX_STEPS,
+    ENGINES,
+    Interpreter,
+    Result,
+    run_program,
+)
 from .memory import GLOBAL_BASE, HEAP_BASE, STACK_BASE, CodePtr, Memory
 
 __all__ = [
     "CodePtr",
     "CountingSink",
+    "DEFAULT_ENGINE",
     "DEFAULT_MAX_STEPS",
+    "ENGINES",
     "EventSink",
     "ExecError",
     "GLOBAL_BASE",
     "HEAP_BASE",
     "Interpreter",
     "Memory",
+    "RecordingSink",
     "Result",
     "STACK_BASE",
     "StepLimitExceeded",
+    "assert_identical",
+    "diff_engines",
+    "run_outcome",
     "run_program",
 ]

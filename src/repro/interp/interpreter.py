@@ -17,6 +17,7 @@ workloads do not consume Python stack.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.instructions import (
@@ -43,6 +44,13 @@ from .memory import GLOBAL_BASE, STACK_BASE, CodePtr, Memory, Word
 
 DEFAULT_MAX_STEPS = 50_000_000
 STACK_LIMIT_FRAMES = 8_000
+
+# Execution engines.  "fast" is the pre-decoded threaded-dispatch engine
+# (repro.interp.engine); "reference" is the direct-over-IR loop below,
+# kept as the semantics oracle the fast engine is differentially tested
+# against.
+ENGINES = ("fast", "reference")
+DEFAULT_ENGINE = "fast"
 
 
 class _Exit(Exception):
@@ -118,21 +126,45 @@ class Interpreter:
         max_steps: int = DEFAULT_MAX_STEPS,
         collect_site_counts: bool = False,
         collect_block_counts: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                "unknown engine {!r}; expected one of {}".format(engine, ENGINES)
+            )
         self.program = program
         self.inputs = list(inputs)
         self.sink = sink
         self.max_steps = max_steps
         self.collect_site_counts = collect_site_counts
         self.collect_block_counts = collect_block_counts
+        self.engine = engine
 
         self.memory = Memory()
         self.output: List[Union[int, float]] = []
         self.steps = 0
         self.call_count = 0
-        self.probe_counts: Dict[int, int] = {}
-        self.site_counts: Dict[Tuple[str, int], int] = {}
-        self.block_counts: Dict[Tuple[str, str], int] = {}
+        self.probe_counts: Dict[int, int] = Counter()
+        self.site_counts: Dict[Tuple[str, int], int] = Counter()
+        self.block_counts: Dict[Tuple[str, str], int] = Counter()
+        # Plan-cache accounting for the fast engine (obs `interp.*` metrics).
+        self.plans_compiled = 0
+        self.plan_cache_hits = 0
+
+        # Sink capability negotiation: both engines honour the sink's
+        # declared needs_* flags, so a sink that does not consume a
+        # callback never pays for it (and both engines deliver the same
+        # stream for any given sink, which the differential harness
+        # checks).
+        if sink is None:
+            self._sink_instr = self._sink_branch = False
+            self._sink_call = self._sink_return = self._sink_mem = False
+        else:
+            self._sink_instr = sink.needs_instr
+            self._sink_branch = sink.needs_branch
+            self._sink_call = sink.needs_call
+            self._sink_return = sink.needs_return
+            self._sink_mem = sink.needs_mem
 
         self._procs: Dict[str, Procedure] = {p.name: p for p in program.all_procs()}
         self._global_addrs: Dict[str, int] = {}
@@ -180,6 +212,10 @@ class Interpreter:
         proc = self._procs.get(entry)
         if proc is None:
             raise ExecError("entry procedure @{} not found".format(entry))
+        if self.engine == "fast":
+            from .engine import execute
+
+            return execute(self, proc, list(args))
         frame = self._push_frame(proc, list(args), dest=None)
         exit_code = 0
         try:
@@ -233,109 +269,129 @@ class Interpreter:
         sink = self.sink
         depth0 = len(frames) - 1
 
-        while True:
-            frame = frames[-1]
-            proc = frame.proc
-            block = proc.blocks.get(frame.label)
-            if block is None:
-                raise ExecError("jump to missing block", proc.name, str(frame.label), 0)
-            if frame.index == 0 and self.collect_block_counts:
-                key = (proc.name, frame.label)
-                self.block_counts[key] = self.block_counts.get(key, 0) + 1
+        # Hot-path locals: every name resolved per instruction in the
+        # inner loop is bound once here.  ``steps`` is kept local and
+        # written back in the ``finally`` so _Exit / trap unwinds still
+        # leave ``self.steps`` exact.
+        max_steps = self.max_steps
+        memory = self.memory
+        eval_ = self._eval
+        probe_counts = self.probe_counts
+        block_counts = self.block_counts
+        collect_block = self.collect_block_counts
+        on_instr = sink.on_instr if self._sink_instr else None
+        on_branch = sink.on_branch if self._sink_branch else None
+        on_mem = sink.on_mem if self._sink_mem else None
+        steps = self.steps
 
-            instrs = block.instrs
-            while frame.index < len(instrs):
-                idx = frame.index
-                instr = instrs[idx]
-                self.steps += 1
-                if self.steps > self.max_steps:
-                    raise StepLimitExceeded(
-                        "step limit {} exceeded".format(self.max_steps),
-                        proc.name,
-                        block.label,
-                        idx,
-                    )
-                if sink is not None:
-                    sink.on_instr(proc, block.label, idx, instr)
-
-                cls = instr.__class__
-                if cls is BinOp:
-                    frame.regs[instr.dest.name] = self._binop(frame, instr, proc, block, idx)
-                    frame.index = idx + 1
-                elif cls is Mov:
-                    frame.regs[instr.dest.name] = self._eval(frame, instr.src)
-                    frame.index = idx + 1
-                elif cls is UnOp:
-                    src = self._eval(frame, instr.src)
-                    try:
-                        frame.regs[instr.dest.name] = eval_unop(instr.op, src)
-                    except (EvalError, TypeError) as ex:
-                        raise ExecError(str(ex), proc.name, block.label, idx)
-                    frame.index = idx + 1
-                elif cls is Load:
-                    addr = self._eval(frame, instr.addr)
-                    value = self.memory.load(addr)
-                    if sink is not None:
-                        sink.on_mem(addr, False)
-                    frame.regs[instr.dest.name] = value
-                    frame.index = idx + 1
-                elif cls is Store:
-                    addr = self._eval(frame, instr.addr)
-                    value = self._eval(frame, instr.value)
-                    self.memory.store(addr, value)
-                    if sink is not None:
-                        sink.on_mem(addr, True)
-                    frame.index = idx + 1
-                elif cls is Branch:
-                    cond = self._eval(frame, instr.cond)
-                    taken = bool(cond)
-                    target = instr.then_target if taken else instr.else_target
-                    if sink is not None:
-                        sink.on_branch(proc, block.label, idx, "cond", taken, target)
-                    frame.label = target
-                    frame.index = 0
-                    break
-                elif cls is Jump:
-                    if sink is not None:
-                        sink.on_branch(proc, block.label, idx, "jump", True, instr.target)
-                    frame.label = instr.target
-                    frame.index = 0
-                    break
-                elif cls is Ret:
-                    value = self._eval(frame, instr.value) if instr.value is not None else None
-                    done = self._do_return(frame, value)
-                    if done:
-                        return value
-                    break
-                elif cls is Call or cls is ICall:
-                    entered = self._do_call(frame, proc, block, idx, instr)
-                    frame.index = idx + 1
-                    if entered:
-                        break
-                elif cls is Alloca:
-                    size = self._eval(frame, instr.size)
-                    if not isinstance(size, int) or size < 0:
-                        raise ExecError(
-                            "bad alloca size {!r}".format(size), proc.name, block.label, idx
-                        )
-                    self._stack_top -= size
-                    frame.regs[instr.dest.name] = self._stack_top
-                    frame.index = idx + 1
-                elif cls is Probe:
-                    cid = instr.counter_id
-                    self.probe_counts[cid] = self.probe_counts.get(cid, 0) + 1
-                    frame.index = idx + 1
-                else:  # pragma: no cover - unreachable with a verified program
+        try:
+            while True:
+                frame = frames[-1]
+                proc = frame.proc
+                block = proc.blocks.get(frame.label)
+                if block is None:
                     raise ExecError(
-                        "unknown instruction {!r}".format(instr), proc.name, block.label, idx
+                        "jump to missing block", proc.name, str(frame.label), 0
                     )
-            else:
-                raise ExecError(
-                    "fell off the end of block", proc.name, block.label, len(instrs)
-                )
+                if frame.index == 0 and collect_block:
+                    block_counts[(proc.name, frame.label)] += 1
 
-            if len(frames) == depth0:
-                raise ExecError("internal: frame stack underflow")  # pragma: no cover
+                instrs = block.instrs
+                regs = frame.regs
+                n_instrs = len(instrs)
+                while frame.index < n_instrs:
+                    idx = frame.index
+                    instr = instrs[idx]
+                    steps += 1
+                    if steps > max_steps:
+                        raise StepLimitExceeded(
+                            "step limit {} exceeded".format(max_steps),
+                            proc.name,
+                            block.label,
+                            idx,
+                        )
+                    if on_instr is not None:
+                        on_instr(proc, block.label, idx, instr)
+
+                    cls = instr.__class__
+                    if cls is BinOp:
+                        regs[instr.dest.name] = self._binop(frame, instr, proc, block, idx)
+                        frame.index = idx + 1
+                    elif cls is Mov:
+                        regs[instr.dest.name] = eval_(frame, instr.src)
+                        frame.index = idx + 1
+                    elif cls is UnOp:
+                        src = eval_(frame, instr.src)
+                        try:
+                            regs[instr.dest.name] = eval_unop(instr.op, src)
+                        except (EvalError, TypeError) as ex:
+                            raise ExecError(str(ex), proc.name, block.label, idx)
+                        frame.index = idx + 1
+                    elif cls is Load:
+                        addr = eval_(frame, instr.addr)
+                        value = memory.load(addr)
+                        if on_mem is not None:
+                            on_mem(addr, False)
+                        regs[instr.dest.name] = value
+                        frame.index = idx + 1
+                    elif cls is Store:
+                        addr = eval_(frame, instr.addr)
+                        value = eval_(frame, instr.value)
+                        memory.store(addr, value)
+                        if on_mem is not None:
+                            on_mem(addr, True)
+                        frame.index = idx + 1
+                    elif cls is Branch:
+                        cond = eval_(frame, instr.cond)
+                        taken = bool(cond)
+                        target = instr.then_target if taken else instr.else_target
+                        if on_branch is not None:
+                            on_branch(proc, block.label, idx, "cond", taken, target)
+                        frame.label = target
+                        frame.index = 0
+                        break
+                    elif cls is Jump:
+                        if on_branch is not None:
+                            on_branch(proc, block.label, idx, "jump", True, instr.target)
+                        frame.label = instr.target
+                        frame.index = 0
+                        break
+                    elif cls is Ret:
+                        value = eval_(frame, instr.value) if instr.value is not None else None
+                        done = self._do_return(frame, value)
+                        if done:
+                            return value
+                        break
+                    elif cls is Call or cls is ICall:
+                        entered = self._do_call(frame, proc, block, idx, instr)
+                        frame.index = idx + 1
+                        if entered:
+                            break
+                    elif cls is Alloca:
+                        size = eval_(frame, instr.size)
+                        if not isinstance(size, int) or size < 0:
+                            raise ExecError(
+                                "bad alloca size {!r}".format(size), proc.name, block.label, idx
+                            )
+                        self._stack_top -= size
+                        regs[instr.dest.name] = self._stack_top
+                        frame.index = idx + 1
+                    elif cls is Probe:
+                        probe_counts[instr.counter_id] += 1
+                        frame.index = idx + 1
+                    else:  # pragma: no cover - unreachable with a verified program
+                        raise ExecError(
+                            "unknown instruction {!r}".format(instr), proc.name, block.label, idx
+                        )
+                else:
+                    raise ExecError(
+                        "fell off the end of block", proc.name, block.label, len(instrs)
+                    )
+
+                if len(frames) == depth0:
+                    raise ExecError("internal: frame stack underflow")  # pragma: no cover
+        finally:
+            self.steps = steps
 
     # ------------------------------------------------------------------
     # Instruction helpers
@@ -394,12 +450,11 @@ class Interpreter:
         args = [self._eval(frame, a) for a in instr.args]
         self.call_count += 1
         if self.collect_site_counts:
-            key = (proc.module, instr.site_id)
-            self.site_counts[key] = self.site_counts.get(key, 0) + 1
+            self.site_counts[(proc.module, instr.site_id)] += 1
 
         callee = self._procs.get(callee_name)
         if callee is not None:
-            if self.sink is not None:
+            if self._sink_call:
                 self.sink.on_call(proc, callee_name, kind, len(args))
             self._push_frame(callee, args, dest=instr.dest)
             return True
@@ -412,7 +467,7 @@ class Interpreter:
                 block.label,
                 idx,
             )
-        if self.sink is not None:
+        if self._sink_call:
             self.sink.on_call(proc, callee_name, "builtin", len(args))
         result = builtin(args)
         if instr.dest is not None:
@@ -425,7 +480,7 @@ class Interpreter:
         if not self._frames:
             return True
         caller = self._frames[-1]
-        if self.sink is not None:
+        if self._sink_return:
             self.sink.on_return(frame.proc.name, caller.proc)
         if frame.dest is not None:
             if value is None:
@@ -520,6 +575,7 @@ def run_program(
     max_steps: int = DEFAULT_MAX_STEPS,
     collect_site_counts: bool = False,
     collect_block_counts: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ) -> Result:
     """One-shot convenience wrapper around :class:`Interpreter`."""
     interp = Interpreter(
@@ -529,5 +585,6 @@ def run_program(
         max_steps=max_steps,
         collect_site_counts=collect_site_counts,
         collect_block_counts=collect_block_counts,
+        engine=engine,
     )
     return interp.run(entry)

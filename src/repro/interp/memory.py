@@ -60,6 +60,15 @@ class Memory:
         self.heap_top = HEAP_BASE
 
     def load(self, addr: int) -> Word:
+        # Exact-type test first: the overwhelmingly common case is a plain
+        # non-negative int, which needs no further validation.  Odd types
+        # (bool, float, CodePtr) and negatives take the slow path, which
+        # re-runs the full checks so error messages stay identical.
+        if type(addr) is int and addr >= 0:
+            return self.cells.get(addr, 0)
+        return self._load_slow(addr)
+
+    def _load_slow(self, addr: int) -> Word:
         if not isinstance(addr, int):
             raise ExecError("load from non-integer address {!r}".format(addr))
         if addr < 0:
@@ -67,6 +76,12 @@ class Memory:
         return self.cells.get(addr, 0)
 
     def store(self, addr: int, value: Word) -> None:
+        if type(addr) is int and addr >= 0:
+            self.cells[addr] = value
+            return
+        self._store_slow(addr, value)
+
+    def _store_slow(self, addr: int, value: Word) -> None:
         if not isinstance(addr, int):
             raise ExecError("store to non-integer address {!r}".format(addr))
         if addr < 0:

@@ -43,8 +43,18 @@ class Program:
 
     def __init__(self, modules: Optional[List[Module]] = None):
         self.modules: Dict[str, Module] = {}
+        # Lazily populated by repro.interp.engine with a PlanCache of
+        # pre-decoded execution plans; kept opaque here so the IR layer
+        # never imports the interpreter.  Plans self-invalidate by
+        # procedure fingerprint, so this only needs explicit clearing to
+        # release memory.
+        self._plan_cache = None
         for mod in modules or []:
             self.add_module(mod)
+
+    def invalidate_plans(self) -> None:
+        """Drop any cached execution plans (see ``repro.interp.engine``)."""
+        self._plan_cache = None
 
     # ------------------------------------------------------------------
     # Construction

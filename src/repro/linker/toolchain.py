@@ -36,7 +36,7 @@ from ..core.config import HLOConfig
 from ..core.hlo import run_hlo
 from ..core.report import HLOReport
 from ..frontend.driver import SourceList, compile_program
-from ..interp.interpreter import DEFAULT_MAX_STEPS, run_program
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, run_program
 from ..ir.program import Program
 from ..machine.metrics import MachineMetrics
 from ..machine.pa8000 import MachineConfig, simulate
@@ -169,6 +169,7 @@ class BuildResult:
     stats: BuildStats
     profile: Optional[ProfileDatabase] = None
     diagnostics: BuildDiagnostics = field(default_factory=BuildDiagnostics)
+    engine: str = DEFAULT_ENGINE
 
     @property
     def degraded(self) -> bool:
@@ -182,7 +183,10 @@ class BuildResult:
         max_steps: int = DEFAULT_MAX_STEPS,
     ) -> Tuple[MachineMetrics, "object"]:
         """Execute on the machine model; returns (metrics, interp result)."""
-        return simulate(self.program, inputs, config=machine, max_steps=max_steps)
+        return simulate(
+            self.program, inputs, config=machine, max_steps=max_steps,
+            engine=self.engine,
+        )
 
 
 def scope_flags(scope: str) -> Tuple[bool, bool]:
@@ -219,6 +223,7 @@ class Toolchain:
         context_depth: Optional[int] = None,
         sample_seed: int = 0,
         min_profile_confidence: float = MIN_PROFILE_CONFIDENCE,
+        engine: str = DEFAULT_ENGINE,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
@@ -252,6 +257,9 @@ class Toolchain:
         self.context_depth = context_depth
         self.sample_seed = sample_seed
         self.min_profile_confidence = min_profile_confidence
+        # Which interpreter engine training runs (and BuildResult.run)
+        # execute under; "reference" forces the un-pre-decoded loop.
+        self.engine = engine
         self._profile_cache: Optional[Tuple[ProfileDatabase, float]] = None
         self._reload_cache: Optional[ProfileDatabase] = None
 
@@ -375,7 +383,9 @@ class Toolchain:
             collect_build_metrics(diagnostics, report, stats,
                                   registry=obs.metrics)
             obs.metrics.observe("build.wall_s", stats.wall_seconds)
-        return BuildResult(program, report, stats, profile, diagnostics)
+        return BuildResult(
+            program, report, stats, profile, diagnostics, engine=self.engine
+        )
 
     def build_all_scopes(
         self, config: Optional[HLOConfig] = None, observer=None
@@ -516,7 +526,10 @@ class Toolchain:
             probe_map = instrument_program(program)
             if index == 0:
                 units += program_cost(program)  # one instrumenting compile
-            result = run_program(program, inputs, max_steps=self.max_train_steps)
+            result = run_program(
+                program, inputs, max_steps=self.max_train_steps,
+                engine=self.engine,
+            )
             db.merge_run(program, probe_map, result.probe_counts, result.steps)
         units += db.training_steps * TRAIN_STEP_UNITS
         self._profile_cache = (db, units)
@@ -546,7 +559,8 @@ class Toolchain:
         units = program_cost(program)  # one plain (non-instrumenting) compile
         for inputs in self.train_inputs:
             sample_run(
-                program, inputs, profile=acc, max_steps=self.max_train_steps
+                program, inputs, profile=acc, max_steps=self.max_train_steps,
+                engine=self.engine,
             )
         db = acc.to_database(self._frontend(cfg, diagnostics, observer))
         units += db.training_steps * SAMPLED_STEP_UNITS

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..interp.events import EventSink
-from ..interp.interpreter import DEFAULT_MAX_STEPS, Interpreter, Result
+from ..interp.interpreter import (
+    DEFAULT_ENGINE,
+    DEFAULT_MAX_STEPS,
+    Interpreter,
+    Result,
+)
 from ..ir.program import Program
 from .branch import TwoBitPredictor
 from .cache import DirectMappedCache
@@ -194,9 +199,12 @@ def simulate(
     entry: str = "main",
     config: Optional[MachineConfig] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[MachineMetrics, Result]:
     """Run ``program`` on the machine model; returns (metrics, result)."""
     model = PA8000Model(program, config)
-    interp = Interpreter(program, inputs, sink=model, max_steps=max_steps)
+    interp = Interpreter(
+        program, inputs, sink=model, max_steps=max_steps, engine=engine
+    )
     result = interp.run(entry)
     return model.metrics(result.steps), result

@@ -256,6 +256,30 @@ def collect_profile_metrics(
     return reg
 
 
+def collect_interp_metrics(
+    interp,
+    steps_per_sec: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Map one interpreter's execution onto canonical ``interp.*`` names.
+
+    ``interp`` is a :class:`~repro.interp.Interpreter` that has finished
+    at least one ``run()`` (duck-typed: ``engine``, ``steps``,
+    ``plans_compiled``, ``plan_cache_hits``).  ``steps_per_sec`` is the
+    caller's wall-clock measurement — the registry never times anything
+    itself.  The same names feed ``--metrics-out`` JSON and the
+    ``interp`` section of ``BENCH_smoke.json``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.gauge("interp.engine", interp.engine)
+    reg.gauge("interp.steps", interp.steps)
+    reg.gauge("interp.plans_compiled", interp.plans_compiled)
+    reg.gauge("interp.plan_cache_hits", interp.plan_cache_hits)
+    if steps_per_sec is not None:
+        reg.gauge("interp.steps_per_sec", round(steps_per_sec, 1))
+    return reg
+
+
 def format_build_summary(
     reg: MetricsRegistry,
     profile_reason: str = "",

@@ -180,6 +180,36 @@ def validate_bench(obj) -> List[str]:
                     errors.append(
                         "{} overlap {} outside [0, 1]".format(where, overlap)
                     )
+    interp = obj.get("interp")
+    if not isinstance(interp, dict):
+        errors.append("bench: missing object 'interp'")
+    else:
+        if not isinstance(interp.get("engine"), str):
+            errors.append("bench: interp missing string 'engine'")
+        for key in ("min_speedup", "mean_speedup", "plans_compiled",
+                    "plan_cache_hits"):
+            if not isinstance(interp.get(key), (int, float)):
+                errors.append("bench: interp missing numeric {!r}".format(key))
+        per = interp.get("workloads")
+        if not isinstance(per, dict) or not per:
+            errors.append("bench: interp missing non-empty object 'workloads'")
+        else:
+            for name, entry in per.items():
+                where = "bench: interp.workloads[{!r}]".format(name)
+                if not isinstance(entry, dict):
+                    errors.append(where + " is not an object")
+                    continue
+                for key in ("steps", "steps_per_sec",
+                            "reference_steps_per_sec", "speedup"):
+                    if not isinstance(entry.get(key), (int, float)):
+                        errors.append(
+                            "{} missing numeric {!r}".format(where, key)
+                        )
+                speedup = entry.get("speedup")
+                if isinstance(speedup, (int, float)) and speedup <= 0:
+                    errors.append(
+                        "{} speedup {} is not positive".format(where, speedup)
+                    )
     return errors
 
 

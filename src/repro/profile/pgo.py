@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from ..frontend.driver import SourceList, compile_program
-from ..interp.interpreter import DEFAULT_MAX_STEPS, run_program
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, run_program
 from ..ir.program import Program
 from .database import ProfileDatabase
 from .instrument import instrument_program
@@ -23,6 +23,7 @@ def train(
     training_inputs: Sequence[InputVector],
     entry: str = "main",
     max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = DEFAULT_ENGINE,
 ) -> ProfileDatabase:
     """Instrumenting compile + training run(s) over ``training_inputs``.
 
@@ -34,7 +35,9 @@ def train(
         # A fresh instrumented image per run keeps runs independent.
         program = compile_program(sources)
         probe_map = instrument_program(program)
-        result = run_program(program, inputs, entry=entry, max_steps=max_steps)
+        result = run_program(
+            program, inputs, entry=entry, max_steps=max_steps, engine=engine
+        )
         db.merge_run(program, probe_map, result.probe_counts, result.steps)
     return db
 

@@ -49,7 +49,7 @@ from ..analysis.callgraph import CallGraph
 from ..analysis.dominators import control_equivalent_classes
 from ..frontend.driver import SourceList, compile_program
 from ..interp.events import EventSink
-from ..interp.interpreter import DEFAULT_MAX_STEPS, run_program
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, run_program
 from ..ir.instructions import CALL_INSTRS
 from ..ir.program import Program
 from ..profile.database import BlockKey, Context, ProfileDatabase
@@ -76,6 +76,14 @@ class SamplingSink(EventSink):
         uniformly from ``rate ± rate*jitter``.  The same seed replays
         the same sample points over the same execution.
     """
+
+    # The sampler reads instructions, calls, and returns; it never looks
+    # at branch or memory traffic, so the pre-decoded engine can skip
+    # those callbacks entirely.  ``on_instr`` must stay exact and
+    # in-order (the countdown defines *which* instruction each sample
+    # lands on), so batching stays off.
+    needs_branch = False
+    needs_mem = False
 
     def __init__(
         self,
@@ -312,6 +320,7 @@ def sample_run(
     rate: int = DEFAULT_SAMPLE_RATE,
     context_depth: int = DEFAULT_CONTEXT_DEPTH,
     seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
 ) -> SampledProfile:
     """Execute ``program`` once under the sampler; returns the profile.
 
@@ -323,7 +332,8 @@ def sample_run(
     )
     sink = acc.make_sink()
     result = run_program(
-        program, inputs, entry=entry, sink=sink, max_steps=max_steps
+        program, inputs, entry=entry, sink=sink, max_steps=max_steps,
+        engine=engine,
     )
     acc.absorb(sink, result.steps)
     return acc
@@ -337,6 +347,7 @@ def sample_train(
     seed: int = 0,
     entry: str = "main",
     max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = DEFAULT_ENGINE,
 ) -> ProfileDatabase:
     """The sampled twin of :func:`repro.profile.pgo.train`.
 
@@ -347,7 +358,8 @@ def sample_train(
     program = compile_program(sources)
     for inputs in training_inputs:
         sample_run(
-            program, inputs, profile=acc, entry=entry, max_steps=max_steps
+            program, inputs, profile=acc, entry=entry, max_steps=max_steps,
+            engine=engine,
         )
     # Fingerprint/site-derive against a clean compile (the measured
     # image was never mutated, but a fresh compile keeps the invariant
