@@ -28,7 +28,13 @@ isoms, and the host wall time.  On top of that it measures:
   the fast engine must stay ≥ 2× the reference on every workload, the
   acceptance bar the engine shipped against.  ``interp.steps_per_sec``
   and the plan-cache counters land in the report on the canonical
-  ``interp.*`` metric names.
+  ``interp.*`` metric names;
+- **fleet convergence** — each workload runs the continuous-profiling
+  loop under the canonical seeded fault matrix (transit faults, torn
+  WAL tail, mid-swap crash, injected canary trap, flapping instance)
+  and must converge to the exact-profile inline/clone decisions
+  (Jaccard 1.0) without ever serving a rolled-back build; rollback and
+  quarantine counts land in the report.
 
 ``--check --baseline benchmarks/baseline.json`` turns the run into a
 regression gate: ``compile_units`` or ``cycles`` more than 15% above
@@ -55,7 +61,7 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
@@ -63,6 +69,10 @@ SAMPLING_RATE = 100
 MIN_DECISION_OVERLAP = 0.9
 MIN_INTERP_SPEEDUP = 2.0
 INTERP_REPEATS = 5
+FLEET_ROUNDS = 10
+FLEET_SEED = 7
+FLEET_FAULT_RATE = 0.25
+MIN_FLEET_JACCARD = 1.0
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -105,7 +115,7 @@ def _run_suite(names: Sequence[str], scope: str, jobs: int) -> Tuple[dict, float
 
     items = [(name, scope) for name in names]
     started = time.perf_counter()
-    built, _fell_back = parallel_map(_build_one, items, jobs=jobs)
+    built, _outcome = parallel_map(_build_one, items, jobs=jobs)
     wall = time.perf_counter() - started
     return dict(built), wall
 
@@ -330,6 +340,69 @@ def _measure_interp(
     }
 
 
+def _measure_fleet(
+    names: Sequence[str],
+    rounds: int = FLEET_ROUNDS,
+    seed: int = FLEET_SEED,
+) -> dict:
+    """The continuous-profiling loop under the canonical fault matrix.
+
+    Every workload runs the full fleet loop — sampled shards over a
+    faulty transport (every transit fault at 25%), a torn WAL tail, a
+    mid-swap collector crash, an injected canary trap on the first
+    rebuild, and a flapping instance — and must still converge to the
+    exact-profile inline/clone decisions (Jaccard 1.0) without ever
+    serving a rolled-back build.  The same scenario gates the CI
+    ``fleet-smoke`` job via ``repro fleet run --assert-convergence``.
+    """
+    from ..fleet import FleetConfig, FleetLoop
+    from ..resilience.faults import SHARD_FAULTS, FaultInjector
+    from ..workloads.suite import get_workload
+
+    per = {}
+    for name in names:
+        workload = get_workload(name)
+        injector = FaultInjector(
+            seed=seed,
+            shard_faults=SHARD_FAULTS,
+            shard_fault_rate=FLEET_FAULT_RATE,
+            wal_tail_rounds=(3,),
+            kill_mid_swap_epochs=(1,),
+            canary_trap_epochs=(1,),
+            flap_sources=("inst0",),
+        )
+        loop = FleetLoop(
+            list(workload.sources),
+            [list(t) for t in workload.train_inputs],
+            list(workload.ref_input),
+            config=FleetConfig(rounds=rounds, seed=seed),
+            injector=injector,
+        )
+        report = loop.run()
+        per[name] = {
+            "jaccard": report.convergence_jaccard,
+            "rebuilds": report.rebuilds,
+            "rollbacks": report.rollbacks,
+            "swaps": report.swaps,
+            "quarantined_epochs": len(report.quarantined_epochs),
+            "served_rolled_back": len(
+                set(report.served_builds) & set(report.rolled_back)
+            ),
+            "wal_truncations": report.wal_truncations,
+            "wall_s": round(report.wall_s, 4),
+        }
+    jaccards = [entry["jaccard"] for entry in per.values()]
+    return {
+        "rounds": rounds,
+        "seed": seed,
+        "fault_rate": FLEET_FAULT_RATE,
+        "min_jaccard": MIN_FLEET_JACCARD,
+        "mean_jaccard": round(sum(jaccards) / len(jaccards), 4)
+        if jaccards else 1.0,
+        "workloads": per,
+    }
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
@@ -378,6 +451,22 @@ def run_smoke(
                 "floor".format(name, entry["speedup"], MIN_INTERP_SPEEDUP)
             )
 
+    fleet = _measure_fleet(names)
+    for name, entry in fleet["workloads"].items():
+        if entry["jaccard"] < MIN_FLEET_JACCARD:
+            failures.append(
+                "fleet: {} converged to jaccard {} under the fault "
+                "matrix, expected {}".format(
+                    name, entry["jaccard"], MIN_FLEET_JACCARD
+                )
+            )
+        if entry["served_rolled_back"]:
+            failures.append(
+                "fleet: {} served {} rolled-back build(s)".format(
+                    name, entry["served_rolled_back"]
+                )
+            )
+
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
         failures.append(
@@ -410,6 +499,7 @@ def run_smoke(
         "observability": observability,
         "sampling": sampling,
         "interp": interp,
+        "fleet": fleet,
     }
     return report, failures
 
@@ -585,6 +675,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report["interp"]["min_speedup"],
             report["interp"]["plans_compiled"],
             report["interp"]["plan_cache_hits"],
+        )
+    )
+    total_rollbacks = sum(
+        entry["rollbacks"] for entry in report["fleet"]["workloads"].values()
+    )
+    print(
+        "fleet: mean convergence jaccard {:.4f} under the fault matrix "
+        "(floor {:.1f}; {} rollback(s) across {} workload(s))".format(
+            report["fleet"]["mean_jaccard"],
+            report["fleet"]["min_jaccard"],
+            total_rollbacks,
+            len(report["fleet"]["workloads"]),
         )
     )
     for failure in failures:

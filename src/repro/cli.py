@@ -185,12 +185,15 @@ def _compile_cli(
             fingerprint=cfg.fingerprint(),
             warn=diagnostics.warn,
             observer=obs,
+            timeout=getattr(args, "compile_timeout", None),
         )
     hits, misses, invalidations, _stores = cache.stats.since(mark)
     diagnostics.record_cache(hits, misses, invalidations)
     diagnostics.parallel_jobs = stats.jobs
     diagnostics.modules_compiled += stats.compiled
     diagnostics.modules_from_cache += stats.from_cache
+    diagnostics.compile_timeouts += stats.compile_timeouts
+    diagnostics.worker_errors.extend(stats.worker_errors)
     if stats.serial_fallback:
         diagnostics.parallel_fallbacks.append(
             stats.fallback_reason or "worker pool unavailable"
@@ -545,6 +548,117 @@ def cmd_profile_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _int_list(values) -> tuple:
+    return tuple(int(v) for v in values or ())
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run the continuous-profiling fleet loop on a suite workload."""
+    import json
+
+    from .fleet import FleetConfig, FleetLoop
+    from .resilience.faults import SHARD_FAULTS, FaultInjector
+    from .workloads.suite import get_workload, workload_names
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        raise SystemExit(
+            "unknown workload {!r}; available: {}".format(
+                args.workload, ", ".join(workload_names())
+            )
+        )
+    faults: Tuple[str, ...] = tuple(
+        f for f in (args.faults.split(",") if args.faults else []) if f
+    )
+    if not faults and args.fault_rate > 0:
+        faults = SHARD_FAULTS
+    injector = None
+    plan_active = bool(
+        faults or args.wal_tail or args.kill_mid_swap
+        or args.canary_trap or args.flap
+    )
+    if plan_active:
+        try:
+            injector = FaultInjector(
+                seed=args.seed,
+                shard_faults=faults,
+                shard_fault_rate=args.fault_rate,
+                wal_tail_rounds=_int_list(args.wal_tail),
+                kill_mid_swap_epochs=_int_list(args.kill_mid_swap),
+                canary_trap_epochs=_int_list(args.canary_trap),
+                flap_sources=tuple(args.flap or ()),
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    obs = _observer_from_args(args)
+    log = _logger_from_args(args)
+    config = FleetConfig(
+        rounds=args.rounds,
+        rate=args.rate,
+        seed=args.seed,
+        engine=getattr(args, "engine", DEFAULT_ENGINE),
+        restart_collector_rounds=_int_list(args.restart_collector),
+        max_wall_s=args.max_wall,
+    )
+    loop = FleetLoop(
+        list(workload.sources),
+        [list(t) for t in workload.train_inputs],
+        list(workload.ref_input),
+        config=config,
+        injector=injector,
+        observer=obs,
+        spool_path=args.spool,
+    )
+    report = loop.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            "fleet: {} round(s), final build {}, swaps {}, "
+            "rollbacks {} (quarantined epochs: {})".format(
+                report.rounds_run, report.final_build, report.swaps,
+                report.rollbacks,
+                ", ".join(map(str, report.quarantined_epochs)) or "none",
+            )
+        )
+        print(
+            "fleet: shards sent {}, accepted {}, quarantined {}, "
+            "retried {}, breaker opens {}".format(
+                report.shards_sent, report.shards_accepted,
+                report.shards_quarantined, report.shards_retried,
+                report.breaker_opens,
+            )
+        )
+        print(
+            "fleet: wal appended {}, truncations {}, collector restarts {}, "
+            "instance restarts {}".format(
+                report.wal_appended, report.wal_truncations,
+                report.collector_restarts, report.instance_restarts,
+            )
+        )
+        for line in report.history:
+            print("fleet: " + line)
+        if report.convergence_jaccard is not None:
+            print(
+                "fleet: convergence jaccard {} "
+                "({} exact vs {} fleet decisions)".format(
+                    report.convergence_jaccard, report.exact_decisions,
+                    report.fleet_decisions,
+                )
+            )
+    _emit_observability(args, obs, log)
+    if args.assert_convergence and not report.converged:
+        print(
+            "fleet: convergence assertion failed (jaccard {})".format(
+                report.convergence_jaccard
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
     obs = _observer_from_args(args)
@@ -590,6 +704,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         jobs=getattr(args, "jobs", None),
         cache_dir=getattr(args, "cache_dir", None),
         engine=getattr(args, "engine", DEFAULT_ENGINE),
+        compile_timeout=getattr(args, "compile_timeout", None),
     )
     config = _config_from_args(args)
     obs = _observer_from_args(args)
@@ -627,6 +742,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .resilience.faults import SHARD_FAULTS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HLO-style aggressive inlining/cloning toolchain "
@@ -655,6 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, metavar="N",
                        help="compile modules with N worker processes "
                        "(output is identical for any N)")
+        p.add_argument("--compile-timeout", type=float, metavar="S",
+                       help="per-module compile watchdog in seconds; a "
+                       "stalled worker pool degrades to serial compilation")
         p.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed incremental compile cache")
         engine_flag(p)
@@ -811,6 +931,59 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flag(p_bench)
     observability(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="continuous-profiling fleet loop"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    pf_run = fleet_sub.add_parser(
+        "run",
+        help="run the collect/rebuild/canary/hot-swap loop on a workload",
+    )
+    pf_run.add_argument("workload")
+    pf_run.add_argument("--rounds", type=int, default=8, metavar="N",
+                        help="collection rounds to run (default 8)")
+    pf_run.add_argument("--rate", type=int, default=50, metavar="N",
+                        help="sampling rate: one sample every ~N steps "
+                        "(default 50)")
+    pf_run.add_argument("--seed", type=int, default=7,
+                        help="fleet + fault-plan seed (default 7)")
+    pf_run.add_argument("--faults", metavar="F1,F2",
+                        help="comma-separated transit faults to inject "
+                        "({})".format(", ".join(SHARD_FAULTS)))
+    pf_run.add_argument("--fault-rate", type=float, default=0.0,
+                        metavar="P",
+                        help="per-shard transit fault probability "
+                        "(default 0.0; >0 with no --faults injects all)")
+    pf_run.add_argument("--wal-tail", type=int, nargs="*", default=(),
+                        metavar="ROUND",
+                        help="rounds whose end tears the spool tail")
+    pf_run.add_argument("--kill-mid-swap", type=int, nargs="*", default=(),
+                        metavar="EPOCH",
+                        help="epochs whose swap is interrupted by a crash")
+    pf_run.add_argument("--canary-trap", type=int, nargs="*", default=(),
+                        metavar="EPOCH",
+                        help="epochs whose canary build traps")
+    pf_run.add_argument("--flap", nargs="*", default=(), metavar="SOURCE",
+                        help="instance sources that flap (restart loop)")
+    pf_run.add_argument("--restart-collector", type=int, nargs="*",
+                        default=(), metavar="ROUND",
+                        help="rounds after which the collector restarts "
+                        "and replays its journal")
+    pf_run.add_argument("--spool", metavar="FILE",
+                        help="shard write-ahead spool path "
+                        "(default: a fresh temp file)")
+    pf_run.add_argument("--max-wall", type=float, default=None, metavar="S",
+                        help="wall-clock budget; the loop stops early "
+                        "when exceeded")
+    pf_run.add_argument("--assert-convergence", action="store_true",
+                        help="exit 1 unless the loop converged to the "
+                        "exact-profile decisions (jaccard 1.0)")
+    pf_run.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    engine_flag(pf_run)
+    observability(pf_run)
+    pf_run.set_defaults(func=cmd_fleet_run)
 
     return parser
 

@@ -1,0 +1,51 @@
+"""The continuous-profiling fleet: sample in production, reoptimize live.
+
+ROADMAP item 2's sample→reoptimize loop at fleet scale.  A supervised
+in-process fleet of interpreter instances serves the current optimized
+build while cheap sampled profiles stream back over a faultable
+transport; a crash-safe collector journals, gates, and merges the
+evidence; and a drift-gated controller rebuilds, canaries, and
+hot-swaps new builds — rolling back and quarantining the offending
+profile epoch when a canary trips.  Every seam is driven by the seeded
+resilience fault injector, so the failure matrix (dropped/corrupt/
+duplicated/delayed shards, torn WAL tails, collector restarts, mid-swap
+crashes, flapping and poisoned instances) is reproducible from a seed.
+"""
+
+from .collector import CircuitBreaker, ProfileCollector, ShardAck
+from .controller import ControllerAction, ReoptimizeController
+from .drift import DriftTracker, profile_drift
+from .instances import FleetInstance, FleetSupervisor, ServedBuild
+from .loop import (
+    FleetConfig,
+    FleetInvariantError,
+    FleetLoop,
+    FleetReport,
+    decision_set,
+    jaccard,
+)
+from .shard import ProfileShard
+from .transport import ShardTransport
+from .wal import ShardSpool
+
+__all__ = [
+    "CircuitBreaker",
+    "ControllerAction",
+    "DriftTracker",
+    "FleetConfig",
+    "FleetInstance",
+    "FleetInvariantError",
+    "FleetLoop",
+    "FleetReport",
+    "FleetSupervisor",
+    "ProfileCollector",
+    "ProfileShard",
+    "ReoptimizeController",
+    "ServedBuild",
+    "ShardAck",
+    "ShardSpool",
+    "ShardTransport",
+    "decision_set",
+    "jaccard",
+    "profile_drift",
+]

@@ -1,0 +1,285 @@
+"""The profile collector: journal, validate, quarantine, merge.
+
+Every received frame runs the same gauntlet, in order:
+
+1. **circuit breaker** — a source that keeps sending garbage is cut
+   off (state machine below); frames from an OPEN source are NACKed
+   without being read, so one sick instance cannot stall the merge;
+2. **dedupe** — (source, seq) already seen?  The transport duplicates
+   frames and sources retransmit un-ACKed shards; the second copy is
+   ACKed (the sender must stop) but otherwise ignored;
+3. **frame CRC** (:meth:`ProfileShard.from_wire`) — transit damage
+   fails here and is NACKed for a retry, since the sender still holds
+   an intact copy;
+4. **journal** — an intact frame hits the write-ahead spool *before*
+   semantic validation: a crash between receive and merge loses
+   nothing, and replay re-derives the same verdicts from the same
+   bytes;
+5. **payload parse** — the profiledb parser treats the payload as
+   hostile; a frame-intact but unparseable payload means the *source*
+   wrote garbage (not transit damage), so it is quarantined — ACKed,
+   because retransmitting the same bad bytes cannot help — and counts
+   against the source's breaker;
+6. **lifecycle gates** — :func:`~repro.sampling.lifecycle.assess_staleness`
+   against the profiling image quarantines fingerprint-mismatched
+   evidence (an instance sampling a stale binary), and a confidence
+   floor drops shards whose evidence is pure noise.
+
+Evidence that survives lands in its *epoch* bucket.  The merged view
+(:meth:`ProfileCollector.merged_profile`) combines each live epoch's
+shards exactly (counts add, like the exact pipeline's multi-run merge)
+and then applies :func:`~repro.sampling.lifecycle.merge_profiles`'s
+exponential decay across epochs, oldest first — the forgetting that
+keeps a long-lived merge tracking current behaviour.  Epochs the
+controller quarantined after a canary failure are excluded entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.program import Program
+from ..obs import NULL_METRICS, NULL_TRACER
+from ..profile.database import ProfileDatabase
+from ..resilience.errors import ProfileFormatError, ShardFormatError
+from ..sampling.lifecycle import assess_staleness, merge_profiles
+from .shard import ProfileShard
+from .wal import ShardSpool
+
+# Circuit-breaker states (the classic three-state machine).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+# A shard below this evidence-weighted confidence is noise, not signal;
+# deliberately far below the *merged*-profile gate the controller
+# applies (MIN_PROFILE_CONFIDENCE) — single-chunk shards are thin by
+# nature and the merge is where confidence accumulates.
+MIN_SHARD_CONFIDENCE = 0.05
+
+DEFAULT_EPOCH_DECAY = 0.6
+
+
+class CircuitBreaker:
+    """Per-source failure gate: CLOSED -> OPEN -> HALF_OPEN -> ...
+
+    ``threshold`` consecutive failures open the breaker; after
+    ``cooldown`` ticks one probe frame is allowed through
+    (HALF_OPEN) — success re-closes, failure re-opens for another
+    cooldown.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: int = 4):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0
+        self.opens = 0  # how many times this breaker tripped
+
+    def allows(self, tick: int) -> bool:
+        if self.state == OPEN:
+            if tick - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, tick: int) -> bool:
+        """Record one strike; returns True when the breaker trips OPEN."""
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            tripped = self.state != OPEN
+            if tripped:
+                self.opens += 1
+            self.state = OPEN
+            self.opened_at = tick
+            self.failures = 0
+            return tripped
+        return False
+
+
+@dataclass
+class ShardAck:
+    """The collector's verdict, routed back to the source.
+
+    ``accepted`` means *stop retransmitting* — the shard was either
+    merged or permanently quarantined (same bytes would quarantine
+    again).  ``accepted=False`` is a NACK: transit damage or an open
+    breaker; the source should retry with backoff.
+    """
+
+    source: str
+    seq: int
+    accepted: bool
+    reason: str
+
+
+class ProfileCollector:
+    """Receives shard frames, journals them, gates them, merges them."""
+
+    def __init__(
+        self,
+        profiling_image: Program,
+        spool: ShardSpool,
+        decay: float = DEFAULT_EPOCH_DECAY,
+        min_shard_confidence: float = MIN_SHARD_CONFIDENCE,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 4,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
+    ):
+        self.profiling_image = profiling_image
+        self.spool = spool
+        self.decay = decay
+        self.min_shard_confidence = min_shard_confidence
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.metrics = metrics
+        self.tracer = tracer
+        self.seen: Set[Tuple[str, int]] = set()
+        self.epochs: Dict[int, List[ProfileDatabase]] = {}
+        self.quarantined_epochs: Set[int] = set()
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.accepted = 0
+        self.duplicates = 0
+        self.rejected_transit = 0
+        self.rejected_breaker = 0
+        self.quarantined_shards = 0
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _breaker(self, source: str) -> CircuitBreaker:
+        breaker = self.breakers.get(source)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown)
+            self.breakers[source] = breaker
+        return breaker
+
+    def receive(self, wire: str, source: str, seq: int, tick: int) -> ShardAck:
+        breaker = self._breaker(source)
+        was_open = breaker.state == OPEN
+        if not breaker.allows(tick):
+            self.rejected_breaker += 1
+            self.metrics.count("fleet.shards_rejected_breaker")
+            return ShardAck(source, seq, False, "breaker-open")
+        if was_open and breaker.state == HALF_OPEN:
+            self.tracer.instant(
+                "breaker-half-open:{}".format(source), cat="fleet"
+            )
+        if (source, seq) in self.seen:
+            self.duplicates += 1
+            self.metrics.count("fleet.shards_duplicate")
+            return ShardAck(source, seq, True, "duplicate")
+        try:
+            shard = ProfileShard.parse_message(wire)
+        except ShardFormatError as exc:
+            self.rejected_transit += 1
+            self._strike(breaker, source, tick)
+            self.metrics.count("fleet.shards_corrupt")
+            return ShardAck(source, seq, False, "transit:{}".format(exc.kind))
+        self.spool.append(shard)
+        self.metrics.count("fleet.wal_appended")
+        return self._admit(shard, breaker, tick)
+
+    def _admit(
+        self, shard: ProfileShard, breaker: CircuitBreaker, tick: int
+    ) -> ShardAck:
+        """Semantic gates on a frame-intact, journaled shard."""
+        self.seen.add(shard.key())
+        source, seq = shard.key()
+        try:
+            db = ProfileDatabase.from_text(shard.payload)
+        except ProfileFormatError as exc:
+            self._strike(breaker, source, tick)
+            return self._quarantine_shard(
+                source, seq, "payload:{}".format(exc.kind)
+            )
+        staleness = assess_staleness(db, self.profiling_image)
+        if staleness.stale or staleness.missing:
+            # Evidence from a binary that is not the current profiling
+            # image: merging it would steer the optimizer with shapes
+            # that no longer exist.
+            self._strike(breaker, source, tick)
+            return self._quarantine_shard(source, seq, "stale-fingerprint")
+        if db.sampled and db.overall_confidence() < self.min_shard_confidence:
+            # Well-formed and fresh, just too thin to carry signal; the
+            # source is healthy, so no breaker strike.
+            return self._quarantine_shard(source, seq, "low-confidence")
+        breaker.record_success()
+        self.epochs.setdefault(shard.epoch, []).append(db)
+        self.accepted += 1
+        self.metrics.count("fleet.shards_accepted")
+        return ShardAck(source, seq, True, "accepted")
+
+    def _quarantine_shard(self, source: str, seq: int, reason: str) -> ShardAck:
+        self.quarantined_shards += 1
+        self.metrics.count("fleet.shards_quarantined")
+        self.tracer.instant(
+            "shard-quarantine:{}:{}".format(source, reason), cat="fleet"
+        )
+        # ACKed: the sender's copy is byte-identical and would be
+        # quarantined again; retransmission cannot repair semantics.
+        return ShardAck(source, seq, True, "quarantined:{}".format(reason))
+
+    def _strike(self, breaker: CircuitBreaker, source: str, tick: int) -> None:
+        if breaker.record_failure(tick):
+            self.metrics.count("fleet.breaker_opens")
+            self.tracer.instant("breaker-open:{}".format(source), cat="fleet")
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def restore(self, quarantined_epochs=(), tick: int = 0) -> Tuple[int, bool]:
+        """Rebuild state from the spool after a collector restart.
+
+        Replays every intact journaled frame through the same semantic
+        gates (dedupe included — retransmitted shards may have been
+        journaled twice).  ``quarantined_epochs`` re-applies the
+        controller's epoch verdicts, which live above the collector.
+        Returns ``(frames_replayed, tail_truncated)``.
+        """
+        shards, truncated = self.spool.replay()
+        self.quarantined_epochs.update(quarantined_epochs)
+        for shard in shards:
+            if shard.key() in self.seen:
+                self.duplicates += 1
+                continue
+            self._admit(shard, self._breaker(shard.source), tick)
+        self.metrics.count("fleet.wal_replayed", len(shards))
+        if truncated:
+            self.metrics.count("fleet.wal_truncations")
+        return len(shards), truncated
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def quarantine_epoch(self, epoch: int) -> None:
+        self.quarantined_epochs.add(epoch)
+        self.metrics.count("fleet.epochs_quarantined")
+        self.tracer.instant("epoch-quarantine:{}".format(epoch), cat="fleet")
+
+    def live_epochs(self) -> List[int]:
+        return sorted(e for e in self.epochs if e not in self.quarantined_epochs)
+
+    def merged_profile(self) -> Optional[ProfileDatabase]:
+        """The decayed cross-epoch merge of all live evidence."""
+        live = self.live_epochs()
+        if not live:
+            return None
+        per_epoch = [ProfileDatabase.combine(self.epochs[e]) for e in live]
+        if len(per_epoch) == 1:
+            return per_epoch[0]
+        return merge_profiles(per_epoch, decay=self.decay)
+
+    def breaker_opens(self) -> int:
+        return sum(b.opens for b in self.breakers.values())

@@ -1,0 +1,255 @@
+"""The reoptimize controller: drift-gated rebuilds behind a canary.
+
+Decision per round, on the collector's merged profile:
+
+1. **gates** — no rebuild while in post-rollback cooldown, while the
+   merged evidence is below the confidence floor (thin evidence would
+   just rebuild noise), or while the smoothed drift against the
+   profile that produced the serving build sits under the threshold;
+2. **rebuild** — a full ``cp`` Toolchain build fed the merged profile
+   (:meth:`~repro.linker.toolchain.Toolchain.rebuild_with_profile`),
+   observed by a fresh inlining ledger;
+3. **canary** — before any instance sees the new build it runs one
+   workload shard.  Three tripwires, any of which fails it:
+   a **trap** (injected or real), a **cycle regression** beyond
+   ``regression_limit`` against the serving build on the same inputs,
+   or an **inline-decision ledger anomaly** (ledger total disagreeing
+   with the report's sites-considered — the invariant that holds by
+   construction unless the build went wrong);
+4. **swap or roll back** — pass: the supervisor deploys it fleet-wide.
+   Fail: the candidate build id is recorded as rolled-back-from
+   (nothing with that id may ever be served), the profile epoch whose
+   evidence fed the rebuild is quarantined, and a cooldown suppresses
+   rebuild attempts while fresh post-quarantine evidence accumulates.
+
+The rollback ladder mirrors the build-time degradation ladder
+(docs/resilience.md): each rung trades optimization freshness for
+availability, and the serving build is never left in a worse state
+than before the attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..interp.errors import ExecError
+from ..linker.toolchain import BuildResult, Toolchain
+from ..machine.pa8000 import simulate
+from ..obs import BuildObserver, InliningLedger, NULL_OBSERVER
+from ..profile.database import ProfileDatabase
+from ..resilience.faults import FaultInjector
+from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
+from .drift import DriftTracker, profile_drift
+from .instances import ServedBuild
+
+DEFAULT_DRIFT_THRESHOLD = 0.05
+DEFAULT_REGRESSION_LIMIT = 0.15
+DEFAULT_COOLDOWN_ROUNDS = 2
+
+
+@dataclass
+class _BuildRecord:
+    """A build generation and the profile that produced it."""
+
+    build_id: int
+    result: BuildResult
+    profile: Optional[ProfileDatabase]  # None: the unprofiled seed build
+    canary_cycles: Optional[int] = None  # lazy, on canary inputs
+
+
+@dataclass
+class ControllerAction:
+    """What one :meth:`ReoptimizeController.consider` call did."""
+
+    rebuilt: bool = False
+    swapped: Optional[ServedBuild] = None
+    rolled_back: bool = False
+    quarantine_epoch: Optional[int] = None
+    reason: str = ""
+
+
+class ReoptimizeController:
+    """Watches drift, rebuilds, canaries, swaps — or rolls back."""
+
+    def __init__(
+        self,
+        toolchain: Toolchain,
+        canary_inputs: Sequence,
+        scope: str = "cp",
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        min_confidence: float = MIN_PROFILE_CONFIDENCE,
+        regression_limit: float = DEFAULT_REGRESSION_LIMIT,
+        cooldown_rounds: int = DEFAULT_COOLDOWN_ROUNDS,
+        drift_alpha: float = 0.5,
+        injector: Optional[FaultInjector] = None,
+        observer: BuildObserver = NULL_OBSERVER,
+    ):
+        self.toolchain = toolchain
+        self.canary_inputs = list(canary_inputs)
+        self.scope = scope
+        self.drift_threshold = drift_threshold
+        self.min_confidence = min_confidence
+        self.regression_limit = regression_limit
+        self.cooldown_rounds = cooldown_rounds
+        self.injector = injector
+        self.observer = observer
+        self.drift = DriftTracker(alpha=drift_alpha)
+        self.current: Optional[_BuildRecord] = None
+        self.previous: Optional[_BuildRecord] = None
+        self.rolled_back: Set[int] = set()
+        self.rebuilds = 0
+        self.rollbacks = 0
+        self.swaps = 0
+        self.cooldown = 0
+        self._next_build_id = 1
+        self.history: List[str] = []  # human-readable decision log
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def initial_build(self) -> ServedBuild:
+        """The profile-less cross-module build the fleet starts on."""
+        result = self.toolchain.build("c", observer=self.observer)
+        self.current = _BuildRecord(build_id=0, result=result, profile=None)
+        self.history.append("serve build 0 (unprofiled bootstrap)")
+        return ServedBuild(0, result.program)
+
+    # ------------------------------------------------------------------
+    # Per-round decision
+    # ------------------------------------------------------------------
+
+    def consider(
+        self, merged: Optional[ProfileDatabase], epoch: int
+    ) -> ControllerAction:
+        """Run the gate ladder for one round's merged profile."""
+        action = ControllerAction()
+        if self.current is None:
+            raise RuntimeError("initial_build() must run before consider()")
+        if self.cooldown > 0:
+            self.cooldown -= 1
+            action.reason = "cooldown"
+            return action
+        if merged is None:
+            action.reason = "no-evidence"
+            return action
+        confidence = merged.overall_confidence()
+        self.observer.metrics.gauge("fleet.confidence", round(confidence, 4))
+        raw = profile_drift(self.current.profile, merged)
+        smoothed = self.drift.update(raw)
+        self.observer.metrics.gauge("fleet.drift", round(smoothed, 4))
+        if merged.sampled and confidence < self.min_confidence:
+            action.reason = "low-confidence"
+            return action
+        if smoothed <= self.drift_threshold:
+            action.reason = "drift-below-threshold"
+            return action
+        return self._rebuild(merged, epoch)
+
+    def _rebuild(self, merged: ProfileDatabase, epoch: int) -> ControllerAction:
+        action = ControllerAction(rebuilt=True)
+        self.rebuilds += 1
+        build_id = self._next_build_id
+        self._next_build_id += 1
+        ledger = InliningLedger()
+        observer = BuildObserver(
+            tracer=self.observer.tracer, metrics=self.observer.metrics,
+            ledger=ledger,
+        )
+        with self.observer.tracer.span(
+            "fleet-rebuild", cat="fleet", build=build_id, epoch=epoch
+        ):
+            result = self.toolchain.rebuild_with_profile(
+                merged, scope=self.scope, observer=observer
+            )
+        self.observer.metrics.count("fleet.rebuilds")
+        candidate = _BuildRecord(build_id=build_id, result=result, profile=merged)
+        with self.observer.tracer.span(
+            "fleet-canary", cat="fleet", build=build_id
+        ):
+            failure = self._canary_failure(candidate, ledger)
+        if failure is None:
+            self.observer.metrics.count("fleet.canary_pass")
+            self.previous = self.current
+            self.current = candidate
+            self.drift.reset()
+            self.swaps += 1
+            action.swapped = ServedBuild(build_id, result.program)
+            action.reason = "swap"
+            self.history.append(
+                "swap to build {} (epoch {})".format(build_id, epoch)
+            )
+            return action
+        # Rollback rung: the serving build stays; the candidate is
+        # permanently condemned; the evidence that produced it is
+        # quarantined; rebuilds pause while fresh evidence accumulates.
+        self.observer.metrics.count("fleet.canary_fail")
+        self.observer.metrics.count("fleet.rollbacks")
+        self.observer.tracer.instant(
+            "fleet-rollback:build{}".format(build_id), cat="fleet"
+        )
+        self.rolled_back.add(build_id)
+        self.rollbacks += 1
+        self.cooldown = self.cooldown_rounds
+        self.drift.reset()
+        action.rolled_back = True
+        action.quarantine_epoch = epoch
+        action.reason = "rollback:{}".format(failure)
+        self.history.append(
+            "rollback build {} ({}); quarantine epoch {}".format(
+                build_id, failure, epoch
+            )
+        )
+        return action
+
+    # ------------------------------------------------------------------
+    # Canary
+    # ------------------------------------------------------------------
+
+    def _canary_failure(
+        self, candidate: _BuildRecord, ledger: InliningLedger
+    ) -> Optional[str]:
+        """Run the canary tripwires; None means the build may ship."""
+        report = candidate.result.report
+        if ledger.considered != report.sites_considered:
+            return "ledger-anomaly ({} recorded, {} considered)".format(
+                ledger.considered, report.sites_considered
+            )
+        if self.injector is not None and self.injector.canary_trap(
+            candidate.build_id
+        ):
+            return "trap (injected)"
+        try:
+            metrics, result = simulate(
+                candidate.result.program, self.canary_inputs,
+                engine=candidate.result.engine,
+            )
+        except ExecError as exc:
+            return "trap ({})".format(exc)
+        if result.exit_code is None:
+            return "canary did not exit"
+        candidate.canary_cycles = metrics.cycles
+        baseline = self._current_canary_cycles()
+        if baseline is not None and baseline > 0:
+            regression = (metrics.cycles - baseline) / float(baseline)
+            if regression > self.regression_limit:
+                return "cycle-regression {:+.1%} (limit {:.0%})".format(
+                    regression, self.regression_limit
+                )
+        return None
+
+    def _current_canary_cycles(self) -> Optional[int]:
+        record = self.current
+        if record is None:
+            return None
+        if record.canary_cycles is None:
+            try:
+                metrics, _result = simulate(
+                    record.result.program, self.canary_inputs,
+                    engine=record.result.engine,
+                )
+            except ExecError:
+                return None
+            record.canary_cycles = metrics.cycles
+        return record.canary_cycles

@@ -1,0 +1,76 @@
+"""Profile drift: how far has behaviour moved since the last build?
+
+The reoptimize decision compares the collector's current merged profile
+against the profile that produced the build now being served.  The
+distance is the **total-variation distance** between the two profiles'
+normalized count distributions — ``0.5 * Σ |p(k) - q(k)|`` over the
+union of keys — taken over both block counts and call-site counts and
+reporting the worse of the two.  TV distance is the natural choice
+here: it is exactly the largest difference in probability mass the two
+profiles assign to any set of program points, i.e. the most the
+optimizer's notion of "hot" can have shifted.  Normalizing first makes
+the measure invariant to how *much* evidence each side holds (the
+fleet merge grows every round; raw counts would always "drift").
+
+A build with no profile at all (the initial profile-less serving
+build) is at maximal drift 1.0 from any real profile, which is what
+bootstraps the first rebuild.
+
+:class:`DriftTracker` smooths the round-by-round measure with an
+exponential moving average so a single noisy round cannot trigger a
+rebuild storm; the controller acts on the smoothed value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..profile.database import ProfileDatabase
+
+
+def _tv_distance(a: Dict, b: Dict) -> float:
+    total_a = float(sum(a.values()))
+    total_b = float(sum(b.values()))
+    if total_a <= 0.0 and total_b <= 0.0:
+        return 0.0
+    if total_a <= 0.0 or total_b <= 0.0:
+        return 1.0
+    keys = set(a) | set(b)
+    return 0.5 * sum(
+        abs(a.get(key, 0) / total_a - b.get(key, 0) / total_b) for key in keys
+    )
+
+
+def profile_drift(
+    base: Optional[ProfileDatabase], current: Optional[ProfileDatabase]
+) -> float:
+    """TV distance in [0, 1] between two profiles' hotness mass."""
+    if current is None:
+        return 0.0  # nothing new measured: nothing to act on
+    if base is None:
+        return 1.0  # serving an unprofiled build: maximal drift
+    return max(
+        _tv_distance(base.block_counts, current.block_counts),
+        _tv_distance(base.site_counts, current.site_counts),
+    )
+
+
+class DriftTracker:
+    """EMA smoothing of the round-by-round drift signal."""
+
+    def __init__(self, alpha: float = 0.5):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+
+    def update(self, drift: float) -> float:
+        if self.value is None:
+            self.value = drift
+        else:
+            self.value = self.alpha * drift + (1.0 - self.alpha) * self.value
+        return self.value
+
+    def reset(self) -> None:
+        """Forget history (called after a swap re-anchors the baseline)."""
+        self.value = None

@@ -1,0 +1,279 @@
+"""Fleet instances: serve the optimized build, sample the stable image.
+
+Each :class:`FleetInstance` owns one input chunk (one training vector)
+and does two things per round:
+
+1. **serve** — run its chunk on the currently deployed optimized
+   build (the thing continuous profiling exists to keep fast);
+2. **sample** — run the same chunk on the *profiling image* under the
+   sampling profiler and ship the evidence to the collector as a
+   CRC-framed shard.
+
+The two images are deliberately distinct, AutoFDO-style.  The serving
+build is whatever the controller last swapped in — inlined, cloned,
+block-renamed by the HLO.  Samples taken on it would carry keys and
+fingerprints from a shape that changes on every rebuild, so each swap
+would orphan all prior evidence.  The profiling image is the plain
+front-end compile: a stable anchor whose (proc, label) space never
+moves, so evidence from every round and every epoch merges cleanly and
+the steady-state merge converges on what exact instrumentation would
+have measured.
+
+Delivery is at-least-once: a shard stays in the instance's
+retransmission window until the collector ACKs it, with jittered
+exponential backoff between attempts (the jitter is seeded — the whole
+loop is deterministic).  The supervisor handles the control plane:
+restarting flapped instances and fanning a hot swap across the fleet,
+including the mid-swap crash the fault matrix requires surviving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..interp.errors import ExecError
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, run_program
+from ..ir.program import Program
+from ..obs import NULL_METRICS
+from ..resilience.faults import FaultInjector
+from ..sampling.sampler import (
+    DEFAULT_CONTEXT_DEPTH,
+    SampledProfile,
+    sample_run,
+)
+from .shard import ProfileShard
+from .transport import ShardTransport
+
+DEFAULT_RETRY_BASE = 1  # ticks before the first retransmission
+DEFAULT_RETRY_CAP = 8  # backoff ceiling, in ticks
+
+
+@dataclass
+class _Pending:
+    shard: ProfileShard
+    attempts: int = 0
+    next_send: int = 0
+
+
+@dataclass
+class ServedBuild:
+    """What an instance is currently executing: a build generation."""
+
+    build_id: int
+    program: Program
+
+
+class FleetInstance:
+    """One workload chunk: serve, sample, ship, retry."""
+
+    def __init__(
+        self,
+        source: str,
+        inputs: Sequence,
+        profiling_image: Program,
+        served: ServedBuild,
+        rate: int,
+        context_depth: int = DEFAULT_CONTEXT_DEPTH,
+        seed: int = 0,
+        engine: str = DEFAULT_ENGINE,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        injector: Optional[FaultInjector] = None,
+        retry_base: int = DEFAULT_RETRY_BASE,
+        retry_cap: int = DEFAULT_RETRY_CAP,
+        metrics=NULL_METRICS,
+        epoch: int = 0,
+    ):
+        self.source = source
+        self.inputs = list(inputs)
+        self.profiling_image = profiling_image
+        self.served = served
+        self.epoch = epoch
+        self.rate = rate
+        self.context_depth = context_depth
+        self.seed = seed
+        self.engine = engine
+        self.max_steps = max_steps
+        self.injector = injector
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.metrics = metrics
+        self.seq = 0
+        self.rounds = 0
+        self.pending: Dict[int, _Pending] = {}
+        self.serve_traps = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+
+    def step(self, tick: int, transport: ShardTransport) -> None:
+        self._serve()
+        self._sample_and_enqueue(tick)
+        self._flush(tick, transport)
+        self.rounds += 1
+
+    def _serve(self) -> None:
+        try:
+            run_program(
+                self.served.program, self.inputs, max_steps=self.max_steps,
+                engine=self.engine,
+            )
+        except ExecError:
+            # A trap while serving must never take the instance (or the
+            # loop) down; it is counted and shows up in canary checks.
+            self.serve_traps += 1
+            self.metrics.count("fleet.serve_traps")
+
+    def _sample_and_enqueue(self, tick: int) -> None:
+        profile = SampledProfile(
+            rate=self.rate, context_depth=self.context_depth,
+            # Distinct sample placements per (instance, round); the
+            # derivation is pure so a replayed round resamples the
+            # same points.
+            seed=self.seed * 1_000_003 + self.rounds * 7919,
+        )
+        sample_run(
+            self.profiling_image, self.inputs, profile=profile,
+            max_steps=self.max_steps, engine=self.engine,
+        )
+        payload = profile.to_database(self.profiling_image).to_text()
+        if self.injector is not None:
+            payload = self.injector.poison_payload(payload, self.source, self.seq)
+        shard = ProfileShard(
+            source=self.source, seq=self.seq, epoch=self.epoch,
+            payload=payload,
+        )
+        self.pending[self.seq] = _Pending(shard, attempts=0, next_send=tick)
+        self.seq += 1
+
+    def _flush(self, tick: int, transport: ShardTransport) -> None:
+        for pending in sorted(self.pending.values(), key=lambda p: p.shard.seq):
+            if pending.next_send > tick:
+                continue
+            if pending.attempts > 0:
+                self.retries += 1
+                self.metrics.count("fleet.shards_retried")
+            transport.send(pending.shard, tick, attempt=pending.attempts)
+            pending.attempts += 1
+            pending.next_send = tick + self._backoff(pending)
+
+    def _backoff(self, pending: _Pending) -> int:
+        """Jittered exponential backoff, seeded per (shard, attempt)."""
+        base = min(self.retry_cap, self.retry_base * (2 ** (pending.attempts - 1)))
+        rng = random.Random(
+            "{}|{}|{}|{}".format(self.seed, self.source,
+                                 pending.shard.seq, pending.attempts)
+        )
+        return base + rng.randrange(0, 2)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def ack(self, seq: int, accepted: bool) -> None:
+        if accepted:
+            self.pending.pop(seq, None)
+        # NACK: leave it pending; the backoff timer already scheduled
+        # the retransmission.
+
+    def swap(self, build: ServedBuild) -> None:
+        self.served = build
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp future shards with a new collection epoch.
+
+        The epoch is the controller's rebuild-attempt counter, not the
+        build id: quarantine granularity follows rebuild attempts, so
+        evidence gathered before and after a failed rebuild lands in
+        different buckets and only the offending bucket is discarded.
+        """
+        self.epoch = epoch
+
+
+class FleetSupervisor:
+    """Owns the instances: stepping, restarts, and fleet-wide swaps."""
+
+    def __init__(
+        self,
+        instances: List[FleetInstance],
+        injector: Optional[FaultInjector] = None,
+        metrics=NULL_METRICS,
+    ):
+        self.instances = instances
+        self.injector = injector
+        self.metrics = metrics
+        self.restarts = 0
+        self.served_build_ids = {inst.served.build_id for inst in instances}
+
+    def step(self, tick: int, transport: ShardTransport) -> None:
+        for index, inst in enumerate(self.instances):
+            if self.injector is not None and self.injector.flap(inst.source, tick):
+                # The instance died this round: it produces nothing and
+                # comes back empty-handed (in-flight retransmission
+                # state is process state and is lost with the process).
+                self.instances[index] = self._restart(inst, inst.served)
+                continue
+            inst.step(tick, transport)
+
+    def _restart(self, dead: FleetInstance, build: ServedBuild) -> FleetInstance:
+        self.restarts += 1
+        self.metrics.count("fleet.instance_restarts")
+        fresh = FleetInstance(
+            source=dead.source, inputs=dead.inputs,
+            profiling_image=dead.profiling_image, served=build,
+            rate=dead.rate, context_depth=dead.context_depth, seed=dead.seed,
+            engine=dead.engine, max_steps=dead.max_steps,
+            injector=dead.injector, retry_base=dead.retry_base,
+            retry_cap=dead.retry_cap, metrics=dead.metrics, epoch=dead.epoch,
+        )
+        # Sequence numbers must not restart at 0 — the collector's
+        # dedupe would silently eat the reborn instance's first shards.
+        fresh.seq = dead.seq
+        fresh.rounds = dead.rounds
+        return fresh
+
+    def apply_acks(self, acks) -> None:
+        by_source = {inst.source: inst for inst in self.instances}
+        for ack in acks:
+            inst = by_source.get(ack.source)
+            if inst is not None:
+                inst.ack(ack.seq, ack.accepted)
+
+    def swap_all(self, build: ServedBuild) -> None:
+        """Deploy a canaried build fleet-wide, surviving a mid-swap crash.
+
+        Old programs' plan caches are flushed (stale pre-decoded plans
+        must not outlive the build they encode), and an instance the
+        injector kills partway through is restarted *on the new build*
+        — exactly what a real supervisor does: the restart policy's
+        target is the current deployment, so a mid-swap crash can delay
+        convergence but never produce a mixed fleet.
+        """
+        kill_index = None
+        if self.injector is not None and self.injector.kill_mid_swap(
+            build.build_id
+        ):
+            kill_index = len(self.instances) // 2
+        for index, inst in enumerate(self.instances):
+            old = inst.served.program
+            if index == kill_index:
+                self.instances[index] = self._restart(inst, build)
+            else:
+                inst.swap(build)
+            if old is not build.program:
+                old.invalidate_plans()
+        self.served_build_ids.add(build.build_id)
+        self.metrics.count("fleet.swaps")
+
+    def set_epoch(self, epoch: int) -> None:
+        for inst in self.instances:
+            inst.set_epoch(epoch)
+
+    def serve_traps(self) -> int:
+        return sum(inst.serve_traps for inst in self.instances)
+
+    def retries(self) -> int:
+        return sum(inst.retries for inst in self.instances)

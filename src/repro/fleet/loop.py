@@ -1,0 +1,402 @@
+"""The fleet loop: rounds of serve → sample → ship → merge → reoptimize.
+
+One :class:`FleetLoop` wires the whole continuous-profiling machine
+together and drives it for a bounded number of rounds (and, optionally,
+a bounded wall time):
+
+- a :class:`~repro.fleet.instances.FleetSupervisor` of per-chunk
+  instances serving the current optimized build and sampling the
+  stable profiling image;
+- a :class:`~repro.fleet.transport.ShardTransport` the fault injector
+  can drop, corrupt, truncate, duplicate, or delay;
+- a :class:`~repro.fleet.collector.ProfileCollector` journaling to a
+  write-ahead spool, with quarantine gates and per-source breakers —
+  restarted mid-run (optionally onto a corrupted spool tail) when the
+  fault plan says so;
+- a :class:`~repro.fleet.controller.ReoptimizeController` doing
+  drift-gated rebuilds behind the canary/rollback ladder.
+
+Time is the round counter; nothing in the loop's logic reads a clock
+(the optional ``max_wall_s`` budget only decides *whether to start*
+another round).  All randomness is derived from the seeded fault
+injector and the per-instance sampling seeds, so a failing run replays
+exactly from its seed.
+
+The loop's two hard invariants are checked every round, not asserted
+after the fact: the fleet never serves a build the controller rolled
+back from, and a crashed piece (instance, collector) is restarted
+rather than crashing the loop.  Steady-state **convergence** is
+measured at the end: the final build's inline/clone decision set is
+compared (Jaccard) against a from-scratch exact-profile ``cp`` build —
+the loop's whole point is that the fault-ridden sampled path lands on
+the same decisions.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..frontend.driver import SourceList, compile_program
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS
+from ..linker.toolchain import Toolchain
+from ..obs import BuildObserver, NULL_OBSERVER
+from ..resilience.faults import FaultInjector
+from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
+from .collector import DEFAULT_EPOCH_DECAY, MIN_SHARD_CONFIDENCE, ProfileCollector
+from .controller import (
+    DEFAULT_COOLDOWN_ROUNDS,
+    DEFAULT_DRIFT_THRESHOLD,
+    DEFAULT_REGRESSION_LIMIT,
+    ReoptimizeController,
+)
+from .instances import (
+    DEFAULT_RETRY_BASE,
+    DEFAULT_RETRY_CAP,
+    FleetInstance,
+    FleetSupervisor,
+)
+from .transport import ShardTransport
+from .wal import ShardSpool
+
+DEFAULT_ROUNDS = 8
+DEFAULT_FLEET_RATE = 50  # denser than offline sampling: shards are small
+
+
+class FleetInvariantError(RuntimeError):
+    """A hard fleet invariant broke (this is a bug, not a fault)."""
+
+
+def decision_set(report) -> Set[Tuple]:
+    """The identity of every inline/clone decision in an HLO report."""
+    return {
+        (event.kind, event.caller, event.callee, event.site_id)
+        for event in report.events
+    }
+
+
+def jaccard(a: Set, b: Set) -> float:
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / float(len(union)) if union else 1.0
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for one fleet run; defaults are the CI smoke settings."""
+
+    rounds: int = DEFAULT_ROUNDS
+    rate: int = DEFAULT_FLEET_RATE
+    context_depth: int = 2
+    seed: int = 0
+    scope: str = "cp"
+    engine: str = DEFAULT_ENGINE
+    max_steps: int = DEFAULT_MAX_STEPS
+    decay: float = DEFAULT_EPOCH_DECAY
+    drift_threshold: float = DEFAULT_DRIFT_THRESHOLD
+    min_confidence: float = MIN_PROFILE_CONFIDENCE
+    min_shard_confidence: float = MIN_SHARD_CONFIDENCE
+    regression_limit: float = DEFAULT_REGRESSION_LIMIT
+    cooldown_rounds: int = DEFAULT_COOLDOWN_ROUNDS
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 4
+    retry_base: int = DEFAULT_RETRY_BASE
+    retry_cap: int = DEFAULT_RETRY_CAP
+    restart_collector_rounds: Sequence[int] = ()
+    max_wall_s: Optional[float] = None
+    measure_convergence: bool = True
+    # Small workloads have fewer input chunks than a credible fleet has
+    # replicas; chunks are cycled across instances until this floor is
+    # met (two replicas serving the same chunk is exactly what a
+    # load-balanced deployment looks like, and the merge just sums
+    # their evidence).
+    min_instances: int = 3
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run did, JSON-able for CLI/bench/CI."""
+
+    rounds_run: int = 0
+    rebuilds: int = 0
+    rollbacks: int = 0
+    swaps: int = 0
+    final_build: int = 0
+    served_builds: List[int] = field(default_factory=list)
+    rolled_back: List[int] = field(default_factory=list)
+    quarantined_epochs: List[int] = field(default_factory=list)
+    convergence_jaccard: Optional[float] = None
+    exact_decisions: int = 0
+    fleet_decisions: int = 0
+    shards_sent: int = 0
+    shards_accepted: int = 0
+    shards_retried: int = 0
+    shards_dropped: int = 0
+    shards_damaged: int = 0
+    shards_duplicate: int = 0
+    shards_quarantined: int = 0
+    shards_rejected_breaker: int = 0
+    breaker_opens: int = 0
+    wal_appended: int = 0
+    wal_truncations: int = 0
+    collector_restarts: int = 0
+    instance_restarts: int = 0
+    serve_traps: int = 0
+    stopped_early: bool = False
+    wall_s: float = 0.0
+    history: List[str] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return self.convergence_jaccard == 1.0
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rounds_run": self.rounds_run,
+            "rebuilds": self.rebuilds,
+            "rollbacks": self.rollbacks,
+            "swaps": self.swaps,
+            "final_build": self.final_build,
+            "served_builds": self.served_builds,
+            "rolled_back": self.rolled_back,
+            "quarantined_epochs": self.quarantined_epochs,
+            "convergence_jaccard": self.convergence_jaccard,
+            "exact_decisions": self.exact_decisions,
+            "fleet_decisions": self.fleet_decisions,
+            "shards": {
+                "sent": self.shards_sent,
+                "accepted": self.shards_accepted,
+                "retried": self.shards_retried,
+                "dropped": self.shards_dropped,
+                "damaged": self.shards_damaged,
+                "duplicate": self.shards_duplicate,
+                "quarantined": self.shards_quarantined,
+                "rejected_breaker": self.shards_rejected_breaker,
+            },
+            "wal": {
+                "appended": self.wal_appended,
+                "truncations": self.wal_truncations,
+                "collector_restarts": self.collector_restarts,
+            },
+            "breaker_opens": self.breaker_opens,
+            "instance_restarts": self.instance_restarts,
+            "serve_traps": self.serve_traps,
+            "stopped_early": self.stopped_early,
+            "wall_s": round(self.wall_s, 3),
+        }
+        return payload
+
+
+class FleetLoop:
+    """Owns one continuous-profiling run end to end."""
+
+    def __init__(
+        self,
+        sources: SourceList,
+        train_inputs: Sequence[Sequence],
+        ref_input: Sequence = (),
+        config: Optional[FleetConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        observer: BuildObserver = NULL_OBSERVER,
+        spool_path: Optional[str] = None,
+    ):
+        if not train_inputs:
+            raise ValueError("the fleet needs at least one input chunk")
+        self.sources = sources
+        self.train_inputs = [list(chunk) for chunk in train_inputs]
+        self.ref_input = list(ref_input)
+        self.config = config or FleetConfig()
+        self.injector = injector
+        self.observer = observer
+        if spool_path is None:
+            spool_path = os.path.join(
+                tempfile.mkdtemp(prefix="repro-fleet-"), "shards.wal"
+            )
+        self.spool_path = spool_path
+
+    # ------------------------------------------------------------------
+
+    def _make_collector(self, profiling_image) -> ProfileCollector:
+        cfg = self.config
+        return ProfileCollector(
+            profiling_image,
+            ShardSpool(self.spool_path),
+            decay=cfg.decay,
+            min_shard_confidence=cfg.min_shard_confidence,
+            breaker_threshold=cfg.breaker_threshold,
+            breaker_cooldown=cfg.breaker_cooldown,
+            metrics=self.observer.metrics,
+            tracer=self.observer.tracer,
+        )
+
+    def run(self) -> FleetReport:
+        cfg = self.config
+        obs = self.observer
+        started = time.perf_counter()
+        report = FleetReport()
+
+        profiling_image = compile_program(self.sources)
+        toolchain = Toolchain(
+            self.sources, train_inputs=self.train_inputs, engine=cfg.engine,
+            fault_injector=self.injector,
+        )
+        controller = ReoptimizeController(
+            toolchain,
+            canary_inputs=self.ref_input or self.train_inputs[0],
+            scope=cfg.scope,
+            drift_threshold=cfg.drift_threshold,
+            min_confidence=cfg.min_confidence,
+            regression_limit=cfg.regression_limit,
+            cooldown_rounds=cfg.cooldown_rounds,
+            injector=self.injector,
+            observer=obs,
+        )
+        served = controller.initial_build()
+        chunks = list(self.train_inputs)
+        while len(chunks) < cfg.min_instances:
+            chunks.append(chunks[len(chunks) % len(self.train_inputs)])
+        instances = [
+            FleetInstance(
+                source="inst{}".format(index),
+                inputs=chunk,
+                profiling_image=profiling_image,
+                served=served,
+                rate=cfg.rate,
+                context_depth=cfg.context_depth,
+                seed=cfg.seed + index,
+                engine=cfg.engine,
+                max_steps=cfg.max_steps,
+                injector=self.injector,
+                retry_base=cfg.retry_base,
+                retry_cap=cfg.retry_cap,
+                metrics=obs.metrics,
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        supervisor = FleetSupervisor(instances, self.injector, obs.metrics)
+        transport = ShardTransport(self.injector, obs.metrics)
+        collector = self._make_collector(profiling_image)
+        quarantined: Set[int] = set()
+        epoch = 0
+        restart_rounds = set(cfg.restart_collector_rounds)
+
+        for tick in range(cfg.rounds):
+            if (
+                cfg.max_wall_s is not None
+                and time.perf_counter() - started > cfg.max_wall_s
+            ):
+                report.stopped_early = True
+                obs.tracer.instant("fleet-wall-budget", cat="fleet")
+                break
+            with obs.tracer.span("fleet-round", cat="fleet", round=tick):
+                supervisor.step(tick, transport)
+                supervisor.apply_acks(transport.deliver(tick, collector))
+
+                wal_fault = (
+                    self.injector is not None
+                    and self.injector.wal_tail_fault(tick)
+                )
+                if wal_fault or tick in restart_rounds:
+                    # The collector "crashes": a fresh one rebuilds its
+                    # whole state from the journal — possibly minus a
+                    # torn tail the injector just manufactured.
+                    if wal_fault:
+                        spool = ShardSpool(self.spool_path)
+                        spool.rewrite(
+                            self.injector.corrupt_wal_tail(spool.raw())
+                        )
+                    self._absorb_collector_counters(report, collector)
+                    collector = self._make_collector(profiling_image)
+                    _replayed, truncated = collector.restore(
+                        quarantined_epochs=quarantined, tick=tick
+                    )
+                    if truncated:
+                        report.wal_truncations += 1
+                    report.collector_restarts += 1
+                    obs.metrics.count("fleet.collector_restarts")
+                    obs.tracer.instant(
+                        "fleet-collector-restart:{}".format(tick), cat="fleet"
+                    )
+
+                action = controller.consider(collector.merged_profile(), epoch)
+                if action.swapped is not None:
+                    supervisor.swap_all(action.swapped)
+                if action.rolled_back:
+                    quarantined.add(action.quarantine_epoch)
+                    collector.quarantine_epoch(action.quarantine_epoch)
+                if action.rebuilt:
+                    # Every rebuild attempt — pass or fail — opens a new
+                    # evidence epoch, so a later rollback can quarantine
+                    # precisely the evidence that misled it.
+                    epoch += 1
+                    supervisor.set_epoch(epoch)
+
+                self._check_invariants(supervisor, controller)
+                obs.metrics.gauge(
+                    "fleet.current_build", controller.current.build_id
+                )
+            report.rounds_run = tick + 1
+
+        report.rebuilds = controller.rebuilds
+        report.rollbacks = controller.rollbacks
+        report.swaps = controller.swaps
+        report.final_build = controller.current.build_id
+        report.served_builds = sorted(supervisor.served_build_ids)
+        report.rolled_back = sorted(controller.rolled_back)
+        report.quarantined_epochs = sorted(quarantined)
+        report.shards_sent = transport.sent
+        report.shards_retried = supervisor.retries()
+        report.shards_dropped = transport.dropped
+        report.shards_damaged = transport.damaged
+        self._absorb_collector_counters(report, collector)
+        report.instance_restarts = supervisor.restarts
+        report.serve_traps = supervisor.serve_traps()
+        report.history = list(controller.history)
+
+        if cfg.measure_convergence:
+            with obs.tracer.span("fleet-convergence", cat="fleet"):
+                exact = Toolchain(
+                    self.sources, train_inputs=self.train_inputs,
+                    engine=cfg.engine,
+                ).build(cfg.scope)
+            exact_set = decision_set(exact.report)
+            fleet_set = decision_set(controller.current.result.report)
+            report.exact_decisions = len(exact_set)
+            report.fleet_decisions = len(fleet_set)
+            report.convergence_jaccard = round(jaccard(exact_set, fleet_set), 4)
+            obs.metrics.gauge(
+                "fleet.convergence_jaccard", report.convergence_jaccard
+            )
+        obs.metrics.gauge("fleet.rounds", report.rounds_run)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    @staticmethod
+    def _absorb_collector_counters(report: FleetReport, collector) -> None:
+        """Fold one collector incarnation's counters into the report.
+
+        Called before each restart and once at the end; a replayed
+        journal re-admits its shards, so post-restart counters describe
+        what that collector process did (as a real fleet's restarted
+        counters would), not globally unique shards.
+        """
+        report.shards_accepted += collector.accepted
+        report.shards_duplicate += collector.duplicates
+        report.shards_quarantined += collector.quarantined_shards
+        report.shards_rejected_breaker += collector.rejected_breaker
+        report.breaker_opens += collector.breaker_opens()
+        report.wal_appended += collector.spool.appended
+
+    @staticmethod
+    def _check_invariants(supervisor, controller) -> None:
+        for inst in supervisor.instances:
+            if inst.served.build_id in controller.rolled_back:
+                raise FleetInvariantError(
+                    "instance {} is serving rolled-back build {}".format(
+                        inst.source, inst.served.build_id
+                    )
+                )

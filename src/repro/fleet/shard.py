@@ -1,0 +1,118 @@
+"""Profile shards: the fleet's unit of transfer, CRC32-framed.
+
+A shard is one instance's sampled evidence from one collection round,
+serialized as profiledb text and wrapped in a length- and
+CRC32-delimited frame::
+
+    shard <source> <seq> <epoch> <len> crc32 <8hex>
+    <len characters of profiledb text>
+
+The frame serves two masters with one format.  On the *transport* it is
+the end-to-end integrity check: a corrupted or truncated shard fails
+its CRC at the collector and is NACKed back to the source for a retry.
+In the *write-ahead spool* (:mod:`repro.fleet.wal`) the same frames are
+appended back-to-back; because each one is length-delimited, replay
+after a crash walks frame-by-frame and a torn final write is detected
+exactly — everything before it is intact by CRC, everything after it
+is discarded.
+
+Frame parsing treats its input as hostile (the transport is the fault
+injector's favourite seam) and raises a typed
+:class:`~repro.resilience.errors.ShardFormatError` — the transit twin
+of the profiledb parser's ``ProfileFormatError``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..resilience.errors import ShardFormatError
+
+WIRE_MAGIC = "shard"
+
+
+def _crc(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+@dataclass(frozen=True)
+class ProfileShard:
+    """One source's profile evidence for one (round, epoch)."""
+
+    source: str  # instance name; no whitespace
+    seq: int  # per-source monotonically increasing sequence number
+    epoch: int  # collection epoch the evidence was gathered under
+    payload: str  # profiledb text (ProfileDatabase.to_text())
+
+    def key(self) -> Tuple[str, int]:
+        """The deduplication identity: (source, seq)."""
+        return (self.source, self.seq)
+
+    def to_wire(self) -> str:
+        if not self.source or any(ch.isspace() for ch in self.source):
+            raise ValueError(
+                "shard source must be non-empty and whitespace-free: "
+                "{!r}".format(self.source)
+            )
+        return "{} {} {} {} {} crc32 {}\n{}".format(
+            WIRE_MAGIC, self.source, self.seq, self.epoch,
+            len(self.payload), _crc(self.payload), self.payload,
+        )
+
+    @classmethod
+    def from_wire(cls, text: str, offset: int = 0) -> Tuple["ProfileShard", int]:
+        """Parse one frame starting at ``offset``.
+
+        Returns ``(shard, next_offset)`` so spool replay can walk a
+        file of concatenated frames.  Raises
+        :class:`ShardFormatError` (kind ``"truncated"``,
+        ``"corrupted"``, or ``"malformed"``) on any damage.
+        """
+        newline = text.find("\n", offset)
+        if newline < 0:
+            raise ShardFormatError("truncated shard header", "truncated")
+        header = text[offset:newline]
+        fields = header.split()
+        if len(fields) != 7 or fields[0] != WIRE_MAGIC or fields[5] != "crc32":
+            raise ShardFormatError(
+                "malformed shard header: {!r}".format(header[:80]), "malformed"
+            )
+        try:
+            seq = int(fields[2])
+            epoch = int(fields[3])
+            length = int(fields[4])
+        except ValueError:
+            raise ShardFormatError(
+                "malformed shard header numbers: {!r}".format(header[:80]),
+                "malformed",
+            ) from None
+        if length < 0:
+            raise ShardFormatError("negative shard length", "malformed")
+        start = newline + 1
+        payload = text[start:start + length]
+        if len(payload) < length:
+            raise ShardFormatError(
+                "truncated shard payload: header says {} chars, "
+                "{} present".format(length, len(payload)),
+                "truncated",
+            )
+        computed = _crc(payload)
+        if computed != fields[6]:
+            raise ShardFormatError(
+                "shard checksum mismatch (stated {}, computed {}): "
+                "frame is corrupted".format(fields[6], computed),
+                "corrupted",
+            )
+        return cls(fields[1], seq, epoch, payload), start + length
+
+    @classmethod
+    def parse_message(cls, text: str) -> "ProfileShard":
+        """Parse a transport message that must be exactly one frame."""
+        shard, consumed = cls.from_wire(text)
+        if text[consumed:].strip():
+            raise ShardFormatError(
+                "trailing bytes after shard frame", "malformed"
+            )
+        return shard

@@ -1,0 +1,113 @@
+"""The shard transport: a tick-based in-memory channel with a fault seam.
+
+The fleet loop is deterministic — no threads, no wall clock in the
+logic.  Time is a round counter (*ticks*); a shard sent at tick *t* is
+delivered at *t + 1* unless a fault delays it further.  All disorder
+comes from the seeded :class:`~repro.resilience.faults.FaultInjector`,
+which gets one decision per send (keyed on the shard's identity and
+attempt number, so replays and retries are reproducible independent of
+everything else that fired):
+
+``drop``
+    the frame vanishes — the source's retry timer is the only recovery;
+``corrupt`` / ``truncate``
+    the frame arrives damaged and fails its CRC at the collector, which
+    NACKs it back for a retry;
+``duplicate``
+    the frame arrives twice — the collector's (source, seq) dedupe
+    absorbs the second copy;
+``delay``
+    delivery slips 1–3 extra ticks, re-ordering it behind newer shards.
+
+The envelope (source, seq) rides *outside* the frame — transports know
+their peers — so the collector can attribute even an unparseable frame
+to its sender for NACKs and circuit-breaker accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..obs import NULL_METRICS
+from ..resilience.faults import FaultInjector
+from .shard import ProfileShard
+
+
+@dataclass
+class _InFlight:
+    deliver_at: int
+    order: int  # FIFO tiebreak within a tick
+    source: str
+    seq: int
+    wire: str
+
+
+class ShardTransport:
+    """In-memory shard channel; all faults come from the injector."""
+
+    def __init__(
+        self,
+        injector: Optional[FaultInjector] = None,
+        metrics=NULL_METRICS,
+    ):
+        self.injector = injector
+        self.metrics = metrics
+        self._queue: List[_InFlight] = []
+        self._order = 0
+        self.sent = 0
+        self.dropped = 0
+        self.damaged = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def send(self, shard: ProfileShard, tick: int, attempt: int = 0) -> None:
+        self.sent += 1
+        self.metrics.count("fleet.shards_sent")
+        wire = shard.to_wire()
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.shard_fault(shard.source, shard.seq, attempt)
+        if fault == "drop":
+            self.dropped += 1
+            self.metrics.count("fleet.shards_dropped")
+            return
+        deliver_at = tick + 1
+        if fault == "delay":
+            deliver_at += self.injector.delay_ticks(shard.source, shard.seq, attempt)
+            self.delayed += 1
+            self.metrics.count("fleet.shards_delayed")
+        if fault in ("corrupt", "truncate"):
+            wire = self.injector.damage_shard(
+                wire, fault, shard.source, shard.seq, attempt
+            )
+            self.damaged += 1
+            self.metrics.count("fleet.shards_damaged")
+        self._push(deliver_at, shard.source, shard.seq, wire)
+        if fault == "duplicate":
+            self.duplicated += 1
+            self.metrics.count("fleet.shards_duplicated")
+            self._push(deliver_at + 1, shard.source, shard.seq, shard.to_wire())
+
+    def _push(self, deliver_at: int, source: str, seq: int, wire: str) -> None:
+        self._queue.append(_InFlight(deliver_at, self._order, source, seq, wire))
+        self._order += 1
+
+    def deliver(self, tick: int, collector) -> List["object"]:
+        """Hand every due frame to the collector; returns its acks."""
+        due = [m for m in self._queue if m.deliver_at <= tick]
+        self._queue = [m for m in self._queue if m.deliver_at > tick]
+        due.sort(key=lambda m: (m.deliver_at, m.order))
+        acks = []
+        for message in due:
+            acks.append(
+                collector.receive(
+                    message.wire, source=message.source, seq=message.seq,
+                    tick=tick,
+                )
+            )
+        return acks
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)

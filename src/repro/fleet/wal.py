@@ -1,0 +1,81 @@
+"""The collector's crash-safe write-ahead spool.
+
+Every shard whose frame survives transit is journaled *before* semantic
+validation, so a collector crash loses nothing that was ever received:
+restart replays the spool and re-derives the accepted/quarantined split
+deterministically (the same gates run on the same bytes).
+
+The spool is a single append-only file of concatenated shard frames
+(:mod:`repro.fleet.shard`).  Each frame is length-delimited and CRC32'd,
+which makes replay after a torn write exact: frames are walked in
+order, the first one that fails to parse marks the torn tail, the good
+prefix is kept, and the file is truncated back to the last intact
+frame boundary so subsequent appends start clean.  (A production spool
+would ``fsync`` per append; this in-process model stops at ``flush`` —
+the crash being modelled is the collector process, not the host.)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from ..resilience.errors import ShardFormatError
+from .shard import ProfileShard
+
+
+class ShardSpool:
+    """Append-only, CRC-framed shard journal with truncate-tolerant replay."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.appended = 0  # frames journaled through this handle
+
+    def append(self, shard: ProfileShard) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(shard.to_wire())
+            handle.flush()
+        self.appended += 1
+
+    def replay(self) -> Tuple[List[ProfileShard], bool]:
+        """Read back every intact frame; returns ``(shards, truncated)``.
+
+        ``truncated`` is True when a torn or corrupted tail was found
+        and cut away.  Replay never raises on damage — a spool that
+        cannot be read past some point is, by definition, a spool whose
+        good prefix is the recoverable state.
+        """
+        if not os.path.exists(self.path):
+            return [], False
+        with open(self.path) as handle:
+            text = handle.read()
+        shards: List[ProfileShard] = []
+        offset = 0
+        truncated = False
+        while offset < len(text):
+            if not text[offset:].strip():
+                break  # trailing whitespace only
+            try:
+                shard, offset = ProfileShard.from_wire(text, offset)
+            except ShardFormatError:
+                truncated = True
+                break
+            shards.append(shard)
+        if truncated:
+            with open(self.path, "w") as handle:
+                handle.write(text[:offset])
+        return shards, truncated
+
+    # -- fault-injection seam ------------------------------------------
+
+    def raw(self) -> str:
+        """The spool's current bytes (for tail-corruption injection)."""
+        if not os.path.exists(self.path):
+            return ""
+        with open(self.path) as handle:
+            return handle.read()
+
+    def rewrite(self, text: str) -> None:
+        """Replace the spool contents (fault injection only)."""
+        with open(self.path, "w") as handle:
+            handle.write(text)

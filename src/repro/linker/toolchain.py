@@ -122,6 +122,8 @@ class BuildDiagnostics:
     # Parallel-compilation accounting.
     parallel_jobs: int = 1
     parallel_fallbacks: List[str] = field(default_factory=list)
+    compile_timeouts: int = 0  # modules abandoned by the compile watchdog
+    worker_errors: List[str] = field(default_factory=list)  # exception classes
 
     def warn(self, message: str) -> None:
         self.warnings.append(message)
@@ -224,6 +226,7 @@ class Toolchain:
         sample_seed: int = 0,
         min_profile_confidence: float = MIN_PROFILE_CONFIDENCE,
         engine: str = DEFAULT_ENGINE,
+        compile_timeout: Optional[float] = None,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
@@ -241,6 +244,7 @@ class Toolchain:
         # byte-identical for any --jobs value and any cache state.
         # With neither flag the legacy direct path runs, unchanged.
         self.jobs = jobs
+        self.compile_timeout = compile_timeout
         self._use_pipeline = (
             jobs is not None or cache_dir is not None or cache is not None
         )
@@ -272,6 +276,7 @@ class Toolchain:
         scope: str = "cp",
         config: Optional[HLOConfig] = None,
         observer=None,
+        profile_override: Optional[ProfileDatabase] = None,
     ) -> BuildResult:
         import time
 
@@ -286,7 +291,17 @@ class Toolchain:
 
         with obs.tracer.span("build", scope=scope) as build_span:
             profile: Optional[ProfileDatabase] = None
-            if use_profile:
+            if use_profile and profile_override is not None:
+                # An externally collected profile (the continuous-
+                # profiling loop's merged fleet evidence) replaces the
+                # training phase outright; it still takes the same
+                # text round-trip and confidence/staleness rungs a
+                # trained profile would.
+                with obs.tracer.span("profile-override", cat="pgo"):
+                    profile = self._reload_profile(
+                        profile_override, diagnostics, cacheable=False
+                    )
+            elif use_profile:
                 if not self.train_inputs:
                     raise ValueError(
                         "scope {!r} needs training inputs for the PGO pipeline".format(scope)
@@ -295,6 +310,7 @@ class Toolchain:
                     profile, train_units = self._train(cfg, diagnostics, obs)
                     compile_units += train_units
                     profile = self._reload_profile(profile, diagnostics)
+            if use_profile:
                 if profile is not None and profile.sampled:
                     confidence = profile.overall_confidence()
                     if confidence < self.min_profile_confidence:
@@ -370,6 +386,8 @@ class Toolchain:
             build_span.add(compile_units=round(compile_units, 2))
 
         trained = self._profile_cache[0] if self._profile_cache else None
+        if profile_override is not None:
+            trained = profile_override
         stats = BuildStats(
             scope=scope,
             compile_units=compile_units,
@@ -392,6 +410,32 @@ class Toolchain:
     ) -> Dict[str, BuildResult]:
         """All four Table 1 rows for this program."""
         return {scope: self.build(scope, config, observer) for scope in SCOPES}
+
+    def rebuild_with_profile(
+        self,
+        profile: ProfileDatabase,
+        scope: str = "cp",
+        config: Optional[HLOConfig] = None,
+        observer=None,
+    ) -> BuildResult:
+        """A profile-scope build fed an externally collected database.
+
+        The continuous-profiling loop's entry point: no training run
+        happens (the fleet already paid for the evidence); the profile
+        takes the standard text round-trip, confidence rung, and
+        staleness fallback on its way into the HLO, so a corrupt or
+        degenerate merge degrades exactly like a corrupt trained
+        profile would instead of poisoning the build.
+        """
+        cross_module, use_profile = scope_flags(scope)
+        if not use_profile:
+            raise ValueError(
+                "rebuild_with_profile needs a profile scope ('p' or 'cp'), "
+                "got {!r}".format(scope)
+            )
+        return self.build(
+            scope, config=config, observer=observer, profile_override=profile
+        )
 
     # ------------------------------------------------------------------
     # PGO pipeline pieces
@@ -420,11 +464,14 @@ class Toolchain:
             profile=profile,
             warn=warn,
             observer=observer if observer is not None else NULL_OBSERVER,
+            timeout=self.compile_timeout,
         )
         if diagnostics is not None:
             diagnostics.parallel_jobs = max(diagnostics.parallel_jobs, stats.jobs)
             diagnostics.modules_compiled += stats.compiled
             diagnostics.modules_from_cache += stats.from_cache
+            diagnostics.compile_timeouts += stats.compile_timeouts
+            diagnostics.worker_errors.extend(stats.worker_errors)
             if stats.serial_fallback:
                 diagnostics.parallel_fallbacks.append(
                     stats.fallback_reason or "worker pool unavailable"
@@ -467,7 +514,10 @@ class Toolchain:
         return modules, fallbacks
 
     def _reload_profile(
-        self, profile: ProfileDatabase, diagnostics: BuildDiagnostics
+        self,
+        profile: ProfileDatabase,
+        diagnostics: BuildDiagnostics,
+        cacheable: bool = True,
     ) -> Optional[ProfileDatabase]:
         """Round-trip the profile through its on-disk text form.
 
@@ -477,14 +527,18 @@ class Toolchain:
         and gives corruption one well-defined place to strike.  A
         database that fails to parse degrades to static estimation.
         """
-        if self.fault_injector is None and self._reload_cache is not None:
+        if (
+            cacheable
+            and self.fault_injector is None
+            and self._reload_cache is not None
+        ):
             return self._reload_cache
         text = profile.to_text()
         if self.fault_injector is not None:
             text = self.fault_injector.corrupt_profile(text)
         try:
             reloaded = ProfileDatabase.from_text(text)
-            if self.fault_injector is None:
+            if cacheable and self.fault_injector is None:
                 self._reload_cache = reloaded
             return reloaded
         except ProfileFormatError as exc:

@@ -187,6 +187,8 @@ def collect_build_metrics(
         reg.count("build.modules_from_cache", diagnostics.modules_from_cache)
         reg.gauge("build.parallel_jobs", diagnostics.parallel_jobs)
         reg.count("build.parallel_fallbacks", len(diagnostics.parallel_fallbacks))
+        reg.count("build.compile_timeouts", diagnostics.compile_timeouts)
+        reg.count("build.worker_errors", len(diagnostics.worker_errors))
         reg.count("build.warnings", len(diagnostics.warnings))
         reg.count("resilience.module_fallbacks", len(diagnostics.module_fallbacks))
         reg.gauge(

@@ -210,6 +210,34 @@ def validate_bench(obj) -> List[str]:
                     errors.append(
                         "{} speedup {} is not positive".format(where, speedup)
                     )
+    fleet = obj.get("fleet")
+    if not isinstance(fleet, dict):
+        errors.append("bench: missing object 'fleet'")
+    else:
+        for key in ("rounds", "seed", "fault_rate", "min_jaccard",
+                    "mean_jaccard"):
+            if not isinstance(fleet.get(key), (int, float)):
+                errors.append("bench: fleet missing numeric {!r}".format(key))
+        per = fleet.get("workloads")
+        if not isinstance(per, dict) or not per:
+            errors.append("bench: fleet missing non-empty object 'workloads'")
+        else:
+            for name, entry in per.items():
+                where = "bench: fleet.workloads[{!r}]".format(name)
+                if not isinstance(entry, dict):
+                    errors.append(where + " is not an object")
+                    continue
+                for key in ("jaccard", "rebuilds", "rollbacks", "swaps",
+                            "quarantined_epochs", "served_rolled_back"):
+                    if not isinstance(entry.get(key), (int, float)):
+                        errors.append(
+                            "{} missing numeric {!r}".format(where, key)
+                        )
+                jac = entry.get("jaccard")
+                if isinstance(jac, (int, float)) and not 0.0 <= jac <= 1.0:
+                    errors.append(
+                        "{} jaccard {} outside [0, 1]".format(where, jac)
+                    )
     return errors
 
 

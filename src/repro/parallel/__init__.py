@@ -13,6 +13,7 @@ Three cooperating pieces (docs/performance.md):
 from .cache import CACHE_FORMAT_VERSION, CacheStats, ModuleCache
 from .executor import (
     CompileStats,
+    MapOutcome,
     compile_sources,
     default_jobs,
     parallel_map,
@@ -23,6 +24,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "CompileStats",
+    "MapOutcome",
     "ModuleCache",
     "compile_sources",
     "default_jobs",

@@ -25,7 +25,7 @@ exactly as they would from a serial build.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,6 +48,18 @@ _INPUT_ERRORS = (CompileError, IsomError, ValueError)
 
 
 @dataclass
+class MapOutcome:
+    """How one ``parallel_map`` call went (beyond its results)."""
+
+    fell_back: bool = False
+    timeouts: int = 0  # items abandoned to the serial retry by the watchdog
+    errors: List[str] = field(default_factory=list)  # exception class names
+
+    def __bool__(self) -> bool:  # truthy exactly when the pool degraded
+        return self.fell_back
+
+
+@dataclass
 class CompileStats:
     """What the parallel/incremental pipeline did for one compile."""
 
@@ -56,6 +68,7 @@ class CompileStats:
     from_cache: int = 0  # modules served from the cache
     serial_fallback: bool = False
     fallback_reason: str = ""
+    compile_timeouts: int = 0  # modules the watchdog gave up waiting for
     worker_errors: List[str] = field(default_factory=list)
 
 
@@ -97,40 +110,75 @@ def parallel_map(
     items: Sequence,
     jobs: int = 1,
     warn: Optional[Callable[[str], None]] = None,
-) -> Tuple[list, bool]:
+    timeout: Optional[float] = None,
+) -> Tuple[list, MapOutcome]:
     """Apply ``func`` across ``items``, results in input order.
 
-    Returns ``(results, fell_back)``.  With ``jobs <= 1`` or a single
+    Returns ``(results, outcome)``.  With ``jobs <= 1`` or a single
     item this is a plain serial map.  Infrastructure failures retry the
     incomplete items serially in-process; exceptions raised *by the
     function* propagate unchanged (re-raised by the serial retry when
     the pool machinery obscured them).
+
+    ``timeout`` is a per-module watchdog: seconds of *no progress* (no
+    future completing) before the pool is declared stuck and the
+    incomplete items are retried serially.  It is deliberately not a
+    per-future deadline measured from submission — with fewer workers
+    than items, a module queued behind others would trip such a clock
+    without ever having run.  The watchdog re-arms on every completion,
+    so it bounds the slowest in-flight compile, which is what a hung
+    worker actually looks like.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [func(item) for item in items], False
+        return [func(item) for item in items], MapOutcome()
 
+    outcome = MapOutcome()
     results: Dict[int, object] = {}
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        try:
             futures = {
                 pool.submit(func, item): index for index, item in enumerate(items)
             }
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:  # watchdog expired with nothing finishing
+                    outcome.timeouts = len(pending)
+                    break
+                for future in done:
+                    results[futures[future]] = future.result()
+        finally:
+            # Never block on a stuck worker: leave it to die with the
+            # process group, cancel what never started.
+            pool.shutdown(wait=not outcome.timeouts, cancel_futures=True)
     except _INPUT_ERRORS:
         raise
     except Exception as exc:  # pool breakage, pickling, OS limits, ...
+        outcome.errors.append(type(exc).__name__)
         if warn is not None:
             warn(
                 "parallel workers unavailable ({}: {}); "
                 "compiling serially".format(type(exc).__name__, exc)
             )
+        outcome.fell_back = True
+    if outcome.timeouts:
+        if warn is not None:
+            warn(
+                "parallel compile stalled ({} module(s) exceeded the "
+                "{:.1f}s watchdog); compiling serially".format(
+                    outcome.timeouts, timeout
+                )
+            )
+        outcome.fell_back = True
+    if outcome.fell_back:
         for index, item in enumerate(items):
             if index not in results:
                 results[index] = func(item)
-        return [results[index] for index in range(len(items))], True
-    return [results[index] for index in range(len(items))], False
+    return [results[index] for index in range(len(items))], outcome
 
 
 def compile_sources(
@@ -141,6 +189,7 @@ def compile_sources(
     profile: Optional[object] = None,
     warn: Optional[Callable[[str], None]] = None,
     observer=NULL_OBSERVER,
+    timeout: Optional[float] = None,
 ) -> Tuple[Program, CompileStats]:
     """Compile a multi-module program, in parallel and incrementally.
 
@@ -180,10 +229,16 @@ def compile_sources(
         ordered = heaviest_first(pending, profile)
         traced = observer.tracer.enabled
         body = _compile_to_isom_traced if traced else _compile_to_isom
-        compiled, fell_back = parallel_map(body, ordered, jobs=jobs, warn=warn)
-        stats.serial_fallback = fell_back
-        if fell_back:
-            stats.fallback_reason = "worker pool unavailable"
+        compiled, outcome = parallel_map(
+            body, ordered, jobs=jobs, warn=warn, timeout=timeout
+        )
+        stats.serial_fallback = outcome.fell_back
+        stats.compile_timeouts = outcome.timeouts
+        stats.worker_errors = list(outcome.errors)
+        if outcome.fell_back:
+            stats.fallback_reason = (
+                "compile timeout" if outcome.timeouts else "worker pool unavailable"
+            )
         spans = []
         for item in compiled:
             if traced:

@@ -12,9 +12,10 @@ from .errors import (
     ProfileConfidenceError,
     ProfileFormatError,
     ResilienceError,
+    ShardFormatError,
     StrictModeError,
 )
-from .faults import CORRUPTION_MODES, FaultInjector
+from .faults import CORRUPTION_MODES, SHARD_FAULTS, FaultInjector
 from .guard import PROGRAM_SCOPE, GuardConfig, PassGuard, bisect_failure
 from .snapshot import ProcedureSnapshot, ProgramSnapshot
 
@@ -31,6 +32,8 @@ __all__ = [
     "PROGRAM_SCOPE",
     "ProgramSnapshot",
     "ResilienceError",
+    "SHARD_FAULTS",
+    "ShardFormatError",
     "StrictModeError",
     "bisect_failure",
 ]

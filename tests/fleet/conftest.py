@@ -1,0 +1,50 @@
+"""Fixtures for the continuous-profiling fleet tests.
+
+One small multi-module program with a hot helper (so cp builds make
+real inline decisions), plus shard-payload helpers on its profiling
+image.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.driver import compile_program
+from repro.sampling.sampler import SampledProfile, sample_run
+
+SOURCES = [
+    (
+        "util",
+        "int weigh(int x) { return x * 3 + 1; }\n"
+        "int heavy(int x) { int i = 0; int acc = 0;\n"
+        "  while (i < 8) { acc = acc + weigh(x + i); i = i + 1; }\n"
+        "  return acc; }\n",
+    ),
+    (
+        "main",
+        "extern int heavy(int x);\n"
+        "int main() { int n = input(0); int i = 0; int acc = 0;\n"
+        "  while (i < 12) { acc = acc + heavy(n + i); i = i + 1; }\n"
+        "  print_int(acc); return 0; }\n",
+    ),
+]
+
+TRAIN_INPUTS = [[3], [9]]
+REF_INPUT = [5]
+
+
+@pytest.fixture
+def sources():
+    return [(name, text) for name, text in SOURCES]
+
+
+@pytest.fixture
+def profiling_image():
+    return compile_program(SOURCES)
+
+
+def sampled_payload(program, inputs=(3,), rate=4, seed=0) -> str:
+    """A well-formed sampled profiledb payload for ``program``."""
+    profile = SampledProfile(rate=rate, context_depth=2, seed=seed)
+    sample_run(program, list(inputs), profile=profile)
+    return profile.to_database(program).to_text()

@@ -1,0 +1,86 @@
+"""`repro fleet run` end to end through the CLI driver."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.validate import validate_metrics
+
+
+class TestFleetRunCli:
+    def test_faultless_run_prints_summary_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["fleet", "run", "compress", "--rounds", "3",
+             "--spool", str(tmp_path / "shards.wal"),
+             "--assert-convergence"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "convergence jaccard 1.0" in out
+        assert "serve build 0 (unprofiled bootstrap)" in out
+        assert (tmp_path / "shards.wal").exists()
+
+    def test_json_report_under_the_fault_matrix(self, tmp_path, capsys):
+        code = main(
+            ["fleet", "run", "compress", "--rounds", "10", "--seed", "7",
+             "--fault-rate", "0.25", "--wal-tail", "3",
+             "--kill-mid-swap", "1", "--canary-trap", "1",
+             "--flap", "inst0",
+             "--spool", str(tmp_path / "shards.wal"),
+             "--assert-convergence", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["convergence_jaccard"] == 1.0
+        assert payload["rollbacks"] >= 1
+        assert payload["quarantined_epochs"]
+        assert not set(payload["served_builds"]) & set(payload["rolled_back"])
+        assert payload["wal"]["truncations"] >= 1
+
+    def test_metrics_out_is_valid_and_carries_fleet_gauges(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "fleet-metrics.json"
+        code = main(
+            ["fleet", "run", "compress", "--rounds", "3",
+             "--spool", str(tmp_path / "shards.wal"),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert validate_metrics(snapshot) == []
+        names = {
+            name
+            for section in snapshot.values()
+            if isinstance(section, dict)
+            for name in section
+        }
+        assert "fleet.shards_sent" in names
+        assert "fleet.convergence_jaccard" in names
+
+    def test_assert_convergence_exits_one_when_starved(
+        self, tmp_path, capsys
+    ):
+        # A sampling rate far above the step count yields no evidence:
+        # the loop keeps serving the unprofiled bootstrap, which for sc
+        # does not match the exact-profile decisions.
+        code = main(
+            ["fleet", "run", "sc", "--rounds", "1", "--rate", "1000000",
+             "--spool", str(tmp_path / "shards.wal"),
+             "--assert-convergence"]
+        )
+        assert code == 1
+        assert "convergence assertion failed" in capsys.readouterr().err
+
+    def test_unknown_workload_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fleet", "run", "nope"])
+
+    def test_unknown_fault_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown shard fault"):
+            main(["fleet", "run", "compress", "--faults", "bogus"])

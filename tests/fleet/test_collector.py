@@ -1,0 +1,220 @@
+"""The collector's receive gauntlet: breakers, dedupe, quarantine, merge."""
+
+from __future__ import annotations
+
+from repro.fleet import CircuitBreaker, ProfileCollector, ProfileShard, ShardSpool
+from repro.fleet.collector import CLOSED, HALF_OPEN, OPEN
+from repro.frontend.driver import compile_program
+from repro.resilience import FaultInjector
+
+from .conftest import SOURCES, sampled_payload
+
+
+def make_collector(tmp_path, profiling_image, **kwargs):
+    return ProfileCollector(
+        profiling_image, ShardSpool(str(tmp_path / "shards.wal")), **kwargs
+    )
+
+
+def wire_for(source, seq, payload, epoch=0):
+    return ProfileShard(source, seq, epoch, payload).to_wire()
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=4)
+        assert not breaker.record_failure(0)
+        assert not breaker.record_failure(1)
+        assert breaker.record_failure(2)  # third strike trips
+        assert breaker.state == OPEN and breaker.opens == 1
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure(0)
+        breaker.record_success()
+        assert not breaker.record_failure(1)  # count restarted
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=4)
+        breaker.record_failure(0)
+        assert not breaker.allows(2)  # still cooling down
+        assert breaker.allows(4)  # probe allowed
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=4)
+        for tick in range(3):
+            breaker.record_failure(tick)
+        assert breaker.allows(10)  # HALF_OPEN probe
+        assert breaker.record_failure(10)  # one strike re-opens
+        assert breaker.state == OPEN and breaker.opens == 2
+
+
+class TestReceiveGauntlet:
+    def test_good_shard_accepted_and_journaled(self, tmp_path, profiling_image):
+        collector = make_collector(tmp_path, profiling_image)
+        payload = sampled_payload(profiling_image)
+        ack = collector.receive(
+            wire_for("inst0", 0, payload), source="inst0", seq=0, tick=0
+        )
+        assert ack.accepted and ack.reason == "accepted"
+        assert collector.accepted == 1
+        assert collector.spool.appended == 1
+        assert collector.merged_profile() is not None
+
+    def test_duplicate_acked_but_not_merged_twice(self, tmp_path, profiling_image):
+        collector = make_collector(tmp_path, profiling_image)
+        wire = wire_for("inst0", 0, sampled_payload(profiling_image))
+        collector.receive(wire, source="inst0", seq=0, tick=0)
+        ack = collector.receive(wire, source="inst0", seq=0, tick=1)
+        assert ack.accepted and ack.reason == "duplicate"
+        assert collector.accepted == 1 and collector.duplicates == 1
+
+    def test_transit_damage_nacked_for_retry(self, tmp_path, profiling_image):
+        collector = make_collector(tmp_path, profiling_image)
+        wire = wire_for("inst0", 0, sampled_payload(profiling_image))
+        ack = collector.receive(wire[:-9], source="inst0", seq=0, tick=0)
+        assert not ack.accepted and ack.reason.startswith("transit:")
+        # Damage is transit's fault: nothing journaled, not yet "seen",
+        # so the intact retransmission lands cleanly.
+        assert collector.spool.appended == 0
+        retry = collector.receive(wire, source="inst0", seq=0, tick=1)
+        assert retry.accepted and collector.accepted == 1
+
+    def test_unparseable_payload_quarantined_and_acked(
+        self, tmp_path, profiling_image
+    ):
+        collector = make_collector(tmp_path, profiling_image)
+        injector = FaultInjector(seed=3, poison_sources=("inst0",))
+        payload = injector.poison_payload(
+            sampled_payload(profiling_image), "inst0", 0
+        )
+        ack = collector.receive(
+            wire_for("inst0", 0, payload), source="inst0", seq=0, tick=0
+        )
+        # ACKed — retransmitting identical bad bytes cannot help — but
+        # quarantined, journaled, and a strike against the source.
+        assert ack.accepted and ack.reason.startswith("quarantined:payload:")
+        assert collector.quarantined_shards == 1
+        assert collector.spool.appended == 1
+        assert collector.merged_profile() is None
+
+    def test_stale_fingerprint_quarantined(self, tmp_path, profiling_image):
+        drifted = [(n, t.replace("* 3 + 1", "* 5 + 2")) for n, t in SOURCES]
+        other_image = compile_program(drifted)
+        collector = make_collector(tmp_path, profiling_image)
+        ack = collector.receive(
+            wire_for("inst0", 0, sampled_payload(other_image)),
+            source="inst0", seq=0, tick=0,
+        )
+        assert ack.accepted
+        assert ack.reason == "quarantined:stale-fingerprint"
+        assert collector.merged_profile() is None
+
+    def test_low_confidence_quarantined_without_breaker_strike(
+        self, tmp_path, profiling_image
+    ):
+        # A floor above 1.0 makes every sampled shard "too thin".
+        collector = make_collector(
+            tmp_path, profiling_image, min_shard_confidence=1.1
+        )
+        for seq in range(6):
+            ack = collector.receive(
+                wire_for("inst0", seq, sampled_payload(profiling_image, seed=seq)),
+                source="inst0", seq=seq, tick=seq,
+            )
+            assert ack.reason == "quarantined:low-confidence"
+        # The source is healthy; six thin shards must not trip anything.
+        assert collector.breaker_opens() == 0
+
+    def test_breaker_opens_and_recovers(self, tmp_path, profiling_image):
+        injector = FaultInjector(seed=3, poison_sources=("inst0",))
+        collector = make_collector(
+            tmp_path, profiling_image, breaker_threshold=2, breaker_cooldown=3
+        )
+        for seq in range(2):
+            payload = injector.poison_payload(
+                sampled_payload(profiling_image, seed=seq), "inst0", seq
+            )
+            collector.receive(
+                wire_for("inst0", seq, payload), source="inst0", seq=seq, tick=seq
+            )
+        assert collector.breaker_opens() == 1
+        good = wire_for("inst0", 7, sampled_payload(profiling_image, seed=7))
+        blocked = collector.receive(good, source="inst0", seq=7, tick=2)
+        assert not blocked.accepted and blocked.reason == "breaker-open"
+        # The sick source does not block its healthy peers.
+        peer = collector.receive(
+            wire_for("inst1", 0, sampled_payload(profiling_image, seed=9)),
+            source="inst1", seq=0, tick=2,
+        )
+        assert peer.accepted
+        # After cooldown the HALF_OPEN probe succeeds and re-closes.
+        probe = collector.receive(good, source="inst0", seq=7, tick=5)
+        assert probe.accepted
+        assert collector.breakers["inst0"].state == CLOSED
+
+
+class TestRestoreAndMerge:
+    def test_restart_replays_journal_to_same_state(
+        self, tmp_path, profiling_image
+    ):
+        collector = make_collector(tmp_path, profiling_image)
+        for seq in range(3):
+            collector.receive(
+                wire_for("inst0", seq, sampled_payload(profiling_image, seed=seq)),
+                source="inst0", seq=seq, tick=seq,
+            )
+        merged_before = collector.merged_profile()
+        reborn = make_collector(tmp_path, profiling_image)
+        replayed, truncated = reborn.restore()
+        assert replayed == 3 and not truncated
+        assert reborn.accepted == 3
+        merged_after = reborn.merged_profile()
+        assert merged_after.block_counts == merged_before.block_counts
+        assert merged_after.site_counts == merged_before.site_counts
+
+    def test_restore_reapplies_epoch_quarantine(self, tmp_path, profiling_image):
+        collector = make_collector(tmp_path, profiling_image)
+        collector.receive(
+            wire_for("inst0", 0, sampled_payload(profiling_image), epoch=0),
+            source="inst0", seq=0, tick=0,
+        )
+        reborn = make_collector(tmp_path, profiling_image)
+        reborn.restore(quarantined_epochs={0})
+        assert reborn.merged_profile() is None
+        assert reborn.live_epochs() == []
+
+    def test_restore_survives_torn_tail(self, tmp_path, profiling_image):
+        collector = make_collector(tmp_path, profiling_image)
+        for seq in range(3):
+            collector.receive(
+                wire_for("inst0", seq, sampled_payload(profiling_image, seed=seq)),
+                source="inst0", seq=seq, tick=seq,
+            )
+        injector = FaultInjector(seed=11, wal_tail_rounds=(0,))
+        spool = ShardSpool(str(tmp_path / "shards.wal"))
+        spool.rewrite(injector.corrupt_wal_tail(spool.raw()))
+        reborn = make_collector(tmp_path, profiling_image)
+        replayed, truncated = reborn.restore()
+        assert truncated
+        assert 0 < replayed < 3
+        assert reborn.merged_profile() is not None
+
+    def test_quarantined_epoch_excluded_from_merge(
+        self, tmp_path, profiling_image
+    ):
+        collector = make_collector(tmp_path, profiling_image)
+        for epoch in (0, 1):
+            collector.receive(
+                wire_for("inst0", epoch, sampled_payload(profiling_image, seed=epoch),
+                         epoch=epoch),
+                source="inst0", seq=epoch, tick=epoch,
+            )
+        assert collector.live_epochs() == [0, 1]
+        collector.quarantine_epoch(0)
+        assert collector.live_epochs() == [1]
+        assert collector.merged_profile() is not None

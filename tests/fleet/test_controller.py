@@ -1,0 +1,152 @@
+"""The reoptimize controller: gates, canary, swap, rollback ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ReoptimizeController
+from repro.linker.toolchain import Toolchain
+from repro.resilience import FaultInjector
+
+from .conftest import REF_INPUT, TRAIN_INPUTS
+
+
+@pytest.fixture
+def toolchain(sources):
+    return Toolchain(sources, train_inputs=TRAIN_INPUTS)
+
+
+@pytest.fixture
+def exact_profile(toolchain):
+    """The exact cp profile — what steady-state merged evidence becomes."""
+    return toolchain.build("cp").profile
+
+
+def make_controller(toolchain, **kwargs):
+    kwargs.setdefault("min_confidence", 0.0)
+    return ReoptimizeController(toolchain, canary_inputs=REF_INPUT, **kwargs)
+
+
+class TestGates:
+    def test_consider_requires_initial_build(self, toolchain):
+        with pytest.raises(RuntimeError):
+            make_controller(toolchain).consider(None, epoch=0)
+
+    def test_initial_build_serves_build_zero_unprofiled(self, toolchain):
+        controller = make_controller(toolchain)
+        served = controller.initial_build()
+        assert served.build_id == 0
+        assert controller.current.profile is None
+
+    def test_no_evidence_is_a_no_op(self, toolchain):
+        controller = make_controller(toolchain)
+        controller.initial_build()
+        action = controller.consider(None, epoch=0)
+        assert action.reason == "no-evidence"
+        assert not action.rebuilt
+
+    def test_low_confidence_gate_blocks_rebuild(self, toolchain, exact_profile):
+        controller = make_controller(toolchain, min_confidence=1.1)
+        controller.initial_build()
+        exact_profile.sampled = True  # the gate applies to sampled merges
+        action = controller.consider(exact_profile, epoch=0)
+        assert action.reason == "low-confidence"
+        assert not action.rebuilt
+
+    def test_drift_below_threshold_after_swap(self, toolchain, exact_profile):
+        controller = make_controller(toolchain)
+        controller.initial_build()
+        swap = controller.consider(exact_profile, epoch=0)
+        assert swap.reason == "swap"
+        # Same evidence again: the serving build's profile matches it.
+        steady = controller.consider(exact_profile, epoch=1)
+        assert steady.reason == "drift-below-threshold"
+        assert controller.rebuilds == 1
+
+
+class TestSwapAndRollback:
+    def test_unprofiled_build_plus_evidence_swaps(self, toolchain, exact_profile):
+        controller = make_controller(toolchain)
+        controller.initial_build()
+        action = controller.consider(exact_profile, epoch=0)
+        assert action.rebuilt and action.swapped is not None
+        assert action.swapped.build_id == 1
+        assert controller.current.build_id == 1
+        assert controller.swaps == 1 and controller.rollbacks == 0
+
+    def test_injected_canary_trap_rolls_back(self, toolchain, exact_profile):
+        injector = FaultInjector(seed=0, canary_trap_epochs=(1,))
+        controller = make_controller(toolchain, injector=injector)
+        controller.initial_build()
+        action = controller.consider(exact_profile, epoch=0)
+        assert action.rolled_back and action.swapped is None
+        assert action.reason == "rollback:trap (injected)"
+        assert action.quarantine_epoch == 0
+        # Still serving build 0; build 1 is condemned forever.
+        assert controller.current.build_id == 0
+        assert controller.rolled_back == {1}
+
+    def test_rollback_enters_cooldown(self, toolchain, exact_profile):
+        injector = FaultInjector(seed=0, canary_trap_epochs=(1,))
+        controller = make_controller(
+            toolchain, injector=injector, cooldown_rounds=2
+        )
+        controller.initial_build()
+        controller.consider(exact_profile, epoch=0)
+        assert controller.consider(exact_profile, epoch=1).reason == "cooldown"
+        assert controller.consider(exact_profile, epoch=1).reason == "cooldown"
+        # Cooldown over: the next attempt (build 2) is clean and ships.
+        recovered = controller.consider(exact_profile, epoch=1)
+        assert recovered.swapped is not None
+        assert recovered.swapped.build_id == 2
+
+    def test_cycle_regression_rolls_back(self, toolchain, exact_profile):
+        # A negative limit condemns any candidate that is not strictly
+        # faster than the serving build by >50% — a guaranteed trip.
+        controller = make_controller(toolchain, regression_limit=-0.5)
+        controller.initial_build()
+        action = controller.consider(exact_profile, epoch=0)
+        assert action.rolled_back
+        assert action.reason.startswith("rollback:cycle-regression")
+
+    def test_ledger_anomaly_rolls_back(self, toolchain, exact_profile):
+        controller = make_controller(toolchain)
+        controller.initial_build()
+        real = toolchain.rebuild_with_profile
+
+        def tampered(profile, scope="cp", config=None, observer=None):
+            result = real(profile, scope=scope, config=config, observer=observer)
+            result.report.sites_considered += 1  # ledger can't match now
+            return result
+
+        toolchain.rebuild_with_profile = tampered
+        action = controller.consider(exact_profile, epoch=0)
+        assert action.rolled_back
+        assert action.reason.startswith("rollback:ledger-anomaly")
+
+    def test_history_records_every_decision(self, toolchain, exact_profile):
+        injector = FaultInjector(seed=0, canary_trap_epochs=(1,))
+        controller = make_controller(
+            toolchain, injector=injector, cooldown_rounds=0
+        )
+        controller.initial_build()
+        controller.consider(exact_profile, epoch=0)
+        controller.consider(exact_profile, epoch=1)
+        assert controller.history == [
+            "serve build 0 (unprofiled bootstrap)",
+            "rollback build 1 (trap (injected)); quarantine epoch 0",
+            "swap to build 2 (epoch 1)",
+        ]
+
+
+class TestRebuildWithProfile:
+    def test_matches_exact_cp_build_decisions(self, toolchain, exact_profile):
+        from repro.fleet import decision_set
+
+        rebuilt = toolchain.rebuild_with_profile(exact_profile)
+        exact = toolchain.build("cp")
+        assert decision_set(rebuilt.report) == decision_set(exact.report)
+
+    def test_rejects_profileless_scope(self, toolchain, exact_profile):
+        with pytest.raises(ValueError):
+            toolchain.rebuild_with_profile(exact_profile, scope="c")

@@ -1,0 +1,100 @@
+"""Shard framing and the write-ahead spool's truncate-tolerant replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ProfileShard, ShardSpool
+from repro.resilience import ShardFormatError
+
+
+def make_shard(seq=0, payload="profiledb 1\nruns 1 steps 10\n", epoch=0):
+    return ProfileShard(source="inst0", seq=seq, epoch=epoch, payload=payload)
+
+
+class TestShardFraming:
+    def test_wire_roundtrip(self):
+        shard = make_shard(seq=3, epoch=2)
+        parsed = ProfileShard.parse_message(shard.to_wire())
+        assert parsed == shard
+
+    def test_whitespace_source_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileShard("bad source", 0, 0, "x").to_wire()
+
+    def test_truncated_frame_detected(self):
+        wire = make_shard().to_wire()
+        with pytest.raises(ShardFormatError) as err:
+            ProfileShard.parse_message(wire[: len(wire) - 5])
+        assert err.value.kind == "truncated"
+
+    def test_corrupted_payload_detected(self):
+        wire = make_shard().to_wire()
+        damaged = wire[:-3] + "#" + wire[-2:]
+        with pytest.raises(ShardFormatError) as err:
+            ProfileShard.parse_message(damaged)
+        assert err.value.kind == "corrupted"
+
+    def test_malformed_header_detected(self):
+        with pytest.raises(ShardFormatError) as err:
+            ProfileShard.parse_message("not a shard header\npayload")
+        assert err.value.kind == "malformed"
+
+    def test_trailing_bytes_rejected(self):
+        wire = make_shard().to_wire() + "extra"
+        with pytest.raises(ShardFormatError) as err:
+            ProfileShard.parse_message(wire)
+        assert err.value.kind == "malformed"
+
+    def test_payload_with_newlines_survives_length_framing(self):
+        shard = make_shard(payload="line one\nline two\n\nline four")
+        assert ProfileShard.parse_message(shard.to_wire()).payload == shard.payload
+
+
+class TestShardSpool:
+    def test_append_replay_roundtrip(self, tmp_path):
+        spool = ShardSpool(str(tmp_path / "shards.wal"))
+        shards = [make_shard(seq=i, epoch=i % 2) for i in range(5)]
+        for shard in shards:
+            spool.append(shard)
+        assert spool.appended == 5
+        replayed, truncated = ShardSpool(spool.path).replay()
+        assert replayed == shards
+        assert not truncated
+
+    def test_missing_spool_is_empty_not_an_error(self, tmp_path):
+        replayed, truncated = ShardSpool(str(tmp_path / "absent.wal")).replay()
+        assert replayed == [] and not truncated
+
+    def test_torn_tail_is_cut_back_to_last_intact_frame(self, tmp_path):
+        spool = ShardSpool(str(tmp_path / "shards.wal"))
+        for i in range(4):
+            spool.append(make_shard(seq=i))
+        # Tear the final write: drop the frame's last 7 characters.
+        text = spool.raw()
+        spool.rewrite(text[:-7])
+        replayed, truncated = ShardSpool(spool.path).replay()
+        assert truncated
+        assert [s.seq for s in replayed] == [0, 1, 2]
+        # The file was truncated back to the good prefix: a second
+        # replay is clean, and appends continue from a frame boundary.
+        again, truncated_again = ShardSpool(spool.path).replay()
+        assert [s.seq for s in again] == [0, 1, 2]
+        assert not truncated_again
+        spool2 = ShardSpool(spool.path)
+        spool2.append(make_shard(seq=9))
+        final, _ = ShardSpool(spool.path).replay()
+        assert [s.seq for s in final] == [0, 1, 2, 9]
+
+    def test_garbled_mid_file_loses_only_the_suffix(self, tmp_path):
+        spool = ShardSpool(str(tmp_path / "shards.wal"))
+        for i in range(4):
+            spool.append(make_shard(seq=i))
+        text = spool.raw()
+        # Damage inside frame 2's payload region: frames 0-1 survive.
+        frame_len = len(make_shard(seq=0).to_wire())
+        pos = 2 * frame_len + frame_len // 2
+        spool.rewrite(text[:pos] + "#" + text[pos + 1:])
+        replayed, truncated = ShardSpool(spool.path).replay()
+        assert truncated
+        assert [s.seq for s in replayed] == [0, 1]

@@ -1,0 +1,141 @@
+"""Transport fault behaviour and the drift detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ProfileShard, ShardTransport
+from repro.fleet.drift import DriftTracker, profile_drift
+from repro.profile.database import ProfileDatabase
+from repro.resilience import SHARD_FAULTS, FaultInjector
+
+
+class _RecordingCollector:
+    """Captures what deliver() hands over; ACKs everything."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, wire, source, seq, tick):
+        self.received.append((tick, source, seq, wire))
+
+        class _Ack:
+            pass
+
+        ack = _Ack()
+        ack.source, ack.seq, ack.accepted, ack.reason = source, seq, True, "ok"
+        return ack
+
+
+def shard(seq=0, source="inst0"):
+    return ProfileShard(source, seq, 0, "profiledb 1\nruns 1 steps 10\n")
+
+
+class TestTransport:
+    def test_clean_delivery_next_tick(self):
+        transport = ShardTransport()
+        sink = _RecordingCollector()
+        transport.send(shard(0), tick=0)
+        assert transport.deliver(0, sink) == []  # not due yet
+        acks = transport.deliver(1, sink)
+        assert len(acks) == 1 and acks[0].accepted
+        assert transport.in_flight == 0
+
+    def test_drop_leaves_nothing_in_flight(self):
+        injector = FaultInjector(
+            seed=1, shard_faults=("drop",), shard_fault_rate=1.0
+        )
+        transport = ShardTransport(injector)
+        transport.send(shard(0), tick=0)
+        assert transport.dropped == 1 and transport.in_flight == 0
+
+    def test_duplicate_arrives_twice_with_clean_second_copy(self):
+        injector = FaultInjector(
+            seed=1, shard_faults=("duplicate",), shard_fault_rate=1.0
+        )
+        transport = ShardTransport(injector)
+        sink = _RecordingCollector()
+        transport.send(shard(0), tick=0)
+        transport.deliver(1, sink)
+        transport.deliver(2, sink)
+        assert len(sink.received) == 2
+        assert sink.received[0][3] == sink.received[1][3] == shard(0).to_wire()
+
+    def test_corrupt_damages_wire_but_keeps_envelope(self):
+        injector = FaultInjector(
+            seed=1, shard_faults=("corrupt",), shard_fault_rate=1.0
+        )
+        transport = ShardTransport(injector)
+        sink = _RecordingCollector()
+        transport.send(shard(3), tick=0)
+        transport.deliver(1, sink)
+        (tick, source, seq, wire) = sink.received[0]
+        assert wire != shard(3).to_wire()  # damaged in transit
+        assert (source, seq) == ("inst0", 3)  # envelope still attributes it
+
+    def test_delay_slips_one_to_three_ticks(self):
+        injector = FaultInjector(
+            seed=1, shard_faults=("delay",), shard_fault_rate=1.0
+        )
+        transport = ShardTransport(injector)
+        sink = _RecordingCollector()
+        transport.send(shard(0), tick=0)
+        assert transport.deliver(1, sink) == []  # definitely late
+        for tick in range(2, 5):
+            transport.deliver(tick, sink)
+        assert len(sink.received) == 1
+
+    def test_delivery_order_is_deterministic(self):
+        def run():
+            injector = FaultInjector(
+                seed=5, shard_faults=SHARD_FAULTS, shard_fault_rate=0.5
+            )
+            transport = ShardTransport(injector)
+            sink = _RecordingCollector()
+            for seq in range(10):
+                transport.send(shard(seq), tick=0)
+                transport.send(shard(seq, source="inst1"), tick=0)
+            for tick in range(8):
+                transport.deliver(tick, sink)
+            return [(t, s, q) for t, s, q, _ in sink.received]
+
+        assert run() == run()
+
+
+def _db(block_counts, site_counts=None):
+    db = ProfileDatabase()
+    db.training_runs = 1
+    db.training_steps = 100
+    db.block_counts = dict(block_counts)
+    db.site_counts = dict(site_counts or {})
+    return db
+
+
+class TestDrift:
+    def test_no_serving_profile_is_full_drift(self):
+        assert profile_drift(None, _db({("m", "b"): 10})) == 1.0
+
+    def test_no_merged_evidence_is_zero_drift(self):
+        assert profile_drift(_db({("m", "b"): 10}), None) == 0.0
+
+    def test_identical_distributions_zero(self):
+        a = _db({("m", "b0"): 10, ("m", "b1"): 30})
+        b = _db({("m", "b0"): 20, ("m", "b1"): 60})  # scaled: same shape
+        assert profile_drift(a, b) == pytest.approx(0.0)
+
+    def test_shifted_distribution_moves_the_needle(self):
+        a = _db({("m", "b0"): 90, ("m", "b1"): 10})
+        b = _db({("m", "b0"): 10, ("m", "b1"): 90})
+        assert profile_drift(a, b) == pytest.approx(0.8)
+
+    def test_site_drift_counts_too(self):
+        a = _db({("m", "b"): 10}, {("m", 0): 100, ("m", 1): 0})
+        b = _db({("m", "b"): 10}, {("m", 0): 0, ("m", 1): 100})
+        assert profile_drift(a, b) == pytest.approx(1.0)
+
+    def test_tracker_smooths_and_resets(self):
+        tracker = DriftTracker(alpha=0.5)
+        assert tracker.update(1.0) == pytest.approx(1.0)  # first sample seeds
+        assert tracker.update(0.0) == pytest.approx(0.5)
+        tracker.reset()
+        assert tracker.update(0.2) == pytest.approx(0.2)

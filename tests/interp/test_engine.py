@@ -188,7 +188,7 @@ class TestToolchainAndMetrics:
         from repro.obs.validate import validate_bench
 
         report = {
-            "schema": 3,
+            "schema": 4,
             "workloads": {"w": {"compile_units": 1, "cycles": 2,
                                 "wall_s": 0.1, "checksum": "x"}},
             "totals": {}, "build": {}, "cache": {}, "observability": {},
@@ -197,6 +197,12 @@ class TestToolchainAndMetrics:
                                              "exact_decisions": 1,
                                              "sampled_decisions": 1,
                                              "confidence": 1.0}}},
+            "fleet": {"rounds": 10, "seed": 7, "fault_rate": 0.25,
+                      "min_jaccard": 1.0, "mean_jaccard": 1.0,
+                      "workloads": {"w": {"jaccard": 1.0, "rebuilds": 2,
+                                          "rollbacks": 1, "swaps": 1,
+                                          "quarantined_epochs": 1,
+                                          "served_rolled_back": 0}}},
         }
         problems = validate_bench(report)
         assert any("interp" in p for p in problems)

@@ -1,0 +1,194 @@
+"""Fault coverage for profiledb v3 records and the fleet fault plan.
+
+The ``v3-*`` corruption modes must put damage *past* the CRC gate: a
+malformed record that the checksum rejects never exercises the record
+parser, so these modes re-frame the header over the damaged payload.
+The fleet-plan methods (shard transit faults, poisoning, WAL tails,
+flapping, canary traps) must be deterministic from the seed and the
+decision's identity — the loop retries and replays, so a fault decision
+must not depend on how many other faults fired first.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.profile.database import ProfileDatabase
+from repro.profile.instrument import instrument_program
+from repro.resilience import (
+    SHARD_FAULTS,
+    FaultInjector,
+    ProfileFormatError,
+)
+from repro.sampling.sampler import SampledProfile, sample_run
+
+V3_MODES = ("v3-sampling", "v3-obs", "v3-ctx", "v3-fp")
+
+SOURCES = [
+    (
+        "main",
+        "int helper(int x) { return x * 2 + 1; }\n"
+        "int main() { int i = 0; int acc = 0;\n"
+        "  while (i < 40) { acc = acc + helper(i); i = i + 1; }\n"
+        "  print_int(acc); return 0; }\n",
+    )
+]
+
+
+def trained_profile_text() -> str:
+    """An exact (instrumented) v3 database: fp records, no sampling."""
+    program = compile_program(SOURCES)
+    probe_map = instrument_program(program)
+    result = run_program(program, [5])
+    db = ProfileDatabase.from_training_run(
+        program, probe_map, result.probe_counts, result.steps
+    )
+    return db.to_text()
+
+
+def sampled_profile_text() -> str:
+    """A sampled v3 database: sampling/obs/ctx records present."""
+    program = compile_program(SOURCES)
+    profile = SampledProfile(rate=3, context_depth=2, seed=11)
+    sample_run(program, [5], profile=profile)
+    return profile.to_database(program).to_text()
+
+
+def payload_checksum_ok(text: str) -> bool:
+    header, _, payload = text.partition("\n")
+    fields = header.split()
+    computed = format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+    return fields[-1] == computed
+
+
+class TestV3RecordCorruption:
+    @pytest.mark.parametrize("mode", V3_MODES)
+    def test_detected_on_sampled_database(self, mode):
+        """Victim-line path: the record kind exists and gets malformed."""
+        text = sampled_profile_text()
+        corrupted = FaultInjector(seed=7, mode=mode).corrupt_text(text)
+        with pytest.raises(ProfileFormatError) as err:
+            ProfileDatabase.from_text(corrupted)
+        assert err.value.kind == "malformed"
+
+    @pytest.mark.parametrize("mode", V3_MODES)
+    def test_detected_on_exact_database(self, mode):
+        """Fallback path: exact profiles lack sampling/obs/ctx records,
+        so the injector appends a malformed one — the fault always fires."""
+        text = trained_profile_text()
+        corrupted = FaultInjector(seed=7, mode=mode).corrupt_text(text)
+        with pytest.raises(ProfileFormatError) as err:
+            ProfileDatabase.from_text(corrupted)
+        assert err.value.kind == "malformed"
+
+    @pytest.mark.parametrize("mode", V3_MODES)
+    def test_damage_passes_the_checksum_gate(self, mode):
+        """The whole point of re-framing: CRC valid, record broken."""
+        corrupted = FaultInjector(seed=7, mode=mode).corrupt_text(
+            sampled_profile_text()
+        )
+        assert payload_checksum_ok(corrupted)
+
+    @pytest.mark.parametrize("mode", V3_MODES)
+    def test_error_reports_the_damaged_line(self, mode):
+        corrupted = FaultInjector(seed=7, mode=mode).corrupt_text(
+            sampled_profile_text()
+        )
+        with pytest.raises(ProfileFormatError) as err:
+            ProfileDatabase.from_text(corrupted)
+        assert err.value.lineno is not None
+        assert err.value.line
+
+
+class TestShardFaultPlan:
+    def test_unknown_shard_fault_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(shard_faults=("gremlins",))
+
+    def test_no_plan_means_no_faults(self):
+        injector = FaultInjector(seed=3)
+        assert injector.shard_fault("inst0", 0) is None
+        assert injector.poison_payload("profiledb 3\nbody", "inst0", 0).endswith(
+            "body"
+        )
+        assert not injector.flap("inst0", 0)
+        assert not injector.kill_mid_swap(1)
+        assert not injector.canary_trap(1)
+
+    def test_decisions_are_identity_keyed_not_order_keyed(self):
+        """The same (source, seq, attempt) decides the same, regardless
+        of what was asked first — retries and replays depend on this."""
+        a = FaultInjector(seed=5, shard_faults=SHARD_FAULTS, shard_fault_rate=0.5)
+        b = FaultInjector(seed=5, shard_faults=SHARD_FAULTS, shard_fault_rate=0.5)
+        keys = [("inst{}".format(i % 3), i, i % 2) for i in range(30)]
+        forward = [a.shard_fault(*k) for k in keys]
+        backward = [b.shard_fault(*k) for k in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(
+            seed=5, shard_faults=SHARD_FAULTS, shard_fault_rate=0.0
+        )
+        assert all(
+            injector.shard_fault("inst0", seq) is None for seq in range(50)
+        )
+
+    def test_rate_one_always_fires_a_known_fault(self):
+        injector = FaultInjector(
+            seed=5, shard_faults=SHARD_FAULTS, shard_fault_rate=1.0
+        )
+        fired = {injector.shard_fault("inst0", seq) for seq in range(50)}
+        assert fired and fired <= set(SHARD_FAULTS)
+
+    def test_damage_shard_is_deterministic_and_damages(self):
+        wire = "shard inst0 0 0 10 crc32 0badc0de\n0123456789"
+        a = FaultInjector(seed=9).damage_shard(wire, "corrupt", "inst0", 0)
+        b = FaultInjector(seed=9).damage_shard(wire, "corrupt", "inst0", 0)
+        assert a == b and a != wire
+        truncated = FaultInjector(seed=9).damage_shard(
+            wire, "truncate", "inst0", 0
+        )
+        assert len(truncated) < len(wire)
+
+    def test_delay_is_bounded_and_nonzero(self):
+        injector = FaultInjector(seed=2)
+        delays = {injector.delay_ticks("inst0", seq) for seq in range(40)}
+        assert delays <= {1, 2, 3} and delays
+
+    def test_poison_keeps_header_but_breaks_body(self):
+        text = sampled_profile_text()
+        injector = FaultInjector(seed=4, poison_sources=("inst1",))
+        clean = injector.poison_payload(text, "inst0", 0)
+        assert clean == text  # not a poisoned source
+        poisoned = injector.poison_payload(text, "inst1", 0)
+        assert poisoned != text
+        assert poisoned.partition("\n")[0] == text.partition("\n")[0]
+
+    def test_wal_tail_corruption_truncates_and_garbles(self):
+        injector = FaultInjector(seed=6, wal_tail_rounds=(3,))
+        assert injector.wal_tail_fault(3) and not injector.wal_tail_fault(2)
+        text = "x" * 400
+        damaged = injector.corrupt_wal_tail(text)
+        assert len(damaged) < len(text)
+        assert any(ch in "#!?~" for ch in damaged)
+
+    def test_flap_only_for_configured_sources(self):
+        injector = FaultInjector(seed=1, flap_sources=("inst0",))
+        assert not any(injector.flap("inst1", r) for r in range(20))
+        assert any(injector.flap("inst0", r) for r in range(20))
+
+    def test_fired_faults_are_logged(self):
+        injector = FaultInjector(
+            seed=5, shard_faults=("drop",), shard_fault_rate=1.0,
+            kill_mid_swap_epochs=(1,), canary_trap_epochs=(2,),
+        )
+        injector.shard_fault("inst0", 0)
+        injector.kill_mid_swap(1)
+        injector.canary_trap(2)
+        assert injector.injected == [
+            "shard:drop:inst0:0#0", "mid-swap-kill:1", "canary-trap:2",
+        ]
