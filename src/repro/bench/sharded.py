@@ -1,0 +1,248 @@
+"""Sharded interpreter bench runner (``python -m repro.bench.sharded``).
+
+Fans a workload's input set out over worker processes — one shard per
+(workload, input chunk) — runs every input under the chosen engine, and
+merges the per-shard :class:`~repro.interp.interpreter.Result` counters
+back into one per-workload report (summed steps and call counts, merged
+probe/site/block counters, aggregate steps/sec).
+
+Two things make this more than a convenience wrapper:
+
+- **Throughput**: interpreter runs are single-core; the per-input
+  fan-out is how the codegen engine's speed shows up in fleet-bench
+  throughput numbers rather than just per-run walls.
+- **A pickling boundary**: the compiled :class:`~repro.ir.program.Program`
+  crosses into each worker by pickle.  Cached execution plans hold
+  closures and ``exec``-compiled code objects, neither of which
+  pickles; ``Program.__getstate__`` strips both caches so the transfer
+  works and workers rebuild plans lazily on first run.  The
+  ``plans_compiled`` counter in each shard's report is the proof (and
+  what ``tests/interp/test_codegen.py`` asserts).
+
+Shards reuse :func:`repro.parallel.executor.parallel_map`, so worker
+infrastructure failures degrade to a serial in-process run instead of
+failing the bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, ENGINES
+
+DEFAULT_CHUNK = 1
+
+
+def _run_shard(item: Tuple) -> dict:
+    """Worker body: run one chunk of input vectors, return raw counters.
+
+    Top-level so it pickles under ``ProcessPoolExecutor``; the Program
+    inside ``item`` arrives through ``Program.__getstate__`` with its
+    plan caches stripped, so the first run recompiles plans in-process.
+    """
+    from ..interp.interpreter import Interpreter
+
+    program, chunk, engine, max_steps, site, block = item
+    merged = {
+        "runs": 0,
+        "steps": 0,
+        "call_count": 0,
+        "exit_codes": [],
+        "probe_counts": Counter(),
+        "site_counts": Counter(),
+        "block_counts": Counter(),
+        "plans_compiled": 0,
+        "plan_cache_hits": 0,
+    }
+    started = time.perf_counter()
+    for inputs in chunk:
+        interp = Interpreter(
+            program, inputs, max_steps=max_steps, engine=engine,
+            collect_site_counts=site, collect_block_counts=block,
+        )
+        result = interp.run()
+        merged["runs"] += 1
+        merged["steps"] += result.steps
+        merged["call_count"] += result.call_count
+        merged["exit_codes"].append(result.exit_code)
+        merged["probe_counts"].update(result.probe_counts)
+        merged["site_counts"].update(result.site_counts)
+        merged["block_counts"].update(result.block_counts)
+        merged["plans_compiled"] += interp.plans_compiled
+        merged["plan_cache_hits"] += interp.plan_cache_hits
+    merged["wall_s"] = time.perf_counter() - started
+    return merged
+
+
+def _chunks(seq: Sequence, size: int) -> List[list]:
+    size = max(1, size)
+    return [list(seq[i : i + size]) for i in range(0, len(seq), size)]
+
+
+def run_sharded(
+    names: Sequence[str],
+    engine: str = DEFAULT_ENGINE,
+    jobs: int = 4,
+    chunk: int = DEFAULT_CHUNK,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    collect_site_counts: bool = False,
+    collect_block_counts: bool = False,
+) -> dict:
+    """Run every workload's input set sharded ``jobs`` wide.
+
+    Each workload contributes its training inputs plus the reference
+    input; shards are ``chunk`` inputs long.  Returns a report keyed by
+    workload with merged counters, plus run-wide totals.
+    """
+    from ..parallel.executor import parallel_map
+    from ..workloads.suite import get_workload
+
+    items = []
+    owners: List[str] = []
+    for name in names:
+        workload = get_workload(name)
+        program = workload.compile()
+        inputs = [list(t) for t in workload.train_inputs]
+        inputs.append(list(workload.ref_input))
+        for part in _chunks(inputs, chunk):
+            items.append(
+                (program, part, engine, max_steps,
+                 collect_site_counts, collect_block_counts)
+            )
+            owners.append(name)
+
+    started = time.perf_counter()
+    shard_results, outcome = parallel_map(_run_shard, items, jobs=jobs)
+    wall = time.perf_counter() - started
+
+    per: Dict[str, dict] = {}
+    for name, shard in zip(owners, shard_results):
+        entry = per.setdefault(
+            name,
+            {
+                "shards": 0,
+                "runs": 0,
+                "steps": 0,
+                "call_count": 0,
+                "exit_codes": [],
+                "probe_counts": Counter(),
+                "site_counts": Counter(),
+                "block_counts": Counter(),
+                "plans_compiled": 0,
+                "plan_cache_hits": 0,
+                "shard_wall_s": 0.0,
+            },
+        )
+        entry["shards"] += 1
+        entry["runs"] += shard["runs"]
+        entry["steps"] += shard["steps"]
+        entry["call_count"] += shard["call_count"]
+        entry["exit_codes"].extend(shard["exit_codes"])
+        entry["probe_counts"].update(shard["probe_counts"])
+        entry["site_counts"].update(shard["site_counts"])
+        entry["block_counts"].update(shard["block_counts"])
+        entry["plans_compiled"] += shard["plans_compiled"]
+        entry["plan_cache_hits"] += shard["plan_cache_hits"]
+        entry["shard_wall_s"] += shard["wall_s"]
+
+    total_steps = sum(entry["steps"] for entry in per.values())
+    for entry in per.values():
+        entry["shard_wall_s"] = round(entry["shard_wall_s"], 4)
+        entry["steps_per_sec"] = (
+            round(entry["steps"] / entry["shard_wall_s"], 1)
+            if entry["shard_wall_s"]
+            else 0.0
+        )
+    return {
+        "engine": engine,
+        "jobs": jobs,
+        "chunk": chunk,
+        "shards": len(items),
+        "degraded": bool(outcome),
+        "wall_s": round(wall, 4),
+        "steps": total_steps,
+        "steps_per_sec": round(total_steps / wall, 1) if wall else 0.0,
+        "workloads": per,
+    }
+
+
+def _jsonable(report: dict) -> dict:
+    """Counters keyed by tuples don't serialize; stringify the keys."""
+    out = dict(report)
+    out["workloads"] = {}
+    for name, entry in report["workloads"].items():
+        entry = dict(entry)
+        for field in ("probe_counts", "site_counts", "block_counts"):
+            entry[field] = {
+                str(key): value for key, value in sorted(
+                    entry[field].items(), key=lambda kv: str(kv[0])
+                )
+            }
+        out["workloads"][name] = entry
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ..workloads.suite import workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.sharded",
+        description="sharded interpreter bench: one process per "
+        "workload/input chunk, merged Result counters",
+    )
+    parser.add_argument("--workloads", default=",".join(workload_names()),
+                        help="comma-separated workload names (default: all)")
+    parser.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--chunk", type=int, default=DEFAULT_CHUNK,
+                        help="input vectors per shard")
+    parser.add_argument("--max-steps", type=int, default=DEFAULT_MAX_STEPS)
+    parser.add_argument("--site-counts", action="store_true",
+                        help="merge per-call-site counters across shards")
+    parser.add_argument("--block-counts", action="store_true",
+                        help="merge per-block counters across shards")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the merged JSON report here")
+    args = parser.parse_args(argv)
+
+    names = [part.strip() for part in args.workloads.split(",") if part.strip()]
+    report = run_sharded(
+        names,
+        engine=args.engine,
+        jobs=args.jobs,
+        chunk=args.chunk,
+        max_steps=args.max_steps,
+        collect_site_counts=args.site_counts,
+        collect_block_counts=args.block_counts,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(_jsonable(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote", args.output)
+    print(
+        "sharded: {} workload(s), {} shard(s) x{} jobs under '{}': "
+        "{} steps in {:.2f}s ({:,.0f} steps/sec aggregate{})".format(
+            len(names), report["shards"], report["jobs"], report["engine"],
+            report["steps"], report["wall_s"], report["steps_per_sec"],
+            ", DEGRADED to serial" if report["degraded"] else "",
+        )
+    )
+    for name, entry in sorted(report["workloads"].items()):
+        print(
+            "  {:<10} {:>3} run(s) {:>10} steps {:>12,.0f} steps/sec "
+            "{} plan(s) compiled".format(
+                name, entry["runs"], entry["steps"],
+                entry["steps_per_sec"], entry["plans_compiled"],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

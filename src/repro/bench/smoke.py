@@ -24,11 +24,13 @@ isoms, and the host wall time.  On top of that it measures:
   builds' inline/clone decision sets must stay ≥ 90%, the empirical
   backing for sampled PGO being a drop-in replacement;
 - **interpreter engine speedup** — each workload runs sink-free under
-  the pre-decoded engine and the reference loop (best-of-N walls);
-  the fast engine must stay ≥ 2× the reference on every workload, the
-  acceptance bar the engine shipped against.  ``interp.steps_per_sec``
-  and the plan-cache counters land in the report on the canonical
-  ``interp.*`` metric names;
+  all three engines (reference loop, pre-decoded fast engine,
+  source-emitting codegen engine), one untimed warmup then best-of-N
+  interleaved walls (``--repeat``).  Two ratios gate in-run: fast must
+  stay ≥ 2× the reference and codegen ≥ 2× fast on every workload —
+  the acceptance bars each engine shipped against.
+  ``interp.steps_per_sec`` and the plan-cache counters land in the
+  report on the canonical ``interp.*`` metric names;
 - **fleet convergence** — each workload runs the continuous-profiling
   loop under the canonical seeded fault matrix (transit faults, torn
   WAL tail, mid-swap crash, injected canary trap, flapping instance)
@@ -61,13 +63,14 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
 SAMPLING_RATE = 100
 MIN_DECISION_OVERLAP = 0.9
 MIN_INTERP_SPEEDUP = 2.0
+MIN_CODEGEN_SPEEDUP = 2.0
 INTERP_REPEATS = 5
 FLEET_ROUNDS = 10
 FLEET_SEED = 7
@@ -261,16 +264,20 @@ def _measure_sampling(
 def _measure_interp(
     names: Sequence[str], repeats: int = INTERP_REPEATS
 ) -> dict:
-    """Pre-decoded engine vs. reference loop, sink-free, best-of-N.
+    """All three engines on the same host run, sink-free, best-of-N.
 
     Runs each workload's un-optimized program (front end only — engine
     throughput is a property of the interpreter, not of HLO) on its
-    reference input under both engines.  The per-workload *speedup* is
-    the portable figure: both walls come from the same host and run, so
-    their ratio survives machine changes where raw steps/sec cannot.
-    The fast-engine figures are read back through the canonical
-    ``interp.*`` metric names (:func:`repro.obs.metrics.collect_interp_metrics`)
-    so the report and ``--metrics-out`` consumers agree on spelling.
+    reference input under the reference loop, the pre-decoded fast
+    engine, and the source-emitting codegen engine.  The per-workload
+    *speedups* are the portable figures: all walls come from the same
+    host and run, so their ratios survive machine changes where raw
+    steps/sec cannot.  Two ratios are gated in-run: fast over reference
+    (≥ ``MIN_INTERP_SPEEDUP``) and codegen over fast
+    (≥ ``MIN_CODEGEN_SPEEDUP``).  The fast-engine figures are read back
+    through the canonical ``interp.*`` metric names
+    (:func:`repro.obs.metrics.collect_interp_metrics`) so the report and
+    ``--metrics-out`` consumers agree on spelling.
     """
     import gc
 
@@ -278,31 +285,33 @@ def _measure_interp(
     from ..obs.metrics import collect_interp_metrics
     from ..workloads.suite import get_workload
 
+    engines = ("fast", "codegen", "reference")
     per = {}
-    plans_compiled = 0
-    plan_cache_hits = 0
+    plans = {name: [0, 0] for name in ("fast", "codegen")}
     for name in names:
         workload = get_workload(name)
         program = workload.compile()
         # One untimed warm-up per engine: absorbs plan compilation (its
-        # counters are what we report), faults code in, settles caches.
-        for engine in ("fast", "reference"):
+        # counters are what we report), faults code in, settles caches —
+        # without it the first timed round pays one-off costs and the
+        # best-of-N gate gets flaky on shared CI runners.
+        for engine in engines:
             interp = Interpreter(program, workload.ref_input, engine=engine)
             interp.run()
-            if engine == "fast":
-                plans_compiled += interp.plans_compiled
-                plan_cache_hits += interp.plan_cache_hits
+            if engine in plans:
+                plans[engine][0] += interp.plans_compiled
+                plans[engine][1] += interp.plan_cache_hits
         # Timed rounds interleave the engines so temporal drift (turbo
-        # decay, a background process waking up) lands on both equally
-        # instead of skewing the ratio; GC is parked so a collection
-        # pause cannot charge one engine for the other's garbage.
-        walls = {"fast": None, "reference": None}
+        # decay, a background process waking up) lands on all equally
+        # instead of skewing the ratios; GC is parked so a collection
+        # pause cannot charge one engine for another's garbage.
+        walls = {engine: None for engine in engines}
         last_fast = None
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
             for _ in range(repeats):
-                for engine in ("fast", "reference"):
+                for engine in engines:
                     interp = Interpreter(
                         program, workload.ref_input, engine=engine
                     )
@@ -311,8 +320,9 @@ def _measure_interp(
                     wall = time.perf_counter() - started
                     best = walls[engine]
                     walls[engine] = wall if best is None else min(best, wall)
+                    if engine in plans:
+                        plans[engine][1] += interp.plan_cache_hits
                     if engine == "fast":
-                        plan_cache_hits += interp.plan_cache_hits
                         last_fast = interp
                 gc.collect()
         finally:
@@ -321,21 +331,31 @@ def _measure_interp(
         steps = last_fast.steps
         fast_sps = steps / walls["fast"] if walls["fast"] else 0.0
         ref_sps = steps / walls["reference"] if walls["reference"] else 0.0
+        cg_sps = steps / walls["codegen"] if walls["codegen"] else 0.0
         reg = collect_interp_metrics(last_fast, steps_per_sec=fast_sps)
         per[name] = {
             "steps": reg.value("interp.steps"),
             "steps_per_sec": reg.value("interp.steps_per_sec"),
             "reference_steps_per_sec": round(ref_sps, 1),
             "speedup": round(fast_sps / ref_sps, 3) if ref_sps else 0.0,
+            "codegen_steps_per_sec": round(cg_sps, 1),
+            "codegen_speedup": round(cg_sps / fast_sps, 3) if fast_sps else 0.0,
         }
     speedups = [entry["speedup"] for entry in per.values()]
+    cg_speedups = [entry["codegen_speedup"] for entry in per.values()]
     return {
         "engine": "fast",
         "min_speedup": MIN_INTERP_SPEEDUP,
         "mean_speedup": round(sum(speedups) / len(speedups), 3)
         if speedups else 0.0,
-        "plans_compiled": plans_compiled,
-        "plan_cache_hits": plan_cache_hits,
+        "codegen_min_speedup": MIN_CODEGEN_SPEEDUP,
+        "codegen_mean_speedup": round(sum(cg_speedups) / len(cg_speedups), 3)
+        if cg_speedups else 0.0,
+        "plans_compiled": plans["fast"][0],
+        "plan_cache_hits": plans["fast"][1],
+        "codegen_plans_compiled": plans["codegen"][0],
+        "codegen_plan_cache_hits": plans["codegen"][1],
+        "repeats": repeats,
         "workloads": per,
     }
 
@@ -409,6 +429,7 @@ def run_smoke(
     jobs: int = 4,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    repeats: int = INTERP_REPEATS,
 ) -> Tuple[dict, List[str]]:
     """The full smoke measurement; returns (report, failure messages).
 
@@ -443,12 +464,19 @@ def run_smoke(
                 )
             )
 
-    interp = _measure_interp(names)
+    interp = _measure_interp(names, repeats=repeats)
     for name, entry in interp["workloads"].items():
         if entry["speedup"] < MIN_INTERP_SPEEDUP:
             failures.append(
-                "interp: {} engine speedup {:.2f}x below the {:.1f}x "
+                "interp: {} fast-engine speedup {:.2f}x below the {:.1f}x "
                 "floor".format(name, entry["speedup"], MIN_INTERP_SPEEDUP)
+            )
+        if entry["codegen_speedup"] < MIN_CODEGEN_SPEEDUP:
+            failures.append(
+                "interp: {} codegen speedup {:.2f}x over fast below the "
+                "{:.1f}x floor".format(
+                    name, entry["codegen_speedup"], MIN_CODEGEN_SPEEDUP
+                )
             )
 
     fleet = _measure_fleet(names)
@@ -544,16 +572,18 @@ def check(
         # machines and gates unconditionally; absolute steps/sec is
         # host-bound wall clock and hides behind --gate-wall-time like
         # every other raw timing.
-        before, after = expected.get("speedup"), measured.get("speedup")
-        if before and after is not None:
-            drop = (before - after) / before
-            if drop > threshold:
-                failures.append(
-                    "{}: interp speedup regressed {:.1f}% "
-                    "({} -> {}), limit {:.0f}%".format(
-                        name, drop * 100, before, after, threshold * 100
+        for metric in ("speedup", "codegen_speedup"):
+            before, after = expected.get(metric), measured.get(metric)
+            if before and after is not None:
+                drop = (before - after) / before
+                if drop > threshold:
+                    failures.append(
+                        "{}: interp {} regressed {:.1f}% "
+                        "({} -> {}), limit {:.0f}%".format(
+                            name, metric, drop * 100, before, after,
+                            threshold * 100,
+                        )
                     )
-                )
         if gate_wall_time:
             before = expected.get("steps_per_sec")
             after = measured.get("steps_per_sec")
@@ -588,12 +618,69 @@ def baseline_view(report: dict) -> dict:
                 name: {
                     "speedup": entry["speedup"],
                     "steps_per_sec": entry["steps_per_sec"],
+                    "codegen_speedup": entry["codegen_speedup"],
+                    "codegen_steps_per_sec": entry["codegen_steps_per_sec"],
                 }
                 for name, entry in report.get("interp", {})
                 .get("workloads", {}).items()
             },
         },
     }
+
+
+def step_summary(report: dict, failures: Sequence[str]) -> str:
+    """A GitHub step-summary Markdown view of one smoke report.
+
+    Renders the per-workload engine table (steps/sec under all three
+    engines plus both gated ratios), the sampling overlap, and the
+    fleet convergence Jaccard — the numbers a reviewer needs to judge a
+    bench regression without downloading ``BENCH_smoke.json``.
+    """
+    interp = report.get("interp", {})
+    lines = [
+        "## Bench smoke (schema v{})".format(report.get("schema", "?")),
+        "",
+        "| workload | reference steps/s | fast steps/s | codegen steps/s "
+        "| fast/ref | codegen/fast | fleet Jaccard |",
+        "|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    fleet_workloads = report.get("fleet", {}).get("workloads", {})
+    for name, entry in sorted(interp.get("workloads", {}).items()):
+        fleet_entry = fleet_workloads.get(name, {})
+        lines.append(
+            "| {} | {:,.0f} | {:,.0f} | {:,.0f} | {:.2f}x | {:.2f}x "
+            "| {} |".format(
+                name,
+                entry.get("reference_steps_per_sec", 0.0),
+                entry.get("steps_per_sec", 0.0),
+                entry.get("codegen_steps_per_sec", 0.0),
+                entry.get("speedup", 0.0),
+                entry.get("codegen_speedup", 0.0),
+                fleet_entry.get("jaccard", "—"),
+            )
+        )
+    lines += [
+        "",
+        "- floors: fast ≥ {:.1f}x over reference, codegen ≥ {:.1f}x over "
+        "fast (gated in-run)".format(
+            interp.get("min_speedup", MIN_INTERP_SPEEDUP),
+            interp.get("codegen_min_speedup", MIN_CODEGEN_SPEEDUP),
+        ),
+        "- sampling decision overlap: mean {:.1%} at rate 1/{} "
+        "(floor {:.0%})".format(
+            report.get("sampling", {}).get("mean_overlap", 0.0),
+            report.get("sampling", {}).get("rate", SAMPLING_RATE),
+            report.get("sampling", {}).get("min_overlap", MIN_DECISION_OVERLAP),
+        ),
+        "- timing: best of {} interleaved round(s) after one warmup per "
+        "engine".format(interp.get("repeats", INTERP_REPEATS)),
+    ]
+    if failures:
+        lines += ["", "### Failures", ""]
+        lines += ["- `{}`".format(failure) for failure in failures]
+    else:
+        lines += ["", "All gates green."]
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -621,12 +708,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the instrumented pass's Chrome trace here")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the instrumented pass's metrics JSON here")
+    parser.add_argument("--repeat", type=int, default=INTERP_REPEATS,
+                        metavar="N",
+                        help="timed interpreter rounds per engine; each "
+                        "engine's wall is the best of N interleaved runs "
+                        "after an untimed warmup (default {})".format(
+                            INTERP_REPEATS))
+    parser.add_argument("--summary-out", metavar="FILE",
+                        help="append a Markdown summary table here "
+                        "(point at $GITHUB_STEP_SUMMARY in CI)")
     args = parser.parse_args(argv)
 
     names = [part.strip() for part in args.workloads.split(",") if part.strip()]
     report, failures = run_smoke(
         names, scope=args.scope, jobs=args.jobs,
         trace_out=args.trace_out, metrics_out=args.metrics_out,
+        repeats=max(1, args.repeat),
     )
 
     if args.output:
@@ -644,6 +741,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
         failures.extend(check(report, baseline, gate_wall_time=args.gate_wall_time))
+
+    if args.summary_out:
+        # Append (not truncate): $GITHUB_STEP_SUMMARY may already hold
+        # earlier steps' sections.
+        with open(args.summary_out, "a") as handle:
+            handle.write(step_summary(report, failures))
+        print("appended summary to", args.summary_out)
 
     print(
         "smoke: {} workload(s), scope {}, {:.2f}s serial / {:.2f}s with "
@@ -668,13 +772,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     print(
-        "interp: {} engine mean speedup x{:.2f} over reference "
+        "interp: fast engine mean speedup x{:.2f} over reference "
         "(floor x{:.1f}; {} plans compiled, {} cache hits)".format(
-            report["interp"]["engine"],
             report["interp"]["mean_speedup"],
             report["interp"]["min_speedup"],
             report["interp"]["plans_compiled"],
             report["interp"]["plan_cache_hits"],
+        )
+    )
+    print(
+        "interp: codegen engine mean speedup x{:.2f} over fast "
+        "(floor x{:.1f}; {} plans compiled, {} cache hits)".format(
+            report["interp"]["codegen_mean_speedup"],
+            report["interp"]["codegen_min_speedup"],
+            report["interp"]["codegen_plans_compiled"],
+            report["interp"]["codegen_plan_cache_hits"],
         )
     )
     total_rollbacks = sum(

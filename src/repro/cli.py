@@ -14,6 +14,9 @@ Subcommands:
     Run HLO at a chosen scope and print the transform report.
 ``bench``
     Compare the four Table 1 scope configurations on a suite workload.
+``bench-sharded``
+    Interpreter throughput: fan a workload's input set out one process
+    per chunk and merge the Result counters (``repro.bench.sharded``).
 ``profile``
     Lifecycle management for profile databases: ``sample`` (collect a
     sampled, context-sensitive profile), ``merge`` (weighted / decayed
@@ -685,6 +688,23 @@ def cmd_report(args: argparse.Namespace) -> int:
     return _finish(args, report, diagnostics, obs=obs)
 
 
+def cmd_bench_sharded(args: argparse.Namespace) -> int:
+    from .bench.sharded import main as sharded_main
+
+    argv: List[str] = []
+    if args.workloads:
+        argv += ["--workloads", args.workloads]
+    argv += ["--engine", getattr(args, "engine", DEFAULT_ENGINE)]
+    argv += ["--jobs", str(args.jobs), "--chunk", str(args.chunk)]
+    if args.site_counts:
+        argv.append("--site-counts")
+    if args.block_counts:
+        argv.append("--block-counts")
+    if args.output:
+        argv += ["--output", args.output]
+    return sharded_main(argv)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench.tables import format_table
     from .workloads.suite import get_workload, workload_names
@@ -783,8 +803,9 @@ def build_parser() -> argparse.ArgumentParser:
     def engine_flag(p):
         p.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
                        help="interpreter engine: 'fast' pre-decodes to "
-                       "threaded code, 'reference' is the plain loop "
-                       "(default {})".format(DEFAULT_ENGINE))
+                       "threaded code, 'codegen' compiles procedures to "
+                       "Python code objects, 'reference' is the plain "
+                       "loop (default {})".format(DEFAULT_ENGINE))
 
     def observability(p):
         p.add_argument("--trace-out", metavar="FILE",
@@ -931,6 +952,22 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flag(p_bench)
     observability(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_sharded = sub.add_parser(
+        "bench-sharded",
+        help="sharded interpreter throughput run (merged Result counters)",
+    )
+    p_sharded.add_argument("--workloads", metavar="NAMES",
+                           help="comma-separated workload names "
+                           "(default: the whole suite)")
+    p_sharded.add_argument("--jobs", type=int, default=4, metavar="N")
+    p_sharded.add_argument("--chunk", type=int, default=1, metavar="K",
+                           help="input vectors per shard")
+    p_sharded.add_argument("--site-counts", action="store_true")
+    p_sharded.add_argument("--block-counts", action="store_true")
+    p_sharded.add_argument("--output", metavar="FILE")
+    engine_flag(p_sharded)
+    p_sharded.set_defaults(func=cmd_bench_sharded)
 
     p_fleet = sub.add_parser(
         "fleet", help="continuous-profiling fleet loop"

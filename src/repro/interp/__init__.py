@@ -1,6 +1,6 @@
 """IR interpreter: execution engines, events, memory, errors."""
 
-from .diff import assert_identical, diff_engines, run_outcome
+from .diff import OPTIMIZED_ENGINES, assert_identical, diff_engines, run_outcome
 from .errors import ExecError, StepLimitExceeded
 from .events import CountingSink, EventSink, RecordingSink
 from .interpreter import (
@@ -25,6 +25,7 @@ __all__ = [
     "HEAP_BASE",
     "Interpreter",
     "Memory",
+    "OPTIMIZED_ENGINES",
     "RecordingSink",
     "Result",
     "STACK_BASE",

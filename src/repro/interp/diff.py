@@ -1,15 +1,18 @@
-"""Differential harness: the fast engine against the reference engine.
+"""Differential harness: optimized engines against the reference engine.
 
-The pre-decoded engine (:mod:`repro.interp.engine`) carries a strong
+The pre-decoded engine (:mod:`repro.interp.engine`) and the
+source-emitting engine (:mod:`repro.interp.codegen`) carry a strong
 claim — bit-identical observable behaviour to the reference loop: the
 same :class:`~repro.interp.interpreter.Result` (exit code, output,
 steps, every counter), the same sink event stream, and the same
 exception outcome (message included) on trapping or step-limited runs.
 This module is where that claim is *checked* rather than assumed: it
-runs one program under both engines and compares everything observable.
+runs one program under an engine and the reference and compares
+everything observable.
 
 Used by ``tests/interp/test_engine_diff.py`` over the whole workload
-suite plus seeded generator programs, and by the CI differential step.
+suite plus seeded generator programs, by the CI engine-matrix job, and
+by the deep-fuzz CLI (:mod:`repro.interp.fuzz`).
 """
 
 from __future__ import annotations
@@ -22,6 +25,9 @@ from .events import RecordingSink
 from .interpreter import DEFAULT_MAX_STEPS, run_program
 
 InputVector = Sequence[Union[int, float]]
+
+#: Engines with the bit-identity claim against "reference".
+OPTIMIZED_ENGINES = ("fast", "codegen")
 
 
 def run_outcome(
@@ -76,16 +82,18 @@ def diff_engines(
     entry: str = "main",
     max_steps: int = DEFAULT_MAX_STEPS,
     record_events: bool = True,
+    engine: str = "fast",
 ) -> List[str]:
-    """Run both engines; returns human-readable mismatches (empty = ok).
+    """Run ``engine`` and the reference; returns human-readable
+    mismatches (empty = ok).
 
     Each engine gets a fresh interpreter over the same ``program``
     object (plans cached on it are reused across calls, which is the
     production configuration), and, when ``record_events`` is set, its
     own :class:`RecordingSink`.
     """
-    fast, fast_events = run_outcome(
-        program, inputs, engine="fast", entry=entry,
+    opt, opt_events = run_outcome(
+        program, inputs, engine=engine, entry=entry,
         max_steps=max_steps, record_events=record_events,
     )
     ref, ref_events = run_outcome(
@@ -93,41 +101,45 @@ def diff_engines(
         max_steps=max_steps, record_events=record_events,
     )
     problems: List[str] = []
-    if fast[0] != ref[0]:
+    if opt[0] != ref[0]:
         problems.append(
-            "outcome kind differs: fast={!r} reference={!r}".format(fast, ref)
+            "outcome kind differs: {}={!r} reference={!r}".format(engine, opt, ref)
         )
         return problems
-    if fast != ref:
-        if fast[0] == "result":
+    if opt != ref:
+        if opt[0] == "result":
             fields = (
                 "exit_code", "output", "steps", "call_count",
                 "probe_counts", "site_counts", "block_counts",
             )
-            for name, fv, rv in zip(fields, fast[1:], ref[1:]):
+            for name, fv, rv in zip(fields, opt[1:], ref[1:]):
                 if fv != rv:
                     problems.append(
-                        "{} differs: fast={!r} reference={!r}".format(name, fv, rv)
+                        "{} differs: {}={!r} reference={!r}".format(
+                            name, engine, fv, rv
+                        )
                     )
         else:
             problems.append(
-                "{} message differs: fast={!r} reference={!r}".format(
-                    fast[0], fast[1], ref[1]
+                "{} message differs: {}={!r} reference={!r}".format(
+                    opt[0], engine, opt[1], ref[1]
                 )
             )
-    if fast_events != ref_events:
-        position = len(fast_events)
-        for index, (fe, re_) in enumerate(zip(fast_events, ref_events)):
+    if opt_events != ref_events:
+        position = len(opt_events)
+        for index, (fe, re_) in enumerate(zip(opt_events, ref_events)):
             if fe != re_:
                 position = index
                 break
         problems.append(
-            "event streams diverge at index {} (fast has {}, reference {}): "
-            "fast={!r} reference={!r}".format(
+            "event streams diverge at index {} ({} has {}, reference {}): "
+            "{}={!r} reference={!r}".format(
                 position,
-                len(fast_events),
+                engine,
+                len(opt_events),
                 len(ref_events),
-                fast_events[position] if position < len(fast_events) else None,
+                engine,
+                opt_events[position] if position < len(opt_events) else None,
                 ref_events[position] if position < len(ref_events) else None,
             )
         )
@@ -140,12 +152,14 @@ def assert_identical(
     entry: str = "main",
     max_steps: int = DEFAULT_MAX_STEPS,
     label: Optional[str] = None,
+    engine: str = "fast",
 ) -> None:
-    """Assert both engines agree, with and without an event sink."""
+    """Assert ``engine`` and the reference agree, with and without an
+    event sink."""
     for record_events in (False, True):
         problems = diff_engines(
             program, inputs, entry=entry, max_steps=max_steps,
-            record_events=record_events,
+            record_events=record_events, engine=engine,
         )
         if problems:
             raise AssertionError(

@@ -49,7 +49,7 @@ STACK_LIMIT_FRAMES = 8_000
 # (repro.interp.engine); "reference" is the direct-over-IR loop below,
 # kept as the semantics oracle the fast engine is differentially tested
 # against.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "codegen", "reference")
 DEFAULT_ENGINE = "fast"
 
 
@@ -216,6 +216,10 @@ class Interpreter:
             from .engine import execute
 
             return execute(self, proc, list(args))
+        if self.engine == "codegen":
+            from .codegen import execute as execute_codegen
+
+            return execute_codegen(self, proc, list(args))
         frame = self._push_frame(proc, list(args), dest=None)
         exit_code = 0
         try:

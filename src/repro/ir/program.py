@@ -49,12 +49,26 @@ class Program:
         # procedure fingerprint, so this only needs explicit clearing to
         # release memory.
         self._plan_cache = None
+        # Same idea for the codegen engine's compiled-source plans
+        # (repro.interp.codegen); invalidation covers both.
+        self._codegen_cache = None
         for mod in modules or []:
             self.add_module(mod)
 
     def invalidate_plans(self) -> None:
-        """Drop any cached execution plans (see ``repro.interp.engine``)."""
+        """Drop any cached execution plans (see ``repro.interp.engine``
+        and ``repro.interp.codegen``)."""
         self._plan_cache = None
+        self._codegen_cache = None
+
+    def __getstate__(self):
+        # Execution plans hold closures and exec-compiled code objects,
+        # neither of which pickles; strip them so Programs cross process
+        # boundaries (the sharded bench runner) and rebuild lazily.
+        state = self.__dict__.copy()
+        state["_plan_cache"] = None
+        state["_codegen_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction

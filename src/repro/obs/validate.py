@@ -187,7 +187,9 @@ def validate_bench(obj) -> List[str]:
         if not isinstance(interp.get("engine"), str):
             errors.append("bench: interp missing string 'engine'")
         for key in ("min_speedup", "mean_speedup", "plans_compiled",
-                    "plan_cache_hits"):
+                    "plan_cache_hits", "codegen_min_speedup",
+                    "codegen_mean_speedup", "codegen_plans_compiled",
+                    "codegen_plan_cache_hits"):
             if not isinstance(interp.get(key), (int, float)):
                 errors.append("bench: interp missing numeric {!r}".format(key))
         per = interp.get("workloads")
@@ -200,16 +202,18 @@ def validate_bench(obj) -> List[str]:
                     errors.append(where + " is not an object")
                     continue
                 for key in ("steps", "steps_per_sec",
-                            "reference_steps_per_sec", "speedup"):
+                            "reference_steps_per_sec", "speedup",
+                            "codegen_steps_per_sec", "codegen_speedup"):
                     if not isinstance(entry.get(key), (int, float)):
                         errors.append(
                             "{} missing numeric {!r}".format(where, key)
                         )
-                speedup = entry.get("speedup")
-                if isinstance(speedup, (int, float)) and speedup <= 0:
-                    errors.append(
-                        "{} speedup {} is not positive".format(where, speedup)
-                    )
+                for key in ("speedup", "codegen_speedup"):
+                    value = entry.get(key)
+                    if isinstance(value, (int, float)) and value <= 0:
+                        errors.append(
+                            "{} {} {} is not positive".format(where, key, value)
+                        )
     fleet = obj.get("fleet")
     if not isinstance(fleet, dict):
         errors.append("bench: missing object 'fleet'")

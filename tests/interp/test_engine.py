@@ -33,7 +33,7 @@ class TestEngineSelection:
         assert Interpreter(single_proc_program(lambda b: b.ret(1))).engine == "fast"
 
     def test_engines_tuple(self):
-        assert set(ENGINES) == {"fast", "reference"}
+        assert set(ENGINES) == {"fast", "codegen", "reference"}
 
     def test_explicit_reference(self):
         program = single_proc_program(lambda b: b.ret(5))
@@ -209,9 +209,13 @@ class TestToolchainAndMetrics:
         report["interp"] = {
             "engine": "fast", "min_speedup": 2.0, "mean_speedup": 2.4,
             "plans_compiled": 3, "plan_cache_hits": 9,
+            "codegen_min_speedup": 2.1, "codegen_mean_speedup": 2.5,
+            "codegen_plans_compiled": 3, "codegen_plan_cache_hits": 9,
             "workloads": {"w": {"steps": 100, "steps_per_sec": 5.0,
                                 "reference_steps_per_sec": 2.0,
-                                "speedup": 2.5}},
+                                "speedup": 2.5,
+                                "codegen_steps_per_sec": 12.0,
+                                "codegen_speedup": 2.4}},
         }
         assert validate_bench(report) == []
 

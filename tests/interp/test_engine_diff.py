@@ -1,7 +1,9 @@
-"""Differential suite: the fast engine must be observably identical.
+"""Differential suite: every optimized engine must be observably identical.
 
-Every test runs the same program under ``engine="fast"`` and
-``engine="reference"`` (via :mod:`repro.interp.diff`) and asserts the
+Every test runs the same program under each engine in
+``OPTIMIZED_ENGINES`` (the pre-decoded ``fast`` engine and the
+source-compiling ``codegen`` engine) against ``engine="reference"``
+(via :mod:`repro.interp.diff`) and asserts the
 complete observable outcome matches: Result fields including every
 counter, the RecordingSink event stream, and — on trapping or
 step-limited runs — the exception type and message.  Coverage comes
@@ -14,31 +16,38 @@ hand-written programs that pin the awkward paths: traps mid-block,
 import pytest
 
 from repro.frontend import compile_program
-from repro.interp.diff import assert_identical
+from repro.interp.diff import OPTIMIZED_ENGINES, assert_identical
 from repro.workloads.generator import generate_sources
 from repro.workloads.suite import get_workload, workload_names
 
 GENERATOR_SEEDS = range(50)
 
 
+@pytest.fixture(params=OPTIMIZED_ENGINES)
+def engine(request):
+    return request.param
+
+
 class TestWorkloadSuite:
     @pytest.mark.parametrize("name", workload_names())
-    def test_workload_identical(self, name):
+    def test_workload_identical(self, name, engine):
         workload = get_workload(name)
-        assert_identical(workload.compile(), workload.ref_input, label=name)
+        assert_identical(
+            workload.compile(), workload.ref_input, label=name, engine=engine,
+        )
 
 
 class TestGeneratedPrograms:
     @pytest.mark.parametrize("seed", GENERATOR_SEEDS)
-    def test_generated_identical(self, seed):
+    def test_generated_identical(self, seed, engine):
         program = compile_program(generate_sources(seed))
         assert_identical(
             program, [seed, seed * 7 + 3, seed % 5],
-            label="generator seed {}".format(seed),
+            label="generator seed {}".format(seed), engine=engine,
         )
 
     @pytest.mark.parametrize("seed", [3, 11, 27])
-    def test_generated_under_step_limits(self, seed):
+    def test_generated_under_step_limits(self, seed, engine):
         # The limit lands at arbitrary points: mid straight-line
         # segment, on a block boundary, inside a callee.  Both engines
         # must raise StepLimitExceeded with the same message (same
@@ -46,17 +55,20 @@ class TestGeneratedPrograms:
         program = compile_program(generate_sources(seed))
         for max_steps in (1, 2, 3, 17, 100, 1001):
             assert_identical(
-                program, [seed], max_steps=max_steps,
+                program, [seed], max_steps=max_steps, engine=engine,
                 label="seed {} max_steps {}".format(seed, max_steps),
             )
 
 
 class TestHandWrittenPaths:
-    def run_sources(self, source, inputs=(), max_steps=2_000_000, label=None):
+    def run_sources(self, source, inputs=(), max_steps=2_000_000,
+                    label=None, engine="fast"):
         program = compile_program([("main", source)])
-        assert_identical(program, inputs, max_steps=max_steps, label=label)
+        assert_identical(
+            program, inputs, max_steps=max_steps, label=label, engine=engine,
+        )
 
-    def test_varargs(self):
+    def test_varargs(self, engine):
         self.run_sources(
             """
             int total(int base, ...) {
@@ -71,10 +83,10 @@ class TestHandWrittenPaths:
               return total(5, 6);
             }
             """,
-            label="varargs",
+            engine=engine, label="varargs",
         )
 
-    def test_indirect_calls(self):
+    def test_indirect_calls(self, engine):
         self.run_sources(
             """
             int inc(int x) { return x + 1; }
@@ -90,10 +102,10 @@ class TestHandWrittenPaths:
               return a + b;
             }
             """,
-            label="indirect calls",
+            engine=engine, label="indirect calls",
         )
 
-    def test_exit_mid_call_chain(self):
+    def test_exit_mid_call_chain(self, engine):
         self.run_sources(
             """
             int helper(int x) {
@@ -106,22 +118,22 @@ class TestHandWrittenPaths:
               return 0;
             }
             """,
-            label="exit unwind",
+            engine=engine, label="exit unwind",
         )
 
-    def test_division_by_zero_trap(self):
+    def test_division_by_zero_trap(self, engine):
         self.run_sources(
             "int main() { int d = input(0); return 7 / d; }",
-            inputs=[0], label="div by zero",
+            inputs=[0], engine=engine, label="div by zero",
         )
 
-    def test_mod_by_zero_trap(self):
+    def test_mod_by_zero_trap(self, engine):
         self.run_sources(
             "int main() { int d = input(0); return 7 % d; }",
-            inputs=[0], label="mod by zero",
+            inputs=[0], engine=engine, label="mod by zero",
         )
 
-    def test_negative_address_trap(self):
+    def test_negative_address_trap(self, engine):
         self.run_sources(
             """
             int main() {
@@ -130,10 +142,10 @@ class TestHandWrittenPaths:
               return 0;
             }
             """,
-            label="negative address store",
+            engine=engine, label="negative address store",
         )
 
-    def test_call_stack_overflow_trap(self):
+    def test_call_stack_overflow_trap(self, engine):
         # Unbounded recursion: the fast engine's inlined frame push and
         # the reference interpreter must trap with the same message at
         # the same depth.
@@ -142,10 +154,10 @@ class TestHandWrittenPaths:
             int spin(int x) { return spin(x + 1); }
             int main() { return spin(0); }
             """,
-            label="call stack overflow",
+            engine=engine, label="call stack overflow",
         )
 
-    def test_step_limit_in_tight_loop(self):
+    def test_step_limit_in_tight_loop(self, engine):
         source = """
         int main() {
           int acc = 0;
@@ -155,11 +167,11 @@ class TestHandWrittenPaths:
         """
         for max_steps in (1, 5, 6, 7, 123, 1000):
             self.run_sources(
-                source, max_steps=max_steps,
+                source, max_steps=max_steps, engine=engine,
                 label="loop max_steps {}".format(max_steps),
             )
 
-    def test_float_arithmetic_and_output(self):
+    def test_float_arithmetic_and_output(self, engine):
         self.run_sources(
             """
             int main() {
@@ -170,5 +182,5 @@ class TestHandWrittenPaths:
               return 0;
             }
             """,
-            label="float path",
+            engine=engine, label="float path",
         )

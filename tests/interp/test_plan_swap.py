@@ -1,9 +1,12 @@
 """Plan-cache behaviour under hot swap: the fleet's correctness anchor.
 
 The continuous-profiling loop hot-swaps new builds into running
-instances (``FleetSupervisor.swap_all``); the pre-decoded engine's plan
-cache must never serve a plan for code that changed underneath it.
-Three mechanisms cover the matrix:
+instances (``FleetSupervisor.swap_all``); neither optimized engine's
+plan cache may ever serve a plan for code that changed underneath it.
+Every test here runs against both the pre-decoded ``fast`` engine
+(``Program._plan_cache``) and the source-compiling ``codegen`` engine
+(``Program._codegen_cache``) — the two caches share one invalidation
+contract.  Three mechanisms cover the matrix:
 
 - plans self-validate against the procedure's content fingerprint on
   every *run's first* lookup, so an in-place procedure swap is picked
@@ -19,9 +22,23 @@ Three mechanisms cover the matrix:
 
 from __future__ import annotations
 
+import pytest
+
 from repro.frontend.driver import compile_program
+from repro.interp.diff import OPTIMIZED_ENGINES
 from repro.interp.events import EventSink
 from repro.interp.interpreter import Interpreter, run_program
+
+_CACHE_ATTR = {"fast": "_plan_cache", "codegen": "_codegen_cache"}
+
+
+@pytest.fixture(params=OPTIMIZED_ENGINES)
+def engine(request):
+    return request.param
+
+
+def _cache(program, engine):
+    return getattr(program, _CACHE_ATTR[engine])
 
 
 def _sources(bonus: int) -> list:
@@ -49,58 +66,72 @@ def _swap_helper(program, bonus: int) -> None:
     old.params = new.params
 
 
-def test_fingerprint_change_invalidates_between_runs():
+def test_fingerprint_change_invalidates_between_runs(engine):
     program = compile_program(_sources(1))
-    assert run_program(program, engine="fast").output == [44]
-    cache = program._plan_cache
+    assert run_program(program, engine=engine).output == [44]
+    cache = _cache(program, engine)
     compiled_before = cache.plans_compiled
     _swap_helper(program, 100)
     # Same Program object, same cache: the stale plan must lose.
-    assert run_program(program, engine="fast").output == [440]
-    assert program._plan_cache is cache
+    assert run_program(program, engine=engine).output == [440]
+    assert _cache(program, engine) is cache
     assert cache.plans_compiled > compiled_before
 
 
-def test_unchanged_procs_hit_the_cache_after_swap():
+def test_unchanged_procs_hit_the_cache_after_swap(engine):
     program = compile_program(_sources(1))
-    run_program(program, engine="fast")
-    cache = program._plan_cache
+    run_program(program, engine=engine)
+    cache = _cache(program, engine)
     _swap_helper(program, 100)
     hits_before = cache.cache_hits
-    run_program(program, engine="fast")
+    run_program(program, engine=engine)
     # @main did not change; its plan must be reused, not recompiled.
     assert cache.cache_hits > hits_before
 
 
-def test_globals_layout_change_clears_whole_cache():
+def test_globals_layout_change_clears_whole_cache(engine):
     with_global = [
         ("lib", "int counter[2];\nint helper(int x) { return x + 1; }\n"),
         _sources(1)[1],
     ]
     program = compile_program(_sources(1))
-    run_program(program, engine="fast")
-    cache = program._plan_cache
+    run_program(program, engine=engine)
+    cache = _cache(program, engine)
     assert cache.plans
     # Splice in a module variant that declares a global: the layout
     # signature shifts, so every plan's embedded addresses are stale.
     donor = compile_program(with_global)
     program.modules["lib"] = donor.modules["lib"]
-    result = run_program(program, engine="fast")
+    result = run_program(program, engine=engine)
     assert result.output == [44]
-    assert program._plan_cache is cache  # cleared in place, not replaced
+    assert _cache(program, engine) is cache  # cleared in place, not replaced
     assert cache.globals_sig == tuple(
         (g.name, g.size) for g in program.all_globals()
     )
 
 
-def test_invalidate_plans_drops_the_cache_object():
+def test_invalidate_plans_drops_the_cache_object(engine):
     program = compile_program(_sources(1))
-    run_program(program, engine="fast")
+    run_program(program, engine=engine)
+    assert _cache(program, engine) is not None
+    program.invalidate_plans()
+    assert _cache(program, engine) is None
+    # And the next run rebuilds from nothing, correctly.
+    assert run_program(program, engine=engine).output == [44]
+
+
+def test_caches_are_independent_per_engine():
+    # One program served by both optimized engines keeps two separate
+    # caches; invalidate_plans drops both at once.
+    program = compile_program(_sources(1))
+    assert run_program(program, engine="fast").output == [44]
+    assert run_program(program, engine="codegen").output == [44]
     assert program._plan_cache is not None
+    assert program._codegen_cache is not None
+    assert program._plan_cache is not program._codegen_cache
     program.invalidate_plans()
     assert program._plan_cache is None
-    # And the next run rebuilds from nothing, correctly.
-    assert run_program(program, engine="fast").output == [44]
+    assert program._codegen_cache is None
 
 
 class _MidRunSwapper(EventSink):
@@ -123,24 +154,24 @@ class _MidRunSwapper(EventSink):
                 _swap_helper(self.program, self.bonus)
 
 
-def test_mid_run_swap_completes_on_old_plan_next_run_sees_new():
+def test_mid_run_swap_completes_on_old_plan_next_run_sees_new(engine):
     program = compile_program(_sources(1))
     sink = _MidRunSwapper(program, 100)
-    first = Interpreter(program, sink=sink, engine="fast").run()
+    first = Interpreter(program, sink=sink, engine=engine).run()
     # All four iterations used the plan resolved at the run's first
     # call — the in-flight run is never torn between two builds.
     assert first.output == [44]
     assert sink.calls >= 2
     # A fresh run re-validates fingerprints and sees the swapped body.
-    second = run_program(program, engine="fast")
+    second = run_program(program, engine=engine)
     assert second.output == [440]
 
 
-def test_mid_run_swap_matches_reference_engine_semantics():
-    program_fast = compile_program(_sources(1))
+def test_mid_run_swap_matches_reference_engine_semantics(engine):
+    program_opt = compile_program(_sources(1))
     program_ref = compile_program(_sources(1))
-    fast = Interpreter(
-        program_fast, sink=_MidRunSwapper(program_fast, 100), engine="fast"
+    opt = Interpreter(
+        program_opt, sink=_MidRunSwapper(program_opt, 100), engine=engine
     ).run()
     ref = Interpreter(
         program_ref, sink=_MidRunSwapper(program_ref, 100), engine="reference"
@@ -148,6 +179,6 @@ def test_mid_run_swap_matches_reference_engine_semantics():
     # The reference engine re-reads blocks each call, so it *does* see
     # the new body mid-run; the contract the fleet needs is only about
     # post-swap runs, where both engines agree.
-    assert fast.exit_code == ref.exit_code == 0
-    assert run_program(program_fast, engine="fast").output == \
+    assert opt.exit_code == ref.exit_code == 0
+    assert run_program(program_opt, engine=engine).output == \
         run_program(program_ref, engine="reference").output == [440]
