@@ -31,6 +31,12 @@ isoms, and the host wall time.  On top of that it measures:
   the acceptance bars each engine shipped against.
   ``interp.steps_per_sec`` and the plan-cache counters land in the
   report on the canonical ``interp.*`` metric names;
+- **runtime-observer zero cost** — each workload runs sink-free and
+  again with a constructed-but-disabled runtime profiler attached; the
+  disabled profiler negotiates every callback off, so the walls must
+  agree to within 2% (gated in-run).  One workload also runs with the
+  profiler *enabled* under all three engines and the flamegraph
+  weights must be identical;
 - **fleet convergence** — each workload runs the continuous-profiling
   loop under the canonical seeded fault matrix (transit faults, torn
   WAL tail, mid-swap crash, injected canary trap, flapping instance)
@@ -63,7 +69,7 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
@@ -76,6 +82,12 @@ FLEET_ROUNDS = 10
 FLEET_SEED = 7
 FLEET_FAULT_RATE = 0.25
 MIN_FLEET_JACCARD = 1.0
+# Runtime-observer zero-cost gate: a run with a *disabled* profiler
+# attached negotiates the same zero-callback plans as sink=None, so
+# its wall must stay within 2% of the truly unobserved run.
+MAX_RUNTIME_OVERHEAD = 1.02
+RUNTIME_FLAME_RATE = 20
+RUNTIME_FLAME_SEED = 7
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -282,6 +294,7 @@ def _measure_interp(
     import gc
 
     from ..interp.interpreter import Interpreter
+    from ..obs import names as metric_names
     from ..obs.metrics import collect_interp_metrics
     from ..workloads.suite import get_workload
 
@@ -334,8 +347,8 @@ def _measure_interp(
         cg_sps = steps / walls["codegen"] if walls["codegen"] else 0.0
         reg = collect_interp_metrics(last_fast, steps_per_sec=fast_sps)
         per[name] = {
-            "steps": reg.value("interp.steps"),
-            "steps_per_sec": reg.value("interp.steps_per_sec"),
+            "steps": reg.value(metric_names.INTERP_STEPS),
+            "steps_per_sec": reg.value(metric_names.INTERP_STEPS_PER_SEC),
             "reference_steps_per_sec": round(ref_sps, 1),
             "speedup": round(fast_sps / ref_sps, 3) if ref_sps else 0.0,
             "codegen_steps_per_sec": round(cg_sps, 1),
@@ -355,6 +368,113 @@ def _measure_interp(
         "plan_cache_hits": plans["fast"][1],
         "codegen_plans_compiled": plans["codegen"][0],
         "codegen_plan_cache_hits": plans["codegen"][1],
+        "repeats": repeats,
+        "workloads": per,
+    }
+
+
+def _measure_runtime(
+    names: Sequence[str], repeats: int = INTERP_REPEATS
+) -> dict:
+    """The runtime observer's two promises, measured every CI run.
+
+    **Zero-cost when off**: each workload runs on the fast engine with
+    ``sink=None`` and again with a constructed-but-*disabled*
+    :class:`~repro.obs.runtime.RuntimeProfiler` attached.  The disabled
+    profiler negotiates every capability off, so the engines build the
+    same zero-callback plans and the cross-workload mean of the two
+    walls' ratio must stay within ``MAX_RUNTIME_OVERHEAD`` (best-of-N
+    interleaved, same discipline as the engine-speedup timing — the
+    ratio is same-host so it gates in-run).
+
+    **Engine independence**: the first workload also runs with an
+    *enabled* profiler (fixed rate/seed) under all three engines; the
+    weighted stacks must be identical, the empirical backing for a
+    flamegraph being a property of the execution rather than of the
+    engine that ran it.
+    """
+    import gc
+
+    from ..interp.interpreter import run_program
+    from ..obs.runtime import RuntimeProfiler
+    from ..workloads.suite import get_workload
+
+    per = {}
+    programs = {}
+    for name in names:
+        workload = get_workload(name)
+        program = programs[name] = workload.compile()
+        # Untimed warmups: plan compilation for both sink modes.
+        run_program(program, workload.ref_input, engine="fast")
+        run_program(
+            program, workload.ref_input,
+            sink=RuntimeProfiler(enabled=False), engine="fast",
+        )
+        # A single guest run is a few tens of milliseconds — too short
+        # for a 2% gate against scheduler noise.  Each timed sample is
+        # therefore a burst of runs, and the gate compares best-of-N
+        # bursts (never fewer than 5, whatever --repeat says).
+        burst = 3
+        # One reusable disabled profiler: it never receives a callback,
+        # so it carries no state between runs — and constructing one
+        # (a seeded random.Random) must not be charged to the guest.
+        disabled = RuntimeProfiler(enabled=False)
+        walls = {"off": None, "attached": None}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(max(repeats, 5)):
+                for key, sink in (("off", None), ("attached", disabled)):
+                    started = time.perf_counter()
+                    for _run in range(burst):
+                        run_program(
+                            program, workload.ref_input, sink=sink,
+                            engine="fast",
+                        )
+                    wall = time.perf_counter() - started
+                    best = walls[key]
+                    walls[key] = wall if best is None else min(best, wall)
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        ratio = (
+            walls["attached"] / walls["off"] if walls["off"] else 0.0
+        )
+        per[name] = {
+            "off_wall_s": round(walls["off"], 4),
+            "attached_wall_s": round(walls["attached"], 4),
+            "overhead_ratio": round(ratio, 4),
+        }
+
+    # Cross-engine flamegraph equality on the first workload.
+    first = names[0]
+    workload = get_workload(first)
+    observed = []
+    for engine in ("reference", "fast", "codegen"):
+        profiler = RuntimeProfiler(
+            rate=RUNTIME_FLAME_RATE, seed=RUNTIME_FLAME_SEED
+        )
+        run_program(
+            programs[first], workload.ref_input, sink=profiler, engine=engine
+        )
+        observed.append(
+            (profiler.samples, profiler.events, tuple(profiler.weighted_stacks()))
+        )
+    engines_consistent = all(entry == observed[0] for entry in observed[1:])
+    samples, events, stacks = observed[0]
+
+    ratios = [entry["overhead_ratio"] for entry in per.values()]
+    return {
+        "max_overhead": MAX_RUNTIME_OVERHEAD,
+        "overhead_ratio": round(sum(ratios) / len(ratios), 4) if ratios else 0.0,
+        "flame_rate": RUNTIME_FLAME_RATE,
+        "flame_seed": RUNTIME_FLAME_SEED,
+        "flame_workload": first,
+        "samples": samples,
+        "events": events,
+        "contexts": len(stacks),
+        "engines_consistent": engines_consistent,
         "repeats": repeats,
         "workloads": per,
     }
@@ -479,6 +599,27 @@ def run_smoke(
                 )
             )
 
+    runtime = _measure_runtime(names, repeats=repeats)
+    # Gate the cross-workload mean: the disabled profiler runs the
+    # byte-identical engine plan (asserted structurally in the engine
+    # matrix tests), so per-workload sub-second walls only measure
+    # scheduler noise — the mean is the signal.
+    if runtime["overhead_ratio"] > MAX_RUNTIME_OVERHEAD:
+        failures.append(
+            "runtime: disabled-observer overhead x{:.3f} above the "
+            "x{:.2f} ceiling (zero-cost-when-off broken)".format(
+                runtime["overhead_ratio"], MAX_RUNTIME_OVERHEAD
+            )
+        )
+    if not runtime["engines_consistent"]:
+        failures.append(
+            "runtime: flamegraph weights differ across engines on {} "
+            "(rate 1/{}, seed {})".format(
+                runtime["flame_workload"], runtime["flame_rate"],
+                runtime["flame_seed"],
+            )
+        )
+
     fleet = _measure_fleet(names)
     for name, entry in fleet["workloads"].items():
         if entry["jaccard"] < MIN_FLEET_JACCARD:
@@ -527,6 +668,7 @@ def run_smoke(
         "observability": observability,
         "sampling": sampling,
         "interp": interp,
+        "runtime": runtime,
         "fleet": fleet,
     }
     return report, failures
@@ -675,6 +817,20 @@ def step_summary(report: dict, failures: Sequence[str]) -> str:
         "- timing: best of {} interleaved round(s) after one warmup per "
         "engine".format(interp.get("repeats", INTERP_REPEATS)),
     ]
+    runtime = report.get("runtime", {})
+    if runtime:
+        lines.append(
+            "- runtime observer: disabled-profiler overhead x{:.3f} "
+            "(ceiling x{:.2f}); flamegraph engine-consistent: {} "
+            "({} contexts / {} samples on {})".format(
+                runtime.get("overhead_ratio", 0.0),
+                runtime.get("max_overhead", MAX_RUNTIME_OVERHEAD),
+                "yes" if runtime.get("engines_consistent") else "NO",
+                runtime.get("contexts", 0),
+                runtime.get("samples", 0),
+                runtime.get("flame_workload", "?"),
+            )
+        )
     if failures:
         lines += ["", "### Failures", ""]
         lines += ["- `{}`".format(failure) for failure in failures]
@@ -787,6 +943,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report["interp"]["codegen_min_speedup"],
             report["interp"]["codegen_plans_compiled"],
             report["interp"]["codegen_plan_cache_hits"],
+        )
+    )
+    print(
+        "runtime: disabled-observer overhead x{:.3f} (ceiling x{:.2f}); "
+        "flamegraph engine-consistent: {} ({} contexts, {} samples)".format(
+            report["runtime"]["overhead_ratio"],
+            report["runtime"]["max_overhead"],
+            "yes" if report["runtime"]["engines_consistent"] else "NO",
+            report["runtime"]["contexts"],
+            report["runtime"]["samples"],
         )
     )
     total_rollbacks = sum(

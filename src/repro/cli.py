@@ -22,7 +22,13 @@ Subcommands:
     sampled, context-sensitive profile), ``merge`` (weighted / decayed
     multi-run combination), ``report`` (coverage, confidence,
     staleness), ``check`` (health gate with per-procedure staleness and
-    optional salvage remapping).
+    optional salvage remapping), ``flame`` (run once with the runtime
+    profiler attached and write a guest flamegraph).
+``fleet``
+    The continuous-profiling fleet loop: ``run`` (collect / rebuild /
+    canary / hot-swap under an optional fault plan) and ``explain``
+    (same loop with the fleet decision ledger on — why every shard was
+    ACKed, NACKed, or quarantined, and what each round decided).
 
 Module names come from file stems; inputs are comma-separated integers.
 
@@ -52,12 +58,15 @@ from .obs import (
     NULL_OBSERVER,
     BuildObserver,
     CliLogger,
+    FleetLedger,
     InliningLedger,
     MetricsRegistry,
+    RuntimeProfiler,
     Tracer,
     VERBOSITY_LEVELS,
 )
-from .obs.metrics import collect_build_metrics
+from .obs.metrics import collect_build_metrics, collect_runtime_metrics
+from .obs.runtime import DEFAULT_FLAME_RATE
 from .profile.annotate import annotate_program
 from .profile.database import ProfileDatabase
 from .profile.pgo import train
@@ -117,17 +126,23 @@ def _observer_from_args(args: argparse.Namespace) -> BuildObserver:
     the :data:`NULL_OBSERVER` fast path end to end.
     """
     want_trace = bool(getattr(args, "trace_out", None))
-    want_metrics = bool(getattr(args, "metrics_out", None))
+    # --series-out forces the metrics registry live: the series bank
+    # rides inside it and is sampled only when metrics are enabled.
+    want_metrics = bool(
+        getattr(args, "metrics_out", None) or getattr(args, "series_out", None)
+    )
     want_ledger = bool(
         getattr(args, "explain_inlining", False)
         or getattr(args, "explain_inlining_out", None)
     )
-    if not (want_trace or want_metrics or want_ledger):
+    want_fleet = bool(getattr(args, "fleet_ledger_out", None))
+    if not (want_trace or want_metrics or want_ledger or want_fleet):
         return NULL_OBSERVER
     return BuildObserver(
         tracer=Tracer() if want_trace else None,
         metrics=MetricsRegistry() if want_metrics else None,
         ledger=InliningLedger() if want_ledger else None,
+        fleet=FleetLedger() if want_fleet else None,
     )
 
 
@@ -152,6 +167,16 @@ def _emit_observability(
             obs.ledger.considered, ledger_out))
     if getattr(args, "explain_inlining", False) and obs.ledger.enabled:
         print(obs.ledger.format_text())
+    series_out = getattr(args, "series_out", None)
+    if series_out and obs.metrics.enabled:
+        obs.metrics.series.write_jsonl(series_out)
+        log.debug("wrote time series ({} series) to {}".format(
+            len(obs.metrics.series), series_out))
+    fleet_ledger_out = getattr(args, "fleet_ledger_out", None)
+    if fleet_ledger_out and obs.fleet.enabled:
+        obs.fleet.write_jsonl(fleet_ledger_out)
+        log.debug("wrote fleet ledger ({} entries) to {}".format(
+            obs.fleet.total, fleet_ledger_out))
 
 
 def _compile_cli(
@@ -326,14 +351,40 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not args.no_hlo:
             report = _hlo_for_scope(program, args, profile, diagnostics, obs)
     inputs = _parse_inputs(args.inputs)
+    flame_out = getattr(args, "flame_out", None)
+    profiler = None
+    if flame_out:
+        if args.simulate:
+            # Both want to be the run's one event sink; refusing beats
+            # silently profiling a different execution than asked for.
+            raise SystemExit(
+                "--flame-out and --simulate are mutually exclusive "
+                "(each needs to be the run's event sink)"
+            )
+        profiler = RuntimeProfiler(
+            rate=getattr(args, "flame_rate", DEFAULT_FLAME_RATE),
+            seed=getattr(args, "flame_seed", 0),
+        )
     with obs.tracer.span("execute", cat="machine", simulate=bool(args.simulate)):
         engine = getattr(args, "engine", DEFAULT_ENGINE)
         if args.simulate:
             metrics, result = simulate(program, inputs, engine=engine)
         else:
-            metrics, result = None, run_program(program, inputs, engine=engine)
+            metrics, result = None, run_program(
+                program, inputs, sink=profiler, engine=engine
+            )
     for value in result.output:
         print(value)
+    if profiler is not None:
+        fmt = profiler.write(flame_out)
+        log.info(
+            "# flame: {} samples / {} events, {} contexts -> {} ({})".format(
+                profiler.samples, profiler.events,
+                len(profiler.stack_samples), flame_out, fmt,
+            )
+        )
+        if obs.metrics.enabled:
+            collect_runtime_metrics(profiler, registry=obs.metrics)
     if metrics is not None:
         log.info(
             "# cycles={:.0f} instructions={} cpi={:.3f} "
@@ -448,6 +499,47 @@ def cmd_profile_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile_flame(args: argparse.Namespace) -> int:
+    """Run once with the runtime profiler attached; write a flamegraph.
+
+    The program is the plain front-end compile (no HLO): the
+    flamegraph shows the guest's *logical* call structure, which
+    inlining would flatten away.
+    """
+    workload_name = getattr(args, "workload", None)
+    default_input: Optional[List[int]] = None
+    if workload_name:
+        from .workloads.suite import get_workload, workload_names
+
+        try:
+            workload = get_workload(workload_name)
+        except KeyError:
+            raise SystemExit(
+                "unknown workload {!r}; available: {}".format(
+                    workload_name, ", ".join(workload_names())
+                )
+            )
+        sources = list(workload.sources)
+        default_input = list(workload.ref_input)
+    elif getattr(args, "files", None):
+        sources = _read_sources(args.files)
+    else:
+        raise SystemExit("give minic source files or --workload NAME")
+    inputs = (
+        _parse_inputs(args.inputs) if args.inputs else (default_input or [])
+    )
+    program = compile_program(sources)
+    profiler = RuntimeProfiler(rate=args.rate, seed=args.seed)
+    run_program(
+        program, inputs, sink=profiler,
+        engine=getattr(args, "engine", DEFAULT_ENGINE),
+    )
+    fmt = profiler.write(args.output)
+    print(profiler.format_text(limit=args.top))
+    print("wrote {} ({})".format(args.output, fmt))
+    return 0
+
+
 def cmd_profile_merge(args: argparse.Namespace) -> int:
     databases = [_load_profile_arg(path) for path in args.databases]
     weights = None
@@ -555,10 +647,9 @@ def _int_list(values) -> tuple:
     return tuple(int(v) for v in values or ())
 
 
-def cmd_fleet_run(args: argparse.Namespace) -> int:
-    """Run the continuous-profiling fleet loop on a suite workload."""
-    import json
-
+def _fleet_loop_from_args(args: argparse.Namespace, obs: BuildObserver):
+    """Build the :class:`FleetLoop` that ``fleet run`` / ``fleet
+    explain`` share: same workload, fault plan, and config flags."""
     from .fleet import FleetConfig, FleetLoop
     from .resilience.faults import SHARD_FAULTS, FaultInjector
     from .workloads.suite import get_workload, workload_names
@@ -594,8 +685,6 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
-    obs = _observer_from_args(args)
-    log = _logger_from_args(args)
     config = FleetConfig(
         rounds=args.rounds,
         rate=args.rate,
@@ -604,7 +693,7 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         restart_collector_rounds=_int_list(args.restart_collector),
         max_wall_s=args.max_wall,
     )
-    loop = FleetLoop(
+    return FleetLoop(
         list(workload.sources),
         [list(t) for t in workload.train_inputs],
         list(workload.ref_input),
@@ -613,6 +702,15 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         observer=obs,
         spool_path=args.spool,
     )
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run the continuous-profiling fleet loop on a suite workload."""
+    import json
+
+    obs = _observer_from_args(args)
+    log = _logger_from_args(args)
+    loop = _fleet_loop_from_args(args, obs)
     report = loop.run()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -651,6 +749,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                 )
             )
     _emit_observability(args, obs, log)
+    if obs.fleet.enabled and not _fleet_ledger_complete(obs, report):
+        return 1
     if args.assert_convergence and not report.converged:
         print(
             "fleet: convergence assertion failed (jaccard {})".format(
@@ -658,6 +758,65 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _fleet_ledger_complete(obs: BuildObserver, report) -> bool:
+    """Check the completeness invariant: every verdict the collector
+    issued and every round the controller considered is in the ledger.
+    The counts on the right come from the loop, tallied independently
+    of the ledger appends."""
+    ok = (
+        obs.fleet.verdicts == report.collector_verdicts
+        and obs.fleet.decisions == report.controller_decisions
+    )
+    if not ok:
+        print(
+            "fleet: ledger INCOMPLETE: {} verdict(s) ledgered vs {} "
+            "issued; {} decision(s) ledgered vs {} rounds considered".format(
+                obs.fleet.verdicts, report.collector_verdicts,
+                obs.fleet.decisions, report.controller_decisions,
+            ),
+            file=sys.stderr,
+        )
+    return ok
+
+
+def cmd_fleet_explain(args: argparse.Namespace) -> int:
+    """Run the fleet loop with the decision ledger on and report it.
+
+    Exits 1 unless the ledger accounts for 100% of collector verdicts
+    and controller decisions (the completeness invariant CI gates on).
+    """
+    want_trace = bool(getattr(args, "trace_out", None))
+    want_metrics = bool(
+        getattr(args, "metrics_out", None) or getattr(args, "series_out", None)
+    )
+    # The whole point of `explain` is the fleet ledger: always live
+    # here, whatever the other observability flags say.
+    obs = BuildObserver(
+        tracer=Tracer() if want_trace else None,
+        metrics=MetricsRegistry() if want_metrics else None,
+        fleet=FleetLedger(),
+    )
+    log = _logger_from_args(args)
+    loop = _fleet_loop_from_args(args, obs)
+    report = loop.run()
+    ledger = obs.fleet
+    if args.json:
+        sys.stdout.write(ledger.to_jsonl())
+    else:
+        print(ledger.format_text(limit=args.limit))
+        print(
+            "completeness: {}/{} collector verdicts, {}/{} controller "
+            "decisions ledgered".format(
+                ledger.verdicts, report.collector_verdicts,
+                ledger.decisions, report.controller_decisions,
+            )
+        )
+    _emit_observability(args, obs, log)
+    if not _fleet_ledger_complete(obs, report):
         return 1
     return 0
 
@@ -835,6 +994,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--simulate", action="store_true",
                        help="run on the PA8000 machine model")
     p_run.add_argument("--no-hlo", action="store_true")
+    p_run.add_argument("--flame-out", metavar="FILE",
+                       help="profile the guest run and write a flamegraph "
+                       "(.json -> speedscope, else collapsed stacks); "
+                       "identical output on every --engine")
+    p_run.add_argument("--flame-rate", type=int, default=DEFAULT_FLAME_RATE,
+                       metavar="N",
+                       help="stack sample every ~N guest instructions "
+                       "(default {}; 1 = exact)".format(DEFAULT_FLAME_RATE))
+    p_run.add_argument("--flame-seed", type=int, default=0,
+                       help="sampling jitter seed (default 0)")
     p_run.set_defaults(func=cmd_run)
 
     p_train = sub.add_parser("train", help="instrument, run, write profile db")
@@ -888,6 +1057,29 @@ def build_parser() -> argparse.ArgumentParser:
     pp_sample.add_argument("-o", "--output", default="repro.profdb")
     engine_flag(pp_sample)
     pp_sample.set_defaults(func=cmd_profile_sample)
+
+    pp_flame = profile_sub.add_parser(
+        "flame", help="run once and write a guest flamegraph"
+    )
+    profile_sources(pp_flame)
+    pp_flame.add_argument("--inputs",
+                          help="comma-separated integer input vector; "
+                          "--workload supplies its reference input "
+                          "when omitted")
+    pp_flame.add_argument("--rate", type=int, default=DEFAULT_FLAME_RATE,
+                          metavar="N",
+                          help="stack sample every ~N guest instructions "
+                          "(default {}; 1 = exact)".format(DEFAULT_FLAME_RATE))
+    pp_flame.add_argument("--seed", type=int, default=0,
+                          help="sampling jitter seed (default 0)")
+    pp_flame.add_argument("--top", type=int, default=10, metavar="K",
+                          help="hottest contexts to print (default 10)")
+    pp_flame.add_argument("-o", "--output", default="flame.json",
+                          help="output path; .json -> speedscope JSON, "
+                          "anything else collapsed stacks "
+                          "(default flame.json)")
+    engine_flag(pp_flame)
+    pp_flame.set_defaults(func=cmd_profile_flame)
 
     pp_merge = profile_sub.add_parser(
         "merge", help="combine databases with explicit weights or decay"
@@ -973,54 +1165,85 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="continuous-profiling fleet loop"
     )
     fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def fleet_common(p):
+        """Flags `fleet run` and `fleet explain` share: the same loop,
+        fault plan, and workload run under both."""
+        p.add_argument("workload")
+        p.add_argument("--rounds", type=int, default=8, metavar="N",
+                       help="collection rounds to run (default 8)")
+        p.add_argument("--rate", type=int, default=50, metavar="N",
+                       help="sampling rate: one sample every ~N steps "
+                       "(default 50)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="fleet + fault-plan seed (default 7)")
+        p.add_argument("--faults", metavar="F1,F2",
+                       help="comma-separated transit faults to inject "
+                       "({})".format(", ".join(SHARD_FAULTS)))
+        p.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="per-shard transit fault probability "
+                       "(default 0.0; >0 with no --faults injects all)")
+        p.add_argument("--wal-tail", type=int, nargs="*", default=(),
+                       metavar="ROUND",
+                       help="rounds whose end tears the spool tail")
+        p.add_argument("--kill-mid-swap", type=int, nargs="*", default=(),
+                       metavar="EPOCH",
+                       help="epochs whose swap is interrupted by a crash")
+        p.add_argument("--canary-trap", type=int, nargs="*", default=(),
+                       metavar="EPOCH",
+                       help="epochs whose canary build traps")
+        p.add_argument("--flap", nargs="*", default=(), metavar="SOURCE",
+                       help="instance sources that flap (restart loop)")
+        p.add_argument("--restart-collector", type=int, nargs="*",
+                       default=(), metavar="ROUND",
+                       help="rounds after which the collector restarts "
+                       "and replays its journal")
+        p.add_argument("--spool", metavar="FILE",
+                       help="shard write-ahead spool path "
+                       "(default: a fresh temp file)")
+        p.add_argument("--max-wall", type=float, default=None, metavar="S",
+                       help="wall-clock budget; the loop stops early "
+                       "when exceeded")
+        p.add_argument("--series-out", metavar="FILE",
+                       help="write per-tick time series (drift, "
+                       "confidence, jaccard-vs-exact, per-instance "
+                       "queues) as JSONL")
+        engine_flag(p)
+
     pf_run = fleet_sub.add_parser(
         "run",
         help="run the collect/rebuild/canary/hot-swap loop on a workload",
     )
-    pf_run.add_argument("workload")
-    pf_run.add_argument("--rounds", type=int, default=8, metavar="N",
-                        help="collection rounds to run (default 8)")
-    pf_run.add_argument("--rate", type=int, default=50, metavar="N",
-                        help="sampling rate: one sample every ~N steps "
-                        "(default 50)")
-    pf_run.add_argument("--seed", type=int, default=7,
-                        help="fleet + fault-plan seed (default 7)")
-    pf_run.add_argument("--faults", metavar="F1,F2",
-                        help="comma-separated transit faults to inject "
-                        "({})".format(", ".join(SHARD_FAULTS)))
-    pf_run.add_argument("--fault-rate", type=float, default=0.0,
-                        metavar="P",
-                        help="per-shard transit fault probability "
-                        "(default 0.0; >0 with no --faults injects all)")
-    pf_run.add_argument("--wal-tail", type=int, nargs="*", default=(),
-                        metavar="ROUND",
-                        help="rounds whose end tears the spool tail")
-    pf_run.add_argument("--kill-mid-swap", type=int, nargs="*", default=(),
-                        metavar="EPOCH",
-                        help="epochs whose swap is interrupted by a crash")
-    pf_run.add_argument("--canary-trap", type=int, nargs="*", default=(),
-                        metavar="EPOCH",
-                        help="epochs whose canary build traps")
-    pf_run.add_argument("--flap", nargs="*", default=(), metavar="SOURCE",
-                        help="instance sources that flap (restart loop)")
-    pf_run.add_argument("--restart-collector", type=int, nargs="*",
-                        default=(), metavar="ROUND",
-                        help="rounds after which the collector restarts "
-                        "and replays its journal")
-    pf_run.add_argument("--spool", metavar="FILE",
-                        help="shard write-ahead spool path "
-                        "(default: a fresh temp file)")
-    pf_run.add_argument("--max-wall", type=float, default=None, metavar="S",
-                        help="wall-clock budget; the loop stops early "
-                        "when exceeded")
+    fleet_common(pf_run)
+    pf_run.add_argument("--fleet-ledger-out", metavar="FILE",
+                        help="write the fleet decision ledger (every "
+                        "collector verdict and controller decision) as "
+                        "JSONL; also enforces ledger completeness")
     pf_run.add_argument("--assert-convergence", action="store_true",
                         help="exit 1 unless the loop converged to the "
                         "exact-profile decisions (jaccard 1.0)")
     pf_run.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
-    engine_flag(pf_run)
     observability(pf_run)
     pf_run.set_defaults(func=cmd_fleet_run)
+
+    pf_explain = fleet_sub.add_parser(
+        "explain",
+        help="run the loop with the decision ledger on; print why every "
+        "shard was ACKed/NACKed/quarantined and what each round decided",
+    )
+    fleet_common(pf_explain)
+    pf_explain.add_argument("--json", action="store_true",
+                            help="print the ledger as JSONL instead of text")
+    pf_explain.add_argument("--limit", type=int, default=None, metavar="N",
+                            help="entries to print in text mode "
+                            "(default: all)")
+    pf_explain.add_argument("-o", "--out", dest="fleet_ledger_out",
+                            metavar="FILE",
+                            help="also write the ledger as JSONL here")
+    observability(pf_explain)
+    pf_explain.set_defaults(func=cmd_fleet_explain)
 
     return parser
 

@@ -40,7 +40,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.program import Program
-from ..obs import NULL_METRICS, NULL_TRACER
+from ..obs import NULL_FLEET_LEDGER, NULL_METRICS, NULL_TRACER
+from ..obs import names
 from ..profile.database import ProfileDatabase
 from ..resilience.errors import ProfileFormatError, ShardFormatError
 from ..sampling.lifecycle import assess_staleness, merge_profiles
@@ -133,6 +134,7 @@ class ProfileCollector:
         breaker_cooldown: int = 4,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
+        ledger=NULL_FLEET_LEDGER,
     ):
         self.profiling_image = profiling_image
         self.spool = spool
@@ -142,6 +144,7 @@ class ProfileCollector:
         self.breaker_cooldown = breaker_cooldown
         self.metrics = metrics
         self.tracer = tracer
+        self.ledger = ledger
         self.seen: Set[Tuple[str, int]] = set()
         self.epochs: Dict[int, List[ProfileDatabase]] = {}
         self.quarantined_epochs: Set[int] = set()
@@ -163,30 +166,45 @@ class ProfileCollector:
             self.breakers[source] = breaker
         return breaker
 
+    def _verdict(
+        self, tick: int, source: str, seq: int, accepted: bool, reason: str
+    ) -> ShardAck:
+        """The collector's *only* ShardAck factory.
+
+        Appending to the fleet ledger here — the same call that builds
+        the ack — is what makes the ledger complete by construction:
+        a verdict cannot be issued without being recorded.
+        """
+        self.ledger.verdict(tick, source, seq, accepted, reason)
+        return ShardAck(source, seq, accepted, reason)
+
     def receive(self, wire: str, source: str, seq: int, tick: int) -> ShardAck:
         breaker = self._breaker(source)
         was_open = breaker.state == OPEN
         if not breaker.allows(tick):
             self.rejected_breaker += 1
-            self.metrics.count("fleet.shards_rejected_breaker")
-            return ShardAck(source, seq, False, "breaker-open")
+            self.metrics.count(names.FLEET_SHARDS_REJECTED_BREAKER)
+            return self._verdict(tick, source, seq, False, "breaker-open")
         if was_open and breaker.state == HALF_OPEN:
+            self.ledger.transition(tick, source, "half-open")
             self.tracer.instant(
                 "breaker-half-open:{}".format(source), cat="fleet"
             )
         if (source, seq) in self.seen:
             self.duplicates += 1
-            self.metrics.count("fleet.shards_duplicate")
-            return ShardAck(source, seq, True, "duplicate")
+            self.metrics.count(names.FLEET_SHARDS_DEDUPED)
+            return self._verdict(tick, source, seq, True, "duplicate")
         try:
             shard = ProfileShard.parse_message(wire)
         except ShardFormatError as exc:
             self.rejected_transit += 1
             self._strike(breaker, source, tick)
-            self.metrics.count("fleet.shards_corrupt")
-            return ShardAck(source, seq, False, "transit:{}".format(exc.kind))
+            self.metrics.count(names.FLEET_SHARDS_CORRUPT)
+            return self._verdict(
+                tick, source, seq, False, "transit:{}".format(exc.kind)
+            )
         self.spool.append(shard)
-        self.metrics.count("fleet.wal_appended")
+        self.metrics.count(names.FLEET_WAL_APPENDED)
         return self._admit(shard, breaker, tick)
 
     def _admit(
@@ -200,7 +218,7 @@ class ProfileCollector:
         except ProfileFormatError as exc:
             self._strike(breaker, source, tick)
             return self._quarantine_shard(
-                source, seq, "payload:{}".format(exc.kind)
+                tick, source, seq, "payload:{}".format(exc.kind)
             )
         staleness = assess_staleness(db, self.profiling_image)
         if staleness.stale or staleness.missing:
@@ -208,30 +226,37 @@ class ProfileCollector:
             # image: merging it would steer the optimizer with shapes
             # that no longer exist.
             self._strike(breaker, source, tick)
-            return self._quarantine_shard(source, seq, "stale-fingerprint")
+            return self._quarantine_shard(tick, source, seq, "stale-fingerprint")
         if db.sampled and db.overall_confidence() < self.min_shard_confidence:
             # Well-formed and fresh, just too thin to carry signal; the
             # source is healthy, so no breaker strike.
-            return self._quarantine_shard(source, seq, "low-confidence")
+            return self._quarantine_shard(tick, source, seq, "low-confidence")
+        if breaker.state == HALF_OPEN:
+            self.ledger.transition(tick, source, "close")
         breaker.record_success()
         self.epochs.setdefault(shard.epoch, []).append(db)
         self.accepted += 1
-        self.metrics.count("fleet.shards_accepted")
-        return ShardAck(source, seq, True, "accepted")
+        self.metrics.count(names.FLEET_SHARDS_ACCEPTED)
+        return self._verdict(tick, source, seq, True, "accepted")
 
-    def _quarantine_shard(self, source: str, seq: int, reason: str) -> ShardAck:
+    def _quarantine_shard(
+        self, tick: int, source: str, seq: int, reason: str
+    ) -> ShardAck:
         self.quarantined_shards += 1
-        self.metrics.count("fleet.shards_quarantined")
+        self.metrics.count(names.FLEET_SHARDS_QUARANTINED)
         self.tracer.instant(
             "shard-quarantine:{}:{}".format(source, reason), cat="fleet"
         )
         # ACKed: the sender's copy is byte-identical and would be
         # quarantined again; retransmission cannot repair semantics.
-        return ShardAck(source, seq, True, "quarantined:{}".format(reason))
+        return self._verdict(
+            tick, source, seq, True, "quarantined:{}".format(reason)
+        )
 
     def _strike(self, breaker: CircuitBreaker, source: str, tick: int) -> None:
         if breaker.record_failure(tick):
-            self.metrics.count("fleet.breaker_opens")
+            self.metrics.count(names.FLEET_BREAKER_OPENS)
+            self.ledger.transition(tick, source, "open")
             self.tracer.instant("breaker-open:{}".format(source), cat="fleet")
 
     # ------------------------------------------------------------------
@@ -252,11 +277,16 @@ class ProfileCollector:
         for shard in shards:
             if shard.key() in self.seen:
                 self.duplicates += 1
+                # Re-derived verdict, same as the live dedupe path —
+                # routed through _verdict so every replayed frame
+                # yields exactly one ledger entry (nobody consumes
+                # the ack; the original sender already got one).
+                self._verdict(tick, shard.source, shard.seq, True, "duplicate")
                 continue
             self._admit(shard, self._breaker(shard.source), tick)
-        self.metrics.count("fleet.wal_replayed", len(shards))
+        self.metrics.count(names.FLEET_WAL_REPLAYED, len(shards))
         if truncated:
-            self.metrics.count("fleet.wal_truncations")
+            self.metrics.count(names.FLEET_WAL_TRUNCATIONS)
         return len(shards), truncated
 
     # ------------------------------------------------------------------
@@ -265,7 +295,7 @@ class ProfileCollector:
 
     def quarantine_epoch(self, epoch: int) -> None:
         self.quarantined_epochs.add(epoch)
-        self.metrics.count("fleet.epochs_quarantined")
+        self.metrics.count(names.FLEET_EPOCHS_QUARANTINED)
         self.tracer.instant("epoch-quarantine:{}".format(epoch), cat="fleet")
 
     def live_epochs(self) -> List[int]:

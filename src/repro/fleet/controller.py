@@ -37,6 +37,7 @@ from ..interp.errors import ExecError
 from ..linker.toolchain import BuildResult, Toolchain
 from ..machine.pa8000 import simulate
 from ..obs import BuildObserver, InliningLedger, NULL_OBSERVER
+from ..obs import names
 from ..profile.database import ProfileDatabase
 from ..resilience.faults import FaultInjector
 from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
@@ -67,6 +68,7 @@ class ControllerAction:
     rolled_back: bool = False
     quarantine_epoch: Optional[int] = None
     reason: str = ""
+    build_id: Optional[int] = None  # the candidate, when one was built
 
 
 class ReoptimizeController:
@@ -121,9 +123,26 @@ class ReoptimizeController:
     # ------------------------------------------------------------------
 
     def consider(
+        self,
+        merged: Optional[ProfileDatabase],
+        epoch: int,
+        tick: Optional[int] = None,
+    ) -> ControllerAction:
+        """Run the gate ladder for one round's merged profile.
+
+        Every return path funnels through the single ledger append
+        below, so each round's decision — including the gate
+        non-decisions — is in the fleet ledger by construction.
+        """
+        action = self._consider(merged, epoch)
+        self.observer.fleet.decision(
+            tick, epoch, action.reason, build_id=action.build_id
+        )
+        return action
+
+    def _consider(
         self, merged: Optional[ProfileDatabase], epoch: int
     ) -> ControllerAction:
-        """Run the gate ladder for one round's merged profile."""
         action = ControllerAction()
         if self.current is None:
             raise RuntimeError("initial_build() must run before consider()")
@@ -135,10 +154,12 @@ class ReoptimizeController:
             action.reason = "no-evidence"
             return action
         confidence = merged.overall_confidence()
-        self.observer.metrics.gauge("fleet.confidence", round(confidence, 4))
+        self.observer.metrics.gauge(
+            names.FLEET_CONFIDENCE, round(confidence, 4)
+        )
         raw = profile_drift(self.current.profile, merged)
         smoothed = self.drift.update(raw)
-        self.observer.metrics.gauge("fleet.drift", round(smoothed, 4))
+        self.observer.metrics.gauge(names.FLEET_DRIFT, round(smoothed, 4))
         if merged.sampled and confidence < self.min_confidence:
             action.reason = "low-confidence"
             return action
@@ -152,6 +173,7 @@ class ReoptimizeController:
         self.rebuilds += 1
         build_id = self._next_build_id
         self._next_build_id += 1
+        action.build_id = build_id
         ledger = InliningLedger()
         observer = BuildObserver(
             tracer=self.observer.tracer, metrics=self.observer.metrics,
@@ -163,14 +185,14 @@ class ReoptimizeController:
             result = self.toolchain.rebuild_with_profile(
                 merged, scope=self.scope, observer=observer
             )
-        self.observer.metrics.count("fleet.rebuilds")
+        self.observer.metrics.count(names.FLEET_REBUILDS)
         candidate = _BuildRecord(build_id=build_id, result=result, profile=merged)
         with self.observer.tracer.span(
             "fleet-canary", cat="fleet", build=build_id
         ):
             failure = self._canary_failure(candidate, ledger)
         if failure is None:
-            self.observer.metrics.count("fleet.canary_pass")
+            self.observer.metrics.count(names.FLEET_CANARY_PASS)
             self.previous = self.current
             self.current = candidate
             self.drift.reset()
@@ -184,8 +206,8 @@ class ReoptimizeController:
         # Rollback rung: the serving build stays; the candidate is
         # permanently condemned; the evidence that produced it is
         # quarantined; rebuilds pause while fresh evidence accumulates.
-        self.observer.metrics.count("fleet.canary_fail")
-        self.observer.metrics.count("fleet.rollbacks")
+        self.observer.metrics.count(names.FLEET_CANARY_FAIL)
+        self.observer.metrics.count(names.FLEET_ROLLBACKS)
         self.observer.tracer.instant(
             "fleet-rollback:build{}".format(build_id), cat="fleet"
         )

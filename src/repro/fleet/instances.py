@@ -37,6 +37,7 @@ from ..interp.errors import ExecError
 from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS, run_program
 from ..ir.program import Program
 from ..obs import NULL_METRICS
+from ..obs import names
 from ..resilience.faults import FaultInjector
 from ..sampling.sampler import (
     DEFAULT_CONTEXT_DEPTH,
@@ -125,7 +126,7 @@ class FleetInstance:
             # A trap while serving must never take the instance (or the
             # loop) down; it is counted and shows up in canary checks.
             self.serve_traps += 1
-            self.metrics.count("fleet.serve_traps")
+            self.metrics.count(names.FLEET_SERVE_TRAPS)
 
     def _sample_and_enqueue(self, tick: int) -> None:
         profile = SampledProfile(
@@ -155,7 +156,7 @@ class FleetInstance:
                 continue
             if pending.attempts > 0:
                 self.retries += 1
-                self.metrics.count("fleet.shards_retried")
+                self.metrics.count(names.FLEET_SHARDS_RETRIED)
             transport.send(pending.shard, tick, attempt=pending.attempts)
             pending.attempts += 1
             pending.next_send = tick + self._backoff(pending)
@@ -220,7 +221,7 @@ class FleetSupervisor:
 
     def _restart(self, dead: FleetInstance, build: ServedBuild) -> FleetInstance:
         self.restarts += 1
-        self.metrics.count("fleet.instance_restarts")
+        self.metrics.count(names.FLEET_INSTANCE_RESTARTS)
         fresh = FleetInstance(
             source=dead.source, inputs=dead.inputs,
             profiling_image=dead.profiling_image, served=build,
@@ -266,7 +267,7 @@ class FleetSupervisor:
             if old is not build.program:
                 old.invalidate_plans()
         self.served_build_ids.add(build.build_id)
-        self.metrics.count("fleet.swaps")
+        self.metrics.count(names.FLEET_SWAPS)
 
     def set_epoch(self, epoch: int) -> None:
         for inst in self.instances:

@@ -44,6 +44,7 @@ from ..frontend.driver import SourceList, compile_program
 from ..interp.interpreter import DEFAULT_ENGINE, DEFAULT_MAX_STEPS
 from ..linker.toolchain import Toolchain
 from ..obs import BuildObserver, NULL_OBSERVER
+from ..obs import names
 from ..resilience.faults import FaultInjector
 from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
 from .collector import DEFAULT_EPOCH_DECAY, MIN_SHARD_CONFIDENCE, ProfileCollector
@@ -137,7 +138,7 @@ class FleetReport:
     shards_retried: int = 0
     shards_dropped: int = 0
     shards_damaged: int = 0
-    shards_duplicate: int = 0
+    shards_deduped: int = 0
     shards_quarantined: int = 0
     shards_rejected_breaker: int = 0
     breaker_opens: int = 0
@@ -146,6 +147,11 @@ class FleetReport:
     collector_restarts: int = 0
     instance_restarts: int = 0
     serve_traps: int = 0
+    # Independent decision tallies, counted where the decisions *flow*
+    # (acks delivered, WAL frames replayed, consider() rounds) — the
+    # fleet-ledger completeness check compares the ledger against these.
+    collector_verdicts: int = 0
+    controller_decisions: int = 0
     stopped_early: bool = False
     wall_s: float = 0.0
     history: List[str] = field(default_factory=list)
@@ -173,7 +179,7 @@ class FleetReport:
                 "retried": self.shards_retried,
                 "dropped": self.shards_dropped,
                 "damaged": self.shards_damaged,
-                "duplicate": self.shards_duplicate,
+                "deduped": self.shards_deduped,
                 "quarantined": self.shards_quarantined,
                 "rejected_breaker": self.shards_rejected_breaker,
             },
@@ -185,6 +191,10 @@ class FleetReport:
             "breaker_opens": self.breaker_opens,
             "instance_restarts": self.instance_restarts,
             "serve_traps": self.serve_traps,
+            "decisions": {
+                "collector_verdicts": self.collector_verdicts,
+                "controller_decisions": self.controller_decisions,
+            },
             "stopped_early": self.stopped_early,
             "wall_s": round(self.wall_s, 3),
         }
@@ -231,6 +241,7 @@ class FleetLoop:
             breaker_cooldown=cfg.breaker_cooldown,
             metrics=self.observer.metrics,
             tracer=self.observer.tracer,
+            ledger=self.observer.fleet,
         )
 
     def run(self) -> FleetReport:
@@ -283,6 +294,7 @@ class FleetLoop:
         quarantined: Set[int] = set()
         epoch = 0
         restart_rounds = set(cfg.restart_collector_rounds)
+        exact_set: Optional[Set[Tuple]] = None
 
         for tick in range(cfg.rounds):
             if (
@@ -293,8 +305,11 @@ class FleetLoop:
                 obs.tracer.instant("fleet-wall-budget", cat="fleet")
                 break
             with obs.tracer.span("fleet-round", cat="fleet", round=tick):
-                supervisor.step(tick, transport)
-                supervisor.apply_acks(transport.deliver(tick, collector))
+                with obs.tracer.span("fleet-deliver", cat="fleet", round=tick):
+                    supervisor.step(tick, transport)
+                    acks = transport.deliver(tick, collector)
+                    supervisor.apply_acks(acks)
+                report.collector_verdicts += len(acks)
 
                 wal_fault = (
                     self.injector is not None
@@ -311,23 +326,39 @@ class FleetLoop:
                         )
                     self._absorb_collector_counters(report, collector)
                     collector = self._make_collector(profiling_image)
-                    _replayed, truncated = collector.restore(
+                    replayed, truncated = collector.restore(
                         quarantined_epochs=quarantined, tick=tick
                     )
+                    # Replay re-derives one verdict per journaled frame.
+                    report.collector_verdicts += replayed
                     if truncated:
                         report.wal_truncations += 1
                     report.collector_restarts += 1
-                    obs.metrics.count("fleet.collector_restarts")
+                    obs.metrics.count(names.FLEET_COLLECTOR_RESTARTS)
                     obs.tracer.instant(
                         "fleet-collector-restart:{}".format(tick), cat="fleet"
                     )
 
-                action = controller.consider(collector.merged_profile(), epoch)
+                with obs.tracer.span("fleet-merge", cat="fleet", round=tick):
+                    merged = collector.merged_profile()
+                action = controller.consider(merged, epoch, tick=tick)
+                report.controller_decisions += 1
                 if action.swapped is not None:
-                    supervisor.swap_all(action.swapped)
+                    with obs.tracer.span(
+                        "fleet-swap", cat="fleet", round=tick,
+                        build=action.swapped.build_id,
+                    ):
+                        supervisor.swap_all(action.swapped)
                 if action.rolled_back:
                     quarantined.add(action.quarantine_epoch)
                     collector.quarantine_epoch(action.quarantine_epoch)
+
+                if obs.metrics.enabled:
+                    exact_set = self._sample_series(
+                        obs, tick, epoch, action, supervisor, controller,
+                        exact_set,
+                    )
+
                 if action.rebuilt:
                     # Every rebuild attempt — pass or fail — opens a new
                     # evidence epoch, so a later rollback can quarantine
@@ -337,7 +368,7 @@ class FleetLoop:
 
                 self._check_invariants(supervisor, controller)
                 obs.metrics.gauge(
-                    "fleet.current_build", controller.current.build_id
+                    names.FLEET_CURRENT_BUILD, controller.current.build_id
                 )
             report.rounds_run = tick + 1
 
@@ -358,22 +389,79 @@ class FleetLoop:
         report.history = list(controller.history)
 
         if cfg.measure_convergence:
-            with obs.tracer.span("fleet-convergence", cat="fleet"):
-                exact = Toolchain(
-                    self.sources, train_inputs=self.train_inputs,
-                    engine=cfg.engine,
-                ).build(cfg.scope)
-            exact_set = decision_set(exact.report)
+            if exact_set is None:
+                with obs.tracer.span("fleet-convergence", cat="fleet"):
+                    exact = Toolchain(
+                        self.sources, train_inputs=self.train_inputs,
+                        engine=cfg.engine,
+                    ).build(cfg.scope)
+                exact_set = decision_set(exact.report)
             fleet_set = decision_set(controller.current.result.report)
             report.exact_decisions = len(exact_set)
             report.fleet_decisions = len(fleet_set)
             report.convergence_jaccard = round(jaccard(exact_set, fleet_set), 4)
             obs.metrics.gauge(
-                "fleet.convergence_jaccard", report.convergence_jaccard
+                names.FLEET_CONVERGENCE_JACCARD, report.convergence_jaccard
             )
-        obs.metrics.gauge("fleet.rounds", report.rounds_run)
+        obs.metrics.gauge(names.FLEET_ROUNDS, report.rounds_run)
         report.wall_s = time.perf_counter() - started
         return report
+
+    def _sample_series(
+        self, obs, tick, epoch, action, supervisor, controller, exact_set
+    ):
+        """One per-tick sample of every fleet time series.
+
+        Only runs when the metrics sink is live (the jaccard-vs-exact
+        series needs one extra exact-profile build, which the final
+        convergence measurement then reuses).  Returns the cached
+        exact decision set.
+        """
+        cfg = self.config
+        metrics = obs.metrics
+        if cfg.measure_convergence:
+            if exact_set is None:
+                with obs.tracer.span("fleet-convergence", cat="fleet"):
+                    exact = Toolchain(
+                        self.sources, train_inputs=self.train_inputs,
+                        engine=cfg.engine,
+                    ).build(cfg.scope)
+                exact_set = decision_set(exact.report)
+            metrics.record_series(
+                names.FLEET_JACCARD_EXACT, tick,
+                round(
+                    jaccard(
+                        exact_set,
+                        decision_set(controller.current.result.report),
+                    ),
+                    4,
+                ),
+            )
+        metrics.record_series(
+            names.FLEET_DRIFT, tick, metrics.value(names.FLEET_DRIFT)
+        )
+        metrics.record_series(
+            names.FLEET_CONFIDENCE, tick, metrics.value(names.FLEET_CONFIDENCE)
+        )
+        metrics.record_series(
+            names.FLEET_CURRENT_BUILD, tick, controller.current.build_id
+        )
+        metrics.record_series(names.FLEET_LEDGER_ENTRIES, tick, obs.fleet.total)
+        if action.swapped is not None:
+            metrics.record_series(names.FLEET_SWAP_EPOCH, tick, epoch)
+        if action.rolled_back:
+            metrics.record_series(
+                names.FLEET_ROLLBACK_EPOCH, tick, action.quarantine_epoch
+            )
+        for inst in supervisor.instances:
+            metrics.record_series(
+                names.fleet_instance_pending(inst.source), tick,
+                len(inst.pending),
+            )
+            metrics.record_series(
+                names.fleet_instance_traps(inst.source), tick, inst.serve_traps
+            )
+        return exact_set
 
     @staticmethod
     def _absorb_collector_counters(report: FleetReport, collector) -> None:
@@ -385,7 +473,7 @@ class FleetLoop:
         counters would), not globally unique shards.
         """
         report.shards_accepted += collector.accepted
-        report.shards_duplicate += collector.duplicates
+        report.shards_deduped += collector.duplicates
         report.shards_quarantined += collector.quarantined_shards
         report.shards_rejected_breaker += collector.rejected_breaker
         report.breaker_opens += collector.breaker_opens()

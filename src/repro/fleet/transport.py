@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..obs import NULL_METRICS
+from ..obs import names
 from ..resilience.faults import FaultInjector
 from .shard import ProfileShard
 
@@ -63,30 +64,30 @@ class ShardTransport:
 
     def send(self, shard: ProfileShard, tick: int, attempt: int = 0) -> None:
         self.sent += 1
-        self.metrics.count("fleet.shards_sent")
+        self.metrics.count(names.FLEET_SHARDS_SENT)
         wire = shard.to_wire()
         fault = None
         if self.injector is not None:
             fault = self.injector.shard_fault(shard.source, shard.seq, attempt)
         if fault == "drop":
             self.dropped += 1
-            self.metrics.count("fleet.shards_dropped")
+            self.metrics.count(names.FLEET_SHARDS_DROPPED)
             return
         deliver_at = tick + 1
         if fault == "delay":
             deliver_at += self.injector.delay_ticks(shard.source, shard.seq, attempt)
             self.delayed += 1
-            self.metrics.count("fleet.shards_delayed")
+            self.metrics.count(names.FLEET_SHARDS_DELAYED)
         if fault in ("corrupt", "truncate"):
             wire = self.injector.damage_shard(
                 wire, fault, shard.source, shard.seq, attempt
             )
             self.damaged += 1
-            self.metrics.count("fleet.shards_damaged")
+            self.metrics.count(names.FLEET_SHARDS_DAMAGED)
         self._push(deliver_at, shard.source, shard.seq, wire)
         if fault == "duplicate":
             self.duplicated += 1
-            self.metrics.count("fleet.shards_duplicated")
+            self.metrics.count(names.FLEET_SHARDS_DUPLICATED)
             self._push(deliver_at + 1, shard.source, shard.seq, shard.to_wire())
 
     def _push(self, deliver_at: int, source: str, seq: int, wire: str) -> None:

@@ -6,7 +6,10 @@ configurations.  This CLI is the wide version CI runs on a schedule:
 hundreds of generator seeds, each executed under every optimized
 engine × every sink *family* — no sink, :class:`CountingSink` (the
 batched-``on_instr`` capability), :class:`SamplingSink` (exact
-``on_instr`` + call/return, jittered sampling state), and the
+``on_instr`` + call/return, jittered sampling state), the
+:class:`~repro.obs.runtime.RuntimeProfiler` (full-stack flamegraph
+sampling — its digest equality is what makes a flamegraph
+engine-independent), and the
 :class:`~repro.machine.pa8000.PA8000Model` (every callback live, cache
 and predictor state) — and compared against the reference engine on the
 complete observable outcome *plus* the sink's accumulated state.
@@ -37,10 +40,15 @@ from .interpreter import DEFAULT_MAX_STEPS, run_program
 
 #: Sink families in the matrix; "none" exercises the engines'
 #: zero-callback fast paths, the rest each exercise one capability mode.
-SINK_KINDS = ("none", "counting", "sampling", "pa8000")
+#: "flame" is the runtime profiler (exact on_instr + call/return, no
+#: branch/mem): its digest equality across engines is what makes a
+#: flamegraph a property of the execution, not of the engine.
+SINK_KINDS = ("none", "counting", "sampling", "flame", "pa8000")
 SAMPLING_FUZZ_RATE = 7
 SAMPLING_FUZZ_DEPTH = 2
 SAMPLING_FUZZ_SEED = 13
+FLAME_FUZZ_RATE = 7
+FLAME_FUZZ_SEED = 13
 
 
 def _make_sink(kind: str, program):
@@ -58,6 +66,10 @@ def _make_sink(kind: str, program):
             context_depth=SAMPLING_FUZZ_DEPTH,
             seed=SAMPLING_FUZZ_SEED,
         )
+    if kind == "flame":
+        from ..obs.runtime import RuntimeProfiler
+
+        return RuntimeProfiler(rate=FLAME_FUZZ_RATE, seed=FLAME_FUZZ_SEED)
     if kind == "pa8000":
         from ..machine.pa8000 import PA8000Model
 
@@ -85,6 +97,14 @@ def _sink_digest(kind: str, sink) -> Tuple:
                     for key, contexts in sink.context_samples.items()
                 )
             ),
+        )
+    if kind == "flame":
+        return (
+            sink.events,
+            sink.samples,
+            sink.max_stack_depth,
+            tuple(sorted(sink.stack_samples.items())),
+            tuple(sorted(sink.call_edges.items())),
         )
     if kind == "pa8000":
         return tuple(sorted(vars(sink.metrics(0)).items()))

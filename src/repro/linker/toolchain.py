@@ -41,6 +41,7 @@ from ..ir.program import Program
 from ..machine.metrics import MachineMetrics
 from ..machine.pa8000 import MachineConfig, simulate
 from ..obs import NULL_OBSERVER
+from ..obs import names
 from ..obs.metrics import (
     collect_build_metrics,
     collect_profile_metrics,
@@ -400,7 +401,7 @@ class Toolchain:
         if obs.metrics.enabled:
             collect_build_metrics(diagnostics, report, stats,
                                   registry=obs.metrics)
-            obs.metrics.observe("build.wall_s", stats.wall_seconds)
+            obs.metrics.observe(names.BUILD_WALL_S_HIST, stats.wall_seconds)
         return BuildResult(
             program, report, stats, profile, diagnostics, engine=self.engine
         )

@@ -1,24 +1,38 @@
-"""Observability: tracing, metrics, and the inlining-decision ledger.
+"""Observability: tracing, metrics, and the decision ledgers.
 
 One :class:`BuildObserver` rides through the whole pipeline — CLI,
-toolchain, parallel executor, HLO driver, transforms, resilience guard
-— carrying three sinks:
+toolchain, parallel executor, HLO driver, transforms, resilience
+guard, fleet loop — carrying four sinks:
 
 - :class:`~repro.obs.tracer.Tracer` — hierarchical spans exported as
   Chrome trace-event JSON (``--trace-out``, Perfetto-loadable);
 - :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
-  p50-p95 histograms, the one source of build numbers
-  (``--metrics-out``);
+  p50-p95 histograms plus bounded time series
+  (:mod:`repro.obs.series`), the one source of build and fleet
+  numbers (``--metrics-out``, ``--series-out``);
 - :class:`~repro.obs.ledger.InliningLedger` — every call site the
   inliner or cloner evaluated, with its outcome and reason
-  (``--explain-inlining``).
+  (``--explain-inlining``);
+- :class:`~repro.obs.fleetledger.FleetLedger` — every fleet collector
+  verdict and controller decision (``repro fleet explain``).
 
-Each sink has a null twin, and :data:`NULL_OBSERVER` bundles all
-three, so instrumentation points are always-on method calls with a
+Guest *runtime* observability lives in :mod:`repro.obs.runtime`:
+:class:`RuntimeProfiler` is an event sink (not a bundle member) that
+attributes guest execution to calling contexts and exports
+flamegraphs (``repro run --flame-out``, ``repro profile flame``).
+
+Each sink has a null twin, and :data:`NULL_OBSERVER` bundles them
+all, so instrumentation points are always-on method calls with a
 no-op fast path — disabling observability costs (nearly) nothing and
 needs no conditionals at the call sites.
 """
 
+from .fleetledger import (
+    FLEET_LEDGER_SCHEMA_VERSION,
+    FleetLedger,
+    NULL_FLEET_LEDGER,
+    NullFleetLedger,
+)
 from .ledger import (
     InliningLedger,
     NULL_LEDGER,
@@ -31,26 +45,33 @@ from .metrics import (
     NULL_METRICS,
     NullMetrics,
     collect_build_metrics,
+    collect_runtime_metrics,
     format_build_summary,
 )
+from .runtime import RuntimeProfiler
+from .series import Series, SeriesBank
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 
 class BuildObserver:
-    """The tracer + metrics + ledger bundle threaded through a build."""
+    """The tracer + metrics + ledgers bundle threaded through a build."""
 
-    __slots__ = ("tracer", "metrics", "ledger")
+    __slots__ = ("tracer", "metrics", "ledger", "fleet")
 
-    def __init__(self, tracer=None, metrics=None, ledger=None):
+    def __init__(self, tracer=None, metrics=None, ledger=None, fleet=None):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.ledger = ledger if ledger is not None else NULL_LEDGER
+        self.fleet = fleet if fleet is not None else NULL_FLEET_LEDGER
 
     @property
     def enabled(self) -> bool:
         """True when any sink is live (used to skip setup-only work)."""
         return bool(
-            self.tracer.enabled or self.metrics.enabled or self.ledger.enabled
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.ledger.enabled
+            or self.fleet.enabled
         )
 
 
@@ -59,19 +80,27 @@ NULL_OBSERVER = BuildObserver()
 __all__ = [
     "BuildObserver",
     "CliLogger",
+    "FLEET_LEDGER_SCHEMA_VERSION",
+    "FleetLedger",
     "InliningLedger",
     "MetricsRegistry",
+    "NULL_FLEET_LEDGER",
     "NULL_LEDGER",
     "NULL_METRICS",
     "NULL_OBSERVER",
     "NULL_TRACER",
+    "NullFleetLedger",
     "NullLedger",
     "NullMetrics",
     "NullTracer",
+    "RuntimeProfiler",
+    "Series",
+    "SeriesBank",
     "Span",
     "Tracer",
     "VERBOSITY_LEVELS",
     "collect_build_metrics",
+    "collect_runtime_metrics",
     "format_build_summary",
     "record_decision",
 ]

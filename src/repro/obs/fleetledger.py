@@ -1,0 +1,286 @@
+"""The fleet decision ledger: why the collector and controller acted.
+
+The inlining ledger (:mod:`repro.obs.ledger`) answers "why did HLO
+transform (or not) this call site"; this module answers the same
+question for the fleet: why was a shard ACKed, NACKed, or
+quarantined, why did a circuit breaker trip, why did the controller
+rebuild, swap, roll back, or sit on its hands.  Without it the fleet
+runs dark — a converged run and a run that silently dropped half its
+evidence produce the same final Jaccard.
+
+Completeness is by construction, exactly as in the inlining ledger:
+
+- the collector's **only** :class:`~repro.fleet.collector.ShardAck`
+  factory is a helper that appends the verdict to this ledger in the
+  same call, so a verdict cannot be issued without being recorded;
+- the controller's :meth:`~repro.fleet.controller.ReoptimizeController.consider`
+  routes **every** return path through one recording call, so each
+  round's decision — including the "did nothing because cooldown"
+  non-decisions that are the hardest to debug after the fact — lands
+  in the ledger.
+
+Entries carry machine-readable reason *codes* (the first
+colon-separated segment of the existing reason strings) with the rest
+as free-text detail, so ``repro fleet explain --json`` is queryable
+without parsing prose.  Three entry kinds:
+
+========== ============ ==========================================
+kind       actor        meaning
+========== ============ ==========================================
+verdict    collector    one ShardAck (ACK/NACK/quarantine/dedupe)
+breaker    collector    a circuit-breaker state transition
+decision   controller   one per-round gate/rebuild/swap/rollback
+========== ============ ==========================================
+
+Surfaced by ``repro fleet explain`` (text) and ``--json`` /
+``--fleet-ledger-out`` (JSONL, one header object then one entry per
+line), validated by ``repro.obs.validate --fleet-ledger``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+FLEET_LEDGER_SCHEMA_VERSION = 1
+
+ENTRY_KINDS = ("verdict", "breaker", "decision")
+
+#: Verdict codes the collector can issue (ShardAck reason prefixes).
+COLLECTOR_CODES = (
+    "accepted",        # merged into its epoch bucket
+    "duplicate",       # (source, seq) already seen; ACK to stop resend
+    "breaker-open",    # NACKed unread: the source's breaker is OPEN
+    "transit",         # frame CRC / framing damage; NACK for retry
+    "quarantined",     # ACKed but never merged (see detail)
+)
+
+#: Breaker transition codes.
+BREAKER_CODES = ("open", "half-open", "close")
+
+#: Per-round controller decision codes (ControllerAction reason prefixes).
+CONTROLLER_CODES = (
+    "cooldown",                # post-rollback rebuild suppression
+    "no-evidence",             # nothing merged yet
+    "low-confidence",          # merged evidence below the floor
+    "drift-below-threshold",   # evidence fresh but stable
+    "swap",                    # rebuilt, canary passed, deployed
+    "rollback",                # rebuilt, canary failed (see detail)
+)
+
+
+def split_reason(reason: str) -> Tuple[str, str]:
+    """``"transit:crc"`` -> ``("transit", "crc")``; codeless reasons
+    get an empty detail."""
+    code, _sep, detail = reason.partition(":")
+    return code, detail
+
+
+class FleetDecision:
+    """One recorded fleet event (verdict, breaker transition, decision)."""
+
+    __slots__ = (
+        "tick", "actor", "kind", "code", "detail",
+        "source", "seq", "accepted", "epoch", "build_id",
+    )
+
+    def __init__(
+        self,
+        tick: Optional[int],
+        actor: str,
+        kind: str,
+        code: str,
+        detail: str = "",
+        source: str = "",
+        seq: Optional[int] = None,
+        accepted: Optional[bool] = None,
+        epoch: Optional[int] = None,
+        build_id: Optional[int] = None,
+    ):
+        self.tick = tick
+        self.actor = actor  # 'collector' | 'controller'
+        self.kind = kind    # 'verdict' | 'breaker' | 'decision'
+        self.code = code
+        self.detail = detail
+        self.source = source
+        self.seq = seq
+        self.accepted = accepted
+        self.epoch = epoch
+        self.build_id = build_id
+
+    def to_dict(self) -> dict:
+        record = {
+            "tick": self.tick,
+            "actor": self.actor,
+            "kind": self.kind,
+            "code": self.code,
+        }
+        if self.detail:
+            record["detail"] = self.detail
+        if self.source:
+            record["source"] = self.source
+        if self.seq is not None:
+            record["seq"] = self.seq
+        if self.accepted is not None:
+            record["accepted"] = self.accepted
+        if self.epoch is not None:
+            record["epoch"] = self.epoch
+        if self.build_id is not None:
+            record["build_id"] = self.build_id
+        return record
+
+
+class NullFleetLedger:
+    """Disabled fast path: every record is a no-op."""
+
+    enabled = False
+    total = 0
+
+    def verdict(self, tick, source, seq, accepted, reason) -> None:
+        pass
+
+    def transition(self, tick, source, state) -> None:
+        pass
+
+    def decision(self, tick, epoch, reason, build_id=None) -> None:
+        pass
+
+
+NULL_FLEET_LEDGER = NullFleetLedger()
+
+
+class FleetLedger:
+    """Every collector verdict and controller decision of one fleet run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.entries: List[FleetDecision] = []
+
+    # ------------------------------------------------------------------
+    # Recording — one method per decision site family
+    # ------------------------------------------------------------------
+
+    def verdict(
+        self, tick: int, source: str, seq: int, accepted: bool, reason: str
+    ) -> None:
+        """One collector ShardAck; ``reason`` is the ack's reason string."""
+        code, detail = split_reason(reason)
+        self.entries.append(
+            FleetDecision(
+                tick, "collector", "verdict", code, detail,
+                source=source, seq=seq, accepted=accepted,
+            )
+        )
+
+    def transition(self, tick: int, source: str, state: str) -> None:
+        """One circuit-breaker state transition for ``source``."""
+        self.entries.append(
+            FleetDecision(tick, "collector", "breaker", state, source=source)
+        )
+
+    def decision(
+        self,
+        tick: Optional[int],
+        epoch: int,
+        reason: str,
+        build_id: Optional[int] = None,
+    ) -> None:
+        """One per-round controller decision (gate, swap, or rollback)."""
+        code, detail = split_reason(reason)
+        self.entries.append(
+            FleetDecision(
+                tick, "controller", "decision", code, detail,
+                epoch=epoch, build_id=build_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.entries)
+
+    @property
+    def verdicts(self) -> int:
+        return sum(1 for e in self.entries if e.kind == "verdict")
+
+    @property
+    def transitions(self) -> int:
+        return sum(1 for e in self.entries if e.kind == "breaker")
+
+    @property
+    def decisions(self) -> int:
+        return sum(1 for e in self.entries if e.kind == "decision")
+
+    def code_counts(self) -> Dict[str, int]:
+        """``"<kind>.<code>" -> count`` over all entries."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            key = "{}.{}".format(entry.kind, entry.code)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def header(self) -> dict:
+        return {
+            "schema": FLEET_LEDGER_SCHEMA_VERSION,
+            "kind": "fleet-ledger",
+            "entries": self.total,
+            "verdicts": self.verdicts,
+            "transitions": self.transitions,
+            "decisions": self.decisions,
+            "codes": self.code_counts(),
+        }
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(entry.to_dict(), sort_keys=True) for entry in self.entries
+        )
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+    def format_text(self, limit: Optional[int] = None) -> str:
+        """The human-readable ``repro fleet explain`` report."""
+        codes = self.code_counts()
+        lines = [
+            "fleet ledger: {} entries ({} collector verdicts, "
+            "{} breaker transitions, {} controller decisions)".format(
+                self.total, self.verdicts, self.transitions, self.decisions
+            )
+        ]
+        if codes:
+            lines.append("by code:")
+            for key in sorted(codes, key=lambda k: (-codes[k], k)):
+                lines.append("  {:28s} {}".format(key, codes[key]))
+        shown = self.entries if limit is None else self.entries[:limit]
+        for entry in shown:
+            where = entry.source
+            if entry.seq is not None:
+                where += "#{}".format(entry.seq)
+            if entry.epoch is not None:
+                where = "epoch {}".format(entry.epoch)
+            if entry.build_id is not None:
+                where += " build {}".format(entry.build_id)
+            tail = ":{}".format(entry.detail) if entry.detail else ""
+            lines.append(
+                "  tick {:>3} {:10s} {:8s} {:18s}{} {}".format(
+                    "-" if entry.tick is None else entry.tick,
+                    entry.actor, entry.kind, entry.code + tail,
+                    "" if entry.accepted is None else
+                    (" ACK" if entry.accepted else " NACK"),
+                    where,
+                )
+            )
+        if limit is not None and len(self.entries) > limit:
+            lines.append("  ... {} more".format(len(self.entries) - limit))
+        return "\n".join(lines)

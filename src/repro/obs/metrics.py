@@ -28,6 +28,9 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from . import names
+from .series import SeriesBank
+
 METRICS_SCHEMA_VERSION = 1
 
 
@@ -76,6 +79,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self.series = SeriesBank()
 
     # ------------------------------------------------------------------
     # Recording
@@ -92,6 +96,10 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
+
+    def record_series(self, name: str, tick: int, value: float) -> None:
+        """One bounded time-series point (see :mod:`repro.obs.series`)."""
+        self.series.record(name, tick, value)
 
     # ------------------------------------------------------------------
     # Reading
@@ -146,6 +154,9 @@ class NullMetrics:
     def observe(self, name: str, value: float) -> None:
         pass
 
+    def record_series(self, name: str, tick: int, value: float) -> None:
+        pass
+
     def value(self, name: str, default: float = 0) -> float:
         return default
 
@@ -178,48 +189,55 @@ def collect_build_metrics(
     """
     reg = registry if registry is not None else MetricsRegistry()
     if diagnostics is not None:
-        reg.count("cache.hits", diagnostics.cache_hits)
-        reg.count("cache.misses", diagnostics.cache_misses)
-        reg.count("cache.invalidations", diagnostics.cache_invalidations)
-        reg.gauge("cache.enabled", 1 if diagnostics.cache_enabled else 0)
-        reg.gauge("cache.hit_rate", round(diagnostics.cache_hit_rate, 4))
-        reg.count("build.modules_compiled", diagnostics.modules_compiled)
-        reg.count("build.modules_from_cache", diagnostics.modules_from_cache)
-        reg.gauge("build.parallel_jobs", diagnostics.parallel_jobs)
-        reg.count("build.parallel_fallbacks", len(diagnostics.parallel_fallbacks))
-        reg.count("build.compile_timeouts", diagnostics.compile_timeouts)
-        reg.count("build.worker_errors", len(diagnostics.worker_errors))
-        reg.count("build.warnings", len(diagnostics.warnings))
-        reg.count("resilience.module_fallbacks", len(diagnostics.module_fallbacks))
+        reg.count(names.CACHE_HITS, diagnostics.cache_hits)
+        reg.count(names.CACHE_MISSES, diagnostics.cache_misses)
+        reg.count(names.CACHE_INVALIDATIONS, diagnostics.cache_invalidations)
+        reg.gauge(names.CACHE_ENABLED, 1 if diagnostics.cache_enabled else 0)
+        reg.gauge(names.CACHE_HIT_RATE, round(diagnostics.cache_hit_rate, 4))
+        reg.count(names.BUILD_MODULES_COMPILED, diagnostics.modules_compiled)
+        reg.count(names.BUILD_MODULES_FROM_CACHE, diagnostics.modules_from_cache)
+        reg.gauge(names.BUILD_PARALLEL_JOBS, diagnostics.parallel_jobs)
+        reg.count(
+            names.BUILD_PARALLEL_FALLBACKS, len(diagnostics.parallel_fallbacks)
+        )
+        reg.count(names.BUILD_COMPILE_TIMEOUTS, diagnostics.compile_timeouts)
+        reg.count(names.BUILD_WORKER_ERRORS, len(diagnostics.worker_errors))
+        reg.count(names.BUILD_WARNINGS, len(diagnostics.warnings))
+        reg.count(
+            names.RESILIENCE_MODULE_FALLBACKS, len(diagnostics.module_fallbacks)
+        )
         reg.gauge(
-            "resilience.profile_fallback", 1 if diagnostics.profile_fallback else 0
+            names.RESILIENCE_PROFILE_FALLBACK,
+            1 if diagnostics.profile_fallback else 0,
         )
     if report is not None:
-        reg.count("hlo.inlines", report.inlines)
-        reg.count("hlo.clones", report.clones)
-        reg.count("hlo.clone_replacements", report.clone_replacements)
-        reg.count("hlo.deletions", report.deletions)
-        reg.count("hlo.promotions", report.promotions)
-        reg.count("hlo.devirtualized", report.devirtualized)
-        reg.count("hlo.outlines", report.outlines)
-        reg.count("hlo.clone_db_hits", report.clone_db_hits)
-        reg.count("hlo.sites_considered", report.sites_considered)
-        reg.gauge("hlo.passes_run", report.passes_run)
-        reg.gauge("hlo.initial_cost", report.initial_cost)
-        reg.gauge("hlo.final_cost", report.final_cost)
-        reg.gauge("hlo.budget_limit", report.budget_limit)
-        reg.count("resilience.pass_failures", len(report.pass_failures))
-        reg.count("resilience.quarantined_passes", len(report.quarantined_passes))
-        reg.count("analysis.hits", report.analysis_hits)
-        reg.count("analysis.misses", report.analysis_misses)
-        reg.count("analysis.invalidations", report.analysis_invalidations)
+        reg.count(names.HLO_INLINES, report.inlines)
+        reg.count(names.HLO_CLONES, report.clones)
+        reg.count(names.HLO_CLONE_REPLACEMENTS, report.clone_replacements)
+        reg.count(names.HLO_DELETIONS, report.deletions)
+        reg.count(names.HLO_PROMOTIONS, report.promotions)
+        reg.count(names.HLO_DEVIRTUALIZED, report.devirtualized)
+        reg.count(names.HLO_OUTLINES, report.outlines)
+        reg.count(names.HLO_CLONE_DB_HITS, report.clone_db_hits)
+        reg.count(names.HLO_SITES_CONSIDERED, report.sites_considered)
+        reg.gauge(names.HLO_PASSES_RUN, report.passes_run)
+        reg.gauge(names.HLO_INITIAL_COST, report.initial_cost)
+        reg.gauge(names.HLO_FINAL_COST, report.final_cost)
+        reg.gauge(names.HLO_BUDGET_LIMIT, report.budget_limit)
+        reg.count(names.RESILIENCE_PASS_FAILURES, len(report.pass_failures))
+        reg.count(
+            names.RESILIENCE_QUARANTINED_PASSES, len(report.quarantined_passes)
+        )
+        reg.count(names.ANALYSIS_HITS, report.analysis_hits)
+        reg.count(names.ANALYSIS_MISSES, report.analysis_misses)
+        reg.count(names.ANALYSIS_INVALIDATIONS, report.analysis_invalidations)
     if stats is not None:
-        reg.gauge("build.compile_units", stats.compile_units)
-        reg.gauge("build.code_size_instrs", stats.code_size_instrs)
-        reg.gauge("build.train_steps", stats.train_steps)
-        reg.gauge("build.train_runs", stats.train_runs)
-        reg.gauge("build.annotated_blocks", stats.annotated_blocks)
-        reg.gauge("build.wall_seconds", round(stats.wall_seconds, 6))
+        reg.gauge(names.BUILD_COMPILE_UNITS, stats.compile_units)
+        reg.gauge(names.BUILD_CODE_SIZE_INSTRS, stats.code_size_instrs)
+        reg.gauge(names.BUILD_TRAIN_STEPS, stats.train_steps)
+        reg.gauge(names.BUILD_TRAIN_RUNS, stats.train_runs)
+        reg.gauge(names.BUILD_ANNOTATED_BLOCKS, stats.annotated_blocks)
+        reg.gauge(names.BUILD_WALL_SECONDS, round(stats.wall_seconds, 6))
     return reg
 
 
@@ -237,24 +255,26 @@ def collect_profile_metrics(
     build summary, and ``BENCH_smoke.json``.
     """
     reg = registry if registry is not None else MetricsRegistry()
-    reg.gauge("profile.sampled", 1 if profile.sampled else 0)
-    reg.gauge("profile.runs", profile.training_runs)
-    reg.gauge("profile.steps", profile.training_steps)
-    reg.gauge("profile.blocks", len(profile.block_counts))
-    reg.gauge("profile.sites", len(profile.site_counts))
-    reg.gauge("profile.confidence", round(profile.overall_confidence(), 4))
+    reg.gauge(names.PROFILE_SAMPLED, 1 if profile.sampled else 0)
+    reg.gauge(names.PROFILE_RUNS, profile.training_runs)
+    reg.gauge(names.PROFILE_STEPS, profile.training_steps)
+    reg.gauge(names.PROFILE_BLOCKS, len(profile.block_counts))
+    reg.gauge(names.PROFILE_SITES, len(profile.site_counts))
+    reg.gauge(names.PROFILE_CONFIDENCE, round(profile.overall_confidence(), 4))
     if profile.sampled:
-        reg.gauge("profile.sample_rate", round(profile.sample_rate, 2))
-        reg.gauge("profile.samples", profile.sample_count)
-        reg.gauge("profile.events", profile.sampled_events)
-        reg.gauge("profile.context_depth", profile.context_depth)
+        reg.gauge(names.PROFILE_SAMPLE_RATE, round(profile.sample_rate, 2))
+        reg.gauge(names.PROFILE_SAMPLES, profile.sample_count)
+        reg.gauge(names.PROFILE_EVENTS, profile.sampled_events)
+        reg.gauge(names.PROFILE_CONTEXT_DEPTH, profile.context_depth)
         reg.gauge(
-            "profile.contexts",
+            names.PROFILE_CONTEXTS,
             sum(len(per) for per in profile.context_counts.values()),
         )
     if program is not None:
-        reg.gauge("profile.coverage", round(profile.coverage(program), 4))
-        reg.gauge("profile.match_ratio", round(profile.match_ratio(program), 4))
+        reg.gauge(names.PROFILE_COVERAGE, round(profile.coverage(program), 4))
+        reg.gauge(
+            names.PROFILE_MATCH_RATIO, round(profile.match_ratio(program), 4)
+        )
     return reg
 
 
@@ -273,12 +293,37 @@ def collect_interp_metrics(
     ``interp`` section of ``BENCH_smoke.json``.
     """
     reg = registry if registry is not None else MetricsRegistry()
-    reg.gauge("interp.engine", interp.engine)
-    reg.gauge("interp.steps", interp.steps)
-    reg.gauge("interp.plans_compiled", interp.plans_compiled)
-    reg.gauge("interp.plan_cache_hits", interp.plan_cache_hits)
+    reg.gauge(names.INTERP_ENGINE, interp.engine)
+    reg.gauge(names.INTERP_STEPS, interp.steps)
+    reg.gauge(names.INTERP_PLANS_COMPILED, interp.plans_compiled)
+    reg.gauge(names.INTERP_PLAN_CACHE_HITS, interp.plan_cache_hits)
     if steps_per_sec is not None:
-        reg.gauge("interp.steps_per_sec", round(steps_per_sec, 1))
+        reg.gauge(names.INTERP_STEPS_PER_SEC, round(steps_per_sec, 1))
+    return reg
+
+
+def collect_runtime_metrics(
+    profiler,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Map one guest-profiling run onto canonical ``runtime.*`` names.
+
+    ``profiler`` is a :class:`~repro.obs.runtime.RuntimeProfiler` that
+    has finished at least one run.  Same rule as the other collectors:
+    this is the single derivation both the ``repro profile flame``
+    summary and ``--metrics-out`` JSON read from.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.gauge(names.RUNTIME_SAMPLES, profiler.samples)
+    reg.gauge(names.RUNTIME_EVENTS, profiler.events)
+    reg.gauge(names.RUNTIME_SAMPLE_RATE, round(profiler.effective_rate, 2))
+    reg.gauge(names.RUNTIME_CONTEXTS, len(profiler.stack_samples))
+    reg.gauge(
+        names.RUNTIME_FRAMES,
+        len({frame for stack in profiler.stack_samples for frame in stack}),
+    )
+    reg.gauge(names.RUNTIME_CALL_EDGES, len(profiler.call_edges))
+    reg.gauge(names.RUNTIME_MAX_STACK_DEPTH, profiler.max_stack_depth)
     return reg
 
 
@@ -296,20 +341,20 @@ def format_build_summary(
     line = (
         "resilience: {:.0f} pass failures, {:.0f} passes quarantined, "
         "{:.0f} modules fell back, profile: {}".format(
-            reg.value("resilience.pass_failures"),
-            reg.value("resilience.quarantined_passes"),
-            reg.value("resilience.module_fallbacks"),
+            reg.value(names.RESILIENCE_PASS_FAILURES),
+            reg.value(names.RESILIENCE_QUARANTINED_PASSES),
+            reg.value(names.RESILIENCE_MODULE_FALLBACKS),
             "static ({})".format(profile_reason) if profile_reason else "ok",
         )
     )
-    if reg.value("cache.enabled"):
-        hits = reg.value("cache.hits")
-        lookups = hits + reg.value("cache.misses")
+    if reg.value(names.CACHE_ENABLED):
+        hits = reg.value(names.CACHE_HITS)
+        lookups = hits + reg.value(names.CACHE_MISSES)
         line += ", cache: {:.0f}/{:.0f} hits ({:.0f}%)".format(
             hits, lookups, (hits / lookups * 100.0) if lookups else 0.0
         )
-    jobs = reg.value("build.parallel_jobs")
-    if jobs > 1 or reg.value("build.parallel_fallbacks"):
+    jobs = reg.value(names.BUILD_PARALLEL_JOBS)
+    if jobs > 1 or reg.value(names.BUILD_PARALLEL_FALLBACKS):
         line += ", jobs: {:.0f}{}".format(
             jobs, " (serial fallback)" if serial_fallback else ""
         )

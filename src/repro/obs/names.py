@@ -1,0 +1,157 @@
+"""Canonical metric names, in one place.
+
+Every dotted metric name the registry ever sees is declared here as a
+constant; emitters (``collect_*`` in :mod:`repro.obs.metrics`, the
+fleet subsystem, the toolchain, the resilience guard) and readers
+(``repro.obs.validate``, ``repro.bench.smoke``, tests) import the same
+constant, so a producer and its consumer cannot drift apart by typo —
+which is exactly what had happened before this module existed: the
+transport counted transit-duplicated frames as
+``fleet.shards_duplicated`` while the collector counted dedupe hits as
+``fleet.shards_duplicate``, two near-identical names for two different
+facts.  The collector's name is now :data:`FLEET_SHARDS_DEDUPED`
+(what it does: drop an already-seen shard), keeping
+:data:`FLEET_SHARDS_DUPLICATED` for the transport fault that *creates*
+the extra copies.
+
+Naming scheme (unchanged from PR 3): ``<subsystem>.<fact>``, all
+lowercase, underscores inside a segment, dots only between segments.
+Per-instance fleet series append the instance name as a segment via
+the ``fleet_instance_*`` helpers.
+"""
+
+from __future__ import annotations
+
+# -- build-time (collect_build_metrics) --------------------------------
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_INVALIDATIONS = "cache.invalidations"
+CACHE_ENABLED = "cache.enabled"
+CACHE_HIT_RATE = "cache.hit_rate"
+
+BUILD_MODULES_COMPILED = "build.modules_compiled"
+BUILD_MODULES_FROM_CACHE = "build.modules_from_cache"
+BUILD_PARALLEL_JOBS = "build.parallel_jobs"
+BUILD_PARALLEL_FALLBACKS = "build.parallel_fallbacks"
+BUILD_COMPILE_TIMEOUTS = "build.compile_timeouts"
+BUILD_WORKER_ERRORS = "build.worker_errors"
+BUILD_WARNINGS = "build.warnings"
+BUILD_COMPILE_UNITS = "build.compile_units"
+BUILD_CODE_SIZE_INSTRS = "build.code_size_instrs"
+BUILD_TRAIN_STEPS = "build.train_steps"
+BUILD_TRAIN_RUNS = "build.train_runs"
+BUILD_ANNOTATED_BLOCKS = "build.annotated_blocks"
+BUILD_WALL_SECONDS = "build.wall_seconds"
+BUILD_WALL_S_HIST = "build.wall_s"  # histogram: per-build wall samples
+
+HLO_INLINES = "hlo.inlines"
+HLO_CLONES = "hlo.clones"
+HLO_CLONE_REPLACEMENTS = "hlo.clone_replacements"
+HLO_DELETIONS = "hlo.deletions"
+HLO_PROMOTIONS = "hlo.promotions"
+HLO_DEVIRTUALIZED = "hlo.devirtualized"
+HLO_OUTLINES = "hlo.outlines"
+HLO_CLONE_DB_HITS = "hlo.clone_db_hits"
+HLO_SITES_CONSIDERED = "hlo.sites_considered"
+HLO_PASSES_RUN = "hlo.passes_run"
+HLO_INITIAL_COST = "hlo.initial_cost"
+HLO_FINAL_COST = "hlo.final_cost"
+HLO_BUDGET_LIMIT = "hlo.budget_limit"
+
+ANALYSIS_HITS = "analysis.hits"
+ANALYSIS_MISSES = "analysis.misses"
+ANALYSIS_INVALIDATIONS = "analysis.invalidations"
+
+RESILIENCE_MODULE_FALLBACKS = "resilience.module_fallbacks"
+RESILIENCE_PROFILE_FALLBACK = "resilience.profile_fallback"
+RESILIENCE_PASS_FAILURES = "resilience.pass_failures"
+RESILIENCE_QUARANTINED_PASSES = "resilience.quarantined_passes"
+RESILIENCE_ROLLBACKS = "resilience.rollbacks"
+
+# -- profile database quality (collect_profile_metrics) ----------------
+PROFILE_SAMPLED = "profile.sampled"
+PROFILE_RUNS = "profile.runs"
+PROFILE_STEPS = "profile.steps"
+PROFILE_BLOCKS = "profile.blocks"
+PROFILE_SITES = "profile.sites"
+PROFILE_CONFIDENCE = "profile.confidence"
+PROFILE_SAMPLE_RATE = "profile.sample_rate"
+PROFILE_SAMPLES = "profile.samples"
+PROFILE_EVENTS = "profile.events"
+PROFILE_CONTEXT_DEPTH = "profile.context_depth"
+PROFILE_CONTEXTS = "profile.contexts"
+PROFILE_COVERAGE = "profile.coverage"
+PROFILE_MATCH_RATIO = "profile.match_ratio"
+
+# -- interpreter (collect_interp_metrics) ------------------------------
+INTERP_ENGINE = "interp.engine"
+INTERP_STEPS = "interp.steps"
+INTERP_PLANS_COMPILED = "interp.plans_compiled"
+INTERP_PLAN_CACHE_HITS = "interp.plan_cache_hits"
+INTERP_STEPS_PER_SEC = "interp.steps_per_sec"
+
+# -- guest runtime profiler (collect_runtime_metrics) ------------------
+RUNTIME_SAMPLES = "runtime.samples"
+RUNTIME_EVENTS = "runtime.events"
+RUNTIME_SAMPLE_RATE = "runtime.sample_rate"
+RUNTIME_CONTEXTS = "runtime.contexts"
+RUNTIME_FRAMES = "runtime.frames"
+RUNTIME_CALL_EDGES = "runtime.call_edges"
+RUNTIME_MAX_STACK_DEPTH = "runtime.max_stack_depth"
+
+# -- fleet data plane ---------------------------------------------------
+FLEET_SHARDS_SENT = "fleet.shards_sent"
+FLEET_SHARDS_DROPPED = "fleet.shards_dropped"
+FLEET_SHARDS_DELAYED = "fleet.shards_delayed"
+FLEET_SHARDS_DAMAGED = "fleet.shards_damaged"
+FLEET_SHARDS_DUPLICATED = "fleet.shards_duplicated"  # transport fault
+FLEET_SHARDS_RETRIED = "fleet.shards_retried"
+FLEET_SHARDS_ACCEPTED = "fleet.shards_accepted"
+FLEET_SHARDS_DEDUPED = "fleet.shards_deduped"  # collector dedupe hit
+FLEET_SHARDS_CORRUPT = "fleet.shards_corrupt"
+FLEET_SHARDS_QUARANTINED = "fleet.shards_quarantined"
+FLEET_SHARDS_REJECTED_BREAKER = "fleet.shards_rejected_breaker"
+FLEET_BREAKER_OPENS = "fleet.breaker_opens"
+FLEET_WAL_APPENDED = "fleet.wal_appended"
+FLEET_WAL_REPLAYED = "fleet.wal_replayed"
+FLEET_WAL_TRUNCATIONS = "fleet.wal_truncations"
+
+# -- fleet control plane ------------------------------------------------
+FLEET_DRIFT = "fleet.drift"
+FLEET_CONFIDENCE = "fleet.confidence"
+FLEET_REBUILDS = "fleet.rebuilds"
+FLEET_ROLLBACKS = "fleet.rollbacks"
+FLEET_SWAPS = "fleet.swaps"
+FLEET_CANARY_PASS = "fleet.canary_pass"
+FLEET_CANARY_FAIL = "fleet.canary_fail"
+FLEET_EPOCHS_QUARANTINED = "fleet.epochs_quarantined"
+FLEET_SERVE_TRAPS = "fleet.serve_traps"
+FLEET_INSTANCE_RESTARTS = "fleet.instance_restarts"
+FLEET_COLLECTOR_RESTARTS = "fleet.collector_restarts"
+FLEET_CURRENT_BUILD = "fleet.current_build"
+FLEET_ROUNDS = "fleet.rounds"
+FLEET_CONVERGENCE_JACCARD = "fleet.convergence_jaccard"
+FLEET_JACCARD_EXACT = "fleet.jaccard_exact"  # per-tick series
+FLEET_SWAP_EPOCH = "fleet.swap_epoch"  # per-tick series (marker)
+FLEET_ROLLBACK_EPOCH = "fleet.rollback_epoch"  # per-tick series (marker)
+FLEET_LEDGER_ENTRIES = "fleet.ledger_entries"
+
+
+def fleet_instance_pending(source: str) -> str:
+    """Per-instance health series: unacknowledged shards in flight."""
+    return "fleet.inst.{}.pending".format(source)
+
+
+def fleet_instance_traps(source: str) -> str:
+    """Per-instance health series: cumulative serve traps."""
+    return "fleet.inst.{}.serve_traps".format(source)
+
+
+#: Every fixed canonical name declared above (templates excluded).
+ALL_NAMES = tuple(
+    sorted(
+        value
+        for key, value in list(globals().items())
+        if key.isupper() and key != "ALL_NAMES" and isinstance(value, str)
+    )
+)

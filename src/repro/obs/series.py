@@ -1,0 +1,126 @@
+"""Bounded time-series metrics: how a number evolved, not just its end.
+
+Counters and gauges (:mod:`repro.obs.metrics`) answer "what was the
+total"; the fleet loop needs "what happened over the epochs" — drift
+climbing toward the rebuild threshold, confidence recovering after an
+epoch quarantine, the Jaccard-vs-exact trajectory converging to 1.0.
+:class:`Series` is a bounded ring buffer of ``(tick, value)`` points;
+:class:`SeriesBank` is the named collection a
+:class:`~repro.obs.metrics.MetricsRegistry` carries, sampled once per
+fleet tick by :meth:`~repro.fleet.loop.FleetLoop.run`.
+
+The bound matters: a fleet is meant to run indefinitely, and an
+observability layer that grows without limit is itself a production
+incident.  When a series is full the *oldest* point is evicted and the
+eviction is counted (``dropped``), so an exported file is explicit
+about being a suffix of the full history.
+
+Export is JSONL (``--series-out``): one header object (schema, the
+per-series point/drop/capacity accounting) and then one object per
+point, validated by ``repro.obs.validate --series``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+SERIES_SCHEMA_VERSION = 1
+
+#: Default ring capacity — comfortably above any smoke-test round
+#: count while keeping a runaway loop's memory bounded.
+DEFAULT_SERIES_CAPACITY = 1024
+
+
+class Series:
+    """One named ring buffer of ``(tick, value)`` points."""
+
+    __slots__ = ("name", "capacity", "dropped", "_points", "_start")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_SERIES_CAPACITY):
+        if capacity < 1:
+            raise ValueError("series capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self._points: List[Tuple[int, float]] = []
+        self._start = 0  # ring head when the buffer is saturated
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, tick: int, value: float) -> None:
+        point = (int(tick), float(value))
+        if len(self._points) < self.capacity:
+            self._points.append(point)
+            return
+        # Saturated: overwrite the oldest slot in place (true ring —
+        # no O(n) list shifting on the hot path).
+        self._points[self._start] = point
+        self._start = (self._start + 1) % self.capacity
+        self.dropped += 1
+
+    def points(self) -> List[Tuple[int, float]]:
+        """The retained points, oldest first."""
+        return self._points[self._start:] + self._points[: self._start]
+
+    def last(self) -> Optional[Tuple[int, float]]:
+        return self.points()[-1] if self._points else None
+
+
+class SeriesBank:
+    """The named series a metrics registry carries."""
+
+    def __init__(self, capacity: int = DEFAULT_SERIES_CAPACITY):
+        self.capacity = capacity
+        self._series: Dict[str, Series] = {}
+
+    def record(self, name: str, tick: int, value: float,
+               capacity: Optional[int] = None) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(
+                name, capacity if capacity is not None else self.capacity
+            )
+        series.append(tick, value)
+
+    def get(self, name: str) -> Optional[Series]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- Export ---------------------------------------------------------
+
+    def header(self) -> dict:
+        return {
+            "schema": SERIES_SCHEMA_VERSION,
+            "kind": "series",
+            "series": {
+                name: {
+                    "points": len(series),
+                    "dropped": series.dropped,
+                    "capacity": series.capacity,
+                }
+                for name, series in sorted(self._series.items())
+            },
+        }
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        for name in self.names():
+            for tick, value in self._series[name].points():
+                lines.append(
+                    json.dumps(
+                        {"series": name, "tick": tick, "value": value},
+                        sort_keys=True,
+                    )
+                )
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())

@@ -1,11 +1,12 @@
 """Schema validation for observability outputs (CI gate).
 
 ``python -m repro.obs.validate --trace T.json --metrics M.json
-[--ledger L.jsonl]`` checks that the artifacts CI uploads actually
-parse and carry the fields their consumers (Perfetto, the bench
-dashboard, the ledger tooling) rely on.  Pure stdlib — the checks are
-hand-rolled rather than jsonschema-based so the validator runs in the
-bare CI image.
+[--ledger L.jsonl] [--flame F.json] [--fleet-ledger FL.jsonl]
+[--series S.jsonl]`` checks that the artifacts CI uploads actually
+parse and carry the fields their consumers (Perfetto, speedscope, the
+bench dashboard, the ledger tooling) rely on.  Pure stdlib — the
+checks are hand-rolled rather than jsonschema-based so the validator
+runs in the bare CI image.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from .fleetledger import ENTRY_KINDS
 from .ledger import DECISIONS
 
 _TRACE_PHASES = {"X", "i", "M", "B", "E", "C"}
@@ -129,6 +131,224 @@ def validate_ledger_jsonl(text: str) -> List[str]:
     return errors
 
 
+def validate_flame(obj) -> List[str]:
+    """Problems with a speedscope flamegraph JSON (empty = valid).
+
+    Checks the subset of https://www.speedscope.app/file-format-schema.json
+    the app actually needs to load a ``sampled`` profile: a shared
+    frame table, and per-profile parallel ``samples``/``weights``
+    arrays whose frame indices are in range.
+    """
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["flame: top level must be an object"]
+    if not isinstance(obj.get("$schema"), str):
+        errors.append("flame: missing string '$schema'")
+    shared = obj.get("shared")
+    frames = shared.get("frames") if isinstance(shared, dict) else None
+    if not isinstance(frames, list):
+        errors.append("flame: missing 'shared.frames' list")
+        frames = []
+    for index, frame in enumerate(frames):
+        if not isinstance(frame, dict) or not isinstance(frame.get("name"), str):
+            errors.append(
+                "flame: shared.frames[{}] missing string 'name'".format(index)
+            )
+    profiles = obj.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        return errors + ["flame: missing non-empty 'profiles' list"]
+    for pindex, profile in enumerate(profiles):
+        where = "flame: profiles[{}]".format(pindex)
+        if not isinstance(profile, dict):
+            errors.append(where + " is not an object")
+            continue
+        if profile.get("type") != "sampled":
+            errors.append(
+                "{} has type {!r}, expected 'sampled'".format(
+                    where, profile.get("type")
+                )
+            )
+        samples = profile.get("samples")
+        weights = profile.get("weights")
+        if not isinstance(samples, list) or not isinstance(weights, list):
+            errors.append(where + " missing 'samples'/'weights' lists")
+            continue
+        if len(samples) != len(weights):
+            errors.append(
+                "{} has {} samples but {} weights".format(
+                    where, len(samples), len(weights)
+                )
+            )
+        for sindex, stack in enumerate(samples):
+            if not isinstance(stack, list) or any(
+                not isinstance(f, int) or not 0 <= f < len(frames)
+                for f in stack
+            ):
+                errors.append(
+                    "{} samples[{}] has out-of-range frame index".format(
+                        where, sindex
+                    )
+                )
+        for windex, weight in enumerate(weights):
+            if not isinstance(weight, (int, float)) or weight < 0:
+                errors.append(
+                    "{} weights[{}] is not a non-negative number".format(
+                        where, windex
+                    )
+                )
+        for key in ("startValue", "endValue"):
+            if not isinstance(profile.get(key), (int, float)):
+                errors.append("{} missing numeric {!r}".format(where, key))
+    return errors
+
+
+def validate_fleet_ledger_jsonl(text: str) -> List[str]:
+    """Problems with a ``repro fleet explain`` / ``--fleet-ledger-out``
+    JSONL file (empty = valid)."""
+    errors: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["fleet-ledger: file is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return ["fleet-ledger: header line is not JSON: {}".format(exc)]
+    for key in ("schema", "kind", "entries", "verdicts", "transitions",
+                "decisions", "codes"):
+        if key not in header:
+            errors.append("fleet-ledger: header missing {!r}".format(key))
+    if header.get("kind") != "fleet-ledger":
+        errors.append(
+            "fleet-ledger: header kind is {!r}".format(header.get("kind"))
+        )
+    counts = {kind: 0 for kind in ENTRY_KINDS}
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(
+                "fleet-ledger: line {} is not JSON: {}".format(number, exc)
+            )
+            continue
+        kind = record.get("kind")
+        if kind not in ENTRY_KINDS:
+            errors.append(
+                "fleet-ledger: line {} has unknown kind {!r}".format(
+                    number, kind
+                )
+            )
+            continue
+        counts[kind] += 1
+        for key in ("actor", "code"):
+            if not isinstance(record.get(key), str):
+                errors.append(
+                    "fleet-ledger: line {} missing string {!r}".format(
+                        number, key
+                    )
+                )
+        if kind == "verdict" and not isinstance(record.get("accepted"), bool):
+            errors.append(
+                "fleet-ledger: line {} verdict missing bool 'accepted'".format(
+                    number
+                )
+            )
+    # Completeness: the header totals must equal what the file holds.
+    for key, kind in (("verdicts", "verdict"), ("transitions", "breaker"),
+                      ("decisions", "decision")):
+        declared = header.get(key)
+        if isinstance(declared, int) and declared != counts[kind]:
+            errors.append(
+                "fleet-ledger: header says {} {} but file has {}".format(
+                    declared, key, counts[kind]
+                )
+            )
+    declared_total = header.get("entries")
+    if isinstance(declared_total, int) and declared_total != len(lines) - 1:
+        errors.append(
+            "fleet-ledger: header says {} entries but file has {}".format(
+                declared_total, len(lines) - 1
+            )
+        )
+    return errors
+
+
+def validate_series_jsonl(text: str) -> List[str]:
+    """Problems with a ``--series-out`` JSONL file (empty = valid)."""
+    errors: List[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["series: file is empty"]
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return ["series: header line is not JSON: {}".format(exc)]
+    if not isinstance(header.get("schema"), int):
+        errors.append("series: header missing integer 'schema'")
+    if header.get("kind") != "series":
+        errors.append("series: header kind is {!r}".format(header.get("kind")))
+    declared = header.get("series")
+    if not isinstance(declared, dict):
+        errors.append("series: header missing object 'series'")
+        declared = {}
+    for name, meta in declared.items():
+        if not isinstance(meta, dict):
+            errors.append("series: header[{!r}] is not an object".format(name))
+            continue
+        for key in ("points", "dropped", "capacity"):
+            if not isinstance(meta.get(key), int):
+                errors.append(
+                    "series: header[{!r}] missing integer {!r}".format(
+                        name, key
+                    )
+                )
+    counts = {name: 0 for name in declared}
+    last_tick = {}
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append("series: line {} is not JSON: {}".format(number, exc))
+            continue
+        name = record.get("series")
+        if not isinstance(name, str):
+            errors.append(
+                "series: line {} missing string 'series'".format(number)
+            )
+            continue
+        if name not in declared:
+            errors.append(
+                "series: line {} names undeclared series {!r}".format(
+                    number, name
+                )
+            )
+        tick = record.get("tick")
+        if not isinstance(tick, int):
+            errors.append("series: line {} missing integer 'tick'".format(number))
+        elif name in last_tick and tick < last_tick[name]:
+            errors.append(
+                "series: line {} ticks go backwards for {!r}".format(
+                    number, name
+                )
+            )
+        else:
+            last_tick[name] = tick
+        if not isinstance(record.get("value"), (int, float)):
+            errors.append(
+                "series: line {} missing numeric 'value'".format(number)
+            )
+        if name in counts:
+            counts[name] += 1
+    for name, meta in declared.items():
+        points = meta.get("points") if isinstance(meta, dict) else None
+        if isinstance(points, int) and points != counts.get(name, 0):
+            errors.append(
+                "series: header says {} points for {!r} but file has {}".format(
+                    points, name, counts.get(name, 0)
+                )
+            )
+    return errors
+
+
 def validate_bench(obj) -> List[str]:
     """Problems with a ``BENCH_smoke.json`` report (empty = valid)."""
     errors: List[str] = []
@@ -214,6 +434,20 @@ def validate_bench(obj) -> List[str]:
                         errors.append(
                             "{} {} {} is not positive".format(where, key, value)
                         )
+    runtime = obj.get("runtime")
+    if not isinstance(runtime, dict):
+        errors.append("bench: missing object 'runtime' (schema >= 6)")
+    else:
+        for key in ("overhead_ratio", "max_overhead", "contexts", "samples"):
+            if not isinstance(runtime.get(key), (int, float)):
+                errors.append("bench: runtime missing numeric {!r}".format(key))
+        ratio = runtime.get("overhead_ratio")
+        if isinstance(ratio, (int, float)) and ratio <= 0:
+            errors.append(
+                "bench: runtime overhead_ratio {} is not positive".format(ratio)
+            )
+        if not isinstance(runtime.get("engines_consistent"), bool):
+            errors.append("bench: runtime missing bool 'engines_consistent'")
     fleet = obj.get("fleet")
     if not isinstance(fleet, dict):
         errors.append("bench: missing object 'fleet'")
@@ -267,10 +501,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="inlining-ledger JSONL to validate")
     parser.add_argument("--bench", metavar="FILE",
                         help="BENCH_smoke.json report to validate")
+    parser.add_argument("--flame", metavar="FILE",
+                        help="speedscope flamegraph JSON to validate")
+    parser.add_argument("--fleet-ledger", metavar="FILE",
+                        help="fleet-ledger JSONL to validate")
+    parser.add_argument("--series", metavar="FILE",
+                        help="time-series JSONL to validate")
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.ledger or args.bench):
+    if not (args.trace or args.metrics or args.ledger or args.bench
+            or args.flame or args.fleet_ledger or args.series):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--ledger/--bench"
+            "/--flame/--fleet-ledger/--series"
         )
 
     errors: List[str] = []
@@ -292,6 +534,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obj = _load_json(args.bench, errors, "bench")
         if obj is not None:
             errors.extend(validate_bench(obj))
+    if args.flame:
+        obj = _load_json(args.flame, errors, "flame")
+        if obj is not None:
+            errors.extend(validate_flame(obj))
+    if args.fleet_ledger:
+        try:
+            with open(args.fleet_ledger) as handle:
+                errors.extend(validate_fleet_ledger_jsonl(handle.read()))
+        except OSError as exc:
+            errors.append(
+                "fleet-ledger: cannot load {}: {}".format(args.fleet_ledger, exc)
+            )
+    if args.series:
+        try:
+            with open(args.series) as handle:
+                errors.extend(validate_series_jsonl(handle.read()))
+        except OSError as exc:
+            errors.append("series: cannot load {}: {}".format(args.series, exc))
 
     for error in errors:
         print("FAIL:", error, file=sys.stderr)

@@ -29,6 +29,7 @@ from ..core.report import HLOReport, PassFailure
 from ..ir.procedure import Procedure
 from ..ir.program import Program
 from ..ir.verifier import verify_proc, verify_program
+from ..obs import names
 from .snapshot import ProcedureSnapshot, ProgramSnapshot
 
 T = TypeVar("T")
@@ -181,7 +182,7 @@ class PassGuard:
             error=type(exc).__name__,
             quarantined=quarantined,
         )
-        self.observer.metrics.count("resilience.rollbacks")
+        self.observer.metrics.count(names.RESILIENCE_ROLLBACKS)
 
 
 def bisect_failure(

@@ -1,0 +1,143 @@
+"""The fleet decision ledger is complete by construction.
+
+Every collector verdict and every controller decision the loop makes
+must land in the ledger — the loop tallies them independently in the
+:class:`FleetReport`, so the two counts can be compared without
+trusting either side.  ``repro fleet explain`` surfaces the same
+invariant from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import FleetConfig, FleetLoop
+from repro.obs import BuildObserver, MetricsRegistry
+from repro.obs import names
+from repro.obs.fleetledger import FleetLedger
+from repro.obs.validate import (
+    validate_fleet_ledger_jsonl,
+    validate_series_jsonl,
+)
+from repro.resilience import SHARD_FAULTS, FaultInjector
+
+from .conftest import REF_INPUT, TRAIN_INPUTS
+
+INSTANCE_SERIES_RE = re.compile(r"^fleet\.inst\.[a-z0-9_]+\.[a-z0-9_]+$")
+
+
+def matrix_loop(sources, tmp_path, observer):
+    injector = FaultInjector(
+        seed=7,
+        shard_faults=SHARD_FAULTS,
+        shard_fault_rate=0.25,
+        wal_tail_rounds=(3,),
+        kill_mid_swap_epochs=(1,),
+        canary_trap_epochs=(1,),
+        flap_sources=("inst0",),
+    )
+    return FleetLoop(
+        sources, TRAIN_INPUTS, REF_INPUT,
+        config=FleetConfig(rounds=10, seed=7),
+        injector=injector,
+        spool_path=str(tmp_path / "shards.wal"),
+        observer=observer,
+    )
+
+
+class TestLedgerCompleteness:
+    @pytest.fixture()
+    def run(self, sources, tmp_path):
+        observer = BuildObserver(
+            metrics=MetricsRegistry(), fleet=FleetLedger()
+        )
+        report = matrix_loop(sources, tmp_path, observer).run()
+        return observer, report
+
+    def test_every_verdict_and_decision_is_ledgered(self, run):
+        observer, report = run
+        ledger = observer.fleet
+        # The report tallies verdicts/decisions independently of the
+        # ledger; equality means nothing bypassed the recording funnel.
+        assert report.collector_verdicts > 0
+        assert report.controller_decisions > 0
+        assert ledger.verdicts == report.collector_verdicts
+        assert ledger.decisions == report.controller_decisions
+
+    def test_fault_matrix_exercises_the_code_vocabulary(self, run):
+        observer, _report = run
+        codes = observer.fleet.code_counts()
+        assert codes.get("verdict.accepted", 0) > 0
+        assert codes.get("decision.swap", 0) >= 1
+        assert codes.get("decision.rollback", 0) >= 1
+
+    def test_ledger_jsonl_round_trips(self, run, tmp_path):
+        observer, _report = run
+        path = tmp_path / "ledger.jsonl"
+        observer.fleet.write_jsonl(str(path))
+        assert validate_fleet_ledger_jsonl(path.read_text()) == []
+
+    def test_series_are_sampled_per_tick(self, run, tmp_path):
+        observer, report = run
+        bank = observer.metrics.series
+        assert names.FLEET_JACCARD_EXACT in bank.names()
+        assert names.FLEET_LEDGER_ENTRIES in bank.names()
+        # One ledger-size point per tick, monotonically non-decreasing,
+        # ending at the final ledger size.
+        points = bank.get(names.FLEET_LEDGER_ENTRIES).points()
+        values = [value for _tick, value in points]
+        assert values == sorted(values)
+        assert values[-1] == observer.fleet.total
+        path = tmp_path / "series.jsonl"
+        bank.write_jsonl(str(path))
+        assert validate_series_jsonl(path.read_text()) == []
+
+    def test_series_names_are_canonical(self, run):
+        observer, _report = run
+        for name in observer.metrics.series.names():
+            assert name in names.ALL_NAMES or INSTANCE_SERIES_RE.match(
+                name
+            ), name
+
+
+class TestExplainCli:
+    MATRIX = [
+        "--rounds", "10", "--seed", "7", "--fault-rate", "0.25",
+        "--wal-tail", "3", "--kill-mid-swap", "1", "--canary-trap", "1",
+        "--flap", "inst0",
+    ]
+
+    def test_explain_reports_full_completeness(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        code = main(
+            ["fleet", "explain", "compress", *self.MATRIX,
+             "--spool", str(tmp_path / "shards.wal"),
+             "-o", str(ledger_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        match = re.search(
+            r"completeness: (\d+)/(\d+) collector verdicts, "
+            r"(\d+)/(\d+) controller decisions ledgered",
+            out,
+        )
+        assert match, out
+        ledgered_v, total_v, ledgered_d, total_d = map(int, match.groups())
+        assert ledgered_v == total_v > 0
+        assert ledgered_d == total_d > 0
+        assert validate_fleet_ledger_jsonl(ledger_path.read_text()) == []
+
+    def test_explain_json_is_the_ledger_jsonl(self, tmp_path, capsys):
+        code = main(
+            ["fleet", "explain", "compress", "--rounds", "3",
+             "--spool", str(tmp_path / "shards.wal"), "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert validate_fleet_ledger_jsonl(out) == []
+        header = json.loads(out.splitlines()[0])
+        assert header["kind"] == "fleet-ledger"

@@ -217,6 +217,12 @@ class TestToolchainAndMetrics:
                                 "codegen_steps_per_sec": 12.0,
                                 "codegen_speedup": 2.4}},
         }
+        problems = validate_bench(report)
+        assert any("runtime" in p for p in problems)
+        report["runtime"] = {
+            "overhead_ratio": 1.0, "max_overhead": 1.02,
+            "contexts": 5, "samples": 100, "engines_consistent": True,
+        }
         assert validate_bench(report) == []
 
     def test_bench_check_gates_speedup_regression(self):

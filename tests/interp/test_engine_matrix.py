@@ -89,6 +89,78 @@ class TestTrapMatrix:
                 assert got == want, "max_steps={}".format(max_steps)
 
 
+class TestZeroCostWhenOff:
+    """An unobserved run must carry zero observability residue.
+
+    The codegen engine emits specialized Python per sink capability
+    mode; with no sink — or a constructed-but-disabled
+    :class:`RuntimeProfiler` — the emitted source must contain no
+    callback calls at all, and the disabled profiler must compile to
+    the *same* plan as no sink (so attaching one costs nothing until
+    it is enabled).
+    """
+
+    SOURCES = [(
+        "m",
+        "int helper(int x) { return x * 2 + 1; }\n"
+        "int main() { int i = 0; int acc = 0;\n"
+        "  while (i < 50) { acc = acc + helper(i); i = i + 1; }\n"
+        "  print_int(acc); return 0; }\n",
+    )]
+
+    def test_emitted_source_has_no_callbacks(self):
+        from repro.interp.codegen import emitted_source
+        from repro.obs.runtime import RuntimeProfiler
+
+        program = compile_program(self.SOURCES)
+        unobserved = emitted_source(program, "main", sink=None)
+        for callback in ("on_instr", "on_call", "on_return",
+                         "on_branch", "on_mem"):
+            assert callback not in unobserved
+        disabled = emitted_source(
+            program, "main", sink=RuntimeProfiler(enabled=False)
+        )
+        assert disabled == unobserved
+
+    def test_disabled_profiler_costs_nothing_measurable(self):
+        # Same engine plan either way, so the walls should be
+        # statistically indistinguishable; assert a generous ceiling
+        # rather than equality to keep this robust under CI jitter.
+        import time
+
+        from repro.interp.interpreter import run_program
+        from repro.obs.runtime import RuntimeProfiler
+
+        program = compile_program(self.SOURCES)
+        inputs = []
+
+        def best_wall(sink):
+            walls = []
+            for _ in range(3):
+                start = time.perf_counter()
+                for _burst in range(5):
+                    run_program(
+                        program, inputs, sink=sink, engine="codegen"
+                    )
+                walls.append(time.perf_counter() - start)
+            return min(walls)
+
+        run_program(program, inputs, engine="codegen")  # warm the plan
+        off = best_wall(None)
+        disabled = best_wall(RuntimeProfiler(enabled=False))
+        assert disabled <= off * 1.5
+
+    def test_enabled_profiler_observes_the_run(self):
+        from repro.interp.interpreter import run_program
+        from repro.obs.runtime import RuntimeProfiler
+
+        program = compile_program(self.SOURCES)
+        profiler = RuntimeProfiler(rate=1, seed=0)
+        run_program(program, [], sink=profiler, engine="codegen")
+        assert profiler.events > 0
+        assert profiler.call_edges[("main", "helper")] == 50
+
+
 def test_fuzz_entrypoint_runs_clean():
     # The scheduled CI job shells out to the module; keep a smoke-sized
     # invocation of the real entry point green in tier-1.

@@ -91,6 +91,56 @@ class TestExplainInlining:
         assert header["considered"] > 0
 
 
+class TestFlameOut:
+    def test_run_writes_valid_speedscope(self, source_file, tmp_path, capsys):
+        from repro.obs.validate import validate_flame
+
+        flame = tmp_path / "flame.json"
+        code = main([
+            "run", source_file, "--inputs", "5",
+            "--flame-out", str(flame), "--flame-rate", "1",
+        ])
+        assert code == 0
+        doc = json.loads(flame.read_text())
+        assert validate_flame(doc) == []
+        profile = doc["profiles"][0]
+        assert profile["endValue"] == sum(profile["weights"])
+
+    def test_flame_out_conflicts_with_simulate(self, source_file, tmp_path):
+        with pytest.raises(SystemExit, match="--simulate"):
+            main([
+                "run", source_file, "--inputs", "5", "--simulate",
+                "--flame-out", str(tmp_path / "flame.json"),
+            ])
+
+    def test_profile_flame_subcommand(self, source_file, tmp_path, capsys):
+        from repro.obs.validate import validate_flame
+
+        out = tmp_path / "flame.json"
+        code = main([
+            "profile", "flame", source_file, "--inputs", "5",
+            "--rate", "1", "-o", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "runtime profile:" in stdout
+        assert "wrote" in stdout
+        assert validate_flame(json.loads(out.read_text())) == []
+
+    def test_profile_flame_collapsed_extension(self, source_file, tmp_path,
+                                               capsys):
+        out = tmp_path / "flame.folded"
+        code = main([
+            "profile", "flame", source_file, "--inputs", "5",
+            "--rate", "1", "-o", str(out),
+        ])
+        assert code == 0
+        line = out.read_text().strip().splitlines()[0]
+        stack, _sep, weight = line.rpartition(" ")
+        assert stack.startswith("main")
+        assert int(weight) >= 1
+
+
 class TestVerbosity:
     def test_quiet_suppresses_warnings(self, source_file, tmp_path, capsys):
         bad = tmp_path / "bad.profdb"

@@ -1,0 +1,163 @@
+"""The fleet decision ledger: recording, aggregation, JSONL, validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.fleetledger import (
+    BREAKER_CODES,
+    COLLECTOR_CODES,
+    CONTROLLER_CODES,
+    FLEET_LEDGER_SCHEMA_VERSION,
+    FleetLedger,
+    NULL_FLEET_LEDGER,
+    NullFleetLedger,
+    split_reason,
+)
+from repro.obs.validate import validate_fleet_ledger_jsonl
+
+
+def populated() -> FleetLedger:
+    ledger = FleetLedger()
+    ledger.verdict(1, "inst0", 0, True, "accepted")
+    ledger.verdict(2, "inst0", 0, True, "duplicate")
+    ledger.verdict(2, "inst1", 3, False, "transit:crc")
+    ledger.verdict(3, "inst1", 4, True, "quarantined:payload:magic")
+    ledger.transition(3, "inst1", "open")
+    ledger.decision(3, 0, "no-evidence")
+    ledger.decision(4, 1, "rollback:trap (injected)", build_id=1)
+    ledger.decision(5, 1, "swap", build_id=2)
+    return ledger
+
+
+class TestSplitReason:
+    def test_code_and_detail(self):
+        assert split_reason("transit:crc") == ("transit", "crc")
+        assert split_reason("accepted") == ("accepted", "")
+        # Only the first colon splits; the rest stays in the detail.
+        assert split_reason("quarantined:payload:magic") == (
+            "quarantined", "payload:magic"
+        )
+
+
+class TestRecording:
+    def test_counts_by_kind(self):
+        ledger = populated()
+        assert ledger.total == 8
+        assert ledger.verdicts == 4
+        assert ledger.transitions == 1
+        assert ledger.decisions == 3
+
+    def test_code_counts(self):
+        codes = populated().code_counts()
+        assert codes["verdict.accepted"] == 1
+        assert codes["verdict.duplicate"] == 1
+        assert codes["verdict.transit"] == 1
+        assert codes["verdict.quarantined"] == 1
+        assert codes["breaker.open"] == 1
+        assert codes["decision.rollback"] == 1
+
+    def test_entry_fields(self):
+        ledger = populated()
+        nack = ledger.entries[2].to_dict()
+        assert nack == {
+            "tick": 2, "actor": "collector", "kind": "verdict",
+            "code": "transit", "detail": "crc",
+            "source": "inst1", "seq": 3, "accepted": False,
+        }
+        swap = ledger.entries[-1].to_dict()
+        assert swap["build_id"] == 2
+        assert swap["epoch"] == 1
+        assert "source" not in swap
+
+    def test_code_vocabulary_covers_fixture(self):
+        for entry in populated().entries:
+            if entry.kind == "verdict":
+                assert entry.code in COLLECTOR_CODES
+            elif entry.kind == "breaker":
+                assert entry.code in BREAKER_CODES
+            else:
+                assert entry.code in CONTROLLER_CODES
+
+
+class TestNullTwin:
+    def test_disabled_and_inert(self):
+        null = NullFleetLedger()
+        assert null.enabled is False
+        assert null.total == 0
+        null.verdict(1, "inst0", 0, True, "accepted")
+        null.transition(1, "inst0", "open")
+        null.decision(1, 0, "swap")
+        assert null.total == 0
+        assert NULL_FLEET_LEDGER.enabled is False
+
+    def test_real_ledger_is_enabled(self):
+        assert FleetLedger().enabled is True
+
+
+class TestJsonl:
+    def test_header_accounts_for_entries(self):
+        header = populated().header()
+        assert header["schema"] == FLEET_LEDGER_SCHEMA_VERSION
+        assert header["kind"] == "fleet-ledger"
+        assert header["entries"] == 8
+        assert header["verdicts"] == 4
+        assert header["transitions"] == 1
+        assert header["decisions"] == 3
+
+    def test_round_trip_validates(self, tmp_path):
+        path = tmp_path / "fleet-ledger.jsonl"
+        populated().write_jsonl(str(path))
+        text = path.read_text()
+        assert validate_fleet_ledger_jsonl(text) == []
+        lines = text.strip().splitlines()
+        assert len(lines) == 9  # header + one line per entry
+        assert json.loads(lines[0])["kind"] == "fleet-ledger"
+
+    def test_format_text(self):
+        text = populated().format_text()
+        assert "8 entries" in text
+        assert "4 collector verdicts" in text
+        assert "rollback:trap (injected)" in text
+        assert "NACK" in text
+
+    def test_format_text_limit(self):
+        text = populated().format_text(limit=2)
+        assert "... 6 more" in text
+
+
+class TestValidator:
+    def test_rejects_empty(self):
+        assert validate_fleet_ledger_jsonl("") != []
+
+    def test_rejects_bad_header_totals(self):
+        ledger = populated()
+        header = ledger.header()
+        header["verdicts"] = 99
+        lines = [json.dumps(header)]
+        lines += [json.dumps(e.to_dict()) for e in ledger.entries]
+        errors = validate_fleet_ledger_jsonl("\n".join(lines) + "\n")
+        assert any("verdict" in e for e in errors)
+
+    def test_rejects_unknown_kind(self):
+        ledger = FleetLedger()
+        ledger.verdict(1, "inst0", 0, True, "accepted")
+        text = ledger.to_jsonl().replace('"verdict"', '"vibes"')
+        assert validate_fleet_ledger_jsonl(text) != []
+
+    def test_rejects_verdict_without_accepted(self):
+        ledger = FleetLedger()
+        ledger.verdict(1, "inst0", 0, True, "accepted")
+        lines = ledger.to_jsonl().strip().splitlines()
+        entry = json.loads(lines[1])
+        del entry["accepted"]
+        text = lines[0] + "\n" + json.dumps(entry) + "\n"
+        assert any(
+            "accepted" in e for e in validate_fleet_ledger_jsonl(text)
+        )
+
+    def test_rejects_garbage_line(self):
+        text = populated().to_jsonl() + "not json\n"
+        assert validate_fleet_ledger_jsonl(text) != []

@@ -1,0 +1,53 @@
+"""The canonical metric-name registry: one declaration per name."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import names
+
+#: ``<segment>.<segment>...`` — lowercase, digits, underscores inside a
+#: segment, dots only between segments.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+class TestRegistry:
+    def test_all_names_are_unique_strings(self):
+        assert len(names.ALL_NAMES) == len(set(names.ALL_NAMES))
+        assert all(isinstance(name, str) for name in names.ALL_NAMES)
+
+    def test_all_names_follow_the_scheme(self):
+        for name in names.ALL_NAMES:
+            assert NAME_RE.match(name), name
+
+    def test_every_constant_is_registered(self):
+        constants = {
+            value
+            for key, value in vars(names).items()
+            if key.isupper() and key != "ALL_NAMES" and isinstance(value, str)
+        }
+        assert constants == set(names.ALL_NAMES)
+
+
+class TestDedupeRename:
+    """The near-collision that motivated this module stays resolved."""
+
+    def test_collector_dedupe_vs_transport_fault(self):
+        assert names.FLEET_SHARDS_DEDUPED == "fleet.shards_deduped"
+        assert names.FLEET_SHARDS_DUPLICATED == "fleet.shards_duplicated"
+        assert "fleet.shards_duplicate" not in names.ALL_NAMES
+
+
+class TestInstanceTemplates:
+    def test_pending(self):
+        name = names.fleet_instance_pending("inst0")
+        assert name == "fleet.inst.inst0.pending"
+        assert NAME_RE.match(name)
+
+    def test_traps(self):
+        name = names.fleet_instance_traps("inst3")
+        assert name == "fleet.inst.inst3.serve_traps"
+        assert NAME_RE.match(name)
+
+    def test_templates_not_in_fixed_registry(self):
+        assert names.fleet_instance_pending("inst0") not in names.ALL_NAMES

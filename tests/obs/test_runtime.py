@@ -1,0 +1,172 @@
+"""Guest flamegraphs: the runtime profiler and its exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.frontend.driver import compile_program
+from repro.interp.engine import sink_mode
+from repro.interp.interpreter import ENGINES, run_program
+from repro.obs.metrics import collect_runtime_metrics
+from repro.obs.runtime import FLAME_SCHEMA, RuntimeProfiler
+from repro.obs.validate import validate_flame
+
+SOURCES = [
+    (
+        "util",
+        "int weigh(int x) { return x * 3 + 1; }\n"
+        "int heavy(int x) { int i = 0; int acc = 0;\n"
+        "  while (i < 8) { acc = acc + weigh(x + i); i = i + 1; }\n"
+        "  return acc; }\n",
+    ),
+    (
+        "main",
+        "extern int heavy(int x);\n"
+        "int main() { int n = input(0); int i = 0; int acc = 0;\n"
+        "  while (i < 12) { acc = acc + heavy(n + i); i = i + 1; }\n"
+        "  print_int(acc); return 0; }\n",
+    ),
+]
+
+INPUTS = [5]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(SOURCES)
+
+
+def profiled_run(program, rate=4, seed=3, engine="fast"):
+    profiler = RuntimeProfiler(rate=rate, seed=seed)
+    run_program(program, INPUTS, sink=profiler, engine=engine)
+    return profiler
+
+
+class TestSampling:
+    def test_records_full_stacks(self, program):
+        profiler = profiled_run(program)
+        assert profiler.samples > 0
+        assert profiler.events > 0
+        # Every context is rooted at main and leaf frames include the
+        # hot helper chain main -> heavy -> weigh.
+        assert all(stack[0] == "main" for stack in profiler.stack_samples)
+        assert ("main", "heavy", "weigh") in profiler.stack_samples
+        assert profiler.max_stack_depth >= 3
+
+    def test_deterministic_for_fixed_seed(self, program):
+        first = profiled_run(program, seed=11)
+        second = profiled_run(program, seed=11)
+        assert first.stack_samples == second.stack_samples
+        assert first.call_edges == second.call_edges
+        assert first.samples == second.samples
+
+    def test_rate_one_is_exact(self, program):
+        profiler = profiled_run(program, rate=1)
+        assert profiler.samples == profiler.events
+        assert profiler.effective_rate == 1.0
+        # At rate 1 the weights are exact instruction counts.
+        total = sum(w for _stack, w in profiler.weighted_stacks())
+        assert total == profiler.events
+
+    def test_call_edges_are_exact(self, program):
+        profiler = profiled_run(program)
+        # main calls heavy 12 times, heavy calls weigh 8 times each —
+        # exact tallies regardless of the sampling rate.
+        assert profiler.call_edges[("main", "heavy")] == 12
+        assert profiler.call_edges[("heavy", "weigh")] == 96
+
+    def test_identical_across_all_engines(self, program):
+        runs = [profiled_run(program, engine=engine) for engine in ENGINES]
+        want = runs[0]
+        for got in runs[1:]:
+            assert got.stack_samples == want.stack_samples
+            assert got.call_edges == want.call_edges
+            assert got.samples == want.samples
+            assert got.events == want.events
+
+
+class TestDisabled:
+    def test_negotiates_like_no_sink(self):
+        disabled = RuntimeProfiler(enabled=False)
+        assert sink_mode(disabled) == sink_mode(None)
+
+    def test_records_nothing(self, program):
+        disabled = RuntimeProfiler(enabled=False)
+        run_program(program, INPUTS, sink=disabled, engine="fast")
+        assert disabled.events == 0
+        assert disabled.samples == 0
+        assert disabled.stack_samples == {}
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RuntimeProfiler(rate=0)
+
+
+class TestExports:
+    def test_collapsed_format(self, program):
+        profiler = profiled_run(program)
+        for line in profiler.collapsed().strip().splitlines():
+            stack, _sep, weight = line.rpartition(" ")
+            assert int(weight) >= 1
+            assert stack.split(";")[0] == "main"
+
+    def test_speedscope_passes_validator(self, program):
+        profiler = profiled_run(program)
+        doc = profiler.speedscope()
+        assert validate_flame(doc) == []
+        assert doc["$schema"] == FLAME_SCHEMA
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        assert prof["endValue"] == sum(prof["weights"])
+
+    def test_write_auto_format_by_extension(self, program, tmp_path):
+        profiler = profiled_run(program)
+        json_path = tmp_path / "flame.json"
+        text_path = tmp_path / "flame.folded"
+        assert profiler.write(str(json_path)) == "speedscope"
+        assert profiler.write(str(text_path)) == "collapsed"
+        loaded = json.loads(json_path.read_text())
+        assert validate_flame(loaded) == []
+        assert text_path.read_text() == profiler.collapsed()
+        with pytest.raises(ValueError):
+            profiler.write(str(text_path), fmt="elf")
+
+    def test_format_text_summary(self, program):
+        profiler = profiled_run(program)
+        text = profiler.format_text(limit=3)
+        assert "runtime profile:" in text
+        assert "hot call edges (exact):" in text
+
+    def test_runtime_metrics_collection(self, program):
+        profiler = profiled_run(program)
+        registry = collect_runtime_metrics(profiler)
+        assert registry.value("runtime.samples") == profiler.samples
+        assert registry.value("runtime.events") == profiler.events
+        assert registry.value("runtime.contexts") == len(profiler.stack_samples)
+        assert registry.value("runtime.call_edges") == len(profiler.call_edges)
+        assert (
+            registry.value("runtime.max_stack_depth")
+            == profiler.max_stack_depth
+        )
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_flame([]) != []
+
+    def test_rejects_missing_profiles(self):
+        errors = validate_flame({"$schema": FLAME_SCHEMA, "shared": {"frames": []}})
+        assert any("profiles" in e for e in errors)
+
+    def test_rejects_frame_index_out_of_range(self, program):
+        doc = profiled_run(program).speedscope()
+        doc["profiles"][0]["samples"][0] = [10**6]
+        assert any("frame index" in e for e in validate_flame(doc))
+
+    def test_rejects_samples_weights_mismatch(self, program):
+        doc = profiled_run(program).speedscope()
+        doc["profiles"][0]["weights"].append(1)
+        assert validate_flame(doc) != []

@@ -1,0 +1,112 @@
+"""Bounded time-series ring buffers and their JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.series import (
+    DEFAULT_SERIES_CAPACITY,
+    Series,
+    SeriesBank,
+)
+from repro.obs.validate import validate_series_jsonl
+
+
+class TestSeries:
+    def test_appends_in_order(self):
+        series = Series("fleet.drift", capacity=8)
+        for tick in range(5):
+            series.append(tick, tick * 0.1)
+        assert len(series) == 5
+        assert series.dropped == 0
+        assert [t for t, _v in series.points()] == [0, 1, 2, 3, 4]
+        assert series.last() == (4, pytest.approx(0.4))
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        series = Series("x", capacity=3)
+        for tick in range(7):
+            series.append(tick, float(tick))
+        assert len(series) == 3
+        assert series.dropped == 4
+        # Only the newest capacity-many points survive, oldest first.
+        assert series.points() == [(4, 4.0), (5, 5.0), (6, 6.0)]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Series("x", capacity=0)
+
+
+class TestSeriesBank:
+    def test_record_creates_and_appends(self):
+        bank = SeriesBank()
+        bank.record("fleet.drift", 0, 0.1)
+        bank.record("fleet.drift", 1, 0.2)
+        bank.record("fleet.confidence", 1, 0.9)
+        assert bank.names() == ["fleet.confidence", "fleet.drift"]
+        assert len(bank.get("fleet.drift")) == 2
+        assert bank.get("fleet.drift").capacity == DEFAULT_SERIES_CAPACITY
+
+    def test_per_series_capacity_override(self):
+        bank = SeriesBank(capacity=100)
+        bank.record("small", 0, 1.0, capacity=2)
+        bank.record("small", 1, 2.0)
+        bank.record("small", 2, 3.0)
+        assert bank.get("small").dropped == 1
+
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        bank = SeriesBank()
+        for tick in range(4):
+            bank.record("fleet.drift", tick, tick * 0.25)
+            bank.record("fleet.inst.inst0.pending", tick, tick % 2)
+        path = tmp_path / "series.jsonl"
+        bank.write_jsonl(str(path))
+        text = path.read_text()
+        assert validate_series_jsonl(text) == []
+        header = json.loads(text.splitlines()[0])
+        assert header["kind"] == "series"
+        assert header["series"]["fleet.drift"]["points"] == 4
+
+    def test_registry_carries_a_bank(self):
+        registry = MetricsRegistry()
+        registry.record_series("fleet.drift", 3, 0.5)
+        assert registry.series.get("fleet.drift").points() == [(3, 0.5)]
+
+    def test_null_metrics_record_series_is_noop(self):
+        NullMetrics().record_series("fleet.drift", 0, 1.0)  # must not raise
+
+
+class TestValidator:
+    def bank(self) -> SeriesBank:
+        bank = SeriesBank()
+        bank.record("a", 0, 1.0)
+        bank.record("a", 1, 2.0)
+        return bank
+
+    def test_rejects_empty(self):
+        assert validate_series_jsonl("") != []
+
+    def test_rejects_undeclared_series(self):
+        text = self.bank().to_jsonl()
+        text += json.dumps({"series": "ghost", "tick": 0, "value": 1}) + "\n"
+        assert any("ghost" in e for e in validate_series_jsonl(text))
+
+    def test_rejects_point_count_mismatch(self):
+        bank = self.bank()
+        header = bank.header()
+        header["series"]["a"]["points"] = 5
+        lines = [json.dumps(header)]
+        for tick, value in bank.get("a").points():
+            lines.append(json.dumps({"series": "a", "tick": tick, "value": value}))
+        errors = validate_series_jsonl("\n".join(lines) + "\n")
+        assert any("point" in e for e in errors)
+
+    def test_rejects_non_monotonic_ticks(self):
+        bank = self.bank()
+        lines = bank.to_jsonl().strip().splitlines()
+        # Swap the two points so the ticks go 1, 0.
+        lines[1], lines[2] = lines[2], lines[1]
+        errors = validate_series_jsonl("\n".join(lines) + "\n")
+        assert any("backwards" in e for e in errors)
