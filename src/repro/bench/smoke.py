@@ -69,7 +69,7 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
@@ -88,6 +88,9 @@ MIN_FLEET_JACCARD = 1.0
 MAX_RUNTIME_OVERHEAD = 1.02
 RUNTIME_FLAME_RATE = 20
 RUNTIME_FLAME_SEED = 7
+# Serve slice: enough clients for a real stampede on each workload's
+# build key without dominating the smoke wall clock.
+SERVE_CLIENTS = 16
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -543,6 +546,28 @@ def _measure_fleet(
     }
 
 
+def _measure_serve(
+    names: Sequence[str],
+    scope: str = "c",
+    clients: int = SERVE_CLIENTS,
+) -> Tuple[dict, List[str]]:
+    """The build daemon under a small load-generator slice.
+
+    Spins an in-process :class:`~repro.serve.server.ReproServer`, runs
+    the three-phase bench traffic (stampede, warm rebuild, mixed
+    run/variant) with a reduced client count, and returns the serve
+    report plus its own gate failures: zero errors, in-flight dedupe
+    observed, warm-rebuild p95 under cold-build p50, and daemon
+    artifacts byte-identical to a cold CLI build.  The CI
+    ``serve-smoke`` job runs the full-size version of this against a
+    real ``repro serve`` process.
+    """
+    from .serve import run_serve_bench
+
+    # Gate failures from the bench already carry the "serve:" prefix.
+    return run_serve_bench(clients=clients, workloads=tuple(names), scope=scope)
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
@@ -636,6 +661,9 @@ def run_smoke(
                 )
             )
 
+    serve, serve_failures = _measure_serve(names)
+    failures.extend(serve_failures)
+
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
         failures.append(
@@ -670,6 +698,7 @@ def run_smoke(
         "interp": interp,
         "runtime": runtime,
         "fleet": fleet,
+        "serve": serve,
     }
     return report, failures
 
@@ -829,6 +858,21 @@ def step_summary(report: dict, failures: Sequence[str]) -> str:
                 runtime.get("contexts", 0),
                 runtime.get("samples", 0),
                 runtime.get("flame_workload", "?"),
+            )
+        )
+    serve = report.get("serve", {})
+    if serve:
+        lines.append(
+            "- serve: {} clients at {:.0f} req/s; warm rebuild p95 "
+            "{:.1f}ms vs cold build p50 {:.1f}ms; dedupe {}; shed {}; "
+            "artifacts identical: {}".format(
+                serve.get("clients", 0),
+                serve.get("throughput_rps", 0.0),
+                serve.get("warm_rebuild_ms", {}).get("p95", 0.0),
+                serve.get("cold_build_ms", {}).get("p50", 0.0),
+                serve.get("dedupe_hits", 0),
+                serve.get("shed", 0),
+                "yes" if serve.get("artifacts_identical") else "NO",
             )
         )
     if failures:

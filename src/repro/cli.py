@@ -26,9 +26,19 @@ Subcommands:
     profiler attached and write a guest flamegraph).
 ``fleet``
     The continuous-profiling fleet loop: ``run`` (collect / rebuild /
-    canary / hot-swap under an optional fault plan) and ``explain``
-    (same loop with the fleet decision ledger on — why every shard was
-    ACKed, NACKed, or quarantined, and what each round decided).
+    canary / hot-swap under an optional fault plan, optionally sending
+    rebuilds to a ``--build-server`` daemon) and ``explain`` (same loop
+    with the fleet decision ledger on — why every shard was ACKed,
+    NACKed, or quarantined, and what each round decided).
+``serve``
+    The long-running build daemon (docs/serving.md): one warm
+    toolchain — module cache, worker pool, finished-build LRU — behind
+    a CRC32-framed JSON socket protocol, with in-flight dedupe,
+    bounded-queue load shedding, and drain on SIGTERM.
+``bench-serve``
+    Load-generate a daemon with hundreds of concurrent clients and
+    gate latency percentiles, dedupe, and artifact byte-identity
+    (``repro.bench.serve``).
 
 Module names come from file stems; inputs are comma-separated integers.
 
@@ -203,7 +213,7 @@ def _compile_cli(
 
     cross, use_profile = scope_flags(args.scope)
     cfg = _config_from_args(args).with_scope(cross, use_profile)
-    cache = ModuleCache(cache_dir)
+    cache = ModuleCache(cache_dir, max_mb=getattr(args, "cache_max_mb", None))
     mark = cache.stats.snapshot()
     with obs.tracer.span("frontend", cat="frontend"):
         program, stats = compile_sources(
@@ -217,6 +227,7 @@ def _compile_cli(
         )
     hits, misses, invalidations, _stores = cache.stats.since(mark)
     diagnostics.record_cache(hits, misses, invalidations)
+    diagnostics.cache_size_evictions += cache.stats.size_evictions
     diagnostics.parallel_jobs = stats.jobs
     diagnostics.modules_compiled += stats.compiled
     diagnostics.modules_from_cache += stats.from_cache
@@ -692,6 +703,7 @@ def _fleet_loop_from_args(args: argparse.Namespace, obs: BuildObserver):
         engine=getattr(args, "engine", DEFAULT_ENGINE),
         restart_collector_rounds=_int_list(args.restart_collector),
         max_wall_s=args.max_wall,
+        build_server=getattr(args, "build_server", None),
     )
     return FleetLoop(
         list(workload.sources),
@@ -821,6 +833,92 @@ def cmd_fleet_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived build daemon until SIGTERM/SIGINT drains it.
+
+    Exit codes: 0 after a clean drain (including one triggered by a
+    ``shutdown`` request), 130 on an interrupt the event loop could not
+    convert into a drain.
+    """
+    import asyncio
+    import json
+
+    from .serve.server import ReproServer
+    from .serve.state import ServerState
+
+    obs = _observer_from_args(args)
+    log = _logger_from_args(args)
+    state = ServerState(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_max_mb=getattr(args, "cache_max_mb", None),
+        engine=args.engine,
+        compile_timeout=args.compile_timeout,
+        observer=obs,
+        results_capacity=args.results_capacity,
+    )
+    server = ReproServer(
+        state,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+        observer=obs,
+    )
+
+    async def _serve() -> dict:
+        await server.start()
+        server.install_signal_handlers()
+        # The line CI (and any parent process) scrapes for the port.
+        print(
+            "repro serve listening on {}:{}".format(server.host, server.port),
+            flush=True,
+        )
+        return await server.serve_until_shutdown()
+
+    try:
+        snapshot = asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix loops only
+        return 130
+    log.info(
+        "serve: drained after {} request(s) over {} connection(s) "
+        "({} build(s), {} warm hit(s), {} deduped)".format(
+            snapshot["requests"], snapshot["connections"],
+            snapshot["state"]["builds"], snapshot["state"]["result_hits"],
+            snapshot["scheduler"]["dedupe_hits"],
+        )
+    )
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        log.debug("wrote stats snapshot to {}".format(args.stats_out))
+    _emit_observability(args, obs, log)
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .bench.serve import main as serve_bench_main
+
+    argv: List[str] = ["--clients", str(args.clients), "--scope", args.scope]
+    if args.workloads:
+        argv += ["--workloads", args.workloads]
+    argv += ["--engine", getattr(args, "engine", DEFAULT_ENGINE)]
+    if args.connect:
+        argv += ["--connect", args.connect]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    argv += ["--concurrency", str(args.concurrency)]
+    argv += ["--max-pending", str(args.max_pending)]
+    argv += ["--timeout", str(args.timeout)]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.json:
+        argv.append("--json")
+    return serve_bench_main(argv)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
     obs = _observer_from_args(args)
@@ -882,6 +980,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         strict=getattr(args, "strict", False),
         jobs=getattr(args, "jobs", None),
         cache_dir=getattr(args, "cache_dir", None),
+        cache_max_mb=getattr(args, "cache_max_mb", None),
         engine=getattr(args, "engine", DEFAULT_ENGINE),
         compile_timeout=getattr(args, "compile_timeout", None),
     )
@@ -956,6 +1055,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "stalled worker pool degrades to serial compilation")
         p.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed incremental compile cache")
+        p.add_argument("--cache-max-mb", type=float, metavar="MB",
+                       help="bound the disk cache; least-recently-used "
+                       "entries are evicted past this size")
         engine_flag(p)
         observability(p)
 
@@ -1141,6 +1243,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compile modules with N worker processes")
     p_bench.add_argument("--cache-dir", metavar="DIR",
                          help="content-addressed incremental compile cache")
+    p_bench.add_argument("--cache-max-mb", type=float, metavar="MB",
+                         help="bound the disk cache (LRU eviction)")
     engine_flag(p_bench)
     observability(p_bench)
     p_bench.set_defaults(func=cmd_bench)
@@ -1160,6 +1264,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_sharded.add_argument("--output", metavar="FILE")
     engine_flag(p_sharded)
     p_sharded.set_defaults(func=cmd_bench_sharded)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running build daemon: warm caches, in-flight dedupe, "
+        "drain on SIGTERM",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (default 0 = ephemeral; the "
+                         "bound port is printed on startup)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="compile worker processes kept warm "
+                         "across requests")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed incremental compile cache")
+    p_serve.add_argument("--cache-max-mb", type=float, metavar="MB",
+                         help="bound the disk cache (LRU eviction)")
+    p_serve.add_argument("--concurrency", type=int, default=4, metavar="N",
+                         help="requests built concurrently (default 4)")
+    p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                         help="queue bound; past it requests are shed "
+                         "with a 'busy' reply (default 64)")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="default per-request deadline in seconds")
+    p_serve.add_argument("--compile-timeout", type=float, metavar="S",
+                         help="per-module compile watchdog in seconds")
+    p_serve.add_argument("--results-capacity", type=int, default=32,
+                         metavar="N",
+                         help="finished builds kept warm in the result "
+                         "LRU (default 32)")
+    p_serve.add_argument("--stats-out", metavar="FILE",
+                         help="write the final stats snapshot JSON after "
+                         "the drain")
+    p_serve.add_argument("--series-out", metavar="FILE",
+                         help="write per-request time series (queue "
+                         "depth, in-flight) as JSONL after the drain")
+    engine_flag(p_serve)
+    observability(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="load-generate a build daemon (in-process, or a running "
+        "`repro serve` via --connect) and gate its behaviour",
+    )
+    p_bserve.add_argument("--clients", type=int, default=200, metavar="N",
+                          help="concurrent clients (default 200)")
+    p_bserve.add_argument("--workloads", metavar="NAMES",
+                          help="comma-separated workload names "
+                          "(default: compress,sc)")
+    p_bserve.add_argument("--scope", choices=SCOPES, default="c")
+    p_bserve.add_argument("--connect", metavar="HOST:PORT",
+                          help="drive a running daemon instead of an "
+                          "in-process one")
+    p_bserve.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="compile workers for the in-process server")
+    p_bserve.add_argument("--concurrency", type=int, default=4, metavar="N")
+    p_bserve.add_argument("--max-pending", type=int, default=64, metavar="N")
+    p_bserve.add_argument("--timeout", type=float, default=120.0, metavar="S")
+    p_bserve.add_argument("--output", metavar="FILE",
+                          help="write the report JSON here")
+    p_bserve.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+    engine_flag(p_bserve)
+    p_bserve.set_defaults(func=cmd_bench_serve)
 
     p_fleet = sub.add_parser(
         "fleet", help="continuous-profiling fleet loop"
@@ -1220,6 +1389,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the fleet decision ledger (every "
                         "collector verdict and controller decision) as "
                         "JSONL; also enforces ledger completeness")
+    pf_run.add_argument("--build-server", metavar="HOST:PORT",
+                        help="send profile-fed rebuilds to a running "
+                        "`repro serve` daemon (local fallback when it "
+                        "is unreachable)")
     pf_run.add_argument("--assert-convergence", action="store_true",
                         help="exit 1 unless the loop converged to the "
                         "exact-profile decisions (jaccard 1.0)")

@@ -41,12 +41,26 @@ from ..obs import names
 from ..profile.database import ProfileDatabase
 from ..resilience.faults import FaultInjector
 from ..sampling.lifecycle import MIN_PROFILE_CONFIDENCE
+from ..serve.client import ServeClient, ServeRequestError
 from .drift import DriftTracker, profile_drift
 from .instances import ServedBuild
 
 DEFAULT_DRIFT_THRESHOLD = 0.05
 DEFAULT_REGRESSION_LIMIT = 0.15
 DEFAULT_COOLDOWN_ROUNDS = 2
+
+
+class _RemoteLedgerView:
+    """The ledger-considered count of a daemon-side rebuild.
+
+    Shaped like :class:`InliningLedger` for exactly the one attribute
+    the canary's ledger-anomaly tripwire reads.
+    """
+
+    __slots__ = ("considered",)
+
+    def __init__(self, considered: int):
+        self.considered = considered
 
 
 @dataclass
@@ -86,8 +100,10 @@ class ReoptimizeController:
         drift_alpha: float = 0.5,
         injector: Optional[FaultInjector] = None,
         observer: BuildObserver = NULL_OBSERVER,
+        build_client: Optional[ServeClient] = None,
     ):
         self.toolchain = toolchain
+        self.build_client = build_client
         self.canary_inputs = list(canary_inputs)
         self.scope = scope
         self.drift_threshold = drift_threshold
@@ -182,9 +198,7 @@ class ReoptimizeController:
         with self.observer.tracer.span(
             "fleet-rebuild", cat="fleet", build=build_id, epoch=epoch
         ):
-            result = self.toolchain.rebuild_with_profile(
-                merged, scope=self.scope, observer=observer
-            )
+            result, ledger = self._execute_rebuild(merged, observer, ledger)
         self.observer.metrics.count(names.FLEET_REBUILDS)
         candidate = _BuildRecord(build_id=build_id, result=result, profile=merged)
         with self.observer.tracer.span(
@@ -224,6 +238,36 @@ class ReoptimizeController:
             )
         )
         return action
+
+    def _execute_rebuild(self, merged: ProfileDatabase, observer, ledger):
+        """One profile-fed rebuild, locally or via ``--build-server``.
+
+        Returns ``(result, ledger_view)`` where the view carries the
+        ledger-considered count for the canary's anomaly check.  A
+        daemon that cannot be reached (or sheds the request) degrades
+        to a local rebuild — the fleet loop must keep converging when
+        its build service is down.
+        """
+        if self.build_client is not None:
+            try:
+                result, considered = self.build_client.remote_rebuild(
+                    self.toolchain.sources,
+                    merged.to_text(),
+                    scope=self.scope,
+                    engine=getattr(self.toolchain, "engine", "") or "",
+                )
+            except (ServeRequestError, ConnectionError, OSError) as exc:
+                self.history.append(
+                    "build-server unavailable ({}); local rebuild".format(exc)
+                )
+            else:
+                if considered is None:
+                    considered = result.report.sites_considered
+                return result, _RemoteLedgerView(considered)
+        result = self.toolchain.rebuild_with_profile(
+            merged, scope=self.scope, observer=observer
+        )
+        return result, ledger
 
     # ------------------------------------------------------------------
     # Canary

@@ -110,6 +110,10 @@ class FleetConfig:
     restart_collector_rounds: Sequence[int] = ()
     max_wall_s: Optional[float] = None
     measure_convergence: bool = True
+    # HOST:PORT of a running `repro serve` daemon; when set, the
+    # controller's profile-fed rebuilds become remote build requests
+    # (falling back to local builds if the daemon is unreachable).
+    build_server: Optional[str] = None
     # Small workloads have fewer input chunks than a credible fleet has
     # replicas; chunks are cycled across instances until this floor is
     # met (two replicas serving the same chunk is exactly what a
@@ -255,6 +259,11 @@ class FleetLoop:
             self.sources, train_inputs=self.train_inputs, engine=cfg.engine,
             fault_injector=self.injector,
         )
+        build_client = None
+        if cfg.build_server:
+            from ..serve.client import ServeClient
+
+            build_client = ServeClient(cfg.build_server)
         controller = ReoptimizeController(
             toolchain,
             canary_inputs=self.ref_input or self.train_inputs[0],
@@ -265,6 +274,7 @@ class FleetLoop:
             cooldown_rounds=cfg.cooldown_rounds,
             injector=self.injector,
             observer=obs,
+            build_client=build_client,
         )
         served = controller.initial_build()
         chunks = list(self.train_inputs)
@@ -405,6 +415,8 @@ class FleetLoop:
             )
         obs.metrics.gauge(names.FLEET_ROUNDS, report.rounds_run)
         report.wall_s = time.perf_counter() - started
+        if build_client is not None:
+            build_client.close()
         return report
 
     def _sample_series(

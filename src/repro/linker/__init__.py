@@ -18,6 +18,7 @@ from .toolchain import (
     BuildResult,
     BuildStats,
     Toolchain,
+    ToolchainState,
     scope_flags,
 )
 
@@ -30,6 +31,7 @@ __all__ = [
     "LinkError",
     "SCOPES",
     "Toolchain",
+    "ToolchainState",
     "from_isom_text",
     "is_isom_text",
     "link_modules",

@@ -117,6 +117,7 @@ class BuildDiagnostics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    cache_size_evictions: int = 0  # disk objects LRU-evicted by the bound
     modules_compiled: int = 0
     modules_from_cache: int = 0
 
@@ -199,6 +200,76 @@ def scope_flags(scope: str) -> Tuple[bool, bool]:
     return scope in ("c", "cp"), scope in ("p", "cp")
 
 
+@dataclass
+class ToolchainState:
+    """The persistent half of a toolchain, split out from request state.
+
+    A long-lived build service (``repro serve``) keeps exactly one of
+    these resident: the content-addressed :class:`ModuleCache`, the
+    shared :class:`~repro.parallel.executor.PersistentPool` of compile
+    workers, and the build policy (jobs, compile timeout, engine).
+    Everything request-scoped — sources, training inputs, the per-build
+    profile caches, the degradation diagnostics — lives on the
+    :class:`Toolchain` that :meth:`session` creates per request, so
+    concurrent requests share the warm caches without ever sharing
+    mutable build state.
+
+    The cache is safe to share (it takes an internal lock and returns
+    freshly parsed modules on every hit), and the pool is safe to share
+    (``ProcessPoolExecutor.submit`` is thread-safe); nothing else here
+    is mutated after construction.
+    """
+
+    cache: Optional["object"] = None  # ModuleCache
+    jobs: Optional[int] = None
+    compile_timeout: Optional[float] = None
+    engine: str = DEFAULT_ENGINE
+    pool: Optional["object"] = None  # PersistentPool
+
+    @classmethod
+    def create(
+        cls,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_mb: Optional[float] = None,
+        engine: str = DEFAULT_ENGINE,
+        compile_timeout: Optional[float] = None,
+        max_tasks_per_child: Optional[int] = None,
+    ) -> "ToolchainState":
+        from ..parallel.cache import ModuleCache
+        from ..parallel.executor import DEFAULT_MAX_TASKS_PER_CHILD, PersistentPool
+
+        pool = None
+        if jobs is not None and jobs > 1:
+            pool = PersistentPool(
+                jobs, max_tasks_per_child or DEFAULT_MAX_TASKS_PER_CHILD
+            )
+        return cls(
+            cache=ModuleCache(cache_dir, max_mb=cache_max_mb),
+            jobs=jobs,
+            compile_timeout=compile_timeout,
+            engine=engine,
+            pool=pool,
+        )
+
+    def session(
+        self,
+        sources: SourceList,
+        train_inputs: Sequence[InputVector] = (),
+        **kwargs,
+    ) -> "Toolchain":
+        """A per-request :class:`Toolchain` backed by this state."""
+        kwargs.setdefault("jobs", self.jobs)
+        kwargs.setdefault("compile_timeout", self.compile_timeout)
+        kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("cache", self.cache)
+        return Toolchain(sources, train_inputs, state=self, **kwargs)
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+
+
 class Toolchain:
     """Compiles one program's sources under the four scope configs.
 
@@ -228,11 +299,18 @@ class Toolchain:
         min_profile_confidence: float = MIN_PROFILE_CONFIDENCE,
         engine: str = DEFAULT_ENGINE,
         compile_timeout: Optional[float] = None,
+        cache_max_mb: Optional[float] = None,
+        state: Optional[ToolchainState] = None,
     ):
         if isinstance(sources, dict):
             self.sources: List[Tuple[str, str]] = list(sources.items())
         else:
             self.sources = list(sources)
+        # The persistent/per-request state split: when this toolchain is
+        # one serving session of a resident daemon, ``state`` carries
+        # the shared pieces (module cache, worker pool); everything
+        # assigned below is request-scoped and dies with this instance.
+        self.state = state
         self.train_inputs = [list(v) for v in train_inputs]
         self.base_config = config or HLOConfig()
         self.max_train_steps = max_train_steps
@@ -253,7 +331,7 @@ class Toolchain:
         if self.cache is None and self._use_pipeline:
             from ..parallel.cache import ModuleCache
 
-            self.cache = ModuleCache(cache_dir)
+            self.cache = ModuleCache(cache_dir, max_mb=cache_max_mb)
         # Sampled PGO (repro.sampling): a rate switches the training
         # phase from the instrumenting two-compile workflow to the
         # sampling profiler — no rewrite, k-deep calling contexts, and
@@ -457,6 +535,7 @@ class Toolchain:
         profile = self._profile_cache[0] if self._profile_cache else None
         warn = diagnostics.warn if diagnostics is not None else None
         mark = self.cache.stats.snapshot() if self.cache is not None else None
+        evict_mark = self.cache.stats.size_evictions if self.cache is not None else 0
         program, stats = compile_sources(
             self.sources,
             jobs=jobs,
@@ -466,6 +545,7 @@ class Toolchain:
             warn=warn,
             observer=observer if observer is not None else NULL_OBSERVER,
             timeout=self.compile_timeout,
+            pool=self.state.pool if self.state is not None else None,
         )
         if diagnostics is not None:
             diagnostics.parallel_jobs = max(diagnostics.parallel_jobs, stats.jobs)
@@ -480,6 +560,9 @@ class Toolchain:
             if mark is not None:
                 hits, misses, invalidations, _stores = self.cache.stats.since(mark)
                 diagnostics.record_cache(hits, misses, invalidations)
+                diagnostics.cache_size_evictions += (
+                    self.cache.stats.size_evictions - evict_mark
+                )
         return program
 
     # ------------------------------------------------------------------

@@ -192,6 +192,7 @@ def collect_build_metrics(
         reg.count(names.CACHE_HITS, diagnostics.cache_hits)
         reg.count(names.CACHE_MISSES, diagnostics.cache_misses)
         reg.count(names.CACHE_INVALIDATIONS, diagnostics.cache_invalidations)
+        reg.count(names.CACHE_EVICTIONS_SIZE, diagnostics.cache_size_evictions)
         reg.gauge(names.CACHE_ENABLED, 1 if diagnostics.cache_enabled else 0)
         reg.gauge(names.CACHE_HIT_RATE, round(diagnostics.cache_hit_rate, 4))
         reg.count(names.BUILD_MODULES_COMPILED, diagnostics.modules_compiled)

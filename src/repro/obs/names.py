@@ -28,6 +28,7 @@ CACHE_MISSES = "cache.misses"
 CACHE_INVALIDATIONS = "cache.invalidations"
 CACHE_ENABLED = "cache.enabled"
 CACHE_HIT_RATE = "cache.hit_rate"
+CACHE_EVICTIONS_SIZE = "cache.evictions_size"  # disk objects LRU-evicted
 
 BUILD_MODULES_COMPILED = "build.modules_compiled"
 BUILD_MODULES_FROM_CACHE = "build.modules_from_cache"
@@ -135,6 +136,23 @@ FLEET_JACCARD_EXACT = "fleet.jaccard_exact"  # per-tick series
 FLEET_SWAP_EPOCH = "fleet.swap_epoch"  # per-tick series (marker)
 FLEET_ROLLBACK_EPOCH = "fleet.rollback_epoch"  # per-tick series (marker)
 FLEET_LEDGER_ENTRIES = "fleet.ledger_entries"
+
+# -- build daemon (repro serve) -----------------------------------------
+SERVE_REQUESTS = "serve.requests"
+SERVE_REQUESTS_OK = "serve.requests_ok"
+SERVE_REQUESTS_ERROR = "serve.requests_error"
+SERVE_BUILDS = "serve.builds"  # builds actually executed (not deduped)
+SERVE_RESULT_HITS = "serve.result_hits"  # served from the warm result LRU
+SERVE_DEDUPE_HITS = "serve.dedupe_hits"  # joined an identical in-flight build
+SERVE_SHED = "serve.shed"  # BUSY replies from the bounded queue
+SERVE_TIMEOUTS = "serve.timeouts"
+SERVE_CANCELLED = "serve.cancelled"
+SERVE_PROTOCOL_ERRORS = "serve.protocol_errors"
+SERVE_QUEUE_DEPTH = "serve.queue_depth"  # per-request series
+SERVE_INFLIGHT = "serve.inflight"  # per-request series
+SERVE_LATENCY_S = "serve.latency_s"  # histogram: per-request wall samples
+SERVE_CONNECTIONS = "serve.connections"
+SERVE_DRAINS = "serve.drains"
 
 
 def fleet_instance_pending(source: str) -> str:

@@ -2,7 +2,8 @@
 
 ``python -m repro.obs.validate --trace T.json --metrics M.json
 [--ledger L.jsonl] [--flame F.json] [--fleet-ledger FL.jsonl]
-[--series S.jsonl]`` checks that the artifacts CI uploads actually
+[--series S.jsonl] [--serve B.json]`` checks that the artifacts CI
+uploads actually
 parse and carry the fields their consumers (Perfetto, speedscope, the
 bench dashboard, the ledger tooling) rely on.  Pure stdlib — the
 checks are hand-rolled rather than jsonschema-based so the validator
@@ -476,6 +477,39 @@ def validate_bench(obj) -> List[str]:
                     errors.append(
                         "{} jaccard {} outside [0, 1]".format(where, jac)
                     )
+    serve = obj.get("serve")
+    if not isinstance(serve, dict):
+        errors.append("bench: missing object 'serve' (schema >= 7)")
+    else:
+        errors.extend(validate_serve(serve))
+    return errors
+
+
+def validate_serve(obj) -> List[str]:
+    """Problems with a serve-bench report (``BENCH_serve.json`` or the
+    ``serve`` section of a schema-7 ``BENCH_smoke.json``)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["serve: top level must be an object"]
+    for key in ("schema", "clients", "requests", "errors", "busy",
+                "wall_s", "throughput_rps", "builds", "result_hits",
+                "dedupe_hits", "shed", "timeouts", "server_requests"):
+        if not isinstance(obj.get(key), (int, float)):
+            errors.append("serve: missing numeric {!r}".format(key))
+    if not isinstance(obj.get("workloads"), list) or not obj.get("workloads"):
+        errors.append("serve: missing non-empty list 'workloads'")
+    for key in ("latency_ms", "cold_build_ms", "warm_rebuild_ms", "run_ms"):
+        dist = obj.get(key)
+        if not isinstance(dist, dict):
+            errors.append("serve: missing object {!r}".format(key))
+            continue
+        for stat in ("count", "p50", "p95", "p99", "max"):
+            if not isinstance(dist.get(stat), (int, float)):
+                errors.append(
+                    "serve: {}.{} is not a number".format(key, stat)
+                )
+    if not isinstance(obj.get("artifacts_identical"), bool):
+        errors.append("serve: missing bool 'artifacts_identical'")
     return errors
 
 
@@ -507,12 +541,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fleet-ledger JSONL to validate")
     parser.add_argument("--series", metavar="FILE",
                         help="time-series JSONL to validate")
+    parser.add_argument("--serve", metavar="FILE",
+                        help="BENCH_serve.json load-bench report to validate")
     args = parser.parse_args(argv)
     if not (args.trace or args.metrics or args.ledger or args.bench
-            or args.flame or args.fleet_ledger or args.series):
+            or args.flame or args.fleet_ledger or args.series
+            or args.serve):
         parser.error(
             "nothing to validate: pass --trace/--metrics/--ledger/--bench"
-            "/--flame/--fleet-ledger/--series"
+            "/--flame/--fleet-ledger/--series/--serve"
         )
 
     errors: List[str] = []
@@ -552,6 +589,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 errors.extend(validate_series_jsonl(handle.read()))
         except OSError as exc:
             errors.append("series: cannot load {}: {}".format(args.series, exc))
+    if args.serve:
+        obj = _load_json(args.serve, errors, "serve")
+        if obj is not None:
+            errors.extend(validate_serve(obj))
 
     for error in errors:
         print("FAIL:", error, file=sys.stderr)

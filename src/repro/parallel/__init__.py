@@ -12,8 +12,10 @@ Three cooperating pieces (docs/performance.md):
 
 from .cache import CACHE_FORMAT_VERSION, CacheStats, ModuleCache
 from .executor import (
+    DEFAULT_MAX_TASKS_PER_CHILD,
     CompileStats,
     MapOutcome,
+    PersistentPool,
     compile_sources,
     default_jobs,
     parallel_map,
@@ -22,10 +24,12 @@ from .scheduler import heaviest_first, module_weights
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "DEFAULT_MAX_TASKS_PER_CHILD",
     "CacheStats",
     "CompileStats",
     "MapOutcome",
     "ModuleCache",
+    "PersistentPool",
     "compile_sources",
     "default_jobs",
     "heaviest_first",

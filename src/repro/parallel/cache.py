@@ -23,13 +23,23 @@ Counters distinguish three outcomes per lookup:
 - **miss** — the key was never stored (a brand-new module);
 - **invalidation** — the module *name* was cached under a different
   key (its source or config changed), counted alongside the miss.
+
+The disk tier can be bounded (``max_mb``): every hit refreshes the
+entry's mtime, and a store that pushes the tier over the cap evicts
+the least-recently-used objects (oldest mtime first) until it fits,
+counting each removal in ``stats.size_evictions``.  A resident build
+daemon can therefore keep one cache directory warm indefinitely
+without growing it without limit.  All public entry points take an
+internal lock, so one cache instance may be shared by the concurrent
+build sessions of a server.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.module import Module
 from ..resilience.errors import IsomError
@@ -41,13 +51,16 @@ CACHE_FORMAT_VERSION = 1
 class CacheStats:
     """Hit/miss/invalidation counters, monotonically increasing."""
 
-    __slots__ = ("hits", "misses", "invalidations", "stores")
+    __slots__ = ("hits", "misses", "invalidations", "stores", "size_evictions")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.stores = 0
+        # Disk objects removed by the size bound (never part of the
+        # 4-tuple snapshot, which predates the bounded tier).
+        self.size_evictions = 0
 
     def snapshot(self) -> Tuple[int, int, int, int]:
         return (self.hits, self.misses, self.invalidations, self.stores)
@@ -77,11 +90,15 @@ def _safe_stem(name: str) -> str:
 class ModuleCache:
     """Content-addressed store of compiled (isom-serialized) modules."""
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self, directory: Optional[str] = None, max_mb: Optional[float] = None
+    ):
         self.directory = directory
+        self.max_bytes = int(max_mb * 1024 * 1024) if max_mb else None
         self._memory: Dict[str, str] = {}  # key -> isom text
         self._name_keys: Dict[str, str] = {}  # module name -> last key seen
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         if directory:
             os.makedirs(os.path.join(directory, "objects"), exist_ok=True)
             os.makedirs(os.path.join(directory, "names"), exist_ok=True)
@@ -120,35 +137,39 @@ class ModuleCache:
         """
         from ..linker.isom import from_isom_text
 
-        text = self._memory.get(key)
-        if text is None:
-            text = self._read_object(key)
-        if text is not None:
-            try:
-                module = from_isom_text(text)
-            except IsomError:
-                # Corrupt/truncated cache entry: evict and recompile.
-                self._evict(key)
-                text = None
-            else:
-                self.stats.hits += 1
-                self._memory[key] = text
-                self._remember_name(name, key)
-                return module
-        previous = self._last_key(name)
-        if previous is not None and previous != key:
-            self.stats.invalidations += 1
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            text = self._memory.get(key)
+            if text is None:
+                text = self._read_object(key)
+            if text is not None:
+                try:
+                    module = from_isom_text(text)
+                except IsomError:
+                    # Corrupt/truncated cache entry: evict and recompile.
+                    self._evict(key)
+                    text = None
+                else:
+                    self.stats.hits += 1
+                    self._memory[key] = text
+                    self._remember_name(name, key)
+                    self._touch(key)
+                    return module
+            previous = self._last_key(name)
+            if previous is not None and previous != key:
+                self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
 
     def store(self, name: str, key: str, isom_text: str) -> None:
-        self._memory[key] = isom_text
-        self._remember_name(name, key)
-        self.stats.stores += 1
-        if not self.directory:
-            return
-        self._write_atomic(self._object_path(key), isom_text)
-        self._write_atomic(self._name_path(name), key)
+        with self._lock:
+            self._memory[key] = isom_text
+            self._remember_name(name, key)
+            self.stats.stores += 1
+            if not self.directory:
+                return
+            self._write_atomic(self._object_path(key), isom_text)
+            self._write_atomic(self._name_path(name), key)
+            self._enforce_disk_bound(keep=key)
 
     # ------------------------------------------------------------------
     # Disk layer
@@ -191,6 +212,77 @@ class ModuleCache:
                 os.remove(self._object_path(key))
             except OSError:
                 pass
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's mtime so the size bound evicts true LRU."""
+        if not self.directory:
+            return
+        try:
+            os.utime(self._object_path(key))
+        except OSError:
+            pass
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk object tier (0 when memory-only)."""
+        if not self.directory:
+            return 0
+        total = 0
+        try:
+            with os.scandir(os.path.join(self.directory, "objects")) as it:
+                for entry in it:
+                    if entry.name.endswith(".isom"):
+                        try:
+                            total += entry.stat().st_size
+                        except OSError:
+                            continue
+        except OSError:
+            return 0
+        return total
+
+    def _enforce_disk_bound(self, keep: str) -> None:
+        """Evict least-recently-used disk objects over ``max_bytes``.
+
+        The entry just stored (``keep``) is never evicted — a single
+        over-budget module still has to compile, and thrashing it in
+        and out of the tier would defeat the cache entirely.
+        """
+        if not self.directory or self.max_bytes is None:
+            return
+        entries: List[Tuple[float, int, str, str]] = []
+        total = 0
+        try:
+            with os.scandir(os.path.join(self.directory, "objects")) as it:
+                for entry in it:
+                    if not entry.name.endswith(".isom"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append(
+                        (stat.st_mtime, stat.st_size, entry.path, entry.name)
+                    )
+                    total += stat.st_size
+        except OSError:
+            return
+        if total <= self.max_bytes:
+            return
+        keep_name = keep + ".isom"
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path, filename in entries:
+            if total <= self.max_bytes:
+                break
+            if filename == keep_name:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.size_evictions += 1
+            # Drop the memory copy too, so the daemon's resident set
+            # tracks the bounded tier instead of shadowing it.
+            self._memory.pop(filename[: -len(".isom")], None)
 
     def _write_atomic(self, path: str, text: str) -> None:
         tmp = path + ".tmp.{}".format(os.getpid())

@@ -7,6 +7,7 @@ fault injector proves every recovery path fires.
 """
 
 from .errors import (
+    FrameFormatError,
     InjectedFault,
     IsomError,
     ProfileConfidenceError,
@@ -22,6 +23,7 @@ from .snapshot import ProcedureSnapshot, ProgramSnapshot
 __all__ = [
     "CORRUPTION_MODES",
     "FaultInjector",
+    "FrameFormatError",
     "GuardConfig",
     "InjectedFault",
     "IsomError",

@@ -1,0 +1,69 @@
+"""The build daemon: builds as requests against one warm toolchain.
+
+``repro serve`` (docs/serving.md) keeps a single
+:class:`~repro.linker.toolchain.ToolchainState` resident — module
+cache, worker pool, finished-build LRU — and answers build/run
+requests over a newline-delimited, CRC32-framed JSON protocol:
+
+- :mod:`repro.serve.protocol` — the wire format;
+- :mod:`repro.serve.state` — per-request state (``BuildRequest``,
+  ``BuildSession``) over the shared ``ServerState``;
+- :mod:`repro.serve.scheduler` — in-flight dedupe, bounded-queue load
+  shedding, per-request deadlines;
+- :mod:`repro.serve.server` — the asyncio daemon with drain-on-SIGTERM;
+- :mod:`repro.serve.client` — async + blocking clients.
+"""
+
+from .client import (
+    AsyncServeClient,
+    ServeClient,
+    ServeRequestError,
+    build_result_from_reply,
+    parse_address,
+)
+from .protocol import (
+    MAX_FRAME_CHARS,
+    OPS,
+    PROTOCOL_VERSION,
+    STATUSES,
+    decode_frame,
+    encode_frame,
+    reply,
+)
+from .scheduler import BusyError, RequestScheduler, RequestTimeoutError
+from .server import ReproServer
+from .state import (
+    BuildOutcome,
+    BuildRequest,
+    BuildSession,
+    ServerState,
+    artifact_checksum,
+    deserialize_report,
+    serialize_report,
+)
+
+__all__ = [
+    "AsyncServeClient",
+    "BuildOutcome",
+    "BuildRequest",
+    "BuildSession",
+    "BusyError",
+    "MAX_FRAME_CHARS",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "RequestScheduler",
+    "RequestTimeoutError",
+    "STATUSES",
+    "ServeClient",
+    "ServeRequestError",
+    "ServerState",
+    "artifact_checksum",
+    "build_result_from_reply",
+    "decode_frame",
+    "deserialize_report",
+    "encode_frame",
+    "parse_address",
+    "reply",
+    "serialize_report",
+]

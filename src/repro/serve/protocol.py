@@ -1,0 +1,137 @@
+"""The serve wire protocol: newline-delimited JSON in CRC32 frames.
+
+One request or response is a single line::
+
+    rpc <version> <len> crc32 <8hex> <payload>
+
+where ``<payload>`` is a compact JSON object of exactly ``<len>``
+characters (``json.dumps`` with ``ensure_ascii`` keeps it ASCII and
+newline-free, so characters equal bytes and the line stays a line).
+The CRC32 is computed over the payload text — the same end-to-end
+integrity idiom as the fleet's profile-shard frames
+(:mod:`repro.fleet.shard`), because a build request travels the same
+kind of hostile path a shard does.
+
+Frame parsing treats its input as hostile and raises a typed
+:class:`~repro.resilience.errors.FrameFormatError`; the server answers
+a bad frame with an error reply instead of dying, and because frames
+are newline-delimited the connection re-synchronizes on the next line.
+
+Requests are JSON objects with an ``op`` (:data:`OPS`) and a
+client-chosen ``id`` echoed back on the reply.  Replies carry a
+``status`` (:data:`STATUSES`); everything else is op-specific and
+documented in docs/serving.md.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Optional
+
+from ..resilience.errors import FrameFormatError
+
+PROTOCOL_VERSION = 1
+WIRE_MAGIC = "rpc"
+
+# Everything the daemon knows how to do.
+OPS = ("ping", "build", "run", "stats", "shutdown")
+
+# Reply statuses.  "busy" is the 429-style load shed; "bad-request"
+# covers malformed payloads and genuine input errors (CompileError and
+# friends); "error" is an isolated internal failure of one request.
+STATUSES = ("ok", "busy", "timeout", "cancelled", "bad-request", "error")
+
+# An upper bound on one frame line.  Build requests carry whole source
+# trees and build replies carry whole isom trees, so this is generous;
+# the asyncio stream limit must be at least this.
+MAX_FRAME_CHARS = 8 * 1024 * 1024
+
+
+def _crc(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One message, framed: ``rpc <ver> <len> crc32 <8hex> <json>\\n``."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    line = "{} {} {} crc32 {} {}\n".format(
+        WIRE_MAGIC, PROTOCOL_VERSION, len(body), _crc(body), body
+    )
+    return line.encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse and verify one frame line back into its payload object.
+
+    Raises :class:`FrameFormatError` (kinds ``truncated``,
+    ``corrupted``, ``version-skew``, ``malformed``) when the frame does
+    not check out.
+    """
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FrameFormatError("frame is not utf-8: {}".format(exc)) from exc
+    text = text.rstrip("\r\n")
+    if not text:
+        raise FrameFormatError("empty frame line", kind="truncated")
+    parts = text.split(" ", 5)
+    if len(parts) < 6:
+        raise FrameFormatError(
+            "short frame header ({} of 6 fields)".format(len(parts)),
+            kind="truncated",
+        )
+    magic, version, length, crc_tag, crc, body = parts
+    if magic != WIRE_MAGIC or crc_tag != "crc32":
+        raise FrameFormatError(
+            "bad frame magic {!r}".format(text[:24]), kind="malformed"
+        )
+    if version != str(PROTOCOL_VERSION):
+        raise FrameFormatError(
+            "protocol version {!r}, this side speaks {}".format(
+                version, PROTOCOL_VERSION
+            ),
+            kind="version-skew",
+        )
+    try:
+        expected_len = int(length)
+    except ValueError as exc:
+        raise FrameFormatError(
+            "unparseable frame length {!r}".format(length)
+        ) from exc
+    if len(body) < expected_len:
+        raise FrameFormatError(
+            "frame truncated: {} of {} payload chars".format(
+                len(body), expected_len
+            ),
+            kind="truncated",
+        )
+    if len(body) > expected_len:
+        raise FrameFormatError(
+            "frame overrun: {} payload chars, header says {}".format(
+                len(body), expected_len
+            ),
+            kind="malformed",
+        )
+    if _crc(body) != crc:
+        raise FrameFormatError("frame CRC mismatch", kind="corrupted")
+    try:
+        payload = json.loads(body)
+    except ValueError as exc:
+        raise FrameFormatError(
+            "frame payload is not JSON: {}".format(exc)
+        ) from exc
+    if not isinstance(payload, dict):
+        raise FrameFormatError("frame payload is not an object")
+    return payload
+
+
+def reply(
+    request_id: Optional[str], status: str, **fields: object
+) -> dict:
+    """A reply payload, statically checked against :data:`STATUSES`."""
+    if status not in STATUSES:
+        raise ValueError("unknown reply status {!r}".format(status))
+    payload = {"id": request_id, "status": status}
+    payload.update(fields)
+    return payload

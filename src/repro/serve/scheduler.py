@@ -1,0 +1,177 @@
+"""The request scheduler: dedupe, bounded queue, timeouts, drain.
+
+Requests arrive on the asyncio event loop; builds are CPU-bound and
+run on a small thread pool (each build's module compiles still fan out
+over the shared ``parallel_map`` worker-process pool).  Between the
+two sits this scheduler, which owns three policies:
+
+**In-flight dedupe.**  Two requests whose :meth:`BuildRequest.key`
+collide would produce byte-identical results, so the second joins the
+first's future instead of building again (``serve.dedupe_hits``).
+Waiters await through ``asyncio.shield``, so one waiter's
+cancellation — a client hanging up mid-build — never cancels the
+shared task and never poisons the result the other waiters get.
+
+**Load shedding.**  At most ``max_pending`` distinct requests may be
+queued or running; one more gets an immediate :class:`BusyError`
+(answered as a 429-style ``busy`` reply) instead of unbounded queue
+latency.  Deduped joins don't count — they add no work.
+
+**Per-request deadline.**  ``timeout`` seconds after submission a
+waiter gets :class:`RequestTimeoutError`.  The underlying build keeps
+running (other waiters may still want it — and its result still lands
+in the warm LRU); only the waiter gives up.
+
+All mutable state lives on the event-loop thread; only the build thunk
+itself runs on worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Awaitable, Callable, Dict, Optional
+
+from ..obs import NULL_OBSERVER
+from ..obs import names
+
+
+class BusyError(Exception):
+    """The bounded queue is full; the request was shed, not run."""
+
+
+class RequestTimeoutError(Exception):
+    """The per-request deadline passed before the build finished."""
+
+
+class RequestScheduler:
+    """Dedupe + shed + deadline policy over a thread-pool executor."""
+
+    def __init__(
+        self,
+        concurrency: int = 2,
+        max_pending: int = 32,
+        default_timeout: Optional[float] = None,
+        observer=NULL_OBSERVER,
+    ):
+        self.concurrency = max(1, concurrency)
+        self.max_pending = max(1, max_pending)
+        self.default_timeout = default_timeout
+        self.observer = observer
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.concurrency, thread_name_prefix="repro-serve"
+        )
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._pending = 0
+        # Counters (event-loop thread only, hence exact).
+        self.started = 0
+        self.completed = 0
+        self.dedupe_hits = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Distinct requests queued or running right now."""
+        return self._pending
+
+    def counters(self) -> dict:
+        return {
+            "started": self.started,
+            "completed": self.completed,
+            "dedupe_hits": self.dedupe_hits,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "pending": self._pending,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self,
+        key: str,
+        thunk: Callable[[], object],
+        timeout: Optional[float] = None,
+    ) -> object:
+        """Run ``thunk`` (or join the identical in-flight run) for ``key``.
+
+        Raises :class:`BusyError` when shed, :class:`RequestTimeoutError`
+        past the deadline, and re-raises whatever the thunk raised.
+        """
+        metrics = self.observer.metrics
+        task = self._inflight.get(key)
+        if task is not None:
+            self.dedupe_hits += 1
+            metrics.count(names.SERVE_DEDUPE_HITS)
+        else:
+            if self._pending >= self.max_pending:
+                self.shed += 1
+                metrics.count(names.SERVE_SHED)
+                raise BusyError(
+                    "{} request(s) already pending (limit {})".format(
+                        self._pending, self.max_pending
+                    )
+                )
+            self._pending += 1
+            self.started += 1
+            task = asyncio.ensure_future(self._run(key, thunk))
+            self._inflight[key] = task
+        if timeout is None:
+            timeout = self.default_timeout
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(asyncio.shield(task), timeout)
+            return await asyncio.shield(task)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            metrics.count(names.SERVE_TIMEOUTS)
+            raise RequestTimeoutError(
+                "request exceeded its {:.1f}s deadline".format(timeout)
+            ) from None
+        except asyncio.CancelledError:
+            # The *waiter* was cancelled (client gone); the shared task
+            # keeps running for everyone else.
+            self.cancelled += 1
+            metrics.count(names.SERVE_CANCELLED)
+            raise
+
+    async def _run(self, key: str, thunk: Callable[[], object]) -> object:
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._executor, thunk)
+        finally:
+            self._pending -= 1
+            self.completed += 1
+            self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> int:
+        """Wait for every in-flight request to finish; returns how many."""
+        tasks = list(self._inflight.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        return len(tasks)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def submit_nowait(
+    scheduler: RequestScheduler,
+    key: str,
+    thunk: Callable[[], object],
+    timeout: Optional[float] = None,
+) -> Awaitable:
+    """``submit`` as a task — for callers juggling several requests."""
+    return asyncio.ensure_future(scheduler.submit(key, thunk, timeout))

@@ -1,0 +1,265 @@
+"""The build daemon: one warm toolchain behind an asyncio socket.
+
+``ReproServer`` accepts CRC32-framed JSON requests
+(:mod:`repro.serve.protocol`), routes build/run work through the
+:class:`~repro.serve.scheduler.RequestScheduler`, and keeps every warm
+structure — module cache, worker pool, finished-build LRU — on one
+shared :class:`~repro.serve.state.ServerState`.
+
+Lifecycle: ``SIGTERM``/``SIGINT`` (or a ``shutdown`` request) starts a
+*drain* — the listener closes, in-flight requests finish, then
+``serve_until_shutdown`` returns so the CLI can write the
+observability artifacts.  A request that raises is answered with a
+typed error reply and never takes the daemon down: the resilience
+error taxonomy separates bad input (``bad-request``) from an isolated
+internal failure (``error``), exactly as the degradation ladder
+separates them inside a build.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from typing import Optional
+
+from ..frontend.errors import CompileError
+from ..obs import NULL_OBSERVER
+from ..obs import names
+from ..resilience.errors import FrameFormatError, StrictModeError
+from .protocol import MAX_FRAME_CHARS, decode_frame, encode_frame, reply
+from .scheduler import BusyError, RequestScheduler, RequestTimeoutError
+from .state import BuildRequest, ServerState
+
+
+class ReproServer:
+    """A resident build service over one warm :class:`ServerState`."""
+
+    def __init__(
+        self,
+        state: Optional[ServerState] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        concurrency: int = 2,
+        max_pending: int = 32,
+        request_timeout: Optional[float] = None,
+        observer=None,
+    ):
+        self.state = state if state is not None else ServerState()
+        self.observer = (
+            observer if observer is not None else self.state.observer
+        )
+        self.host = host
+        self.port = port  # rebound to the real port after start()
+        self.scheduler = RequestScheduler(
+            concurrency=concurrency,
+            max_pending=max_pending,
+            default_timeout=request_timeout,
+            observer=self.observer,
+        )
+        self.started_at = 0.0
+        self.requests = 0  # frames answered (any status)
+        self.protocol_errors = 0
+        self.connections = 0
+        self.drained = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._open_writers: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_CHARS + 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.perf_counter()
+
+    def request_shutdown(self) -> None:
+        """Begin the drain; callable from signal handlers."""
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loops
+
+    async def serve_until_shutdown(self) -> dict:
+        """Run until a drain completes; returns the final stats snapshot."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        # Drain: stop accepting, let in-flight requests finish.
+        self._server.close()
+        await self._server.wait_closed()
+        finished = await self.scheduler.drain()
+        # Hang up on idle keep-alive connections: their handlers see
+        # EOF and exit instead of lingering as cancelled tasks.
+        for writer in list(self._open_writers):
+            writer.close()
+        await asyncio.sleep(0)
+        self.drained = True
+        metrics = self.observer.metrics
+        metrics.count(names.SERVE_DRAINS)
+        self.scheduler.close()
+        self.state.close()
+        snapshot = self.stats_snapshot()
+        snapshot["drained_inflight"] = finished
+        return snapshot
+
+    def stats_snapshot(self) -> dict:
+        uptime = (
+            time.perf_counter() - self.started_at if self.started_at else 0.0
+        )
+        return {
+            "host": self.host,
+            "port": self.port,
+            "uptime_s": round(uptime, 3),
+            "requests": self.requests,
+            "connections": self.connections,
+            "protocol_errors": self.protocol_errors,
+            "scheduler": self.scheduler.counters(),
+            "state": self.state.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        self.observer.metrics.count(names.SERVE_CONNECTIONS)
+        self._open_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                ):
+                    break
+                except asyncio.CancelledError:  # pragma: no cover - teardown
+                    break
+                if not line:
+                    break
+                response = await self._handle_frame(line)
+                if response is None:
+                    continue
+                writer.write(encode_frame(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        finally:
+            self._open_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_frame(self, line: bytes) -> Optional[dict]:
+        metrics = self.observer.metrics
+        started = time.perf_counter()
+        self.requests += 1
+        metrics.count(names.SERVE_REQUESTS)
+        request_id = None
+        try:
+            try:
+                payload = decode_frame(line)
+            except FrameFormatError as exc:
+                self.protocol_errors += 1
+                metrics.count(names.SERVE_PROTOCOL_ERRORS)
+                return reply(
+                    None,
+                    "bad-request",
+                    error=str(exc),
+                    error_type="FrameFormatError",
+                    error_kind=exc.kind,
+                )
+            request_id = payload.get("id")
+            response = await self._dispatch(request_id, payload)
+            return response
+        finally:
+            elapsed = time.perf_counter() - started
+            metrics.observe(names.SERVE_LATENCY_S, elapsed)
+            metrics.record_series(
+                names.SERVE_QUEUE_DEPTH, self.requests, self.scheduler.pending
+            )
+            metrics.record_series(
+                names.SERVE_INFLIGHT,
+                self.requests,
+                self.scheduler.started - self.scheduler.completed,
+            )
+
+    async def _dispatch(self, request_id, payload: dict) -> dict:
+        metrics = self.observer.metrics
+        op = payload.get("op")
+        if op == "ping":
+            metrics.count(names.SERVE_REQUESTS_OK)
+            return reply(request_id, "ok", op="ping")
+        if op == "stats":
+            metrics.count(names.SERVE_REQUESTS_OK)
+            return reply(request_id, "ok", op="stats", stats=self.stats_snapshot())
+        if op == "shutdown":
+            metrics.count(names.SERVE_REQUESTS_OK)
+            self.request_shutdown()
+            return reply(request_id, "ok", op="shutdown", draining=True)
+        if op not in ("build", "run"):
+            metrics.count(names.SERVE_REQUESTS_ERROR)
+            return reply(
+                request_id,
+                "bad-request",
+                error="unsupported op {!r}".format(op),
+                error_type="ValueError",
+            )
+        try:
+            request = BuildRequest.from_payload(payload)
+            fields = await self.scheduler.submit(
+                request.key(),
+                lambda: self.state.execute(request),
+                timeout=request.timeout,
+            )
+        except BusyError as exc:
+            return reply(request_id, "busy", error=str(exc))
+        except RequestTimeoutError as exc:
+            metrics.count(names.SERVE_REQUESTS_ERROR)
+            return reply(request_id, "timeout", error=str(exc))
+        except asyncio.CancelledError:
+            raise
+        except StrictModeError as exc:
+            # Strict-mode refusals are *build* errors, not input errors:
+            # the same sources would have built with strict off.
+            metrics.count(names.SERVE_REQUESTS_ERROR)
+            return reply(
+                request_id, "error", error=str(exc), error_type=type(exc).__name__
+            )
+        except (CompileError, ValueError) as exc:
+            # Bad input (CompileError, IsomError, ProfileFormatError,
+            # malformed payload fields): the client's fault, typed so it
+            # can tell.
+            metrics.count(names.SERVE_REQUESTS_ERROR)
+            return reply(
+                request_id,
+                "bad-request",
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+        except Exception as exc:  # crash-of-one-request isolation
+            metrics.count(names.SERVE_REQUESTS_ERROR)
+            return reply(
+                request_id, "error", error=str(exc), error_type=type(exc).__name__
+            )
+        metrics.count(names.SERVE_REQUESTS_OK)
+        return reply(request_id, "ok", **fields)

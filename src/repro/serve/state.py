@@ -1,0 +1,491 @@
+"""Request state for the build daemon: the other half of the split.
+
+:class:`~repro.linker.toolchain.ToolchainState` holds what persists
+across requests (module cache, worker pool, build policy).  This
+module holds what must *not* persist:
+
+- :class:`BuildRequest` — a frozen, validated form of one wire
+  request, with the dedupe key (:meth:`BuildRequest.key`) derived from
+  ``HLOConfig.fingerprint()`` plus a source-tree digest, so two
+  requests collide exactly when their builds would be byte-identical;
+- :class:`BuildSession` — one request's private ``Toolchain`` over the
+  shared state, producing a wire-ready result payload;
+- :class:`ServerState` — the daemon's composition of both, plus a
+  bounded LRU of finished build payloads (keeping linked programs —
+  and therefore interpreter plan caches — warm for repeat run/rebuild
+  traffic).
+
+``ServerState.execute`` runs on scheduler worker threads; everything
+it touches is either request-private, internally locked (the module
+cache), or guarded by the state's own lock (the result LRU and the
+shared metrics registry).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.config import HLOConfig
+from ..core.report import HLOReport, PassFailure, TransformEvent
+from ..interp.interpreter import (
+    DEFAULT_ENGINE,
+    DEFAULT_MAX_STEPS,
+    ENGINES,
+    run_program,
+)
+from ..linker.isom import to_isom_text
+from ..linker.toolchain import SCOPES, BuildResult, Toolchain, ToolchainState
+from ..obs import NULL_OBSERVER, BuildObserver, InliningLedger
+from ..obs import names
+from ..profile.database import ProfileDatabase
+
+# Everything a build reply's ``report`` object carries verbatim.
+_REPORT_SCALARS = (
+    "inlines",
+    "clones",
+    "clone_replacements",
+    "deletions",
+    "promotions",
+    "devirtualized",
+    "outlines",
+    "clone_db_hits",
+    "passes_run",
+    "analysis_hits",
+    "analysis_misses",
+    "analysis_invalidations",
+    "sites_considered",
+    "initial_cost",
+    "final_cost",
+    "budget_limit",
+)
+_REPORT_LISTS = (
+    "deleted_procs",
+    "promoted_symbols",
+    "outlined_procs",
+    "quarantined_passes",
+)
+
+
+def serialize_report(report: HLOReport) -> dict:
+    """An HLOReport as a JSON-safe object (wire twin of the dataclass).
+
+    Events ride along in full — the fleet's convergence measure is a
+    Jaccard over (kind, caller, callee, site_id) decision sets, so a
+    remote build must carry the same evidence a local one would.
+    ``pass_failures`` travels as a count: enough to preserve the
+    ``degraded`` verdict without shipping tracebacks.
+    """
+    obj = {name: getattr(report, name) for name in _REPORT_SCALARS}
+    for name in _REPORT_LISTS:
+        obj[name] = list(getattr(report, name))
+    obj["events"] = [
+        [e.kind, e.pass_number, e.caller, e.callee, e.site_id, e.detail]
+        for e in report.events
+    ]
+    obj["pass_failures"] = len(report.pass_failures)
+    return obj
+
+
+def deserialize_report(obj: dict) -> HLOReport:
+    report = HLOReport()
+    for name in _REPORT_SCALARS:
+        setattr(report, name, obj.get(name, 0))
+    for name in _REPORT_LISTS:
+        setattr(report, name, list(obj.get(name, ())))
+    report.events = [
+        TransformEvent(kind, pass_number, caller, callee, site_id, detail)
+        for kind, pass_number, caller, callee, site_id, detail in obj.get(
+            "events", ()
+        )
+    ]
+    for _ in range(int(obj.get("pass_failures", 0))):
+        # Placeholders: the remote side kept the tracebacks; what
+        # matters here is that ``report.degraded`` stays true.
+        report.pass_failures.append(
+            PassFailure(
+                pass_name="remote", proc="", pass_number=0,
+                phase="output", error_type="remote", error="see server log",
+            )
+        )
+    return report
+
+
+def artifact_checksum(isoms: Dict[str, str]) -> str:
+    """One digest over a build's per-module isom texts.
+
+    Because the parallel pipeline routes every module through its isom
+    text, this digest is the byte-identity check between a daemon
+    build and a cold CLI build of the same sources and config.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(isoms):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(isoms[name].encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One wire request, validated and normalized.
+
+    Frozen so a request can serve as a dict key and be shared between
+    the scheduler and any number of waiters without copy-on-read
+    paranoia.
+    """
+
+    op: str  # "build" | "run"
+    sources: Tuple[Tuple[str, str], ...]
+    scope: str = "c"
+    engine: str = ""  # empty = the server's default engine
+    budget_percent: Optional[float] = None
+    train_inputs: Tuple[Tuple[float, ...], ...] = ()
+    profile_text: Optional[str] = None
+    inputs: Tuple[float, ...] = ()  # run op only
+    max_steps: int = DEFAULT_MAX_STEPS
+    want_ledger: bool = False
+    timeout: Optional[float] = None  # per-request scheduler deadline
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BuildRequest":
+        """Validate a decoded wire payload; raises ValueError when bad."""
+        op = payload.get("op")
+        if op not in ("build", "run"):
+            raise ValueError("unsupported op {!r}".format(op))
+        raw_sources = payload.get("sources")
+        if not isinstance(raw_sources, list) or not raw_sources:
+            raise ValueError("'sources' must be a non-empty list")
+        sources = []
+        for entry in raw_sources:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not all(isinstance(part, str) for part in entry)
+            ):
+                raise ValueError(
+                    "each source must be a [name, text] pair of strings"
+                )
+            sources.append((entry[0], entry[1]))
+        scope = payload.get("scope", "c")
+        if scope not in SCOPES:
+            raise ValueError(
+                "unknown scope {!r}; expected one of {}".format(scope, SCOPES)
+            )
+        engine = payload.get("engine", "")
+        if engine and engine not in ENGINES:
+            raise ValueError(
+                "unknown engine {!r}; expected one of {}".format(
+                    engine, sorted(ENGINES)
+                )
+            )
+        budget = payload.get("budget_percent")
+        if budget is not None and not isinstance(budget, (int, float)):
+            raise ValueError("'budget_percent' must be a number")
+        train = tuple(
+            tuple(run) for run in payload.get("train_inputs", ())
+        )
+        profile_text = payload.get("profile")
+        if profile_text is not None and not isinstance(profile_text, str):
+            raise ValueError("'profile' must be profiledb text")
+        inputs = tuple(payload.get("inputs", ()))
+        if op == "run" and not all(
+            isinstance(v, (int, float)) for v in inputs
+        ):
+            raise ValueError("'inputs' must be numbers")
+        max_steps = payload.get("max_steps", DEFAULT_MAX_STEPS)
+        if not isinstance(max_steps, int) or max_steps <= 0:
+            raise ValueError("'max_steps' must be a positive integer")
+        timeout = payload.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ValueError("'timeout' must be a number of seconds")
+        return cls(
+            op=op,
+            sources=tuple(sources),
+            scope=scope,
+            engine=engine,
+            budget_percent=budget,
+            train_inputs=train,
+            profile_text=profile_text,
+            inputs=inputs,
+            max_steps=max_steps,
+            want_ledger=bool(payload.get("ledger", False)),
+            timeout=timeout,
+        )
+
+    def config(self) -> HLOConfig:
+        if self.budget_percent is not None:
+            return HLOConfig(budget_percent=float(self.budget_percent))
+        return HLOConfig()
+
+    def build_key(self) -> str:
+        """The dedupe key of the underlying *build*.
+
+        ``HLOConfig.fingerprint()`` + a source-tree digest + everything
+        else that feeds the artifact (scope, engine, training inputs,
+        profile override) — and nothing that doesn't, so a ``run``
+        request shares its build with the ``build`` that warmed it.
+        """
+        digest = hashlib.sha256()
+        for part in (
+            "repro-serve-build",
+            self.config().fingerprint(),
+            self.scope,
+            self.engine,
+            repr(self.train_inputs),
+            self.profile_text or "",
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        for name, text in sorted(self.sources):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(text.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def key(self) -> str:
+        """The in-flight dedupe key (build identity + op + run inputs)."""
+        if self.op == "build":
+            return self.build_key()
+        return "{}|run|{}|{}".format(
+            self.build_key(), repr(self.inputs), self.max_steps
+        )
+
+
+@dataclass
+class BuildOutcome:
+    """One finished build, retained by the server's result LRU."""
+
+    result: BuildResult
+    payload: dict  # the wire-ready "ok" reply fields
+    key: str
+    wall_s: float
+
+
+class BuildSession:
+    """One request's private build state over the shared toolchain state.
+
+    The session owns everything mutable about its build — the
+    ``Toolchain`` (profile caches, diagnostics), the optional inlining
+    ledger — and shares only the locked pieces (module cache, worker
+    pool) through ``ToolchainState``.  A session is created, executed
+    on a worker thread, and discarded; nothing about it outlives the
+    request, which is what makes one request's crash isolated.
+    """
+
+    def __init__(self, state: ToolchainState, request: BuildRequest):
+        self.request = request
+        self.toolchain: Toolchain = state.session(
+            list(request.sources),
+            train_inputs=[list(v) for v in request.train_inputs],
+            config=request.config(),
+            engine=request.engine or state.engine,
+        )
+
+    def execute(self) -> BuildOutcome:
+        request = self.request
+        started = time.perf_counter()
+        ledger = InliningLedger() if request.want_ledger else None
+        observer = (
+            BuildObserver(ledger=ledger) if ledger is not None else NULL_OBSERVER
+        )
+        if request.profile_text is not None:
+            # May raise ProfileFormatError (a ValueError): bad request.
+            database = ProfileDatabase.from_text(request.profile_text)
+            result = self.toolchain.rebuild_with_profile(
+                database, scope=request.scope, observer=observer
+            )
+        else:
+            result = self.toolchain.build(request.scope, observer=observer)
+        wall_s = time.perf_counter() - started
+
+        isoms = {
+            module.name: to_isom_text(module)
+            for module in result.program.modules.values()
+        }
+        diagnostics = result.diagnostics
+        payload = {
+            "op": "build",
+            "scope": request.scope,
+            "engine": result.engine,
+            "isoms": isoms,
+            # JSON frames sort object keys; the link order must survive
+            # the trip for the client-side program to be identical.
+            "module_order": [m.name for m in result.program.modules.values()],
+            "checksum": artifact_checksum(isoms),
+            "report": serialize_report(result.report),
+            "ledger_considered": ledger.considered if ledger else None,
+            "stats": {
+                "compile_units": result.stats.compile_units,
+                "train_steps": result.stats.train_steps,
+                "train_runs": result.stats.train_runs,
+                "code_size_instrs": result.stats.code_size_instrs,
+                "annotated_blocks": result.stats.annotated_blocks,
+            },
+            "diagnostics": {
+                "degraded": result.degraded,
+                "module_fallbacks": list(diagnostics.module_fallbacks),
+                "profile_fallback": diagnostics.profile_fallback,
+                "modules_compiled": diagnostics.modules_compiled,
+                "modules_from_cache": diagnostics.modules_from_cache,
+                "cache_hits": diagnostics.cache_hits,
+                "cache_misses": diagnostics.cache_misses,
+                "warnings": len(diagnostics.warnings),
+            },
+            "build_wall_s": round(wall_s, 6),
+            "cached": False,
+        }
+        return BuildOutcome(
+            result=result, payload=payload, key=request.build_key(), wall_s=wall_s
+        )
+
+
+class ServerState:
+    """Everything the daemon keeps warm, composed for the scheduler.
+
+    ``execute`` is the thunk the request scheduler runs on a worker
+    thread; it consults the finished-build LRU first (a warm rebuild
+    is a dictionary hit), then runs a fresh :class:`BuildSession`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_mb: Optional[float] = None,
+        engine: str = "",
+        compile_timeout: Optional[float] = None,
+        observer=NULL_OBSERVER,
+        results_capacity: int = 32,
+        max_tasks_per_child: Optional[int] = None,
+    ):
+        self.toolchain_state = ToolchainState.create(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_max_mb=cache_max_mb,
+            engine=engine or DEFAULT_ENGINE,
+            compile_timeout=compile_timeout,
+            max_tasks_per_child=max_tasks_per_child,
+        )
+        self.observer = observer
+        self.results_capacity = max(1, results_capacity)
+        self._results: "OrderedDict[str, BuildOutcome]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.builds = 0  # builds actually executed
+        self.result_hits = 0  # served from the finished-build LRU
+
+    # ------------------------------------------------------------------
+    # Request execution (scheduler worker threads)
+    # ------------------------------------------------------------------
+
+    def execute(self, request: BuildRequest) -> dict:
+        """One request, start to finish; returns the "ok" reply fields."""
+        outcome = self._build_outcome(request)
+        if request.op == "build":
+            return outcome.payload
+        return self._run(request, outcome)
+
+    def _build_outcome(self, request: BuildRequest) -> BuildOutcome:
+        key = request.build_key()
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                self.result_hits += 1
+        if cached is not None:
+            self._count(names.SERVE_RESULT_HITS)
+            payload = dict(cached.payload)
+            payload["cached"] = True
+            return BuildOutcome(
+                result=cached.result, payload=payload, key=key, wall_s=cached.wall_s
+            )
+        session = BuildSession(self.toolchain_state, request)
+        outcome = session.execute()
+        with self._lock:
+            self.builds += 1
+            self._results[key] = outcome
+            self._results.move_to_end(key)
+            while len(self._results) > self.results_capacity:
+                self._results.popitem(last=False)
+        self._count(names.SERVE_BUILDS)
+        self._collect_build_metrics(outcome)
+        return outcome
+
+    def _run(self, request: BuildRequest, outcome: BuildOutcome) -> dict:
+        result = run_program(
+            outcome.result.program,
+            list(request.inputs),
+            max_steps=request.max_steps,
+            engine=outcome.result.engine,
+        )
+        return {
+            "op": "run",
+            "exit_code": result.exit_code,
+            "output": list(result.output),
+            "steps": result.steps,
+            "checksum": outcome.payload["checksum"],
+            "cached": outcome.payload["cached"],
+        }
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        metrics = self.observer.metrics
+        if metrics.enabled:
+            with self._lock:
+                metrics.count(name, delta)
+
+    def _collect_build_metrics(self, outcome: BuildOutcome) -> None:
+        metrics = self.observer.metrics
+        if not metrics.enabled:
+            return
+        from ..obs.metrics import collect_build_metrics
+
+        with self._lock:
+            collect_build_metrics(
+                outcome.result.diagnostics,
+                outcome.result.report,
+                outcome.result.stats,
+                registry=metrics,
+            )
+            metrics.observe(names.BUILD_WALL_S_HIST, outcome.wall_s)
+
+    def snapshot(self) -> dict:
+        """Counters for the ``stats`` op and the drain summary."""
+        cache = self.toolchain_state.cache
+        pool = self.toolchain_state.pool
+        with self._lock:
+            retained = len(self._results)
+        out = {
+            "builds": self.builds,
+            "result_hits": self.result_hits,
+            "results_retained": retained,
+            "cache": {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "invalidations": cache.stats.invalidations,
+                "stores": cache.stats.stores,
+                "size_evictions": cache.stats.size_evictions,
+                "disk_bytes": cache.disk_bytes(),
+            },
+        }
+        if pool is not None:
+            out["pool"] = {
+                "jobs": pool.jobs,
+                "max_tasks_per_child": pool.max_tasks_per_child,
+                "submitted": pool.submitted,
+                "generations": pool.generations,
+                "discards": pool.discards,
+            }
+        return out
+
+    def close(self) -> None:
+        self.toolchain_state.close()

@@ -1,0 +1,90 @@
+"""The fleet's --build-server path: remote rebuilds through the daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import ReoptimizeController, decision_set
+from repro.linker.isom import to_isom_text
+from repro.linker.toolchain import Toolchain
+from repro.serve.client import ServeClient
+
+from ..serve.conftest import start_daemon
+from .conftest import REF_INPUT, TRAIN_INPUTS
+
+
+@pytest.fixture
+def daemon():
+    handle = start_daemon()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def toolchain(sources):
+    return Toolchain(sources, train_inputs=TRAIN_INPUTS)
+
+
+def test_remote_rebuild_matches_local(daemon, toolchain):
+    profile = toolchain.build("cp").profile
+    local = toolchain.rebuild_with_profile(profile)
+
+    client = ServeClient(daemon.address)
+    try:
+        remote, considered = client.remote_rebuild(
+            toolchain.sources, profile.to_text()
+        )
+    finally:
+        client.close()
+
+    assert decision_set(remote.report) == decision_set(local.report)
+    assert considered == local.report.sites_considered
+    local_isoms = {
+        name: to_isom_text(module)
+        for name, module in local.program.modules.items()
+    }
+    remote_isoms = {
+        name: to_isom_text(module)
+        for name, module in remote.program.modules.items()
+    }
+    assert remote_isoms == local_isoms
+
+
+def test_controller_swaps_through_the_daemon(daemon, toolchain):
+    profile = toolchain.build("cp").profile
+    client = ServeClient(daemon.address)
+    try:
+        controller = ReoptimizeController(
+            toolchain,
+            canary_inputs=REF_INPUT,
+            min_confidence=0.0,
+            build_client=client,
+        )
+        controller.initial_build()
+        action = controller.consider(profile, epoch=0)
+        assert action.swapped is not None
+        assert controller.current.build_id == 1
+        # The rebuild really happened on the daemon, not locally.
+        stats = client.stats()
+    finally:
+        client.close()
+    assert stats["state"]["builds"] == 1
+    assert not any("build-server unavailable" in line
+                   for line in controller.history)
+
+
+def test_unreachable_daemon_degrades_to_local_rebuild(toolchain):
+    profile = toolchain.build("cp").profile
+    client = ServeClient("127.0.0.1:1", timeout=0.5)
+    controller = ReoptimizeController(
+        toolchain,
+        canary_inputs=REF_INPUT,
+        min_confidence=0.0,
+        build_client=client,
+    )
+    controller.initial_build()
+    action = controller.consider(profile, epoch=0)
+    # The swap still happens — locally — and the degradation is recorded.
+    assert action.swapped is not None
+    assert any("build-server unavailable" in line
+               for line in controller.history)

@@ -223,6 +223,18 @@ class TestToolchainAndMetrics:
             "overhead_ratio": 1.0, "max_overhead": 1.02,
             "contexts": 5, "samples": 100, "engines_consistent": True,
         }
+        problems = validate_bench(report)
+        assert any("serve" in p for p in problems)
+        dist = {"count": 8, "p50": 1.0, "p95": 2.0, "p99": 3.0, "max": 4.0}
+        report["serve"] = {
+            "schema": 1, "clients": 16, "requests": 64, "errors": 0,
+            "busy": 0, "wall_s": 1.0, "throughput_rps": 64.0,
+            "builds": 3, "result_hits": 16, "dedupe_hits": 13,
+            "shed": 0, "timeouts": 0, "server_requests": 65,
+            "workloads": ["w"], "artifacts_identical": True,
+            "latency_ms": dict(dist), "cold_build_ms": dict(dist),
+            "warm_rebuild_ms": dict(dist), "run_ms": dict(dist),
+        }
         assert validate_bench(report) == []
 
     def test_bench_check_gates_speedup_regression(self):

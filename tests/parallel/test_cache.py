@@ -74,6 +74,86 @@ def test_corrupt_disk_entry_is_a_miss_and_evicted(tmp_path):
     assert not os.path.exists(path)
 
 
+def _filler_source(tag):
+    """Same-length sources so every disk entry has the same size."""
+    return "int f{}(int a, int b) {{ return a + b; }}\n".format(tag)
+
+
+def _store(cache, name):
+    key = cache.key_for(name, _filler_source(name[-1]), "")
+    cache.store(name, key, _compiled_text(name, _filler_source(name[-1])))
+    return key
+
+
+def test_size_bound_evicts_least_recently_used(tmp_path):
+    probe = ModuleCache(str(tmp_path / "probe"))
+    entry_bytes = 0
+    _store(probe, "m0")
+    entry_bytes = probe.disk_bytes()
+    assert entry_bytes > 0
+
+    # Room for two entries, not three.
+    max_mb = (2 * entry_bytes + entry_bytes // 2) / (1024.0 * 1024.0)
+    cache = ModuleCache(str(tmp_path / "bounded"), max_mb=max_mb)
+    key_a = _store(cache, "ma")
+    key_b = _store(cache, "mb")
+    assert cache.stats.size_evictions == 0
+    # Make 'a' the LRU entry, then overflow: 'a' must go, 'b' stays.
+    os.utime(os.path.join(str(tmp_path / "bounded"), "objects", key_a + ".isom"),
+             (1, 1))
+    key_c = _store(cache, "mc")
+    assert cache.stats.size_evictions == 1
+    assert cache.disk_bytes() <= 2 * entry_bytes
+    # The memory copy went with the disk object: a resident daemon's
+    # footprint tracks the bounded tier.
+    assert cache.fetch("ma", key_a) is None
+    assert cache.fetch("mb", key_b) is not None
+    assert cache.fetch("mc", key_c) is not None
+
+
+def test_size_bound_never_evicts_the_entry_just_stored(tmp_path):
+    probe = ModuleCache(str(tmp_path / "probe"))
+    _store(probe, "m0")
+    entry_bytes = probe.disk_bytes()
+
+    # Bound below a single entry: each store evicts its predecessor.
+    max_mb = (entry_bytes // 2) / (1024.0 * 1024.0)
+    cache = ModuleCache(str(tmp_path / "tiny"), max_mb=max_mb)
+    _store(cache, "ma")
+    assert cache.stats.size_evictions == 0  # 'a' itself is protected
+    key_b = _store(cache, "mb")
+    assert cache.stats.size_evictions == 1  # 'a' evicted, 'b' protected
+    assert cache.fetch("mb", key_b) is not None
+
+
+def test_fetch_refreshes_recency(tmp_path):
+    probe = ModuleCache(str(tmp_path / "probe"))
+    _store(probe, "m0")
+    entry_bytes = probe.disk_bytes()
+
+    max_mb = (2 * entry_bytes + entry_bytes // 2) / (1024.0 * 1024.0)
+    directory = str(tmp_path / "touched")
+    cache = ModuleCache(directory, max_mb=max_mb)
+    key_a = _store(cache, "ma")
+    key_b = _store(cache, "mb")
+    # Age both, then *use* 'a': the hit refreshes its mtime, so the
+    # overflow evicts 'b' even though 'a' was stored first.
+    for key in (key_a, key_b):
+        os.utime(os.path.join(directory, "objects", key + ".isom"), (1, 1))
+    assert cache.fetch("ma", key_a) is not None
+    _store(cache, "mc")
+    assert cache.stats.size_evictions == 1
+    assert cache.fetch("ma", key_a) is not None
+    assert cache.fetch("mb", key_b) is None
+
+
+def test_unbounded_cache_never_size_evicts(tmp_path):
+    cache = ModuleCache(str(tmp_path))
+    for index in range(6):
+        _store(cache, "m{}".format(index))
+    assert cache.stats.size_evictions == 0
+
+
 def _build(sources, tmp_path, config=None):
     toolchain = Toolchain(
         sources,

@@ -1,0 +1,113 @@
+"""The persistent worker pool: reuse across calls, bounded worker lives."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import DEFAULT_MAX_TASKS_PER_CHILD, PersistentPool
+from repro.parallel.executor import parallel_map
+
+
+def _pid(_item):
+    return os.getpid()
+
+
+def _square(item):
+    return item * item
+
+
+def _reject(item):
+    raise ValueError("bad input {}".format(item))
+
+
+def test_pool_survives_across_calls():
+    pool = PersistentPool(jobs=2)
+    try:
+        first, outcome_a = parallel_map(_square, [1, 2, 3, 4], jobs=2, pool=pool)
+        second, outcome_b = parallel_map(_square, [5, 6, 7, 8], jobs=2, pool=pool)
+    finally:
+        pool.close()
+    assert first == [1, 4, 9, 16]
+    assert second == [25, 36, 49, 64]
+    assert not outcome_a.fell_back and not outcome_b.fell_back
+    # One executor served both calls; nothing was torn down between them.
+    assert pool.generations == 1
+    assert pool.discards == 0
+    assert pool.submitted == 8
+
+
+def test_pool_reuses_the_same_workers():
+    pool = PersistentPool(jobs=2)
+    try:
+        first, _ = parallel_map(_pid, list(range(8)), jobs=2, pool=pool)
+        second, _ = parallel_map(_pid, list(range(8)), jobs=2, pool=pool)
+    finally:
+        pool.close()
+    # Default recycling is generous, so the second call runs on the
+    # first call's worker processes — the whole point of the pool.
+    assert set(second) <= set(first)
+    assert len(set(first)) <= 2
+
+
+def test_worker_recycling_bounds_process_lifetime():
+    pool = PersistentPool(jobs=2, max_tasks_per_child=1)
+    try:
+        pids, outcome = parallel_map(_pid, list(range(6)), jobs=2, pool=pool)
+    finally:
+        pool.close()
+    assert not outcome.fell_back
+    # Every worker retires after one task, so fresh processes keep
+    # appearing: far more distinct pids than the two pool slots.
+    assert len(set(pids)) >= 3
+    assert pool.max_tasks_per_child == 1
+    assert pool.submitted == 6
+
+
+def test_discard_rebuilds_lazily():
+    pool = PersistentPool(jobs=2)
+    try:
+        parallel_map(_square, [1, 2], jobs=2, pool=pool)
+        pool.discard()
+        assert pool.discards == 1
+        results, outcome = parallel_map(_square, [3, 4], jobs=2, pool=pool)
+    finally:
+        pool.close()
+    assert results == [9, 16]
+    assert not outcome.fell_back
+    assert pool.generations == 2
+
+
+def test_serial_path_leaves_the_pool_untouched():
+    pool = PersistentPool(jobs=2)
+    try:
+        results, _ = parallel_map(_square, [3], jobs=2, pool=pool)
+    finally:
+        pool.close()
+    assert results == [9]
+    assert pool.generations == 0  # single item: no executor ever built
+    assert pool.submitted == 0
+
+
+def test_input_errors_propagate_without_discarding():
+    pool = PersistentPool(jobs=2)
+    try:
+        with pytest.raises(ValueError):
+            parallel_map(_reject, [1, 2], jobs=2, pool=pool)
+        # Bad input is the caller's problem, not pool breakage: the
+        # executor survives for the next build.
+        assert pool.discards == 0
+        results, outcome = parallel_map(_square, [3, 4], jobs=2, pool=pool)
+    finally:
+        pool.close()
+    assert results == [9, 16]
+    assert not outcome.fell_back
+    assert pool.generations == 1
+
+
+def test_defaults_are_sane():
+    pool = PersistentPool(jobs=0, max_tasks_per_child=0)
+    assert pool.jobs == 1
+    assert pool.max_tasks_per_child == 1
+    assert DEFAULT_MAX_TASKS_PER_CHILD >= 1

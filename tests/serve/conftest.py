@@ -1,0 +1,110 @@
+"""Fixtures for the build-daemon tests.
+
+The end-to-end tests run the daemon on a background thread with its
+own event loop and talk to it with the blocking :class:`ServeClient`;
+the asyncio-level tests drive :class:`ReproServer` directly on the
+test's own loop instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.serve.state import ServerState
+
+# The same three-module program the parallel tests build: big enough
+# that a "cp" build makes real inline decisions, small enough that the
+# daemon tests stay fast.
+SOURCES = [
+    (
+        "util",
+        "int add(int a, int b) { return a + b; }\n"
+        "int mul(int a, int b) { return a * b; }\n",
+    ),
+    (
+        "mid",
+        "extern int add(int a, int b);\n"
+        "int twice(int x) { return add(x, x); }\n",
+    ),
+    (
+        "main",
+        "extern int twice(int x);\n"
+        "extern int mul(int a, int b);\n"
+        "int main() { int n = input(0); print_int(mul(twice(n), 3)); return 0; }\n",
+    ),
+]
+
+TRAIN_INPUTS = [[5]]
+REF_INPUT = [7]
+
+BROKEN_SOURCES = [("bad", "int main( { return }")]
+
+
+class DaemonHandle:
+    """One background daemon: server object, address, clean shutdown."""
+
+    def __init__(
+        self,
+        server: ReproServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def address(self) -> str:
+        return "{}:{}".format(self.server.host, self.server.port)
+
+    def stop(self) -> None:
+        """Drain the daemon from the test thread and wait it out."""
+        if self.thread.is_alive():
+            try:
+                self.loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "daemon failed to drain"
+
+
+def start_daemon(state: Optional[ServerState] = None, **server_kwargs):
+    started = threading.Event()
+    box = {}
+
+    def runner():
+        async def main():
+            server = ReproServer(state, **server_kwargs)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(30), "daemon failed to start"
+    return DaemonHandle(box["server"], box["loop"], thread)
+
+
+@pytest.fixture
+def daemon():
+    handle = start_daemon()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    client = ServeClient(daemon.address)
+    client.connect(retry_for=5.0)
+    yield client
+    client.close()

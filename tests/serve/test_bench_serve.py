@@ -1,0 +1,73 @@
+"""The load-generator bench, shrunk to suite size: gates must hold."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.serve import (
+    check_serve_report,
+    main,
+    run_serve_bench,
+    summary_lines,
+)
+
+
+def test_small_bench_passes_its_own_gates():
+    report, failures = run_serve_bench(
+        clients=8, workloads=("compress",), scope="c", concurrency=2
+    )
+    assert failures == []
+    assert report["errors"] == 0
+    # 8 clients x (stampede + warm + run + variant) = 32 requests.
+    assert report["requests"] == 32
+    # The stampede deduped: nowhere near one build per request.
+    assert report["dedupe_hits"] >= 1
+    assert report["builds"] < report["requests"]
+    assert report["artifacts_identical"] is True
+    assert report["warm_rebuild_ms"]["count"] >= 8
+    assert summary_lines(report)  # renders without raising
+
+
+def test_gate_catches_cold_warm_inversion():
+    report = {
+        "errors": 0,
+        "dedupe_hits": 3,
+        "artifacts_identical": True,
+        "warm_rebuild_ms": {"count": 10, "p50": 40.0, "p95": 50.0},
+        "cold_build_ms": {"count": 4, "p50": 9.0, "p95": 12.0},
+    }
+    failures = check_serve_report(report)
+    assert len(failures) == 1
+    assert "warm" in failures[0]
+
+    report["warm_rebuild_ms"] = {"count": 10, "p50": 0.5, "p95": 1.0}
+    assert check_serve_report(report) == []
+
+
+def test_gate_catches_missing_dedupe_and_divergent_artifacts():
+    report = {
+        "errors": 2,
+        "dedupe_hits": 0,
+        "artifacts_identical": False,
+        "warm_rebuild_ms": {"count": 0, "p50": 0.0, "p95": 0.0},
+        "cold_build_ms": {"count": 0, "p50": 0.0, "p95": 0.0},
+    }
+    failures = check_serve_report(report)
+    assert len(failures) == 3
+    assert all(f.startswith("serve:") for f in failures)
+
+
+def test_cli_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_serve.json"
+    rc = main([
+        "--clients", "4",
+        "--workloads", "compress",
+        "--concurrency", "2",
+        "--output", str(out),
+    ])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["clients"] == 4
+    assert report["errors"] == 0
+    captured = capsys.readouterr()
+    assert "serve bench: 4 clients" in captured.out

@@ -1,0 +1,92 @@
+"""Frame encode/decode: round trips and the hostile-input taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.errors import FrameFormatError
+from repro.serve.protocol import (
+    MAX_FRAME_CHARS,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    reply,
+)
+
+
+def test_round_trip():
+    payload = {"op": "build", "id": "r1", "sources": [["m", "int x;"]]}
+    line = encode_frame(payload)
+    assert line.endswith(b"\n")
+    assert line.startswith("rpc {} ".format(PROTOCOL_VERSION).encode())
+    assert decode_frame(line) == payload
+
+
+def test_round_trip_preserves_nested_values():
+    payload = {
+        "id": None,
+        "status": "ok",
+        "isoms": {"a": "line1\nline2", "b": ""},
+        "inputs": [1, 2.5, -3],
+        "cached": False,
+    }
+    assert decode_frame(encode_frame(payload)) == payload
+
+
+def test_frame_is_single_line():
+    line = encode_frame({"text": "a\nb\tc", "unicode": "é"})
+    assert line.count(b"\n") == 1  # only the terminator
+
+
+def _kind(line):
+    with pytest.raises(FrameFormatError) as excinfo:
+        decode_frame(line)
+    return excinfo.value.kind
+
+
+def test_truncated_frame():
+    line = encode_frame({"op": "ping"})
+    assert _kind(line[:-10]) == "truncated"
+    assert _kind(b"rpc 1 90\n") == "truncated"
+    assert _kind(b"\n") == "truncated"
+
+
+def test_corrupted_payload():
+    line = bytearray(encode_frame({"op": "ping", "id": "x"}))
+    # Flip one payload character without changing the length.
+    line[-3] = ord("X") if line[-3] != ord("X") else ord("Y")
+    assert _kind(bytes(line)) == "corrupted"
+
+
+def test_version_skew():
+    line = encode_frame({"op": "ping"})
+    skewed = line.replace(b"rpc 1 ", b"rpc 2 ", 1)
+    assert _kind(skewed) == "version-skew"
+
+
+def test_malformed_magic_and_overrun():
+    line = encode_frame({"op": "ping"})
+    assert _kind(b"xxx" + line[3:]) == "malformed"
+    assert _kind(line[:-1] + b"junk\n") == "malformed"
+
+
+def test_non_object_payload_rejected():
+    body = "[1,2,3]"
+    import zlib
+
+    crc = format(zlib.crc32(body.encode()) & 0xFFFFFFFF, "08x")
+    line = "rpc 1 {} crc32 {} {}\n".format(len(body), crc, body).encode()
+    with pytest.raises(FrameFormatError):
+        decode_frame(line)
+
+
+def test_reply_checks_status():
+    assert reply("r1", "ok", op="ping")["status"] == "ok"
+    assert reply(None, "busy")["id"] is None
+    with pytest.raises(ValueError):
+        reply("r1", "teapot")
+
+
+def test_frame_limit_is_generous():
+    # Whole source trees must fit; the limit is a safety valve, not a cap.
+    assert MAX_FRAME_CHARS >= 1024 * 1024

@@ -1,0 +1,187 @@
+"""Scheduler policy: in-flight dedupe, cancellation safety, load shed."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.scheduler import (
+    BusyError,
+    RequestScheduler,
+    RequestTimeoutError,
+    submit_nowait,
+)
+
+
+def _gated_thunk(gate: threading.Event, calls: list, value="built"):
+    """A build stand-in that blocks until the test opens the gate."""
+
+    def thunk():
+        calls.append(threading.get_ident())
+        gate.wait(10)
+        return value
+
+    return thunk
+
+
+def test_identical_requests_build_once():
+    """Two concurrent submits with one key: one execution, one dedupe hit."""
+
+    async def main():
+        scheduler = RequestScheduler(concurrency=2)
+        gate = threading.Event()
+        calls = []
+        first = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        second = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.05)  # both submits reach the scheduler
+        gate.set()
+        results = await asyncio.gather(first, second)
+        scheduler.close()
+        return scheduler, calls, results
+
+    scheduler, calls, results = asyncio.run(main())
+    assert results == ["built", "built"]
+    assert len(calls) == 1  # the thunk ran exactly once
+    assert scheduler.started == 1
+    assert scheduler.dedupe_hits == 1
+    assert scheduler.completed == 1
+
+
+def test_distinct_keys_do_not_dedupe():
+    async def main():
+        scheduler = RequestScheduler(concurrency=2)
+        results = await asyncio.gather(
+            scheduler.submit("a", lambda: "ra"),
+            scheduler.submit("b", lambda: "rb"),
+        )
+        scheduler.close()
+        return scheduler, results
+
+    scheduler, results = asyncio.run(main())
+    assert results == ["ra", "rb"]
+    assert scheduler.started == 2
+    assert scheduler.dedupe_hits == 0
+
+
+def test_cancelled_waiter_does_not_poison_the_shared_future():
+    """A client hanging up mid-build must not cancel the other waiters."""
+
+    async def main():
+        scheduler = RequestScheduler(concurrency=1)
+        gate = threading.Event()
+        calls = []
+        survivor = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        quitter = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.05)
+        quitter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await quitter
+        gate.set()
+        result = await survivor
+        # The build result stays reachable for later identical requests
+        # until the task retires; a third waiter still joins cleanly.
+        scheduler.close()
+        return scheduler, calls, result
+
+    scheduler, calls, result = asyncio.run(main())
+    assert result == "built"
+    assert len(calls) == 1
+    assert scheduler.cancelled == 1
+    assert scheduler.dedupe_hits == 1
+    assert scheduler.completed == 1
+
+
+def test_saturated_queue_sheds_with_busy():
+    """Past max_pending, a distinct request is shed; a dupe still joins."""
+
+    async def main():
+        scheduler = RequestScheduler(concurrency=1, max_pending=1)
+        gate = threading.Event()
+        calls = []
+        running = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.05)
+        with pytest.raises(BusyError):
+            await scheduler.submit("other", lambda: "never")
+        # Dedupe joins add no work, so they are never shed.
+        joined = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.05)
+        gate.set()
+        results = await asyncio.gather(running, joined)
+        scheduler.close()
+        return scheduler, results
+
+    scheduler, results = asyncio.run(main())
+    assert results == ["built", "built"]
+    assert scheduler.shed == 1
+    assert scheduler.started == 1
+    assert scheduler.dedupe_hits == 1
+
+
+def test_deadline_fires_but_the_build_survives():
+    """A waiter's timeout gives up the wait, not the build."""
+
+    async def main():
+        scheduler = RequestScheduler(concurrency=1)
+        gate = threading.Event()
+        calls = []
+        with pytest.raises(RequestTimeoutError):
+            await scheduler.submit(
+                "k", _gated_thunk(gate, calls), timeout=0.05
+            )
+        # The underlying task is still in flight; a new waiter joins it.
+        late = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.01)
+        gate.set()
+        result = await late
+        scheduler.close()
+        return scheduler, calls, result
+
+    scheduler, calls, result = asyncio.run(main())
+    assert result == "built"
+    assert len(calls) == 1
+    assert scheduler.timeouts == 1
+    assert scheduler.dedupe_hits == 1
+
+
+def test_thunk_exception_reaches_every_waiter_and_clears():
+    async def main():
+        scheduler = RequestScheduler(concurrency=1)
+
+        def boom():
+            raise RuntimeError("isolated failure")
+
+        first = submit_nowait(scheduler, "k", boom)
+        second = submit_nowait(scheduler, "k", boom)
+        await asyncio.sleep(0.05)
+        for waiter in (first, second):
+            with pytest.raises(RuntimeError):
+                await waiter
+        # The failure does not wedge the key: a retry runs fresh.
+        retry = await scheduler.submit("k", lambda: "recovered")
+        scheduler.close()
+        return scheduler, retry
+
+    scheduler, retry = asyncio.run(main())
+    assert retry == "recovered"
+    assert scheduler.started == 2
+    assert scheduler.pending == 0
+
+
+def test_drain_waits_for_inflight():
+    async def main():
+        scheduler = RequestScheduler(concurrency=2)
+        gate = threading.Event()
+        calls = []
+        task = submit_nowait(scheduler, "k", _gated_thunk(gate, calls))
+        await asyncio.sleep(0.05)
+        gate.set()
+        finished = await scheduler.drain()
+        result = await task
+        scheduler.close()
+        return finished, result
+
+    finished, result = asyncio.run(main())
+    assert finished == 1
+    assert result == "built"

@@ -1,0 +1,165 @@
+"""End-to-end daemon behavior: protocol ops, isolation, drain, metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import BuildObserver, MetricsRegistry
+from repro.obs import names
+from repro.serve.client import AsyncServeClient, ServeRequestError
+from repro.serve.protocol import decode_frame
+from repro.serve.server import ReproServer
+from repro.serve.state import ServerState
+
+from .conftest import BROKEN_SOURCES, REF_INPUT, SOURCES, TRAIN_INPUTS
+
+
+async def _with_server(test_body, **server_kwargs):
+    """Run ``test_body(server, client)`` against a live in-loop daemon."""
+    server = ReproServer(**server_kwargs)
+    await server.start()
+    serving = asyncio.create_task(server.serve_until_shutdown())
+    client = await AsyncServeClient.connect(server.host, server.port)
+    try:
+        result = await test_body(server, client)
+    finally:
+        await client.close()
+        server.request_shutdown()
+        await asyncio.wait_for(serving, timeout=30)
+    return result
+
+
+def test_ping_build_run_stats():
+    async def body(server, client):
+        pong = await client.ping()
+        assert pong["op"] == "ping"
+
+        built = await client.build(SOURCES, scope="c")
+        assert built["cached"] is False
+        assert set(built["isoms"]) == {"util", "mid", "main"}
+        assert built["module_order"]
+        assert built["checksum"]
+
+        ran = await client.run(SOURCES, inputs=REF_INPUT, scope="c")
+        assert ran["exit_code"] == 0
+        assert ran["output"] == [42]
+        assert ran["cached"] is True  # the build op warmed the LRU
+        assert ran["checksum"] == built["checksum"]
+
+        stats = await client.stats()
+        assert stats["state"]["builds"] == 1
+        assert stats["state"]["result_hits"] == 1
+        assert stats["requests"] >= 4
+        return stats
+
+    asyncio.run(_with_server(body))
+
+
+def test_wire_dedupe_builds_once_counter_asserted():
+    """Two identical concurrent wire requests compile exactly once."""
+    metrics = MetricsRegistry()
+
+    async def body(server, client):
+        other = await AsyncServeClient.connect(server.host, server.port)
+        try:
+            results = await asyncio.gather(
+                client.build(SOURCES, scope="cp", train_inputs=TRAIN_INPUTS),
+                other.build(SOURCES, scope="cp", train_inputs=TRAIN_INPUTS),
+            )
+        finally:
+            await other.close()
+        assert results[0]["checksum"] == results[1]["checksum"]
+        assert server.state.builds == 1
+        assert server.scheduler.dedupe_hits == 1
+        assert metrics.value(names.SERVE_DEDUPE_HITS) == 1
+        assert metrics.value(names.SERVE_BUILDS) == 1
+        assert metrics.value(names.SERVE_REQUESTS_OK) >= 2
+
+    # The CLI wires the observer through ServerState; the server then
+    # inherits it, so scheduler and state counters land in one registry.
+    state = ServerState(observer=BuildObserver(metrics=metrics))
+    asyncio.run(_with_server(body, state=state))
+
+
+def test_bad_source_is_bad_request_and_daemon_survives():
+    async def body(server, client):
+        with pytest.raises(ServeRequestError) as excinfo:
+            await client.build(BROKEN_SOURCES, scope="c")
+        assert excinfo.value.status == "bad-request"
+        assert excinfo.value.error_type == "CompileError"
+        # Crash-of-one-request isolation: the daemon keeps serving.
+        built = await client.build(SOURCES, scope="c")
+        assert built["checksum"]
+
+    asyncio.run(_with_server(body))
+
+
+def test_internal_failure_is_isolated():
+    async def body(server, client):
+        real_execute = server.state.execute
+
+        def boom(request):
+            raise RuntimeError("injected fault")
+
+        server.state.execute = boom
+        try:
+            with pytest.raises(ServeRequestError) as excinfo:
+                await client.build(SOURCES, scope="c")
+        finally:
+            server.state.execute = real_execute
+        assert excinfo.value.status == "error"
+        assert excinfo.value.error_type == "RuntimeError"
+        assert (await client.ping())["status"] == "ok"
+
+    asyncio.run(_with_server(body))
+
+
+def test_unsupported_op_and_bad_frame_resync():
+    async def body(server, client):
+        with pytest.raises(ServeRequestError) as excinfo:
+            await client.request({"op": "teapot"})
+        assert excinfo.value.status == "bad-request"
+
+        # A garbage line gets a typed reply and the connection
+        # re-synchronizes on the next newline.
+        client._writer.write(b"rpc 1 nonsense\n")
+        await client._writer.drain()
+        line = await client._reader.readline()
+        response = decode_frame(line)
+        assert response["status"] == "bad-request"
+        assert response["error_type"] == "FrameFormatError"
+        assert server.protocol_errors == 1
+
+        assert (await client.ping())["status"] == "ok"
+
+    asyncio.run(_with_server(body))
+
+
+def test_per_request_timeout_is_a_typed_reply():
+    async def body(server, client):
+        with pytest.raises(ServeRequestError) as excinfo:
+            await client.build(SOURCES, scope="c", timeout=0.000001)
+        assert excinfo.value.status == "timeout"
+        assert server.scheduler.timeouts == 1
+        # The abandoned build still finished and warmed the LRU.
+        await server.scheduler.drain()
+        built = await client.build(SOURCES, scope="c")
+        assert built["cached"] is True
+
+    asyncio.run(_with_server(body))
+
+
+def test_shutdown_request_drains(daemon, client):
+    """The sync client against the threaded daemon: full lifecycle."""
+    assert client.ping()["status"] == "ok"
+    built = client.build(SOURCES, scope="c")
+    assert built["checksum"]
+    stats = client.stats()
+    assert stats["state"]["builds"] == 1
+    reply = client.shutdown()
+    assert reply["draining"] is True
+    daemon.thread.join(timeout=30)
+    assert not daemon.thread.is_alive()
+    assert daemon.server.drained is True
