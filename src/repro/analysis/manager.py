@@ -89,6 +89,24 @@ class AnalysisManager:
         for name in names:
             self._freqs.pop(name, None)
 
+    def invalidate_region(self, names: Iterable[str]) -> None:
+        """Region-scoped invalidation (the demand strategy's contract).
+
+        Drops only the named procedures' block-frequency memos, leaving
+        the rest of the memo pool — and the planner's call-graph /
+        entry-count snapshot — warm.  The demand planner treats the
+        graph and entry counts as a frozen plan-time view (regions and
+        their interior sites were enumerated before any mutation), so
+        one region's transforms must not flush analyses the remaining
+        regions are about to read.  The planner ends its stage with a
+        full :meth:`invalidate_procs` over everything it mutated so
+        later consumers (the unreachable sweep, the output stage) see
+        fresh program-level state.
+        """
+        self.invalidations += 1
+        for name in names:
+            self._freqs.pop(name, None)
+
     def invalidate_all(self) -> None:
         """Drop everything — the blunt hammer for stages that cannot
         enumerate what they touched (scalar pipelines, rollbacks)."""

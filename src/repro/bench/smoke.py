@@ -69,7 +69,7 @@ import tempfile
 import time
 from typing import List, Optional, Sequence, Tuple
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 DEFAULT_WORKLOADS = ("compress", "sc", "vortex")
 DEFAULT_SCOPE = "cp"
 REGRESSION_THRESHOLD = 0.15
@@ -91,6 +91,13 @@ RUNTIME_FLAME_SEED = 7
 # Serve slice: enough clients for a real stampede on each workload's
 # build key without dominating the smoke wall clock.
 SERVE_CLIENTS = 16
+# Scale slice: a reduced module ladder for the compile-scaling section
+# (the CI scale-smoke job runs the full-size ladder via bench.scale).
+# Timing gates stay off here — the deterministic sites-sublinearity and
+# cycles-parity gates are the portable signal at this tier.
+SCALE_SMALL_MODULES = 10
+SCALE_MEGA_MODULES = 60
+SCALE_PARITY_WORKLOADS = ("compress",)
 
 
 def _build_one(item: Tuple[str, str]) -> Tuple[str, dict]:
@@ -568,6 +575,26 @@ def _measure_serve(
     return run_serve_bench(clients=clients, workloads=tuple(names), scope=scope)
 
 
+def _measure_scale() -> Tuple[dict, List[str]]:
+    """The compile-scaling section at smoke-sized tiers.
+
+    Delegates to :mod:`repro.bench.scale` with a reduced module ladder
+    and a single parity workload; only the deterministic gates (demand
+    considers sublinearly many sites vs global; cycles parity) run —
+    wall/RSS sublinearity is gated by the full-size CI job, where the
+    tiers are far enough apart for timing ratios to be signal.
+    """
+    from .scale import run_scale
+
+    # Gate failures from the bench already carry the "scale:" prefix.
+    return run_scale(
+        small_modules=SCALE_SMALL_MODULES,
+        mega_modules=SCALE_MEGA_MODULES,
+        parity_workloads=SCALE_PARITY_WORKLOADS,
+        gate_timing=False,
+    )
+
+
 def run_smoke(
     names: Sequence[str] = DEFAULT_WORKLOADS,
     scope: str = DEFAULT_SCOPE,
@@ -664,6 +691,9 @@ def run_smoke(
     serve, serve_failures = _measure_serve(names)
     failures.extend(serve_failures)
 
+    scale, scale_failures = _measure_scale()
+    failures.extend(scale_failures)
+
     cache = _measure_cache(names, scope)
     if cache["warm_modules_recompiled"] != 0:
         failures.append(
@@ -699,6 +729,7 @@ def run_smoke(
         "runtime": runtime,
         "fleet": fleet,
         "serve": serve,
+        "scale": scale,
     }
     return report, failures
 
@@ -764,6 +795,33 @@ def check(
                         name, before, after
                     )
                 )
+    # Scale section: both metrics are deterministic (static site counts
+    # and model cycles), so they gate unconditionally like cycles.
+    base_scale = baseline.get("scale", {})
+    measured_scale = report.get("scale", {})
+    if base_scale and measured_scale:
+        before = base_scale.get("sites_growth_ratio")
+        after = measured_scale.get("ratios", {}).get("sites_growth_ratio")
+        if before and after and (after - before) / before > threshold:
+            failures.append(
+                "scale: demand/global sites growth ratio regressed "
+                "{:.1f}% ({} -> {}), limit {:.0f}%".format(
+                    (after - before) / before * 100, before, after,
+                    threshold * 100,
+                )
+            )
+        base_parity = base_scale.get("parity", {})
+        for name, entry in measured_scale.get("parity", {}).items():
+            before = base_parity.get(name)
+            after = entry.get("ratio")
+            if before and after and (after - before) / before > threshold:
+                failures.append(
+                    "scale: {} demand/global cycles parity regressed "
+                    "{:.1f}% ({} -> {}), limit {:.0f}%".format(
+                        name, (after - before) / before * 100, before, after,
+                        threshold * 100,
+                    )
+                )
     return failures
 
 
@@ -794,6 +852,17 @@ def baseline_view(report: dict) -> dict:
                 }
                 for name, entry in report.get("interp", {})
                 .get("workloads", {}).items()
+            },
+        },
+        # Deterministic slice of the scale section: the demand/global
+        # static-sites growth ratio and the per-workload cycles parity.
+        "scale": {
+            "sites_growth_ratio": report.get("scale", {})
+            .get("ratios", {}).get("sites_growth_ratio"),
+            "parity": {
+                name: entry["ratio"]
+                for name, entry in report.get("scale", {})
+                .get("parity", {}).items()
             },
         },
     }
@@ -858,6 +927,24 @@ def step_summary(report: dict, failures: Sequence[str]) -> str:
                 runtime.get("contexts", 0),
                 runtime.get("samples", 0),
                 runtime.get("flame_workload", "?"),
+            )
+        )
+    scale = report.get("scale", {})
+    if scale:
+        ratios = scale.get("ratios", {})
+        tiers = scale.get("tiers", {})
+        lines.append(
+            "- scale ({} -> {} modules): demand/global growth ratios "
+            "wall {:.3f}, peak {:.3f}, sites {:.3f}; parity {}".format(
+                tiers.get("small", {}).get("n_modules", "?"),
+                tiers.get("mega", {}).get("n_modules", "?"),
+                ratios.get("wall_growth_ratio", 0.0),
+                ratios.get("peak_growth_ratio", 0.0),
+                ratios.get("sites_growth_ratio", 0.0),
+                ", ".join(
+                    "{} {:.3f}".format(name, entry.get("ratio", 0.0))
+                    for name, entry in sorted(scale.get("parity", {}).items())
+                ) or "—",
             )
         )
     serve = report.get("serve", {})

@@ -117,6 +117,7 @@ def _config_from_args(args: argparse.Namespace) -> HLOConfig:
         enable_outlining=getattr(args, "outline", False),
         strict=getattr(args, "strict", False),
         verify_each_pass=getattr(args, "verify_each_pass", False),
+        strategy=getattr(args, "strategy", "global"),
     )
     if getattr(args, "no_inline", False):
         config = config.clone_only()
@@ -919,6 +920,23 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return serve_bench_main(argv)
 
 
+def cmd_bench_scale(args: argparse.Namespace) -> int:
+    from .bench.scale import main as scale_main
+
+    argv: List[str] = []
+    for flag in ("small", "mega", "funcs_per_module", "window", "seed"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            argv += ["--" + flag.replace("_", "-"), str(value)]
+    for flag in ("parity_workloads", "output", "merge_into", "summary_out"):
+        value = getattr(args, flag, None)
+        if value:
+            argv += ["--" + flag.replace("_", "-"), value]
+    if getattr(args, "no_timing_gates", False):
+        argv.append("--no-timing-gates")
+    return scale_main(argv)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     diagnostics = BuildDiagnostics()
     obs = _observer_from_args(args)
@@ -1038,6 +1056,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compile-time budget percent (default 100)")
         p.add_argument("--passes", type=int, default=4,
                        help="HLO pass limit (default 4)")
+        p.add_argument("--strategy", choices=("global", "demand"),
+                       default="global",
+                       help="inlining strategy: 'global' is the paper's "
+                       "whole-program multi-pass loop, 'demand' walks "
+                       "only profile-hot regions under per-region "
+                       "budgets (default global)")
         p.add_argument("--profile", help="profile database from `train`")
         p.add_argument("--no-inline", action="store_true")
         p.add_argument("--no-clone", action="store_true")
@@ -1124,6 +1148,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0,
                          help="sampling jitter seed (default 0)")
     p_train.add_argument("-o", "--output", default="repro.profdb")
+    p_train.add_argument("--strategy", choices=("global", "demand"),
+                         default="global",
+                         help="accepted for flag symmetry with compile/run "
+                         "(training runs the unoptimized instrumented "
+                         "program, so the strategy does not affect the "
+                         "collected profile)")
     engine_flag(p_train)
     p_train.set_defaults(func=cmd_train)
 
@@ -1233,6 +1263,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--scope", choices=SCOPES, default="cp")
     p_bench.add_argument("--budget", type=float, default=400.0)
     p_bench.add_argument("--passes", type=int, default=4)
+    p_bench.add_argument("--strategy", choices=("global", "demand"),
+                         default="global",
+                         help="inlining strategy (default global)")
     p_bench.add_argument("--no-inline", action="store_true")
     p_bench.add_argument("--no-clone", action="store_true")
     p_bench.add_argument("--outline", action="store_true")
@@ -1264,6 +1297,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sharded.add_argument("--output", metavar="FILE")
     engine_flag(p_sharded)
     p_sharded.set_defaults(func=cmd_bench_sharded)
+
+    p_scale = sub.add_parser(
+        "bench-scale",
+        help="compile-scaling bench: global vs demand strategy on "
+        "generated mega-programs",
+    )
+    p_scale.add_argument("--small", type=int, metavar="N",
+                         help="small-tier module count (default 40)")
+    p_scale.add_argument("--mega", type=int, metavar="N",
+                         help="mega-tier module count (default 1000)")
+    p_scale.add_argument("--funcs-per-module", type=int, metavar="N")
+    p_scale.add_argument("--window", type=int, metavar="K",
+                         help="generator extern visibility window")
+    p_scale.add_argument("--seed", type=int)
+    p_scale.add_argument("--parity-workloads", metavar="NAMES",
+                         help="comma-separated suite workloads for the "
+                         "cycles-parity gate")
+    p_scale.add_argument("--no-timing-gates", action="store_true",
+                         help="gate only the deterministic sites ratio "
+                         "and cycles parity")
+    p_scale.add_argument("--output", metavar="FILE",
+                         help="write the scale section as JSON")
+    p_scale.add_argument("--merge-into", metavar="FILE",
+                         help="merge the scale section into an existing "
+                         "BENCH_smoke.json")
+    p_scale.add_argument("--summary-out", metavar="FILE",
+                         help="append a Markdown summary table "
+                         "($GITHUB_STEP_SUMMARY in CI)")
+    p_scale.set_defaults(func=cmd_bench_scale)
 
     p_serve = sub.add_parser(
         "serve",

@@ -95,6 +95,38 @@ class HLOConfig:
     # and equivalence-testing mode).
     memoize_analyses: bool = True
 
+    # ------------------------------------------------------------------
+    # Inlining strategy (docs/performance.md "Inlining strategies").
+    # ------------------------------------------------------------------
+
+    # "global" is the paper's whole-program multi-pass loop; "demand"
+    # forms profile-hot regions (Way & Pollock) and walks only
+    # region-interior call sites under per-region budgets, so compile
+    # work scales with the hot footprint instead of program size.
+    strategy: str = "global"
+
+    # Demand-strategy region formation: a procedure (or block) is hot
+    # when its absolute heat reaches this fraction of the hottest
+    # procedure's entry count.  Regions grow along dominator / loop
+    # structure through hot call sites until the summed member size
+    # reaches region_size_cap; at most region_limit regions form, so
+    # planner work is bounded regardless of program size.
+    region_hot_fraction: float = 0.001
+    region_size_cap: int = 200
+    region_limit: int = 64
+
+    # Per-region compile-cost allowance, as a percentage of the
+    # region's own quadratic cost (the region-local analogue of
+    # budget_percent).  Higher than the global default on purpose: the
+    # global budget pools slack from every cold routine, while a region
+    # budget has only its own (capped) footprint to draw on — the
+    # quadratic delta of merging two similar-size routines exceeds a
+    # 100% allowance of their summed cost, so parity with the global
+    # strategy on hot code needs a few multiples of the (much smaller)
+    # regional base.  Total growth stays bounded by the hot footprint,
+    # not program size.
+    region_budget_percent: float = 300.0
+
     def fingerprint(self) -> str:
         """A stable digest of every knob, for incremental-cache keys.
 
@@ -116,6 +148,10 @@ class HLOConfig:
     def with_scope(self, cross_module: bool, use_profile: bool) -> "HLOConfig":
         """A copy configured for one of Table 1's scope rows."""
         return replace(self, cross_module=cross_module, use_profile=use_profile)
+
+    def with_strategy(self, strategy: str) -> "HLOConfig":
+        """A copy using ``strategy`` ("global" or "demand")."""
+        return replace(self, strategy=strategy)
 
     def with_strict(self) -> "HLOConfig":
         """A copy with every degradation promoted to a hard error."""

@@ -68,6 +68,8 @@ def run_hlo(
     Under ``config.strict`` the first failure raises instead.
     """
     config = config or HLOConfig()
+    if config.strategy not in ("global", "demand"):
+        raise ValueError("unknown HLO strategy: {!r}".format(config.strategy))
     report = HLOReport()
     obs = observer if observer is not None else NULL_OBSERVER
 
@@ -128,8 +130,40 @@ def run_hlo(
     report.budget_limit = budget.limit
     database = CloneDatabase()
 
+    # Strategy-stage accounting: wall and (when a tracemalloc trace is
+    # already running, e.g. under ``repro bench-scale``) allocation peak
+    # over exactly the planning + transform work the strategy knob
+    # controls.  The shared input/output optimization stages are the
+    # same cost for every strategy and would drown the comparison.
+    import time as _time
+
+    if _tracemalloc_tracing():
+        import tracemalloc
+
+        tracemalloc.reset_peak()
+        strategy_mem_base = tracemalloc.get_traced_memory()[0]
+    else:
+        strategy_mem_base = None
+    strategy_started = _time.perf_counter()
+
+    if config.strategy == "demand":
+        # Demand-driven region-based strategy (docs/performance.md
+        # "Inlining strategies"): form profile-hot regions and optimize
+        # only their interiors under per-region budgets.  Replaces the
+        # global multi-pass loop below; everything around it (input /
+        # output stages, sweeps, verification) is shared.
+        from .regions import demand_stage
+
+        with obs.tracer.span("demand-stage", cat="hlo"):
+            demand_stage(
+                program, config, budget, report, database, site_counts,
+                manager, obs, context_counts, guard, pipeline,
+            )
+        with obs.tracer.span("unreachable-sweep", cat="hlo"):
+            _delete_unreachable(program, report, config.cross_module, manager)
+
     pass_number = 0
-    while pass_number < config.pass_limit and not budget.exhausted():
+    while config.strategy == "global" and pass_number < config.pass_limit and not budget.exhausted():
         if config.stop_after is not None and report.transform_count >= config.stop_after:
             break
         performed = 0
@@ -191,6 +225,14 @@ def run_hlo(
         # larger stage allotment (Figure 2's staging), so a site that
         # was too expensive for this stage may be accepted next pass.
 
+    report.strategy_wall_s = _time.perf_counter() - strategy_started
+    if strategy_mem_base is not None:
+        import tracemalloc
+
+        report.strategy_peak_bytes = max(
+            0, tracemalloc.get_traced_memory()[1] - strategy_mem_base
+        )
+
     # Output stage: intensive re-optimization of the final bodies.
     # The scalar pipeline mutates arbitrary procedures, so every
     # memoized analysis is stale afterwards.
@@ -211,6 +253,12 @@ def run_hlo(
     if verify:
         verify_program(program)
     return report
+
+
+def _tracemalloc_tracing() -> bool:
+    import tracemalloc
+
+    return tracemalloc.is_tracing()
 
 
 def _guarded_stage(

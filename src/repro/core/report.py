@@ -87,6 +87,20 @@ class HLOReport:
     analysis_hits: int = 0
     analysis_misses: int = 0
     analysis_invalidations: int = 0
+    # Demand-strategy counters (docs/performance.md "Inlining
+    # strategies"): hot regions formed by the planner, and how many of
+    # them stopped requesting transforms because their per-region
+    # budget ran out.  Informational; never rolled back.
+    regions_formed: int = 0
+    region_budget_exhausted: int = 0
+    # Strategy-stage cost (``repro bench-scale``): wall seconds spent in
+    # the planning + transform section the strategy knob selects, and —
+    # when the caller already has a tracemalloc trace running — the
+    # allocation peak over that same section.  The shared input/output
+    # scalar stages cost the same under every strategy and are excluded.
+    # Informational; never rolled back.
+    strategy_wall_s: float = 0.0
+    strategy_peak_bytes: int = 0
     # Call-site evaluations across every clone/inline pass: each site
     # the transforms screened, ranked, accepted, or refused counts one
     # per evaluation.  The inlining ledger (repro.obs.ledger) records

@@ -44,6 +44,13 @@ from .interpreter import DEFAULT_MAX_STEPS, run_program
 #: branch/mem): its digest equality across engines is what makes a
 #: flamegraph a property of the execution, not of the engine.
 SINK_KINDS = ("none", "counting", "sampling", "flame", "pa8000")
+#: HLO strategies in the matrix; "none" runs the frontend output as-is
+#: (the historical fuzz configuration), the other two run the full HLO
+#: pipeline under that ``HLOConfig.strategy`` first.  Every strategy
+#: must agree with the unoptimized program on observable semantics
+#: (exit code + output), and every engine must agree on the complete
+#: outcome *within* a strategy.
+STRATEGIES = ("none", "global", "demand")
 SAMPLING_FUZZ_RATE = 7
 SAMPLING_FUZZ_DEPTH = 2
 SAMPLING_FUZZ_SEED = 13
@@ -136,39 +143,91 @@ def observe(
     return outcome, _sink_digest(kind, sink)
 
 
+def _prepare_program(sources, strategy: str):
+    """Compile, then (for "global"/"demand") run HLO under that strategy."""
+    from ..frontend import compile_program
+
+    program = compile_program(sources)
+    if strategy != "none":
+        from ..core.config import HLOConfig
+        from ..core.hlo import run_hlo
+
+        run_hlo(program, HLOConfig(strategy=strategy))
+    return program
+
+
+def _semantics(outcome: Tuple) -> Tuple:
+    """The strategy-invariant slice of an outcome.
+
+    Steps, call counts, and probe counts legitimately change when HLO
+    restructures the program; the tag, exit code, and printed output
+    must not.
+    """
+    return outcome[:3]
+
+
 def fuzz_one(
     seed: int,
     engines: Sequence[str],
     kinds: Sequence[str],
     max_steps: int = DEFAULT_MAX_STEPS,
+    strategies: Sequence[str] = ("none",),
 ) -> List[dict]:
-    """All engine × sink divergences for one generator seed."""
-    from ..frontend import compile_program
+    """All strategy × engine × sink divergences for one generator seed."""
     from ..workloads.generator import generate_sources
 
     sources = generate_sources(seed)
-    program = compile_program(sources)
     inputs = [seed, seed * 7 + 3, seed % 5]
     failures: List[dict] = []
-    for kind in kinds:
-        want = observe(program, inputs, "reference", kind, max_steps)
-        for engine in engines:
-            got = observe(program, inputs, engine, kind, max_steps)
-            if got != want:
+    anchor = None  # reference outcome of the unoptimized program
+    for strategy in strategies:
+        program = _prepare_program(sources, strategy)
+        if strategy != "none":
+            # Cross-strategy semantics: an HLO-transformed program must
+            # print and exit exactly like the unoptimized one.
+            if anchor is None:
+                anchor = observe(
+                    _prepare_program(sources, "none"), inputs, "reference",
+                    "none", max_steps,
+                )
+            got = observe(program, inputs, "reference", "none", max_steps)
+            if _semantics(got[0]) != _semantics(anchor[0]):
                 failures.append(
                     {
                         "seed": seed,
-                        "engine": engine,
-                        "sink": kind,
+                        "engine": "reference",
+                        "sink": "none",
+                        "strategy": strategy,
                         "inputs": inputs,
                         "max_steps": max_steps,
                         "outcome": repr(got[0]),
-                        "reference_outcome": repr(want[0]),
-                        "sink_state": repr(got[1]),
-                        "reference_sink_state": repr(want[1]),
+                        "reference_outcome": repr(anchor[0]),
+                        "sink_state": "()",
+                        "reference_sink_state": "()",
                         "sources": [list(pair) for pair in sources],
                     }
                 )
+                continue
+        for kind in kinds:
+            want = observe(program, inputs, "reference", kind, max_steps)
+            for engine in engines:
+                got = observe(program, inputs, engine, kind, max_steps)
+                if got != want:
+                    failures.append(
+                        {
+                            "seed": seed,
+                            "engine": engine,
+                            "sink": kind,
+                            "strategy": strategy,
+                            "inputs": inputs,
+                            "max_steps": max_steps,
+                            "outcome": repr(got[0]),
+                            "reference_outcome": repr(want[0]),
+                            "sink_state": repr(got[1]),
+                            "reference_sink_state": repr(want[1]),
+                            "sources": [list(pair) for pair in sources],
+                        }
+                    )
     return failures
 
 
@@ -179,11 +238,12 @@ def run_fuzz(
     max_steps: int = DEFAULT_MAX_STEPS,
     artifact_dir: Optional[str] = None,
     progress_every: int = 50,
+    strategies: Sequence[str] = STRATEGIES,
 ) -> List[dict]:
     """Fuzz every seed; write one artifact per failure; return failures."""
     failures: List[dict] = []
     for count, seed in enumerate(seeds, start=1):
-        failures.extend(fuzz_one(seed, engines, kinds, max_steps))
+        failures.extend(fuzz_one(seed, engines, kinds, max_steps, strategies))
         if progress_every and count % progress_every == 0:
             print(
                 "fuzz: {}/{} seeds, {} failure(s)".format(
@@ -195,8 +255,9 @@ def run_fuzz(
         for failure in failures:
             path = os.path.join(
                 artifact_dir,
-                "seed{}_{}_{}.json".format(
-                    failure["seed"], failure["engine"], failure["sink"]
+                "seed{}_{}_{}_{}.json".format(
+                    failure["seed"], failure["strategy"], failure["engine"],
+                    failure["sink"],
                 ),
             )
             with open(path, "w") as handle:
@@ -222,6 +283,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sinks", default=",".join(SINK_KINDS),
                         help="comma-separated sink kinds (default {})".format(
                             ",".join(SINK_KINDS)))
+    parser.add_argument("--strategies", default=",".join(STRATEGIES),
+                        help="comma-separated HLO strategies; 'none' skips "
+                        "HLO entirely (default {})".format(
+                            ",".join(STRATEGIES)))
     parser.add_argument("--max-steps", type=int, default=DEFAULT_MAX_STEPS)
     parser.add_argument("--artifact-dir", metavar="DIR",
                         help="write one JSON repro per failure here")
@@ -232,21 +297,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for kind in kinds:
         if kind not in SINK_KINDS + ("recording",):
             parser.error("unknown sink kind {!r}".format(kind))
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    for strategy in strategies:
+        if strategy not in STRATEGIES:
+            parser.error("unknown strategy {!r}".format(strategy))
     seeds = range(args.start, args.start + args.seeds)
     failures = run_fuzz(
         seeds, engines=engines, kinds=kinds, max_steps=args.max_steps,
-        artifact_dir=args.artifact_dir,
+        artifact_dir=args.artifact_dir, strategies=strategies,
     )
     print(
-        "fuzz: {} seed(s) x {} engine(s) x {} sink(s): {} failure(s)".format(
-            len(seeds), len(engines), len(kinds), len(failures)
+        "fuzz: {} seed(s) x {} strategy(ies) x {} engine(s) x {} sink(s): "
+        "{} failure(s)".format(
+            len(seeds), len(strategies), len(engines), len(kinds),
+            len(failures)
         )
     )
     for failure in failures[:10]:
         print(
-            "FAIL: seed {} engine {} sink {}: {} != {}".format(
-                failure["seed"], failure["engine"], failure["sink"],
-                failure["outcome"], failure["reference_outcome"],
+            "FAIL: seed {} strategy {} engine {} sink {}: {} != {}".format(
+                failure["seed"], failure["strategy"], failure["engine"],
+                failure["sink"], failure["outcome"],
+                failure["reference_outcome"],
             ),
             file=sys.stderr,
         )

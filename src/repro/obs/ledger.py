@@ -49,7 +49,7 @@ class Decision:
 
     __slots__ = (
         "phase", "pass_number", "caller", "callee", "site_id",
-        "decision", "reason", "reason_class", "benefit",
+        "decision", "reason", "reason_class", "benefit", "region",
     )
 
     def __init__(
@@ -63,6 +63,7 @@ class Decision:
         reason: str,
         reason_class: str,
         benefit: Optional[float] = None,
+        region: str = "",
     ):
         self.phase = phase  # 'inline' | 'clone'
         self.pass_number = pass_number
@@ -73,6 +74,9 @@ class Decision:
         self.reason = reason
         self.reason_class = reason_class
         self.benefit = benefit
+        # Demand-strategy provenance: which hot region requested this
+        # evaluation.  Empty for the global strategy.
+        self.region = region
 
     def to_dict(self) -> dict:
         record = {
@@ -87,6 +91,8 @@ class Decision:
         }
         if self.benefit is not None:
             record["benefit"] = round(self.benefit, 6)
+        if self.region:
+            record["region"] = self.region
         return record
 
 
@@ -103,6 +109,9 @@ class NullLedger:
 
     def rollback_to(self, mark: int) -> None:
         pass
+
+    def truncate_region(self, region: str) -> int:
+        return 0
 
 
 NULL_LEDGER = NullLedger()
@@ -131,10 +140,11 @@ class InliningLedger:
         reason: str,
         reason_class: str,
         benefit: Optional[float] = None,
+        region: str = "",
     ) -> None:
         self.entries.append(
             Decision(phase, pass_number, caller, callee, site_id,
-                     decision, reason, reason_class, benefit)
+                     decision, reason, reason_class, benefit, region)
         )
 
     def mark(self) -> int:
@@ -144,6 +154,18 @@ class InliningLedger:
 
     def rollback_to(self, mark: int) -> None:
         del self.entries[mark:]
+
+    def truncate_region(self, region: str) -> int:
+        """Drop every decision tagged with ``region``; returns the count.
+
+        The demand strategy's guarded rollback truncates by mark (its
+        region's decisions are contiguous), then calls this as the
+        belt-and-braces sweep so no phantom decision for a rolled-back
+        region can survive, whatever the interleaving.
+        """
+        before = len(self.entries)
+        self.entries = [e for e in self.entries if e.region != region]
+        return before - len(self.entries)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -240,6 +262,7 @@ def record_decision(
     reason: str,
     reason_class: Optional[str] = None,
     benefit: Optional[float] = None,
+    region: str = "",
 ) -> None:
     """Count one call-site evaluation on the report *and* the ledger.
 
@@ -260,4 +283,5 @@ def record_decision(
             phase, pass_number, caller, callee, site_id, decision, reason,
             reason_class if reason_class is not None else classify_blocker(reason),
             benefit,
+            region,
         )

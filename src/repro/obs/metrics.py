@@ -222,6 +222,10 @@ def collect_build_metrics(
         reg.count(names.HLO_CLONE_DB_HITS, report.clone_db_hits)
         reg.count(names.HLO_SITES_CONSIDERED, report.sites_considered)
         reg.gauge(names.HLO_PASSES_RUN, report.passes_run)
+        reg.count(names.HLO_REGIONS_FORMED, report.regions_formed)
+        reg.count(
+            names.HLO_REGION_BUDGET_EXHAUSTED, report.region_budget_exhausted
+        )
         reg.gauge(names.HLO_INITIAL_COST, report.initial_cost)
         reg.gauge(names.HLO_FINAL_COST, report.final_cost)
         reg.gauge(names.HLO_BUDGET_LIMIT, report.budget_limit)

@@ -58,6 +58,8 @@ HLO_PASSES_RUN = "hlo.passes_run"
 HLO_INITIAL_COST = "hlo.initial_cost"
 HLO_FINAL_COST = "hlo.final_cost"
 HLO_BUDGET_LIMIT = "hlo.budget_limit"
+HLO_REGIONS_FORMED = "hlo.regions_formed"
+HLO_REGION_BUDGET_EXHAUSTED = "hlo.region_budget_exhausted"
 
 ANALYSIS_HITS = "analysis.hits"
 ANALYSIS_MISSES = "analysis.misses"

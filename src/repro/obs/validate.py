@@ -482,6 +482,80 @@ def validate_bench(obj) -> List[str]:
         errors.append("bench: missing object 'serve' (schema >= 7)")
     else:
         errors.extend(validate_serve(serve))
+    scale = obj.get("scale")
+    if not isinstance(scale, dict):
+        errors.append("bench: missing object 'scale' (schema >= 8)")
+    else:
+        errors.extend(validate_scale(scale))
+    return errors
+
+
+def validate_scale(obj) -> List[str]:
+    """Problems with a compile-scaling report (``scale`` section of a
+    schema-8 ``BENCH_smoke.json`` or a standalone ``bench-scale`` run)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["scale: top level must be an object"]
+    tiers = obj.get("tiers")
+    if not isinstance(tiers, dict) or not tiers:
+        errors.append("scale: missing non-empty object 'tiers'")
+    else:
+        for tier, entry in tiers.items():
+            where = "scale: tiers[{!r}]".format(tier)
+            if not isinstance(entry, dict):
+                errors.append(where + " is not an object")
+                continue
+            if not isinstance(entry.get("n_modules"), int):
+                errors.append(where + " missing integer 'n_modules'")
+            strategies = entry.get("strategies")
+            if not isinstance(strategies, dict) or not strategies:
+                errors.append(where + " missing non-empty object 'strategies'")
+                continue
+            for strategy, measured in strategies.items():
+                inner = "{}.strategies[{!r}]".format(where, strategy)
+                if not isinstance(measured, dict):
+                    errors.append(inner + " is not an object")
+                    continue
+                for key in ("strategy_wall_s", "strategy_peak_kb",
+                            "sites_considered", "transforms", "final_size"):
+                    if not isinstance(measured.get(key), (int, float)):
+                        errors.append(
+                            "{} missing numeric {!r}".format(inner, key)
+                        )
+    ratios = obj.get("ratios")
+    if not isinstance(ratios, dict):
+        errors.append("scale: missing object 'ratios'")
+    else:
+        for key in ("wall_growth_ratio", "peak_growth_ratio",
+                    "sites_growth_ratio"):
+            if not isinstance(ratios.get(key), (int, float)):
+                errors.append("scale: ratios missing numeric {!r}".format(key))
+    parity = obj.get("parity")
+    if not isinstance(parity, dict) or not parity:
+        errors.append("scale: missing non-empty object 'parity'")
+    else:
+        for name, entry in parity.items():
+            where = "scale: parity[{!r}]".format(name)
+            if not isinstance(entry, dict):
+                errors.append(where + " is not an object")
+                continue
+            for key in ("global_cycles", "demand_cycles", "ratio"):
+                if not isinstance(entry.get(key), (int, float)):
+                    errors.append("{} missing numeric {!r}".format(where, key))
+            ratio = entry.get("ratio")
+            if isinstance(ratio, (int, float)) and ratio <= 0:
+                errors.append(
+                    "{} ratio {} is not positive".format(where, ratio)
+                )
+    gates = obj.get("gates")
+    if not isinstance(gates, dict) or not gates:
+        errors.append("scale: missing non-empty object 'gates'")
+    else:
+        for key, value in gates.items():
+            if not isinstance(value, bool):
+                errors.append(
+                    "scale: gates[{!r}] {!r} is not a bool".format(key, value)
+                )
     return errors
 
 

@@ -139,6 +139,58 @@ class PassGuard:
             self._record(name, PROGRAM_SCOPE, pass_number, phase, exc, culprit=culprit)
             return default
 
+    def run_region_stage(
+        self,
+        program: Program,
+        procs: Sequence[str],
+        name: str,
+        run: Callable[[], T],
+        pass_number: int = -1,
+        phase: str = "region",
+        default: Optional[T] = None,
+        bisect_pipeline: Optional[Sequence[Tuple[str, ProcPass]]] = None,
+    ) -> Optional[T]:
+        """Run a stage that only mutates ``procs`` (plus additions).
+
+        The region-scoped sibling of :meth:`run_program_stage`: the
+        snapshot covers only the named procedures, so a 1000-module
+        program doesn't pay a whole-program IR copy for every small
+        region the demand planner optimizes.  The *caller* owns the
+        scoping contract — a stage that mutates a procedure outside
+        ``procs`` and then fails will not have that procedure restored.
+        New procedures the stage adds (clones) are deleted on rollback.
+        """
+        if name in self.quarantined:
+            return default
+        snapshots = []
+        for proc_name in procs:
+            proc = program.proc(proc_name)
+            if proc is not None:
+                snapshots.append(ProcedureSnapshot(proc))
+        names_before = {proc.name for proc in program.all_procs()}
+        try:
+            result = run()
+            if self.config.verify_each_pass:
+                verify_program(program)
+            return result
+        except Exception as exc:
+            if self.config.strict:
+                raise
+            culprit = ""
+            if self.config.bisect and bisect_pipeline is not None:
+                pair = bisect_failure(program, bisect_pipeline)
+                if pair is not None:
+                    culprit = "{} on @{}".format(pair[0], pair[1])
+            for proc in list(program.all_procs()):
+                if proc.name not in names_before:
+                    program.delete_proc(proc.name)
+            for snapshot in snapshots:
+                proc = program.proc(snapshot.name)
+                if proc is not None:
+                    snapshot.restore(proc)
+            self._record(name, PROGRAM_SCOPE, pass_number, phase, exc, culprit=culprit)
+            return default
+
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ import hashlib
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from ..core.config import HLOConfig
@@ -145,6 +145,7 @@ class BuildRequest:
     scope: str = "c"
     engine: str = ""  # empty = the server's default engine
     budget_percent: Optional[float] = None
+    strategy: str = "global"
     train_inputs: Tuple[Tuple[float, ...], ...] = ()
     profile_text: Optional[str] = None
     inputs: Tuple[float, ...] = ()  # run op only
@@ -187,6 +188,12 @@ class BuildRequest:
         budget = payload.get("budget_percent")
         if budget is not None and not isinstance(budget, (int, float)):
             raise ValueError("'budget_percent' must be a number")
+        strategy = payload.get("strategy", "global")
+        if strategy not in ("global", "demand"):
+            raise ValueError(
+                "unknown strategy {!r}; expected 'global' or "
+                "'demand'".format(strategy)
+            )
         train = tuple(
             tuple(run) for run in payload.get("train_inputs", ())
         )
@@ -210,6 +217,7 @@ class BuildRequest:
             scope=scope,
             engine=engine,
             budget_percent=budget,
+            strategy=strategy,
             train_inputs=train,
             profile_text=profile_text,
             inputs=inputs,
@@ -219,9 +227,10 @@ class BuildRequest:
         )
 
     def config(self) -> HLOConfig:
+        config = HLOConfig(strategy=self.strategy)
         if self.budget_percent is not None:
-            return HLOConfig(budget_percent=float(self.budget_percent))
-        return HLOConfig()
+            config = replace(config, budget_percent=float(self.budget_percent))
+        return config
 
     def build_key(self) -> str:
         """The dedupe key of the underlying *build*.

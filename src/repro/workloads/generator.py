@@ -22,7 +22,7 @@ dynamic-alloca functions (legality screens).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 ARRAY_SIZE = 16  # power of two; indices are masked with & 15
 MAX_EXPR_DEPTH = 3
@@ -285,14 +285,30 @@ class ProgramGenerator:
         n_modules: int = 2,
         funcs_per_module: int = 3,
         n_globals: int = 3,
+        extern_window: "Optional[int]" = None,
     ) -> List[Tuple[str, str]]:
-        """Produce [(module name, source)] for one random program."""
+        """Produce [(module name, source)] for one random program.
+
+        ``extern_window`` bounds cross-module visibility for mega
+        programs: a non-static function or global is visible (and its
+        extern proto emitted) only to the next ``extern_window`` modules
+        after its own, so generation and program text stay O(modules)
+        instead of the default all-to-all O(modules²) broadcast.
+        ``None`` (the default) keeps the original unbounded behavior,
+        byte-identical for existing seeds.
+        """
         rng = self.rng
         self.funcs = []
         self.globals = []
         module_names = ["mod{}".format(i) for i in range(n_modules)]
+        mod_index = {name: i for i, name in enumerate(module_names)}
         module_bodies: dict = {name: [] for name in module_names}
         module_protos: dict = {name: set() for name in module_names}
+        all_globals: List[Tuple[str, str, bool]] = []
+
+        def window_modules(mod: str) -> List[str]:
+            start = mod_index[mod] + 1
+            return module_names[start:start + (extern_window or 0)]
 
         # Globals scattered over modules.
         for g in range(n_globals):
@@ -310,22 +326,43 @@ class ProgramGenerator:
                 module_bodies[mod].append("{} {} = {};".format(decl, name, rng.randint(0, 99)))
             if not static:
                 self.globals.append((name, mod, is_array))
-                for other in module_names:
-                    if other != mod:
-                        if is_array:
-                            module_protos[other].add(
-                                "extern int {}[{}];".format(name, ARRAY_SIZE)
-                            )
-                        else:
-                            module_protos[other].add("extern int {};".format(name))
+                all_globals.append((name, mod, is_array))
+                receivers = (
+                    [m for m in module_names if m != mod]
+                    if extern_window is None else window_modules(mod)
+                )
+                for other in receivers:
+                    if is_array:
+                        module_protos[other].add(
+                            "extern int {}[{}];".format(name, ARRAY_SIZE)
+                        )
+                    else:
+                        module_protos[other].add("extern int {};".format(name))
 
         # Functions: build bottom-up so the call graph is a DAG.  Each
         # function sees at most two earlier functions, bounding dynamic
         # call-tree fan-out (the generator must terminate *quickly*, not
         # merely eventually).
+        prev_spine: Optional[str] = None
         for mod in module_names:
+            if extern_window is not None:
+                # Scope the expression generator's global pool to what
+                # this module actually has protos for.
+                here = mod_index[mod]
+                self.globals = [
+                    entry for entry in all_globals
+                    if mod_index[entry[1]] <= here <= mod_index[entry[1]] + extern_window
+                ]
             for _ in range(funcs_per_module):
-                visible = [f for f in self.funcs if not f.static or f.module == mod]
+                if extern_window is None:
+                    visible = [f for f in self.funcs if not f.static or f.module == mod]
+                else:
+                    here = mod_index[mod]
+                    visible = [
+                        f for f in self.funcs
+                        if (f.module == mod if f.static
+                            else here - mod_index[f.module] <= extern_window)
+                    ]
                 callables = (
                     rng.sample(visible, min(len(visible), 2)) if visible else []
                 )
@@ -351,21 +388,74 @@ class ProgramGenerator:
                     )
                     if varargs:
                         proto_params = proto_params + ", ..." if proto_params else "..."
-                    for other in module_names:
-                        if other != mod:
-                            module_protos[other].add(
-                                "int {}({});".format(sig.name, proto_params)
-                            )
+                    receivers = (
+                        [m for m in module_names if m != mod]
+                        if extern_window is None else window_modules(mod)
+                    )
+                    for other in receivers:
+                        module_protos[other].add(
+                            "int {}({});".format(sig.name, proto_params)
+                        )
+
+            if extern_window is not None:
+                # Reachability spine (mega programs): every module's
+                # ``spineN`` links to the previous module's under a
+                # ``depth > 0`` guard and anchors a couple of this
+                # module's own routines, so the *whole* program stays
+                # statically reachable from main while only the trailing
+                # ``depth`` modules ever execute — reachable-but-cold
+                # code at scale, which is exactly what a whole-program
+                # inliner has to be able to skip cheaply.
+                spine_name = "spine{}".format(mod_index[mod])
+                pool = [
+                    f for f in self.funcs
+                    if f.module == mod and f.kind == "plain" and not f.varargs
+                ]
+                picks = rng.sample(pool, min(len(pool), 2))
+                spine_lines = ["int {}(int p0) {{".format(spine_name),
+                               "  int r = p0;"]
+                if prev_spine is not None:
+                    spine_lines.append("  if (p0 > 0) {")
+                    spine_lines.append(
+                        "    r = r + {}(p0 - 1);".format(prev_spine)
+                    )
+                    spine_lines.append("  }")
+                for f in picks:
+                    call_args = ", ".join(
+                        str(rng.randint(0, 9)) for _ in range(f.n_params)
+                    )
+                    spine_lines.append("  r = r + {}({});".format(f.name, call_args))
+                spine_lines.append("  return r % 65521;")
+                spine_lines.append("}")
+                module_bodies[mod].append("\n".join(spine_lines))
+                for other in window_modules(mod):
+                    module_protos[other].add("int {}(int p0);".format(spine_name))
+                prev_spine = spine_name
 
         # main in the last module, calling into everything visible.
         main_mod = module_names[-1]
-        callables = [f for f in self.funcs if not f.static or f.module == main_mod]
+        if extern_window is None:
+            callables = [f for f in self.funcs if not f.static or f.module == main_mod]
+        else:
+            last = mod_index[main_mod]
+            callables = [
+                f for f in self.funcs
+                if (f.module == main_mod if f.static
+                    else last - mod_index[f.module] <= extern_window)
+            ]
         self._calls_left = 6
         self._body_cost = 40
         self._mult = 1
         main_lines = ["int main() {", "  int total = 0;"]
         body = self._block(["total"], callables, rng.randint(3, 6), "  ")
         main_lines.extend(body)
+        if prev_spine is not None:
+            # Walk the trailing `extern_window` spine links: the rest of
+            # the spine (and everything it anchors) stays reachable but
+            # never runs.
+            main_lines.append(
+                "  total = total + {}({});".format(prev_spine, extern_window)
+            )
         main_lines.append("  print_int(total % 65536);")
         main_lines.append("  return total % 31;")
         main_lines.append("}")
@@ -379,8 +469,9 @@ class ProgramGenerator:
 
 
 def generate_sources(seed: int, n_modules: int = 2, funcs_per_module: int = 3,
-                     n_globals: int = 3) -> List[Tuple[str, str]]:
+                     n_globals: int = 3,
+                     extern_window: Optional[int] = None) -> List[Tuple[str, str]]:
     """Convenience: one seeded random program."""
     return ProgramGenerator(random.Random(seed)).generate(
-        n_modules, funcs_per_module, n_globals
+        n_modules, funcs_per_module, n_globals, extern_window
     )

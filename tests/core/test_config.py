@@ -38,6 +38,45 @@ class TestDefaults:
             assert derived.cold_penalty == 0.5
 
 
+class TestFingerprint:
+    """The build-cache key must see every strategy-affecting knob.
+
+    A knob that changes codegen but not the fingerprint makes warm
+    cache hits serve artifacts built under a *different* configuration
+    — the exact regression this class pins (a demand build must never
+    reuse a global build's cache entry, and vice versa).
+    """
+
+    def test_same_config_same_fingerprint(self):
+        assert HLOConfig().fingerprint() == HLOConfig().fingerprint()
+
+    def test_strategy_changes_fingerprint(self):
+        default = HLOConfig().fingerprint()
+        assert HLOConfig(strategy="demand").fingerprint() != default
+        # "global" IS the default; spelling it out must not miss cache.
+        assert HLOConfig(strategy="global").fingerprint() == default
+
+    def test_every_region_knob_changes_fingerprint(self):
+        base = HLOConfig(strategy="demand")
+        variants = (
+            {"region_hot_fraction": 0.01},
+            {"region_size_cap": 100},
+            {"region_limit": 8},
+            {"region_budget_percent": 150.0},
+        )
+        prints = {base.fingerprint()}
+        for kwargs in variants:
+            prints.add(HLOConfig(strategy="demand", **kwargs).fingerprint())
+        assert len(prints) == 1 + len(variants)
+
+    def test_with_strategy_copies(self):
+        cfg = HLOConfig(budget_percent=250.0)
+        demand = cfg.with_strategy("demand")
+        assert demand.strategy == "demand"
+        assert demand.budget_percent == 250.0
+        assert cfg.strategy == "global"
+
+
 class TestBuildStatsWallClock:
     def test_wall_seconds_recorded(self):
         from repro.linker import Toolchain

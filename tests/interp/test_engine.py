@@ -235,6 +235,27 @@ class TestToolchainAndMetrics:
             "latency_ms": dict(dist), "cold_build_ms": dict(dist),
             "warm_rebuild_ms": dict(dist), "run_ms": dict(dist),
         }
+        problems = validate_bench(report)
+        assert any("scale" in p for p in problems)
+        strategy = {
+            "strategy_wall_s": 0.5, "strategy_peak_kb": 100.0,
+            "sites_considered": 10, "transforms": 3, "final_size": 200,
+        }
+        report["scale"] = {
+            "tiers": {
+                "small": {"n_modules": 10,
+                          "strategies": {"global": dict(strategy),
+                                         "demand": dict(strategy)}},
+                "mega": {"n_modules": 60,
+                         "strategies": {"global": dict(strategy),
+                                        "demand": dict(strategy)}},
+            },
+            "ratios": {"wall_growth_ratio": 0.5, "peak_growth_ratio": 0.5,
+                       "sites_growth_ratio": 0.1},
+            "parity": {"w": {"global_cycles": 100.0, "demand_cycles": 99.0,
+                             "ratio": 0.99}},
+            "gates": {"sites_sublinear": True, "cycles_parity": True},
+        }
         assert validate_bench(report) == []
 
     def test_bench_check_gates_speedup_regression(self):

@@ -39,6 +39,23 @@ class TestGeneratedMatrix:
         assert not failures, failures[0]
 
 
+@pytest.mark.parametrize("strategy", ("global", "demand"))
+@pytest.mark.parametrize("engine", OPTIMIZED)
+class TestStrategyMatrix:
+    # The fuzz harness's strategy dimension: run full HLO under each
+    # strategy first, then demand byte-identical outcomes across all
+    # three engines and every sink family — plus the harness's built-in
+    # check that the transformed program prints and exits exactly like
+    # the unoptimized one.
+    def test_hlo_outputs_identical(self, engine, strategy):
+        failures = []
+        for seed in (0, 9, 42):
+            failures.extend(
+                fuzz_one(seed, [engine], SINK_KINDS, strategies=[strategy])
+            )
+        assert not failures, failures[0]
+
+
 @pytest.mark.parametrize("kind", SINK_KINDS)
 @pytest.mark.parametrize("name", ["compress", "sc"])
 class TestWorkloadMatrix:

@@ -1,0 +1,120 @@
+"""Region-scoped failure containment in the demand strategy.
+
+The global strategy's guard snapshots the whole program per stage; the
+demand planner instead isolates each *region*: a crash while
+optimizing one region must roll back exactly that region's IR, report
+counters, ledger decisions, and analysis memos — and every other
+region's work must survive and ship.
+"""
+
+from repro.core import HLOConfig, run_hlo
+from repro.frontend import compile_program
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.obs import BuildObserver, InliningLedger
+
+TWO_CHAINS = [(
+    "m",
+    """
+    int ha(int x) { return x * 3 + 1; }
+    int da(int n) {
+      int t = 0;
+      for (int i = 0; i < n; i++) t = t + ha(i);
+      return t;
+    }
+    int hb(int x) { return x * 5 + 2; }
+    int db(int n) {
+      int t = 0;
+      for (int i = 0; i < n; i++) t = t + hb(i);
+      return t;
+    }
+    int main() {
+      print_int(da(400) + db(400));
+      return 0;
+    }
+    """,
+)]
+
+# Small enough that no single region can absorb both driver chains.
+CONFIG_KWARGS = dict(strategy="demand", region_size_cap=30)
+
+
+class CrashOnCaller:
+    """Raise the first time an inline is attempted into ``target``."""
+
+    def __init__(self, real, target):
+        self.real = real
+        self.target = target
+        self.fired = False
+
+    def __call__(self, program, caller, *args, **kwargs):
+        if caller.name == self.target:
+            self.fired = True
+            raise RuntimeError("injected: inline into " + self.target)
+        return self.real(program, caller, *args, **kwargs)
+
+
+def _crashing_build(monkeypatch, target):
+    from repro.core import regions
+
+    crasher = CrashOnCaller(regions.perform_inline, target)
+    monkeypatch.setattr(regions, "perform_inline", crasher)
+    program = compile_program(TWO_CHAINS)
+    ledger = InliningLedger()
+    report = run_hlo(
+        program, HLOConfig(**CONFIG_KWARGS),
+        observer=BuildObserver(ledger=ledger),
+    )
+    assert crasher.fired, "injected fault never reached: test is vacuous"
+    return program, report, ledger
+
+
+def test_failed_region_rolls_back_others_survive(monkeypatch):
+    baseline = run_program(compile_program(TWO_CHAINS)).behavior()
+    program, report, _ = _crashing_build(monkeypatch, "da")
+
+    verify_program(program)
+    assert run_program(program).behavior() == baseline
+    demand_failures = [f for f in report.pass_failures if f.phase == "demand"]
+    assert demand_failures and demand_failures[0].pass_name == "demand"
+    # The sibling chain's region committed its work.
+    assert report.inlines >= 1
+
+
+def test_failed_region_ledger_truncated(monkeypatch):
+    program, report, ledger = _crashing_build(monkeypatch, "da")
+
+    failed_indices = {
+        f.pass_number for f in report.pass_failures if f.phase == "demand"
+    }
+    assert failed_indices
+    failed_prefixes = tuple("r{}:".format(i) for i in failed_indices)
+    regions_seen = {e.region for e in ledger.entries if e.region}
+    # Decisions from healthy regions remain; every decision the failed
+    # region recorded before crashing was truncated with its rollback.
+    assert regions_seen
+    assert not any(
+        region.startswith(failed_prefixes) for region in regions_seen
+    )
+
+
+def test_quarantined_demand_stage_still_ships_a_build(monkeypatch):
+    # Crash *every* region (target main's callers too): once the stage
+    # hits max_failures it is quarantined, and the build must complete
+    # as a no-transform HLO run with behavior intact.
+    from repro.core import regions
+
+    baseline = run_program(compile_program(TWO_CHAINS)).behavior()
+
+    def always_crash(program, caller, *args, **kwargs):
+        raise RuntimeError("injected: no inline survives")
+
+    monkeypatch.setattr(regions, "perform_inline", always_crash)
+    program = compile_program(TWO_CHAINS)
+    report = run_hlo(program, HLOConfig(**CONFIG_KWARGS))
+
+    verify_program(program)
+    assert run_program(program).behavior() == baseline
+    assert report.inlines == 0
+    assert report.degraded
+    assert "demand" in report.quarantined_passes

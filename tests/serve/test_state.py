@@ -98,6 +98,7 @@ def test_build_key_ignores_source_order():
         {"train_inputs": [[9]]},
         {"profile": "profiledb v1"},
         {"sources": [["util", "int add(int a, int b) { return a - b; }"]]},
+        {"strategy": "demand"},
     ],
 )
 def test_build_key_tracks_build_identity(over):
@@ -105,6 +106,17 @@ def test_build_key_tracks_build_identity(over):
         BuildRequest.from_payload(_payload()).build_key()
         != BuildRequest.from_payload(_payload(**over)).build_key()
     )
+
+
+def test_strategy_validated_and_defaulted():
+    assert BuildRequest.from_payload(_payload()).strategy == "global"
+    # Spelling out the default must hit the same build-key (cache entry).
+    assert (
+        BuildRequest.from_payload(_payload(strategy="global")).build_key()
+        == BuildRequest.from_payload(_payload()).build_key()
+    )
+    with pytest.raises(ValueError):
+        BuildRequest.from_payload(_payload(strategy="eager"))
 
 
 def test_run_key_shares_build_but_not_op():
